@@ -1,0 +1,106 @@
+//! Property-based equivalence of the baseline engines against the
+//! optimized engine on random stores and a family of queries — the
+//! benchmarks compare execution strategies, so all three must agree on
+//! semantics everywhere, not just on the curated catalogs.
+
+use aiql_baseline::{GraphEngine, RelationalEngine};
+use aiql_engine::{Engine, EngineConfig};
+use aiql_model::{AgentId, Operation, Timestamp};
+use aiql_storage::{EntitySpec, EventStore, RawEvent, StoreConfig};
+use proptest::prelude::*;
+
+fn arb_raw() -> impl Strategy<Value = RawEvent> {
+    (
+        0u32..3,
+        prop_oneof![
+            Just(Operation::Read),
+            Just(Operation::Write),
+            Just(Operation::Start),
+            Just(Operation::Execute),
+            Just(Operation::Connect),
+            Just(Operation::Delete),
+        ],
+        0u32..5,
+        0u32..6,
+        0i64..4_000,
+        0u64..5_000,
+    )
+        .prop_map(|(agent, op, subj, obj, secs, amount)| {
+            let subject = EntitySpec::process(100 + subj, &format!("tool{subj}.exe"), "user");
+            let object = match op {
+                Operation::Start => {
+                    EntitySpec::process(200 + obj, &format!("child{obj}.exe"), "user")
+                }
+                Operation::Connect => EntitySpec::tcp(
+                    aiql_model::IpV4::from_octets(10, 0, 0, 1),
+                    40_000,
+                    aiql_model::IpV4::from_octets(10, 0, 4, 100 + (obj % 4) as u8),
+                    443,
+                ),
+                _ => EntitySpec::file(&format!("/srv/data{obj}.bin"), "user"),
+            };
+            RawEvent::instant(
+                AgentId(agent),
+                op,
+                subject,
+                object,
+                Timestamp::from_secs(secs),
+                amount,
+            )
+        })
+}
+
+fn queries() -> Vec<&'static str> {
+    vec![
+        r#"proc p["%tool1.exe"] read || write file f as e return distinct p, f"#,
+        r#"proc p1 write file f as e1
+           proc p2 read file f as e2
+           with e1 before e2
+           return distinct p1, p2, f"#,
+        r#"agentid = 1
+           proc p1 start proc p2 as e1
+           proc p2 write file f as e2
+           with e1 before[30 min] e2
+           return p1, p2, f"#,
+        r#"proc p connect ip i[dstip = "10.0.4.101"] as e return distinct p"#,
+        r#"proc p delete file f as e return p, count(*) as n group by p having n >= 1"#,
+        r#"backward: file f["%data2%"] <-[write] proc p1 <-[start] proc p0 return p0, p1"#,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both relational configurations and the graph engine agree with the
+    /// optimized engine on arbitrary data.
+    #[test]
+    fn all_engines_agree(raws in proptest::collection::vec(arb_raw(), 0..100)) {
+        let mut store = EventStore::new(StoreConfig {
+            dedup: false,
+            ..StoreConfig::default()
+        });
+        store.ingest_all(&raws);
+        let engine = Engine::new(EngineConfig::default());
+        let rel_opt = RelationalEngine::new(true);
+        let rel_unopt = RelationalEngine::new(false);
+        let graph = GraphEngine::build(&store);
+        for src in queries() {
+            let want = engine.execute_text(&store, src).unwrap().normalized();
+            let a = rel_opt.execute_text(&store, src).unwrap().normalized();
+            prop_assert_eq!(&want.rows, &a.rows, "relational-opt diverged on {}", src);
+            let b = rel_unopt.execute_text(&store, src).unwrap().normalized();
+            prop_assert_eq!(&want.rows, &b.rows, "relational-unopt diverged on {}", src);
+            let c = graph.execute_text(&store, src).unwrap().normalized();
+            prop_assert_eq!(&want.rows, &c.rows, "graph diverged on {}", src);
+        }
+    }
+
+    /// The graph import preserves cardinalities for arbitrary stores.
+    #[test]
+    fn graph_import_shape(raws in proptest::collection::vec(arb_raw(), 0..150)) {
+        let mut store = EventStore::default();
+        store.ingest_all(&raws);
+        let graph = GraphEngine::build(&store);
+        prop_assert_eq!(graph.edge_count() as u64, store.event_count());
+    }
+}

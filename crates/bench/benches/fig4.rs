@@ -1,0 +1,35 @@
+//! Figure 4 — execution time of the 19 demo-attack investigation queries:
+//! AIQL vs the PostgreSQL-style relational baseline, both running on the
+//! optimized storage. The paper reports a 21× total speedup with the
+//! largest gaps on the complex multi-pattern queries (a2-2, a5-5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aiql_baseline::RelationalEngine;
+use aiql_bench::fig4_store;
+use aiql_engine::{Engine, EngineConfig};
+use aiql_sim::demo_queries;
+
+fn bench_fig4(c: &mut Criterion) {
+    let store = fig4_store();
+    let engine = Engine::new(EngineConfig::default());
+    let postgres = RelationalEngine::new(true);
+    let mut group = c.benchmark_group("fig4");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+
+    for cq in demo_queries() {
+        group.bench_with_input(BenchmarkId::new("aiql", cq.id), &cq.aiql, |b, src| {
+            b.iter(|| engine.execute_text(&store, src).expect("aiql query"));
+        });
+        group.bench_with_input(BenchmarkId::new("postgresql", cq.id), &cq.aiql, |b, src| {
+            b.iter(|| postgres.execute_text(&store, src).expect("baseline query"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Substrate microbenchmarks: parser, pattern matcher, dictionary lookups,
+//! WAL, and snapshots. These track the fixed costs under every query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aiql_lang::parse_query;
+use aiql_model::StringPattern;
+use aiql_sim::{demo_queries, scenario_demo, Scale};
+use aiql_storage::{snapshot, EventStore, StoreConfig, Wal};
+
+fn bench_parser(c: &mut Criterion) {
+    let catalog = demo_queries();
+    let heavy = &catalog.iter().find(|q| q.id == "a5-5").unwrap().aiql;
+    let mut group = c.benchmark_group("micro/parser");
+    group.bench_function("query1", |b| {
+        b.iter(|| parse_query(heavy).expect("parse"));
+    });
+    group.bench_function("catalog-19", |b| {
+        b.iter(|| {
+            for q in &catalog {
+                parse_query(&q.aiql).expect("parse");
+            }
+        });
+    });
+    group.bench_function("sql-translation", |b| {
+        let q = parse_query(heavy).unwrap();
+        b.iter(|| aiql_lang::sql::to_sql(&q));
+    });
+    group.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/pattern");
+    let suffix = StringPattern::new("%cmd.exe");
+    let infix = StringPattern::new("%info_stealer%");
+    let haystacks: Vec<String> = (0..1000)
+        .map(|i| format!("C:\\Program Files\\app{i}\\bin\\tool{i}.exe"))
+        .collect();
+    group.bench_function("suffix-1k", |b| {
+        b.iter(|| haystacks.iter().filter(|h| suffix.matches(h)).count());
+    });
+    group.bench_function("infix-1k", |b| {
+        b.iter(|| haystacks.iter().filter(|h| infix.matches(h)).count());
+    });
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let scenario = scenario_demo(Scale {
+        hosts: 4,
+        events_per_host: 2_000,
+        seed: 3,
+    });
+    let mut store = EventStore::new(StoreConfig::default());
+    store.ingest_all(&scenario.raws);
+    let mut group = c.benchmark_group("micro/persistence");
+    group.sample_size(10);
+
+    group.bench_function("wal-append-8k", |b| {
+        b.iter(|| {
+            let mut path = std::env::temp_dir();
+            path.push(format!("aiql-bench-wal-{}", std::process::id()));
+            let mut wal = Wal::create(&path).unwrap();
+            for raw in &scenario.raws {
+                wal.append(raw).unwrap();
+            }
+            wal.flush().unwrap();
+            std::fs::remove_file(&path).ok();
+        });
+    });
+    group.bench_function("snapshot-save-load", |b| {
+        b.iter(|| {
+            let mut path = std::env::temp_dir();
+            path.push(format!("aiql-bench-snap-{}", std::process::id()));
+            snapshot::save(&store, &path).unwrap();
+            let loaded = snapshot::load(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            loaded.event_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_dictionary(c: &mut Criterion) {
+    let scenario = scenario_demo(Scale {
+        hosts: 8,
+        events_per_host: 5_000,
+        seed: 5,
+    });
+    let mut store = EventStore::new(StoreConfig::default());
+    store.ingest_all(&scenario.raws);
+    let mut group = c.benchmark_group("micro/dictionary");
+    let pattern = aiql_storage::EntityConstraint::on_default(aiql_storage::AttrCmp::Like(
+        StringPattern::new("%sbblv%"),
+    ));
+    group.bench_function("like-over-dictionary", |b| {
+        b.iter(|| {
+            store
+                .entities()
+                .find(aiql_model::EntityKind::Process, None, std::slice::from_ref(&pattern))
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_patterns,
+    bench_persistence,
+    bench_dictionary
+);
+criterion_main!(benches);

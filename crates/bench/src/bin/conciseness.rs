@@ -1,0 +1,94 @@
+//! Regenerates the §3 conciseness comparison: "SQL queries contain at
+//! least 3.0× more constraints, 3.5× more words, and 5.2× more characters
+//! (excluding spaces) than AIQL queries." Also reports the Cypher ratios
+//! for the Figure 5 discussion.
+//!
+//! ```sh
+//! cargo run --release -p aiql-bench --bin conciseness
+//! ```
+
+use aiql_lang::metrics::QueryMetrics;
+use aiql_lang::{cypher, parse_query, sql};
+use aiql_sim::{case_study_queries, demo_queries, CatalogQuery};
+
+fn report(title: &str, catalog: &[CatalogQuery]) -> (f64, f64, f64) {
+    println!("== {title} ==");
+    println!(
+        "{:<6} {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}   {:>7} {:>7} {:>7}",
+        "query", "a.cons", "a.word", "a.char", "s.cons", "s.word", "s.char", "r.cons", "r.word", "r.char"
+    );
+    let (mut sum_c, mut sum_w, mut sum_ch) = (0.0, 0.0, 0.0);
+    let mut min_c = f64::MAX;
+    for cq in catalog {
+        let parsed = parse_query(&cq.aiql).expect("catalog query parses");
+        let aiql_m = QueryMetrics::measure(&cq.aiql);
+        let sql_m = QueryMetrics::measure(&sql::to_sql(&parsed));
+        let (rc, rw, rch) = sql_m.ratio_over(&aiql_m);
+        sum_c += rc;
+        sum_w += rw;
+        sum_ch += rch;
+        min_c = min_c.min(rc);
+        println!(
+            "{:<6} {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}   {:>6.1}x {:>6.1}x {:>6.1}x",
+            cq.id,
+            aiql_m.constraints,
+            aiql_m.words,
+            aiql_m.chars,
+            sql_m.constraints,
+            sql_m.words,
+            sql_m.chars,
+            rc,
+            rw,
+            rch,
+        );
+    }
+    let n = catalog.len() as f64;
+    println!(
+        "mean SQL/AIQL ratios: constraints {:.1}x | words {:.1}x | chars {:.1}x (min constraint ratio {:.1}x)",
+        sum_c / n,
+        sum_w / n,
+        sum_ch / n,
+        min_c
+    );
+    println!();
+    (sum_c / n, sum_w / n, sum_ch / n)
+}
+
+fn cypher_summary(catalog: &[CatalogQuery]) {
+    let (mut sum_c, mut sum_w, mut sum_ch) = (0.0, 0.0, 0.0);
+    for cq in catalog {
+        let parsed = parse_query(&cq.aiql).expect("parses");
+        let aiql_m = QueryMetrics::measure(&cq.aiql);
+        let cy_m = QueryMetrics::measure(&cypher::to_cypher(&parsed));
+        let (rc, rw, rch) = cy_m.ratio_over(&aiql_m);
+        sum_c += rc;
+        sum_w += rw;
+        sum_ch += rch;
+    }
+    let n = catalog.len() as f64;
+    println!(
+        "mean Cypher/AIQL ratios: constraints {:.1}x | words {:.1}x | chars {:.1}x",
+        sum_c / n,
+        sum_w / n,
+        sum_ch / n
+    );
+}
+
+fn main() {
+    println!("Conciseness — AIQL vs generated SQL (per query)");
+    println!();
+    let demo = demo_queries();
+    let case = case_study_queries();
+    let (c1, w1, ch1) = report("Figure 4 catalog (demo attack)", &demo);
+    let (c2, w2, ch2) = report("Figure 5 catalog (case study)", &case);
+    println!(
+        "overall mean SQL/AIQL: constraints {:.1}x | words {:.1}x | chars {:.1}x",
+        (c1 + c2) / 2.0,
+        (w1 + w2) / 2.0,
+        (ch1 + ch2) / 2.0
+    );
+    println!("paper: SQL has >= 3.0x constraints, 3.5x words, 5.2x chars");
+    println!();
+    let all: Vec<CatalogQuery> = demo.into_iter().chain(case).collect();
+    cypher_summary(&all);
+}

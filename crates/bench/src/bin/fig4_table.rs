@@ -1,0 +1,73 @@
+//! Regenerates Figure 4: log10-transformed execution time of the 19
+//! demo-attack investigation queries, AIQL vs PostgreSQL-style baseline
+//! (both with the optimized storage), plus the totals/speedup the paper
+//! reports in §3 ("total 3.6 minutes … 21× speedup over PostgreSQL").
+//!
+//! ```sh
+//! cargo run --release -p aiql-bench --bin fig4_table
+//! AIQL_BENCH_EVENTS=50000 cargo run --release -p aiql-bench --bin fig4_table
+//! ```
+
+use aiql_baseline::RelationalEngine;
+use aiql_bench::{assert_evidence, fig4_store, log10_secs, time_best_of};
+use aiql_engine::{Engine, EngineConfig};
+use aiql_sim::demo_queries;
+
+fn main() {
+    let store = fig4_store();
+    let engine = Engine::new(EngineConfig::default());
+    let postgres = RelationalEngine::new(true);
+    println!("Figure 4 — AIQL vs PostgreSQL (both w/ optimized storage)");
+    println!("dataset: {}", store.stats().summary());
+    println!();
+    println!(
+        "{:<6} {:>12} {:>12} {:>9} {:>10} {:>10} {:>8}",
+        "query", "aiql (ms)", "pg (ms)", "speedup", "log10(A)", "log10(P)", "rows"
+    );
+
+    let mut total_aiql = 0.0;
+    let mut total_pg = 0.0;
+    let mut me_aiql = 0.0; // multievent/dependency subtotal
+    let mut me_pg = 0.0;
+    for cq in demo_queries() {
+        let table = engine.execute_text(&store, &cq.aiql).expect("aiql");
+        assert_evidence(cq.id, &table);
+        let rows = table.rows.len();
+        let aiql_s = time_best_of(3, || engine.execute_text(&store, &cq.aiql).unwrap());
+        let pg_s = time_best_of(3, || postgres.execute_text(&store, &cq.aiql).unwrap());
+        total_aiql += aiql_s;
+        total_pg += pg_s;
+        let is_anomaly = matches!(
+            aiql_lang::parse_query(&cq.aiql),
+            Ok(aiql_lang::Query::Anomaly(_))
+        );
+        if !is_anomaly {
+            me_aiql += aiql_s;
+            me_pg += pg_s;
+        }
+        println!(
+            "{:<6} {:>12.3} {:>12.3} {:>8.1}x {:>10.2} {:>10.2} {:>8}",
+            cq.id,
+            aiql_s * 1e3,
+            pg_s * 1e3,
+            pg_s / aiql_s.max(1e-9),
+            log10_secs(aiql_s),
+            log10_secs(pg_s),
+            rows,
+        );
+    }
+    println!();
+    println!(
+        "multievent subtotal: aiql {:.3}s | postgresql {:.3}s | speedup {:.1}x",
+        me_aiql,
+        me_pg,
+        me_pg / me_aiql.max(1e-9)
+    );
+    println!(
+        "total (incl. anomaly): aiql {:.3}s | postgresql {:.3}s | speedup {:.1}x",
+        total_aiql,
+        total_pg,
+        total_pg / total_aiql.max(1e-9)
+    );
+    println!("paper: aiql 3.6 min | postgresql 77 min | speedup 21x (257M events, 85 GB)");
+}

@@ -1,0 +1,62 @@
+//! Regenerates Figure 5: log10-transformed execution time of the 26
+//! case-study queries — AIQL vs PostgreSQL-style baseline *without* the
+//! storage optimizations vs Neo4j-style graph baseline. The paper reports
+//! 124× (vs PostgreSQL) and 157× (vs Neo4j) total speedups, with Neo4j
+//! generally slower than PostgreSQL for multi-step behaviors.
+//!
+//! ```sh
+//! cargo run --release -p aiql-bench --bin fig5_table
+//! ```
+
+use aiql_baseline::{GraphEngine, RelationalEngine};
+use aiql_bench::{assert_evidence, fig5_store, log10_secs, time_best_of};
+use aiql_engine::{Engine, EngineConfig};
+use aiql_sim::case_study_queries;
+
+fn main() {
+    let store = fig5_store();
+    let engine = Engine::new(EngineConfig::default());
+    let postgres = RelationalEngine::new(false);
+    let neo4j = GraphEngine::build(&store);
+    println!("Figure 5 — AIQL vs PostgreSQL (w/o optimized storage) vs Neo4j");
+    println!("dataset: {}", store.stats().summary());
+    println!();
+    println!(
+        "{:<6} {:>11} {:>11} {:>11} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "query", "aiql (ms)", "pg (ms)", "neo4j(ms)", "pg/aiql", "neo/aiql", "log10(A)", "log10(P)", "log10(N)"
+    );
+
+    let (mut ta, mut tp, mut tn) = (0.0, 0.0, 0.0);
+    for cq in case_study_queries() {
+        let table = engine.execute_text(&store, &cq.aiql).expect("aiql");
+        assert_evidence(cq.id, &table);
+        let aiql_s = time_best_of(3, || engine.execute_text(&store, &cq.aiql).unwrap());
+        let pg_s = time_best_of(2, || postgres.execute_text(&store, &cq.aiql).unwrap());
+        let neo_s = time_best_of(2, || neo4j.execute_text(&store, &cq.aiql).unwrap());
+        ta += aiql_s;
+        tp += pg_s;
+        tn += neo_s;
+        println!(
+            "{:<6} {:>11.3} {:>11.3} {:>11.3} {:>7.1}x {:>7.1}x {:>9.2} {:>9.2} {:>9.2}",
+            cq.id,
+            aiql_s * 1e3,
+            pg_s * 1e3,
+            neo_s * 1e3,
+            pg_s / aiql_s.max(1e-9),
+            neo_s / aiql_s.max(1e-9),
+            log10_secs(aiql_s),
+            log10_secs(pg_s),
+            log10_secs(neo_s),
+        );
+    }
+    println!();
+    println!(
+        "total: aiql {:.3}s | postgresql {:.3}s ({:.0}x) | neo4j {:.3}s ({:.0}x)",
+        ta,
+        tp,
+        tp / ta.max(1e-9),
+        tn,
+        tn / ta.max(1e-9)
+    );
+    println!("paper: aiql 124x faster than PostgreSQL, 157x faster than Neo4j");
+}

@@ -1,0 +1,685 @@
+//! Semantic analysis: resolving a parsed query against a store.
+//!
+//! Analysis (a) validates the query — variable kinds are consistent,
+//! subjects are processes, operations exist and fit their object kinds,
+//! temporal relations reference declared events — and (b) lowers textual
+//! constraints to typed [`EntityConstraint`]s: string literals with
+//! wildcards become `LIKE` patterns, IP-attribute strings parse to
+//! addresses, and exact strings resolve through the store's dictionary
+//! (an exact string absent from the dictionary makes the constraint
+//! *unsatisfiable*, which the scheduler exploits as maximal pruning power).
+
+use std::collections::HashMap;
+
+use aiql_lang::{
+    AnomalyQuery, AttrConstraint, CmpOp, DeclConstraint, EntityDecl, Expr, Literal,
+    MultieventQuery, ReturnClause, TemporalOp, WindowSpec,
+};
+use aiql_model::{
+    AgentId, EntityKind, Interner, IpV4, Operation, StringPattern, TimeWindow, Value,
+};
+use aiql_storage::{AttrCmp, EntityConstraint, EventStore, OpSet};
+
+use crate::error::EngineError;
+
+/// A query variable with its merged constraints from every declaration site.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Source variable name.
+    pub name: String,
+    /// Resolved entity kind.
+    pub kind: EntityKind,
+    /// Conjunction of all constraints on the variable.
+    pub constraints: Vec<EntityConstraint>,
+    /// True when some constraint can never match (e.g. an exact name not
+    /// present in the dictionary).
+    pub unsatisfiable: bool,
+}
+
+/// One analyzed event pattern.
+#[derive(Debug, Clone)]
+pub struct AnalyzedPattern {
+    /// Position in the query (execution may reorder; results do not).
+    pub index: usize,
+    /// Event variable name (synthesized `evtN` when the query omits `as`).
+    pub name: String,
+    /// Subject variable index into [`AnalyzedMultievent::vars`].
+    pub subject: usize,
+    /// Object variable index.
+    pub object: usize,
+    /// Operations to match.
+    pub ops: OpSet,
+}
+
+/// Analyzed global clause.
+#[derive(Debug, Clone)]
+pub struct AnalyzedGlobals {
+    /// Temporal constraint.
+    pub window: TimeWindow,
+    /// Spatial constraint (`None` = all hosts; `Some([])` = unsatisfiable).
+    pub agents: Option<Vec<AgentId>>,
+    /// Event-level residual predicates (attr, op, value) checked per event.
+    pub residual: Vec<(String, CmpOp, Value)>,
+}
+
+/// A temporal relationship between two pattern indices.
+#[derive(Debug, Clone)]
+pub struct TemporalConstraint {
+    /// Index of the left pattern.
+    pub left: usize,
+    /// The operator.
+    pub op: TemporalOp,
+    /// Index of the right pattern.
+    pub right: usize,
+}
+
+/// A fully analyzed multievent query, ready for scheduling and execution.
+#[derive(Debug, Clone)]
+pub struct AnalyzedMultievent {
+    /// All entity variables.
+    pub vars: Vec<VarInfo>,
+    /// All event patterns in source order.
+    pub patterns: Vec<AnalyzedPattern>,
+    /// Temporal relationships (pattern-index based).
+    pub temporal: Vec<TemporalConstraint>,
+    /// Global constraints.
+    pub globals: AnalyzedGlobals,
+    /// Projection (AST reused; evaluation resolves variables dynamically).
+    pub ret: ReturnClause,
+    /// Grouping keys.
+    pub group_by: Vec<Expr>,
+    /// Post-aggregation filter.
+    pub having: Option<Expr>,
+    /// Ordering keys.
+    pub order_by: Vec<aiql_lang::OrderItem>,
+    /// Row limit.
+    pub limit: Option<u64>,
+}
+
+/// An analyzed anomaly query.
+#[derive(Debug, Clone)]
+pub struct AnalyzedAnomaly {
+    /// The underlying single-pattern multievent skeleton.
+    pub base: AnalyzedMultievent,
+    /// Sliding-window specification.
+    pub window_spec: WindowSpec,
+}
+
+/// Analyzes a multievent query against a store.
+pub fn analyze_multievent(
+    q: &MultieventQuery,
+    store: &EventStore,
+) -> Result<AnalyzedMultievent, EngineError> {
+    let globals = analyze_globals(&q.globals, store.interner())?;
+    let mut vars: Vec<VarInfo> = Vec::new();
+    let mut var_index: HashMap<String, usize> = HashMap::new();
+    let mut patterns = Vec::with_capacity(q.patterns.len());
+    let mut event_index: HashMap<String, usize> = HashMap::new();
+
+    for (i, p) in q.patterns.iter().enumerate() {
+        let subject = bind_var(&p.subject, &mut vars, &mut var_index, store.interner())?;
+        if vars[subject].kind != EntityKind::Process {
+            return Err(EngineError::Analysis(format!(
+                "pattern {} subject `{}` must be a process",
+                i + 1,
+                p.subject.var
+            )));
+        }
+        let object = bind_var(&p.object, &mut vars, &mut var_index, store.interner())?;
+        let mut ops = OpSet::EMPTY;
+        for op_name in &p.ops {
+            let op = Operation::parse(op_name).map_err(|_| {
+                EngineError::Analysis(format!("unknown operation `{op_name}`"))
+            })?;
+            let object_kind = vars[object].kind;
+            if !op.allowed_object_kinds().contains(&object_kind) {
+                return Err(EngineError::Analysis(format!(
+                    "operation `{op_name}` cannot target a {} entity (`{}`)",
+                    object_kind.keyword(),
+                    p.object.var
+                )));
+            }
+            ops = ops.with(op);
+        }
+        let name = p.name.clone().unwrap_or_else(|| format!("evt{}", i + 1));
+        if event_index.insert(name.clone(), i).is_some() {
+            return Err(EngineError::Analysis(format!(
+                "duplicate event variable `{name}`"
+            )));
+        }
+        patterns.push(AnalyzedPattern {
+            index: i,
+            name,
+            subject,
+            object,
+            ops,
+        });
+    }
+
+    let mut temporal = Vec::with_capacity(q.temporal.len());
+    for t in &q.temporal {
+        let left = *event_index.get(&t.left).ok_or_else(|| {
+            EngineError::Analysis(format!("unknown event variable `{}` in with clause", t.left))
+        })?;
+        let right = *event_index.get(&t.right).ok_or_else(|| {
+            EngineError::Analysis(format!(
+                "unknown event variable `{}` in with clause",
+                t.right
+            ))
+        })?;
+        if left == right {
+            return Err(EngineError::Analysis(format!(
+                "temporal relation relates `{}` to itself",
+                t.left
+            )));
+        }
+        temporal.push(TemporalConstraint {
+            left,
+            op: t.op.clone(),
+            right,
+        });
+    }
+
+    // Validate return/group/having references.
+    let known = |name: &str| var_index.contains_key(name) || event_index.contains_key(name);
+    let mut aliases: Vec<String> = Vec::new();
+    for item in &q.ret.items {
+        validate_expr(&item.expr, &known, &aliases, false)?;
+        if let Some(a) = &item.alias {
+            aliases.push(a.clone());
+        }
+    }
+    for g in &q.group_by {
+        validate_expr(g, &known, &aliases, false)?;
+    }
+    if let Some(h) = &q.having {
+        validate_expr(h, &known, &aliases, false)?;
+    }
+
+    Ok(AnalyzedMultievent {
+        vars,
+        patterns,
+        temporal,
+        globals,
+        ret: q.ret.clone(),
+        group_by: q.group_by.clone(),
+        having: q.having.clone(),
+        order_by: q.order_by.clone(),
+        limit: q.limit,
+    })
+}
+
+/// Analyzes an anomaly query (exactly one event pattern, a window spec, and
+/// optional history references in `having`).
+pub fn analyze_anomaly(
+    q: &AnomalyQuery,
+    store: &EventStore,
+) -> Result<AnalyzedAnomaly, EngineError> {
+    let window_spec = q
+        .globals
+        .window
+        .ok_or_else(|| EngineError::Analysis("anomaly query requires a window spec".into()))?;
+    if !window_spec.length.is_positive() || !window_spec.step.is_positive() {
+        return Err(EngineError::Analysis(
+            "window length and step must be positive".into(),
+        ));
+    }
+    if q.patterns.len() != 1 {
+        return Err(EngineError::Analysis(format!(
+            "anomaly queries take exactly one event pattern, found {}",
+            q.patterns.len()
+        )));
+    }
+    let skeleton = MultieventQuery {
+        globals: aiql_lang::Globals {
+            at: q.globals.at.clone(),
+            constraints: q.globals.constraints.clone(),
+            window: None,
+        },
+        patterns: q.patterns.clone(),
+        temporal: Vec::new(),
+        ret: q.ret.clone(),
+        group_by: q.group_by.clone(),
+        having: None, // having is window-scoped; validated separately below
+        order_by: Vec::new(),
+        limit: None,
+    };
+    let mut base = analyze_multievent(&skeleton, store)?;
+    // Validate having with history allowed.
+    if let Some(h) = &q.having {
+        let aliases: Vec<String> = q.ret.items.iter().filter_map(|i| i.alias.clone()).collect();
+        let known = |name: &str| {
+            base.vars.iter().any(|v| v.name == name)
+                || base.patterns.iter().any(|p| p.name == name)
+        };
+        validate_expr(h, &known, &aliases, true)?;
+        base.having = Some(h.clone());
+    }
+    Ok(AnalyzedAnomaly { base, window_spec })
+}
+
+fn validate_expr(
+    e: &Expr,
+    known_var: &dyn Fn(&str) -> bool,
+    aliases: &[String],
+    allow_history: bool,
+) -> Result<(), EngineError> {
+    let mut err = None;
+    e.visit(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        match node {
+            Expr::Ref { var, .. }
+                if !known_var(var) && !aliases.iter().any(|a| a == var) => {
+                    err = Some(EngineError::Analysis(format!("unknown variable `{var}`")));
+                }
+            Expr::History { name, .. } => {
+                if !allow_history {
+                    err = Some(EngineError::Analysis(format!(
+                        "historical access `{name}[…]` is only allowed in anomaly having clauses"
+                    )));
+                } else if !aliases.iter().any(|a| a == name) {
+                    err = Some(EngineError::Analysis(format!(
+                        "historical access references unknown aggregate alias `{name}`"
+                    )));
+                }
+            }
+            _ => {}
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn bind_var(
+    decl: &EntityDecl,
+    vars: &mut Vec<VarInfo>,
+    var_index: &mut HashMap<String, usize>,
+    interner: &Interner,
+) -> Result<usize, EngineError> {
+    let kind = decl.kind.kind();
+    let idx = match var_index.get(&decl.var) {
+        Some(&i) => {
+            if vars[i].kind != kind {
+                return Err(EngineError::Analysis(format!(
+                    "variable `{}` declared as both {} and {}",
+                    decl.var,
+                    vars[i].kind.keyword(),
+                    kind.keyword()
+                )));
+            }
+            i
+        }
+        None => {
+            let i = vars.len();
+            vars.push(VarInfo {
+                name: decl.var.clone(),
+                kind,
+                constraints: Vec::new(),
+                unsatisfiable: false,
+            });
+            var_index.insert(decl.var.clone(), i);
+            i
+        }
+    };
+    for c in &decl.constraints {
+        let (attr, op, lit) = match c {
+            DeclConstraint::Default(lit) => (String::new(), CmpOp::Eq, lit.clone()),
+            DeclConstraint::Attr(AttrConstraint { attr, op, value }) => {
+                (attr.clone(), *op, value.clone())
+            }
+        };
+        match lower_constraint(kind, &attr, op, &lit, interner)? {
+            Lowered::Constraint(ec) => vars[idx].constraints.push(ec),
+            Lowered::AlwaysTrue => {}
+            Lowered::AlwaysFalse => vars[idx].unsatisfiable = true,
+        }
+    }
+    Ok(idx)
+}
+
+enum Lowered {
+    Constraint(EntityConstraint),
+    AlwaysTrue,
+    AlwaysFalse,
+}
+
+/// Whether an attribute holds an IP address.
+fn is_ip_attr(kind: EntityKind, attr: &str) -> bool {
+    kind == EntityKind::NetConn
+        && matches!(attr, "" | "dstip" | "dst_ip" | "srcip" | "src_ip")
+}
+
+fn lower_constraint(
+    kind: EntityKind,
+    attr: &str,
+    op: CmpOp,
+    lit: &Literal,
+    interner: &Interner,
+) -> Result<Lowered, EngineError> {
+    let make = |cmp: AttrCmp| {
+        Lowered::Constraint(if attr.is_empty() {
+            EntityConstraint::on_default(cmp)
+        } else {
+            EntityConstraint::on(attr, cmp)
+        })
+    };
+    let lowered = match lit {
+        Literal::Str(s) => {
+            // `_` alone does not make a pattern: artifact names routinely
+            // contain underscores (`info_stealer`). Only `%` opts in to
+            // LIKE matching (where `_` then acts as a one-char wildcard).
+            let wild = s.contains('%');
+            if is_ip_attr(kind, attr) {
+                if wild {
+                    if op != CmpOp::Eq {
+                        return Err(EngineError::Analysis(format!(
+                            "pattern constraint on `{attr}` requires `=`"
+                        )));
+                    }
+                    make(AttrCmp::Like(StringPattern::new(s)))
+                } else {
+                    let ip = IpV4::parse(s).map_err(EngineError::Model)?;
+                    make(numeric_cmp(op, Value::Ip(ip)))
+                }
+            } else if wild {
+                if op != CmpOp::Eq {
+                    return Err(EngineError::Analysis(format!(
+                        "pattern constraint {s:?} requires `=`"
+                    )));
+                }
+                make(AttrCmp::Like(StringPattern::new(s)))
+            } else {
+                match op {
+                    CmpOp::Eq => match interner.get(s) {
+                        Some(sym) => make(AttrCmp::Eq(Value::Str(sym))),
+                        // Exact string not in the dictionary: nothing matches.
+                        None => Lowered::AlwaysFalse,
+                    },
+                    CmpOp::Ne => match interner.get(s) {
+                        Some(sym) => make(AttrCmp::Ne(Value::Str(sym))),
+                        // Nothing carries this string, so `!=` always holds.
+                        None => Lowered::AlwaysTrue,
+                    },
+                    _ => {
+                        return Err(EngineError::Analysis(format!(
+                            "ordered comparison `{}` is not defined on string attribute `{attr}`",
+                            op.symbol()
+                        )))
+                    }
+                }
+            }
+        }
+        Literal::Int(i) => make(numeric_cmp(op, Value::Int(*i))),
+        Literal::Float(x) => make(numeric_cmp(op, Value::Float(*x))),
+    };
+    Ok(lowered)
+}
+
+fn numeric_cmp(op: CmpOp, v: Value) -> AttrCmp {
+    match op {
+        CmpOp::Eq => AttrCmp::Eq(v),
+        CmpOp::Ne => AttrCmp::Ne(v),
+        CmpOp::Lt => AttrCmp::Lt(v),
+        CmpOp::Le => AttrCmp::Le(v),
+        CmpOp::Gt => AttrCmp::Gt(v),
+        CmpOp::Ge => AttrCmp::Ge(v),
+    }
+}
+
+fn analyze_globals(
+    g: &aiql_lang::Globals,
+    interner: &Interner,
+) -> Result<AnalyzedGlobals, EngineError> {
+    let window = match &g.at {
+        Some(at) => {
+            let first = TimeWindow::parse_day(&at.start).map_err(EngineError::Model)?;
+            match &at.end {
+                Some(end) => {
+                    let last = TimeWindow::parse_day(end).map_err(EngineError::Model)?;
+                    if last.end < first.start {
+                        return Err(EngineError::Analysis(format!(
+                            "at-range end {end:?} precedes start {:?}",
+                            at.start
+                        )));
+                    }
+                    TimeWindow::new(first.start, last.end)
+                }
+                None => first,
+            }
+        }
+        None => TimeWindow::ALL,
+    };
+    let mut agents: Option<Vec<AgentId>> = None;
+    let mut residual = Vec::new();
+    for c in &g.constraints {
+        if c.attr == "agentid" && c.op == CmpOp::Eq {
+            let id = match &c.value {
+                Literal::Int(i) if *i >= 0 => AgentId(*i as u32),
+                other => {
+                    return Err(EngineError::Analysis(format!(
+                        "agentid must be a non-negative integer, found {other}"
+                    )))
+                }
+            };
+            agents = Some(match agents {
+                // Conjunctive semantics: two different exact agents can never
+                // both hold.
+                Some(prev) if !prev.contains(&id) && !prev.is_empty() => vec![],
+                _ => vec![id],
+            });
+        } else {
+            let value = match &c.value {
+                Literal::Int(i) => Value::Int(*i),
+                Literal::Float(x) => Value::Float(*x),
+                Literal::Str(s) => match interner.get(s) {
+                    Some(sym) => Value::Str(sym),
+                    None => Value::Null,
+                },
+            };
+            residual.push((c.attr.clone(), c.op, value));
+        }
+    }
+    Ok(AnalyzedGlobals {
+        window,
+        agents,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_lang::parse_query;
+    use aiql_storage::{EntitySpec, RawEvent};
+    use aiql_model::Timestamp;
+
+    fn store() -> EventStore {
+        let mut s = EventStore::default();
+        s.ingest_all(&[RawEvent::instant(
+            AgentId(1),
+            Operation::Read,
+            EntitySpec::process(1, "C:\\Windows\\cmd.exe", "bob"),
+            EntitySpec::file("C:\\data\\backup1.dmp", "bob"),
+            Timestamp::from_secs(10),
+            100,
+        )]);
+        s
+    }
+
+    fn analyze(src: &str) -> Result<AnalyzedMultievent, EngineError> {
+        let q = parse_query(src).unwrap();
+        let aiql_lang::Query::Multievent(m) = q else {
+            panic!("expected multievent");
+        };
+        analyze_multievent(&m, &store())
+    }
+
+    #[test]
+    fn merges_constraints_across_declaration_sites() {
+        let a = analyze(
+            r#"proc p1 write file f1["%backup1.dmp"] as e1
+               proc p2 read file f1[owner = "bob"] as e2
+               return f1"#,
+        )
+        .unwrap();
+        let f1 = a.vars.iter().find(|v| v.name == "f1").unwrap();
+        assert_eq!(f1.constraints.len(), 2);
+    }
+
+    #[test]
+    fn wildcards_lower_to_like() {
+        let a = analyze(r#"proc p["%cmd.exe"] read file f as e return p"#).unwrap();
+        let p = &a.vars[0];
+        assert!(matches!(p.constraints[0].cmp, AttrCmp::Like(_)));
+    }
+
+    #[test]
+    fn exact_string_absent_from_dictionary_is_unsatisfiable() {
+        let a = analyze(r#"proc p["no_such_binary.exe"] read file f as e return p"#).unwrap();
+        assert!(a.vars[0].unsatisfiable);
+    }
+
+    #[test]
+    fn exact_string_present_resolves_to_symbol() {
+        let a =
+            analyze(r#"proc p["C:\\Windows\\cmd.exe"] read file f as e return p"#).unwrap();
+        assert!(!a.vars[0].unsatisfiable);
+        assert!(matches!(
+            a.vars[0].constraints[0].cmp,
+            AttrCmp::Eq(Value::Str(_))
+        ));
+    }
+
+    #[test]
+    fn ip_literals_parse() {
+        let a = analyze(r#"proc p write ip i[dstip = "10.0.4.129"] as e return p"#).unwrap();
+        let i = a.vars.iter().find(|v| v.name == "i").unwrap();
+        assert!(matches!(i.constraints[0].cmp, AttrCmp::Eq(Value::Ip(_))));
+    }
+
+    #[test]
+    fn bad_ip_rejected() {
+        let err = analyze(r#"proc p write ip i[dstip = "10.0.4"] as e return p"#).unwrap_err();
+        assert!(err.to_string().contains("IPv4"), "{err}");
+    }
+
+    #[test]
+    fn agentid_global_becomes_spatial_filter() {
+        let a = analyze("agentid = 1 proc p read file f as e return p").unwrap();
+        assert_eq!(a.globals.agents, Some(vec![AgentId(1)]));
+    }
+
+    #[test]
+    fn at_range_widens_the_window() {
+        let a = analyze(
+            r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#,
+        )
+        .unwrap();
+        assert_eq!(
+            a.globals.window.start,
+            aiql_model::Timestamp::from_date(2018, 3, 19)
+        );
+        assert_eq!(
+            a.globals.window.end,
+            aiql_model::Timestamp::from_date(2018, 3, 22) // end day inclusive
+        );
+    }
+
+    #[test]
+    fn at_range_backwards_rejected() {
+        let err = analyze(
+            r#"(at "03/21/2018" to "03/19/2018") proc p read file f as e return p"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("precedes"), "{err}");
+    }
+
+    #[test]
+    fn contradictory_agentids_unsatisfiable() {
+        let a = analyze("agentid = 1 agentid = 2 proc p read file f as e return p").unwrap();
+        assert_eq!(a.globals.agents, Some(vec![]));
+    }
+
+    #[test]
+    fn kind_conflict_rejected() {
+        let err = analyze(
+            "proc p read file x as e1 proc x read file f as e2 return p",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("declared as both"), "{err}");
+    }
+
+    #[test]
+    fn op_object_kind_mismatch_rejected() {
+        // `read`/`write` legally target files and connections, but
+        // `execute` only files and `start` only processes.
+        let err = analyze("proc p execute ip i as e return p").unwrap_err();
+        assert!(err.to_string().contains("cannot target"), "{err}");
+        let err = analyze("proc p start file f as e return p").unwrap_err();
+        assert!(err.to_string().contains("cannot target"), "{err}");
+        assert!(analyze("proc p read ip i as e return p").is_ok());
+    }
+
+    #[test]
+    fn connect_to_process_allowed() {
+        // Cross-host tracking edge.
+        assert!(analyze("proc p connect proc q as e return p").is_ok());
+    }
+
+    #[test]
+    fn unknown_temporal_event_rejected() {
+        let err = analyze(
+            "proc p read file f as e1 with e1 before e9 return p",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("e9"), "{err}");
+    }
+
+    #[test]
+    fn unknown_return_variable_rejected() {
+        let err = analyze("proc p read file f as e return q").unwrap_err();
+        assert!(err.to_string().contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn history_rejected_outside_anomaly() {
+        let err = analyze(
+            "proc p read file f as e return p, avg(e.amount) as amt group by p having amt[1] > 0",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("anomaly"), "{err}");
+    }
+
+    #[test]
+    fn anomaly_analysis_accepts_history() {
+        let q = parse_query(
+            r#"window = 1 min, step = 10 sec
+               proc p write ip i as evt
+               return p, avg(evt.amount) as amt
+               group by p
+               having amt > 2 * amt[1]"#,
+        )
+        .unwrap();
+        let aiql_lang::Query::Anomaly(anom) = q else { panic!() };
+        let a = analyze_anomaly(&anom, &store()).unwrap();
+        assert!(a.base.having.is_some());
+        assert_eq!(a.window_spec.step, aiql_model::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn anomaly_requires_single_pattern() {
+        let q = parse_query(
+            r#"window = 1 min, step = 10 sec
+               proc p write ip i as e1
+               proc p read file f as e2
+               return p"#,
+        )
+        .unwrap();
+        let aiql_lang::Query::Anomaly(anom) = q else { panic!() };
+        assert!(analyze_anomaly(&anom, &store()).is_err());
+    }
+}

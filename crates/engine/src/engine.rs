@@ -1,0 +1,131 @@
+//! The engine facade: parse → analyze → route → execute.
+
+use aiql_lang::{parse_query, Query};
+use aiql_storage::EventStore;
+
+use crate::analyze;
+use crate::anomaly;
+use crate::error::EngineError;
+use crate::exec::{ExecStats, MultieventExec};
+use crate::result::ResultTable;
+
+/// Engine tunables. Every domain-specific optimization can be switched off
+/// individually, which is how the ablation benchmarks isolate their
+/// contributions.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for partition-parallel scans.
+    pub parallelism: usize,
+    /// Schedule patterns by estimated pruning power (vs. source order).
+    pub prioritize_pruning: bool,
+    /// Scan hypertable partitions in parallel.
+    pub partition_parallel: bool,
+    /// Resolve entity constraints against the dictionary and push the id
+    /// sets into the event scans as posting-list lookups — the paper's
+    /// per-pattern data-query synthesis. Without it, entity predicates are
+    /// evaluated per scanned row (hash-join style).
+    pub entity_pushdown: bool,
+    /// Push bindings of executed patterns into later data queries.
+    pub semi_join_pushdown: bool,
+    /// Narrow scan windows using temporal relations and observed bounds.
+    pub temporal_narrowing: bool,
+    /// Minimum estimated scan size before partition-parallelism kicks in
+    /// (thread fan-out is pure overhead for tiny scans).
+    pub parallel_threshold: usize,
+    /// Cap on intermediate join tuples (guard against pattern explosion).
+    pub max_intermediate: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            parallelism: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            prioritize_pruning: true,
+            partition_parallel: true,
+            entity_pushdown: true,
+            semi_join_pushdown: true,
+            temporal_narrowing: true,
+            parallel_threshold: 8_192,
+            max_intermediate: 4_000_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with every domain-specific optimization disabled —
+    /// scheduling degrades to source order with no pushdown, mirroring how
+    /// a general-purpose engine would execute the synthesized plan.
+    pub fn unoptimized() -> Self {
+        EngineConfig {
+            parallelism: 1,
+            prioritize_pruning: false,
+            partition_parallel: false,
+            entity_pushdown: false,
+            semi_join_pushdown: false,
+            temporal_narrowing: false,
+            parallel_threshold: usize::MAX,
+            max_intermediate: 4_000_000,
+        }
+    }
+}
+
+/// The AIQL query engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Parses and executes AIQL query text against a store.
+    pub fn execute_text(
+        &self,
+        store: &EventStore,
+        source: &str,
+    ) -> Result<ResultTable, EngineError> {
+        let query = parse_query(source)?;
+        self.execute(store, &query)
+    }
+
+    /// Executes a parsed query.
+    pub fn execute(&self, store: &EventStore, query: &Query) -> Result<ResultTable, EngineError> {
+        match query {
+            Query::Multievent(m) => {
+                let a = analyze::analyze_multievent(m, store)?;
+                MultieventExec::new(store, &a, &self.config).run()
+            }
+            Query::Dependency(d) => {
+                // §2.3: compile to a semantically equivalent multievent query.
+                let m = aiql_lang::dependency_to_multievent(d)?;
+                let a = analyze::analyze_multievent(&m, store)?;
+                MultieventExec::new(store, &a, &self.config).run()
+            }
+            Query::Anomaly(anom) => {
+                let a = analyze::analyze_anomaly(anom, store)?;
+                anomaly::run_anomaly(store, &a, &self.config)
+            }
+        }
+    }
+
+    /// Executes a multievent query and returns execution statistics
+    /// (pattern order, per-pattern fetch counts) for benchmarking.
+    pub fn execute_multievent_with_stats(
+        &self,
+        store: &EventStore,
+        m: &aiql_lang::MultieventQuery,
+    ) -> Result<(ResultTable, ExecStats), EngineError> {
+        let a = analyze::analyze_multievent(m, store)?;
+        MultieventExec::new(store, &a, &self.config).run_with_stats()
+    }
+}

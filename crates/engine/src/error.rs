@@ -1,0 +1,64 @@
+//! Engine error types.
+
+use std::fmt;
+
+use aiql_lang::ParseError;
+use aiql_model::ModelError;
+
+/// Errors raised while analyzing or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// Semantic analysis rejected the query (message explains why).
+    Analysis(String),
+    /// A model-level conversion failed (bad date, bad IP, …).
+    Model(ModelError),
+    /// The intermediate result exceeded the configured bound.
+    TooManyMatches {
+        /// The configured cap that was exceeded.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Analysis(m) => write!(f, "semantic error: {m}"),
+            EngineError::Model(e) => write!(f, "semantic error: {e}"),
+            EngineError::TooManyMatches { cap } => {
+                write!(f, "intermediate result exceeded {cap} tuples; refine the query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        assert!(EngineError::Analysis("unknown variable `p9`".into())
+            .to_string()
+            .contains("p9"));
+        assert!(EngineError::TooManyMatches { cap: 10 }
+            .to_string()
+            .contains("10"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Row-level expression evaluation.
+//!
+//! Evaluates AIQL expressions against a *binding*: one entity per entity
+//! variable, one event per event variable, plus (for aggregated contexts)
+//! alias values and per-window aggregate history. The context-aware syntax
+//! shortcuts live here: a bare `p1` in a return clause evaluates to the
+//! default attribute of its entity kind (`p1.exe_name` for processes).
+
+use std::collections::HashMap;
+
+use aiql_lang::{BinOp, Expr, Literal};
+use aiql_model::{EntityId, Event, Value};
+use aiql_storage::EventStore;
+
+use crate::error::EngineError;
+
+/// The evaluation context of one result row.
+#[derive(Default)]
+pub struct RowCtx<'a> {
+    /// Entity variable bindings.
+    pub var_entity: HashMap<&'a str, EntityId>,
+    /// Event variable bindings.
+    pub events: HashMap<&'a str, Event>,
+    /// Aggregate alias values (current window / current group).
+    pub aliases: HashMap<String, Value>,
+    /// Precomputed aggregate values keyed by the aggregate node's canonical
+    /// key (see [`agg_key`]).
+    pub agg_values: HashMap<String, Value>,
+    /// Historical alias values: `(alias, lag) → value`. Missing history is
+    /// treated as 0 (stream semantics: an empty previous window contributed
+    /// nothing).
+    pub history: HashMap<(String, u32), Value>,
+}
+
+/// Canonical key identifying an aggregate expression node.
+pub fn agg_key(e: &Expr) -> String {
+    format!("{e:?}")
+}
+
+/// Evaluates an expression in a row context.
+pub fn eval(expr: &Expr, store: &EventStore, ctx: &RowCtx<'_>) -> Result<Value, EngineError> {
+    match expr {
+        Expr::Literal(lit) => Ok(match lit {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => match store.interner().get(s) {
+                Some(sym) => Value::Str(sym),
+                None => Value::Null,
+            },
+        }),
+        Expr::Ref { var, attr } => {
+            if let Some(event) = ctx.events.get(var.as_str()) {
+                let attr = attr.as_deref().unwrap_or("id");
+                return event.get(attr).map_err(EngineError::Model);
+            }
+            if let Some(&id) = ctx.var_entity.get(var.as_str()) {
+                let entity = store.entities().get(id);
+                return match attr {
+                    Some(a) => entity.get(a).map_err(EngineError::Model),
+                    None => Ok(entity.attrs.default_value()),
+                };
+            }
+            if attr.is_none() {
+                if let Some(v) = ctx.aliases.get(var.as_str()) {
+                    return Ok(*v);
+                }
+            }
+            Err(EngineError::Analysis(format!("unbound variable `{var}`")))
+        }
+        Expr::Agg { .. } => ctx
+            .agg_values
+            .get(&agg_key(expr))
+            .copied()
+            .ok_or_else(|| {
+                EngineError::Analysis("aggregate evaluated outside aggregation context".into())
+            }),
+        Expr::History { name, lag } => {
+            if *lag == 0 {
+                return Ok(ctx.aliases.get(name.as_str()).copied().unwrap_or(Value::Null));
+            }
+            Ok(ctx
+                .history
+                .get(&(name.clone(), *lag))
+                .copied()
+                .unwrap_or(Value::Float(0.0)))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, store, ctx)?;
+            let r = eval(rhs, store, ctx)?;
+            Ok(apply_binop(*op, l, r))
+        }
+        Expr::Neg(inner) => {
+            let v = eval(inner, store, ctx)?;
+            Ok(match v {
+                Value::Int(i) => Value::Int(-i),
+                Value::Float(x) => Value::Float(-x),
+                _ => Value::Null,
+            })
+        }
+    }
+}
+
+/// Applies a binary operator with numeric coercion; `Null` propagates
+/// through arithmetic and fails comparisons.
+pub fn apply_binop(op: BinOp, l: Value, r: Value) -> Value {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul => {
+            if l.is_null() || r.is_null() {
+                return Value::Null;
+            }
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                return Value::Int(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    _ => a * b,
+                });
+            }
+            match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => Value::Float(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    _ => a * b,
+                }),
+                _ => Value::Null,
+            }
+        }
+        BinOp::Div => match (l.as_f64(), r.as_f64()) {
+            (Some(a), Some(b)) if b != 0.0 => Value::Float(a / b),
+            _ => Value::Null,
+        },
+        BinOp::Eq => Value::Bool(l.compare(r) == Some(Ordering::Equal)),
+        BinOp::Ne => Value::Bool(matches!(
+            l.compare(r),
+            Some(Ordering::Less) | Some(Ordering::Greater)
+        )),
+        BinOp::Lt => Value::Bool(l.compare(r) == Some(Ordering::Less)),
+        BinOp::Le => Value::Bool(matches!(
+            l.compare(r),
+            Some(Ordering::Less) | Some(Ordering::Equal)
+        )),
+        BinOp::Gt => Value::Bool(l.compare(r) == Some(Ordering::Greater)),
+        BinOp::Ge => Value::Bool(matches!(
+            l.compare(r),
+            Some(Ordering::Greater) | Some(Ordering::Equal)
+        )),
+        BinOp::And => Value::Bool(l.truthy() && r.truthy()),
+        BinOp::Or => Value::Bool(l.truthy() || r.truthy()),
+    }
+}
+
+/// Compares two values for sorting: comparable values use their natural
+/// order; everything else falls back to a stable textual order.
+pub fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    a.compare(*b)
+        .unwrap_or_else(|| format!("{a:?}").cmp(&format!("{b:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_lang::parse_query;
+    use aiql_model::{AgentId, Operation, Timestamp};
+    use aiql_storage::{EntitySpec, RawEvent};
+
+    fn store_and_event() -> (EventStore, Event) {
+        let mut s = EventStore::default();
+        s.ingest_all(&[RawEvent::instant(
+            AgentId(1),
+            Operation::Write,
+            EntitySpec::process(10, "sbblv.exe", "system"),
+            EntitySpec::file("/tmp/x", "system"),
+            Timestamp::from_secs(5),
+            4096,
+        )]);
+        let e = s.scan_collect(&aiql_storage::EventFilter::all())[0];
+        (s, e)
+    }
+
+    fn having_expr(src: &str) -> Expr {
+        let q = parse_query(&format!(
+            "proc p read file f as e return p having {src}"
+        ))
+        .unwrap();
+        let aiql_lang::Query::Multievent(m) = q else { panic!() };
+        m.having.unwrap()
+    }
+
+    #[test]
+    fn arithmetic_precedence_and_types() {
+        let (s, _) = store_and_event();
+        let ctx = RowCtx::default();
+        let e = having_expr("1 + 2 * 3");
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Int(7));
+        let e = having_expr("7 / 2");
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Float(3.5));
+        let e = having_expr("2 * 3.5");
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Float(7.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let (s, _) = store_and_event();
+        let e = having_expr("1 / 0");
+        assert_eq!(eval(&e, &s, &RowCtx::default()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn event_attribute_access() {
+        let (s, event) = store_and_event();
+        let mut ctx = RowCtx::default();
+        ctx.events.insert("e", event);
+        let e = having_expr("e.amount > 1000");
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn entity_default_attribute_shortcut() {
+        let (s, event) = store_and_event();
+        let mut ctx = RowCtx::default();
+        ctx.var_entity.insert("p", event.subject);
+        let e = having_expr(r#"p = "sbblv.exe""#);
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Bool(true));
+        let e2 = having_expr(r#"p.user = "system""#);
+        assert_eq!(eval(&e2, &s, &ctx).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn alias_and_history_lookup() {
+        let (s, _) = store_and_event();
+        let mut ctx = RowCtx::default();
+        ctx.aliases.insert("amt".into(), Value::Float(100.0));
+        ctx.history.insert(("amt".into(), 1), Value::Float(40.0));
+        // amt > 2 * (amt + amt[1] + amt[2]) / 3 with amt[2] missing (=0).
+        let e = having_expr("amt > 2 * (amt[0] + amt[1] + amt[2]) / 3");
+        // 100 > 2*(100+40+0)/3 = 93.3 → true
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Bool(true));
+        ctx.history.insert(("amt".into(), 2), Value::Float(80.0));
+        // 100 > 2*(100+40+80)/3 = 146.7 → false
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn logic_operators() {
+        let (s, _) = store_and_event();
+        let ctx = RowCtx::default();
+        let e = having_expr("1 < 2 and 3 < 2 or 1 = 1");
+        assert_eq!(eval(&e, &s, &ctx).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let (s, _) = store_and_event();
+        let e = having_expr("zz > 1");
+        assert!(eval(&e, &s, &RowCtx::default()).is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert_eq!(
+            apply_binop(BinOp::Add, Value::Null, Value::Int(1)),
+            Value::Null
+        );
+        assert_eq!(
+            apply_binop(BinOp::Gt, Value::Null, Value::Int(1)),
+            Value::Bool(false)
+        );
+    }
+}

@@ -1,0 +1,630 @@
+//! Multievent query execution: per-pattern data queries with binding
+//! propagation, parallel partition scans, multi-way join, and projection.
+
+use std::collections::HashMap;
+
+use aiql_lang::{CmpOp, Expr, SortDir, TemporalOp};
+use aiql_model::{EntityId, Event, Value};
+use aiql_storage::{EventFilter, EventStore, IdSet};
+
+use crate::analyze::AnalyzedMultievent;
+use crate::engine::EngineConfig;
+use crate::error::EngineError;
+use crate::eval::{self, agg_key, RowCtx};
+use crate::result::ResultTable;
+use crate::schedule::{self, ResolvedVars};
+
+/// One candidate match: an event per pattern plus the implied variable
+/// bindings.
+#[derive(Debug, Clone)]
+pub struct Tuple {
+    /// Event per pattern, in source order.
+    pub events: Vec<Option<Event>>,
+    /// Entity binding per variable.
+    pub vars: Vec<Option<EntityId>>,
+}
+
+/// The multievent executor.
+pub struct MultieventExec<'a> {
+    store: &'a EventStore,
+    a: &'a AnalyzedMultievent,
+    config: &'a EngineConfig,
+}
+
+/// Statistics of one execution, surfaced for benches and ablations.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Events fetched per pattern (source order).
+    pub fetched: Vec<usize>,
+    /// Pattern execution order used.
+    pub order: Vec<usize>,
+    /// Final joined tuple count.
+    pub tuples: usize,
+}
+
+impl<'a> MultieventExec<'a> {
+    /// Creates an executor over a store.
+    pub fn new(store: &'a EventStore, a: &'a AnalyzedMultievent, config: &'a EngineConfig) -> Self {
+        MultieventExec { store, a, config }
+    }
+
+    /// Runs the query to a result table.
+    pub fn run(&self) -> Result<ResultTable, EngineError> {
+        let (tuples, truncated, _) = self.match_tuples()?;
+        let mut table = project(self.store, self.a, &tuples)?;
+        table.truncated = truncated;
+        Ok(table)
+    }
+
+    /// Runs the query and also returns execution statistics.
+    pub fn run_with_stats(&self) -> Result<(ResultTable, ExecStats), EngineError> {
+        let (tuples, truncated, stats) = self.match_tuples()?;
+        let mut table = project(self.store, self.a, &tuples)?;
+        table.truncated = truncated;
+        Ok((table, stats))
+    }
+
+    /// Finds all joined tuples satisfying the query's pattern constraints.
+    pub fn match_tuples(&self) -> Result<(Vec<Tuple>, bool, ExecStats), EngineError> {
+        let a = self.a;
+        let n = a.patterns.len();
+        let resolved: ResolvedVars = schedule::resolve_vars(a, self.store);
+        let plan = schedule::plan(a, self.store, &resolved, self.config.prioritize_pruning);
+
+        let mut candidates: Vec<Option<Vec<Event>>> = vec![None; n];
+        let mut bound: HashMap<usize, IdSet> = HashMap::new();
+        // (min_start, max_start, min_end, max_end) per executed pattern.
+        let mut time_stats: Vec<Option<(i64, i64, i64, i64)>> = vec![None; n];
+        let mut stats = ExecStats {
+            fetched: vec![0; n],
+            order: plan.order.clone(),
+            tuples: 0,
+        };
+
+        for &i in &plan.order {
+            let mut filter = schedule::base_filter(a, i, &resolved);
+            let p = &a.patterns[i];
+            if !self.config.entity_pushdown {
+                // Without the domain-specific pushdown the scan cannot use
+                // entity posting lists; constraints are verified per row
+                // below (but unsatisfiable constraints still short-circuit).
+                if a.vars[p.subject].unsatisfiable || a.vars[p.object].unsatisfiable {
+                    return Ok((Vec::new(), false, stats));
+                }
+                filter.subjects = None;
+                filter.objects = None;
+            }
+            if self.config.semi_join_pushdown {
+                for (var, is_subject) in [(p.subject, true), (p.object, false)] {
+                    if let Some(b) = bound.get(&var) {
+                        let narrowed = match if is_subject {
+                            filter.subjects.take()
+                        } else {
+                            filter.objects.take()
+                        } {
+                            Some(existing) => {
+                                IdSet::from_iter(existing.iter().filter(|id| b.contains(*id)))
+                            }
+                            None => b.clone(),
+                        };
+                        if is_subject {
+                            filter.subjects = Some(narrowed);
+                        } else {
+                            filter.objects = Some(narrowed);
+                        }
+                    }
+                }
+            }
+            if self.config.temporal_narrowing {
+                self.narrow_window(&mut filter, i, &time_stats);
+            }
+            let mut events = self.scan(&filter);
+            // Enforce the declared entity kinds: an unconstrained variable
+            // carries no id set, but `proc p write ip i` must still reject
+            // file-write events. Without entity pushdown the attribute
+            // constraints are verified per row here as well.
+            let (sub_kind, obj_kind) = (a.vars[p.subject].kind, a.vars[p.object].kind);
+            let same_var = p.subject == p.object;
+            let entities = self.store.entities();
+            events.retain(|e| {
+                if entities.get(e.subject).kind() != sub_kind
+                    || entities.get(e.object).kind() != obj_kind
+                    || (same_var && e.subject != e.object)
+                {
+                    return false;
+                }
+                if !self.config.entity_pushdown {
+                    for (var_idx, id) in [(p.subject, e.subject), (p.object, e.object)] {
+                        let entity = entities.get(id);
+                        for c in &a.vars[var_idx].constraints {
+                            if !entities.eval(entity, c) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            });
+            stats.fetched[i] = events.len();
+            if events.is_empty() {
+                return Ok((Vec::new(), false, stats));
+            }
+            // Update bindings and time statistics for later patterns.
+            if self.config.semi_join_pushdown {
+                bound.insert(p.subject, IdSet::from_iter(events.iter().map(|e| e.subject)));
+                bound.insert(p.object, IdSet::from_iter(events.iter().map(|e| e.object)));
+            }
+            let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
+            for e in &events {
+                ts.0 = ts.0.min(e.start_time.micros());
+                ts.1 = ts.1.max(e.start_time.micros());
+                ts.2 = ts.2.min(e.end_time.micros());
+                ts.3 = ts.3.max(e.end_time.micros());
+            }
+            time_stats[i] = Some(ts);
+            candidates[i] = Some(events);
+        }
+
+        let (tuples, truncated) = self.join(candidates)?;
+        stats.tuples = tuples.len();
+        Ok((tuples, truncated, stats))
+    }
+
+    /// Narrows a pattern's scan window using the observed time bounds of
+    /// already-executed patterns it is temporally related to.
+    fn narrow_window(
+        &self,
+        filter: &mut EventFilter,
+        idx: usize,
+        time_stats: &[Option<(i64, i64, i64, i64)>],
+    ) {
+        use aiql_model::{TimeWindow, Timestamp};
+        let mut lo = filter.window.start.micros();
+        let mut hi = filter.window.end.micros();
+        for t in &self.a.temporal {
+            // `left before right`: left.end <= right.start.
+            let (before_left, before_right) = match &t.op {
+                TemporalOp::Before(b) => ((t.left, t.right), b),
+                TemporalOp::After(b) => ((t.right, t.left), b),
+            };
+            let (l, r) = before_left;
+            if r == idx {
+                if let Some((_, _, min_end, max_end)) = time_stats[l] {
+                    lo = lo.max(min_end);
+                    if let Some(bound) = before_right {
+                        hi = hi.min(max_end.saturating_add(bound.micros()).saturating_add(1));
+                    }
+                }
+            }
+            if l == idx {
+                if let Some((_, max_start, ..)) = time_stats[r] {
+                    // This pattern's events must end (hence start) no later
+                    // than the latest start of the other side.
+                    hi = hi.min(max_start.saturating_add(1));
+                }
+            }
+        }
+        if lo > filter.window.start.micros() || hi < filter.window.end.micros() {
+            filter.window = TimeWindow::new(Timestamp(lo), Timestamp(hi.max(lo)));
+        }
+    }
+
+    /// Scans the store for one data query, in parallel across hypertable
+    /// partitions when enabled, applying residual global predicates.
+    fn scan(&self, filter: &EventFilter) -> Vec<Event> {
+        let residual = &self.a.globals.residual;
+        let keep = |e: &Event| residual_ok(e, residual);
+        let parts = self.store.partitions_for(filter);
+        let threads = self.config.parallelism.max(1);
+        let big_enough = self.config.parallel_threshold == 0
+            || self.store.estimate(filter) >= self.config.parallel_threshold;
+        if !self.config.partition_parallel || threads <= 1 || parts.len() <= 1 || !big_enough {
+            let mut out = Vec::new();
+            for key in parts {
+                self.store.scan_partition(key, filter, &mut |e| {
+                    if keep(e) {
+                        out.push(*e);
+                    }
+                });
+            }
+            return out;
+        }
+        let chunk = parts.len().div_ceil(threads);
+        let store = self.store;
+        let mut results: Vec<Vec<Event>> = Vec::new();
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .chunks(chunk)
+                .map(|group| {
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for &key in group {
+                            store.scan_partition(key, filter, &mut |e| {
+                                if residual_ok(e, residual) {
+                                    out.push(*e);
+                                }
+                            });
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("partition scan thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        results.concat()
+    }
+
+    /// Multi-way hash join over the per-pattern candidate lists, verifying
+    /// shared-variable equality and temporal relationships.
+    fn join(
+        &self,
+        candidates: Vec<Option<Vec<Event>>>,
+    ) -> Result<(Vec<Tuple>, bool), EngineError> {
+        let a = self.a;
+        let n = a.patterns.len();
+        let nvars = a.vars.len();
+        // Join order: smallest candidate list first.
+        let mut join_order: Vec<usize> = (0..n).collect();
+        join_order.sort_by_key(|&i| {
+            (
+                candidates[i].as_ref().map(Vec::len).unwrap_or(usize::MAX),
+                i,
+            )
+        });
+
+        let mut tuples: Vec<Tuple> = vec![Tuple {
+            events: vec![None; n],
+            vars: vec![None; nvars],
+        }];
+        let mut truncated = false;
+
+        for &i in &join_order {
+            let p = &a.patterns[i];
+            let events = candidates[i].as_ref().expect("all patterns fetched");
+            // Vars of this pattern, deduped (subject may equal object).
+            let pattern_vars: Vec<usize> = if p.subject == p.object {
+                vec![p.subject]
+            } else {
+                vec![p.subject, p.object]
+            };
+            let mut next: Vec<Tuple> = Vec::new();
+            // Index events by the entity ids of vars that are already bound
+            // in at least one tuple. For simplicity (and since tuples at a
+            // given step share the same bound-var set), use the first tuple
+            // as the prototype.
+            let proto_bound: Vec<usize> = pattern_vars
+                .iter()
+                .copied()
+                .filter(|&v| tuples.first().map(|t| t.vars[v].is_some()).unwrap_or(false))
+                .collect();
+            let mut index: HashMap<Vec<EntityId>, Vec<&Event>> = HashMap::new();
+            for e in events {
+                if p.subject == p.object && e.subject != e.object {
+                    continue;
+                }
+                let key: Vec<EntityId> = proto_bound
+                    .iter()
+                    .map(|&v| if v == p.subject { e.subject } else { e.object })
+                    .collect();
+                index.entry(key).or_default().push(e);
+            }
+            'tuples: for t in &tuples {
+                let key: Vec<EntityId> = proto_bound
+                    .iter()
+                    .map(|&v| t.vars[v].expect("prototype bound var"))
+                    .collect();
+                let Some(matches) = index.get(&key) else {
+                    continue;
+                };
+                for e in matches {
+                    if !self.temporal_ok(i, e, t) {
+                        continue;
+                    }
+                    let mut nt = t.clone();
+                    nt.events[i] = Some(**e);
+                    nt.vars[p.subject] = Some(e.subject);
+                    nt.vars[p.object] = Some(e.object);
+                    next.push(nt);
+                    if next.len() >= self.config.max_intermediate {
+                        truncated = true;
+                        break 'tuples;
+                    }
+                }
+            }
+            tuples = next;
+            if tuples.is_empty() {
+                return Ok((tuples, truncated));
+            }
+        }
+        Ok((tuples, truncated))
+    }
+
+    /// Verifies every temporal relationship between pattern `i`'s candidate
+    /// event and the events already placed in the tuple.
+    fn temporal_ok(&self, i: usize, e: &Event, t: &Tuple) -> bool {
+        for rel in &self.a.temporal {
+            let (l, r, bound, is_before) = match &rel.op {
+                TemporalOp::Before(b) => (rel.left, rel.right, b, true),
+                TemporalOp::After(b) => (rel.right, rel.left, b, true),
+                // (after is before with sides swapped)
+            };
+            let _ = is_before;
+            let (left_event, right_event) = if l == i && t.events[r].is_some() {
+                (*e, t.events[r].expect("checked"))
+            } else if r == i && t.events[l].is_some() {
+                (t.events[l].expect("checked"), *e)
+            } else {
+                continue;
+            };
+            if left_event.end_time > right_event.start_time {
+                return false;
+            }
+            if let Some(b) = bound {
+                if (right_event.start_time - left_event.end_time) > *b {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Checks the residual global predicates against one event.
+pub fn residual_ok(e: &Event, residual: &[(String, CmpOp, Value)]) -> bool {
+    residual.iter().all(|(attr, op, value)| {
+        let Ok(actual) = e.get(attr) else {
+            return false;
+        };
+        let bin = match op {
+            CmpOp::Eq => aiql_lang::BinOp::Eq,
+            CmpOp::Ne => aiql_lang::BinOp::Ne,
+            CmpOp::Lt => aiql_lang::BinOp::Lt,
+            CmpOp::Le => aiql_lang::BinOp::Le,
+            CmpOp::Gt => aiql_lang::BinOp::Gt,
+            CmpOp::Ge => aiql_lang::BinOp::Ge,
+        };
+        eval::apply_binop(bin, actual, *value).truthy()
+    })
+}
+
+/// Builds the row context for one tuple.
+fn tuple_ctx<'a>(a: &'a AnalyzedMultievent, t: &Tuple) -> RowCtx<'a> {
+    let mut ctx = RowCtx::default();
+    for (vi, var) in a.vars.iter().enumerate() {
+        if let Some(id) = t.vars[vi] {
+            ctx.var_entity.insert(var.name.as_str(), id);
+        }
+    }
+    for (pi, p) in a.patterns.iter().enumerate() {
+        if let Some(e) = t.events[pi] {
+            ctx.events.insert(p.name.as_str(), e);
+        }
+    }
+    ctx
+}
+
+/// Aggregate accumulator.
+#[derive(Debug, Clone, Default)]
+struct AggAcc {
+    count: u64,
+    sum: f64,
+    all_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggAcc {
+    fn new() -> Self {
+        AggAcc {
+            all_int: true,
+            ..Default::default()
+        }
+    }
+
+    fn add(&mut self, v: Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+        }
+        if !matches!(v, Value::Int(_)) {
+            self.all_int = false;
+        }
+        self.min = Some(match self.min {
+            Some(m) if eval::cmp_values(&m, &v).is_le() => m,
+            _ => v,
+        });
+        self.max = Some(match self.max {
+            Some(m) if eval::cmp_values(&m, &v).is_ge() => m,
+            _ => v,
+        });
+    }
+
+    fn finalize(&self, func: aiql_lang::AggFunc) -> Value {
+        use aiql_lang::AggFunc::*;
+        match func {
+            Count => Value::Int(self.count as i64),
+            Sum => {
+                if self.all_int {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            Min => self.min.unwrap_or(Value::Null),
+            Max => self.max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Collects every aggregate node appearing in the return items and having
+/// clause.
+pub(crate) fn collect_aggs(a: &AnalyzedMultievent) -> Vec<(String, aiql_lang::AggFunc, Expr)> {
+    let mut out: Vec<(String, aiql_lang::AggFunc, Expr)> = Vec::new();
+    let mut visit = |e: &Expr| {
+        e.visit(&mut |node| {
+            if let Expr::Agg { func, arg } = node {
+                let key = agg_key(node);
+                if !out.iter().any(|(k, _, _)| k == &key) {
+                    out.push((key, *func, (**arg).clone()));
+                }
+            }
+        });
+    };
+    for item in &a.ret.items {
+        visit(&item.expr);
+    }
+    if let Some(h) = &a.having {
+        visit(h);
+    }
+    out
+}
+
+/// Column header for a return item.
+fn column_name(item: &aiql_lang::ReturnItem) -> String {
+    item.alias
+        .clone()
+        .unwrap_or_else(|| aiql_lang::pretty::print_expr(&item.expr))
+}
+
+/// Projects joined tuples into the final result table (aggregation,
+/// having, distinct, order by, limit).
+pub fn project(
+    store: &EventStore,
+    a: &AnalyzedMultievent,
+    tuples: &[Tuple],
+) -> Result<ResultTable, EngineError> {
+    let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
+    let mut table = ResultTable::new(columns);
+    let aggs = collect_aggs(a);
+    let aggregated = !aggs.is_empty() || !a.group_by.is_empty();
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    if !aggregated {
+        for t in tuples {
+            let ctx = tuple_ctx(a, t);
+            let mut row = Vec::with_capacity(a.ret.items.len());
+            for item in &a.ret.items {
+                row.push(eval::eval(&item.expr, store, &ctx)?);
+            }
+            if let Some(h) = &a.having {
+                // having without aggregation degenerates to a row filter.
+                if !eval::eval(h, store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    } else {
+        // Group tuples.
+        struct Group {
+            rep: usize,
+            accs: Vec<AggAcc>,
+        }
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        let mut group_order: Vec<String> = Vec::new();
+        for (ti, t) in tuples.iter().enumerate() {
+            let ctx = tuple_ctx(a, t);
+            let mut key_vals = Vec::with_capacity(a.group_by.len());
+            for g in &a.group_by {
+                key_vals.push(eval::eval(g, store, &ctx)?);
+            }
+            let key = ResultTable::row_key(&key_vals);
+            let group = match groups.get_mut(&key) {
+                Some(g) => g,
+                None => {
+                    group_order.push(key.clone());
+                    groups.entry(key).or_insert(Group {
+                        rep: ti,
+                        accs: aggs.iter().map(|_| AggAcc::new()).collect(),
+                    })
+                }
+            };
+            for ((_, _, arg), acc) in aggs.iter().zip(group.accs.iter_mut()) {
+                acc.add(eval::eval(arg, store, &ctx)?);
+            }
+        }
+        for key in &group_order {
+            let group = &groups[key];
+            let mut ctx = tuple_ctx(a, &tuples[group.rep]);
+            for ((k, func, _), acc) in aggs.iter().zip(group.accs.iter()) {
+                ctx.agg_values.insert(k.clone(), acc.finalize(*func));
+            }
+            // Alias environment (items may be referenced by alias in having).
+            let mut row = Vec::with_capacity(a.ret.items.len());
+            for item in &a.ret.items {
+                let v = eval::eval(&item.expr, store, &ctx)?;
+                if let Some(alias) = &item.alias {
+                    ctx.aliases.insert(alias.clone(), v);
+                }
+                row.push(v);
+            }
+            if let Some(h) = &a.having {
+                if !eval::eval(h, store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    if a.ret.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| seen.insert(ResultTable::row_key(r)));
+    }
+
+    if !a.order_by.is_empty() {
+        // Each order key must correspond to an output column.
+        let mut key_cols = Vec::with_capacity(a.order_by.len());
+        for o in &a.order_by {
+            let idx = a
+                .ret
+                .items
+                .iter()
+                .position(|item| {
+                    item.expr == o.expr
+                        || matches!(
+                            (&o.expr, &item.alias),
+                            (Expr::Ref { var, attr: None }, Some(alias)) if var == alias
+                        )
+                })
+                .ok_or_else(|| {
+                    EngineError::Analysis(
+                        "order by must reference a returned column or alias".into(),
+                    )
+                })?;
+            key_cols.push((idx, o.dir));
+        }
+        rows.sort_by(|x, y| {
+            for (idx, dir) in &key_cols {
+                let ord = eval::cmp_values(&x[*idx], &y[*idx]);
+                let ord = match dir {
+                    SortDir::Asc => ord,
+                    SortDir::Desc => ord.reverse(),
+                };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = a.limit {
+        rows.truncate(limit as usize);
+    }
+    table.rows = rows;
+    Ok(table)
+}

@@ -1,0 +1,242 @@
+//! Query plan explanation.
+//!
+//! `EXPLAIN` for AIQL: shows how the engine will schedule a query — the
+//! per-pattern data queries, their selectivity estimates, the resolved
+//! entity-candidate set sizes, and the partition fan-out — without running
+//! it. The web UI's execution-status panel surfaces this; the `repl`
+//! example exposes it as `:explain`.
+
+use std::fmt::Write as _;
+
+use aiql_lang::Query;
+use aiql_storage::EventStore;
+
+use crate::analyze::{self, AnalyzedMultievent};
+use crate::engine::EngineConfig;
+use crate::error::EngineError;
+use crate::schedule;
+
+/// The plan of one pattern's data query.
+#[derive(Debug, Clone)]
+pub struct PatternPlan {
+    /// Pattern index in source order.
+    pub index: usize,
+    /// Event variable name.
+    pub name: String,
+    /// Execution position (0 = first).
+    pub position: usize,
+    /// Estimated matching events from storage statistics.
+    pub estimate: usize,
+    /// Resolved candidate-set size for the subject variable
+    /// (`None` = unconstrained).
+    pub subject_candidates: Option<usize>,
+    /// Resolved candidate-set size for the object variable.
+    pub object_candidates: Option<usize>,
+    /// Hypertable partitions the data query will touch.
+    pub partitions: usize,
+}
+
+/// A full query plan.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Query kind (`multievent`, `dependency`, `anomaly`).
+    pub kind: &'static str,
+    /// Whether a dependency query was rewritten to multievent form.
+    pub rewritten: bool,
+    /// Per-pattern plans, in source order.
+    pub patterns: Vec<PatternPlan>,
+    /// Number of temporal relations.
+    pub temporal_relations: usize,
+    /// Whether pruning-power scheduling is active.
+    pub pruning_priority: bool,
+    /// Scan parallelism.
+    pub parallelism: usize,
+}
+
+impl QueryPlan {
+    /// Renders the plan as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} query{} | {} temporal relation(s) | pruning priority: {} | parallelism: {}",
+            self.kind,
+            if self.rewritten {
+                " (rewritten to multievent)"
+            } else {
+                ""
+            },
+            self.temporal_relations,
+            if self.pruning_priority { "on" } else { "off" },
+            self.parallelism,
+        );
+        let mut by_position: Vec<&PatternPlan> = self.patterns.iter().collect();
+        by_position.sort_by_key(|p| p.position);
+        for p in by_position {
+            let fmt_c = |c: Option<usize>| match c {
+                Some(n) => n.to_string(),
+                None => "*".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  #{} {:<10} est {:>8} events | subjects {:>6} | objects {:>6} | {} partition(s)",
+                p.position + 1,
+                p.name,
+                p.estimate,
+                fmt_c(p.subject_candidates),
+                fmt_c(p.object_candidates),
+                p.partitions,
+            );
+        }
+        out
+    }
+}
+
+/// Builds the execution plan for a query without executing it.
+pub fn explain(
+    store: &EventStore,
+    query: &Query,
+    config: &EngineConfig,
+) -> Result<QueryPlan, EngineError> {
+    let (analyzed, kind, rewritten): (AnalyzedMultievent, &'static str, bool) = match query {
+        Query::Multievent(m) => (analyze::analyze_multievent(m, store)?, "multievent", false),
+        Query::Dependency(d) => {
+            let m = aiql_lang::dependency_to_multievent(d)?;
+            (analyze::analyze_multievent(&m, store)?, "dependency", true)
+        }
+        Query::Anomaly(a) => {
+            let an = analyze::analyze_anomaly(a, store)?;
+            (an.base, "anomaly", false)
+        }
+    };
+    let resolved = schedule::resolve_vars(&analyzed, store);
+    let plan = schedule::plan(&analyzed, store, &resolved, config.prioritize_pruning);
+    let patterns = analyzed
+        .patterns
+        .iter()
+        .map(|p| {
+            let filter = schedule::base_filter(&analyzed, p.index, &resolved);
+            PatternPlan {
+                index: p.index,
+                name: p.name.clone(),
+                position: plan
+                    .order
+                    .iter()
+                    .position(|&i| i == p.index)
+                    .expect("pattern scheduled"),
+                estimate: plan.estimates[p.index],
+                subject_candidates: resolved[p.subject].as_ref().map(Vec::len),
+                object_candidates: resolved[p.object].as_ref().map(Vec::len),
+                partitions: store.partitions_for(&filter).len(),
+            }
+        })
+        .collect();
+    Ok(QueryPlan {
+        kind,
+        rewritten,
+        patterns,
+        temporal_relations: analyzed.temporal.len(),
+        pruning_priority: config.prioritize_pruning,
+        parallelism: config.parallelism,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_lang::parse_query;
+    use aiql_model::{AgentId, Operation, Timestamp};
+    use aiql_storage::{EntitySpec, RawEvent};
+
+    fn store() -> EventStore {
+        let mut s = EventStore::default();
+        let mut raws = Vec::new();
+        for i in 0..300 {
+            raws.push(RawEvent::instant(
+                AgentId(1),
+                Operation::Write,
+                EntitySpec::process(1, "sqlservr.exe", "mssql"),
+                EntitySpec::file(&format!("/data/f{i}"), "mssql"),
+                Timestamp::from_secs(i * 60),
+                100,
+            ));
+        }
+        raws.push(RawEvent::instant(
+            AgentId(1),
+            Operation::Start,
+            EntitySpec::process(2, "cmd.exe", "admin"),
+            EntitySpec::process(3, "osql.exe", "admin"),
+            Timestamp::from_secs(10),
+            0,
+        ));
+        s.ingest_all(&raws);
+        s
+    }
+
+    #[test]
+    fn selective_pattern_is_scheduled_first_in_plan() {
+        let store = store();
+        let q = parse_query(
+            r#"proc p3 write file f1 as big
+               proc p1["%cmd.exe"] start proc p2["%osql.exe"] as rare
+               return p1"#,
+        )
+        .unwrap();
+        let plan = explain(&store, &q, &EngineConfig::default()).unwrap();
+        let rare = plan.patterns.iter().find(|p| p.name == "rare").unwrap();
+        let big = plan.patterns.iter().find(|p| p.name == "big").unwrap();
+        assert_eq!(rare.position, 0, "rare pattern must execute first");
+        assert!(rare.estimate < big.estimate);
+        assert_eq!(rare.subject_candidates, Some(1));
+        assert!(big.subject_candidates.is_none());
+    }
+
+    #[test]
+    fn dependency_plans_are_marked_rewritten() {
+        let store = store();
+        let q = parse_query(
+            r#"forward: proc p1["%cmd.exe"] ->[start] proc p2 return p2"#,
+        )
+        .unwrap();
+        let plan = explain(&store, &q, &EngineConfig::default()).unwrap();
+        assert!(plan.rewritten);
+        assert_eq!(plan.kind, "dependency");
+        assert_eq!(plan.temporal_relations, 0);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let store = store();
+        let q = parse_query(
+            r#"proc p1["%cmd.exe"] start proc p2 as e1
+               proc p2 write file f as e2
+               with e1 before e2
+               return p1, f"#,
+        )
+        .unwrap();
+        let plan = explain(&store, &q, &EngineConfig::default()).unwrap();
+        let text = plan.render();
+        assert!(text.contains("multievent query"));
+        assert!(text.contains("1 temporal relation"));
+        assert!(text.contains("#1"));
+        assert!(text.contains("e1"));
+    }
+
+    #[test]
+    fn source_order_without_pruning_priority() {
+        let store = store();
+        let q = parse_query(
+            r#"proc p3 write file f1 as big
+               proc p1["%cmd.exe"] start proc p2["%osql.exe"] as rare
+               return p1"#,
+        )
+        .unwrap();
+        let config = EngineConfig {
+            prioritize_pruning: false,
+            ..EngineConfig::default()
+        };
+        let plan = explain(&store, &q, &config).unwrap();
+        let big = plan.patterns.iter().find(|p| p.name == "big").unwrap();
+        assert_eq!(big.position, 0);
+    }
+}

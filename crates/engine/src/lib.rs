@@ -1,0 +1,44 @@
+//! # aiql-engine
+//!
+//! The optimized AIQL query execution engine (§2.3 of the paper).
+//!
+//! Rather than weaving all joins and constraints of a multievent query into
+//! one large SQL statement and relying on a general-purpose planner, the
+//! engine synthesizes **one data query per event pattern** and schedules
+//! their execution with two domain-specific insights:
+//!
+//! 1. **Pruning-power priority** ([`schedule`]): patterns whose constraints
+//!    are most selective (estimated from the entity dictionary and segment
+//!    statistics) execute first, and their bindings are pushed into later
+//!    data queries as entity-id semi-joins — irrelevant events are discarded
+//!    as early as possible.
+//! 2. **Temporal/spatial partitioning** ([`exec`]): each data query is
+//!    split along the hypertable's ⟨time-bucket, agent⟩ partitions and the
+//!    partitions are scanned in parallel (crossbeam scoped threads).
+//!
+//! Dependency queries are rewritten to equivalent multievent queries (in
+//! `aiql-lang`) and reuse the same pipeline. Anomaly queries are executed by
+//! a sliding-window aggregation operator ([`anomaly`]) that maintains
+//! per-group aggregate history so `having` clauses can reference previous
+//! windows (`amt[1]`).
+//!
+//! Every optimization is individually toggleable through [`EngineConfig`]
+//! for the ablation benchmarks. The [`mod@reference`] module provides a tiny,
+//! obviously-correct executor used as the property-testing oracle.
+
+pub mod analyze;
+pub mod anomaly;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod explain;
+pub mod reference;
+pub mod result;
+pub mod schedule;
+
+pub use analyze::{analyze_multievent, AnalyzedGlobals, AnalyzedMultievent, AnalyzedPattern};
+pub use engine::{Engine, EngineConfig};
+pub use error::EngineError;
+pub use explain::{explain, QueryPlan};
+pub use result::ResultTable;

@@ -1,0 +1,563 @@
+//! Abstract syntax of AIQL queries.
+//!
+//! The three query forms share their building blocks: entity declarations
+//! with constraint lists, global clauses, return clauses, and an expression
+//! grammar (used in `having` / `order by` and aggregate return items).
+
+use std::fmt;
+
+use aiql_model::Duration;
+
+/// A parsed AIQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Multi-step attack behavior specification.
+    Multievent(MultieventQuery),
+    /// Causality / dependency tracking path.
+    Dependency(DependencyQuery),
+    /// Frequency-based abnormal behavior model.
+    Anomaly(AnomalyQuery),
+}
+
+impl Query {
+    /// The query's global clause.
+    pub fn globals(&self) -> &Globals {
+        match self {
+            Query::Multievent(q) => &q.globals,
+            Query::Dependency(q) => &q.globals,
+            Query::Anomaly(q) => &q.globals,
+        }
+    }
+
+    /// A short kind tag for display.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Query::Multievent(_) => "multievent",
+            Query::Dependency(_) => "dependency",
+            Query::Anomaly(_) => "anomaly",
+        }
+    }
+}
+
+/// The `(at "mm/dd/yyyy")` or `(at "mm/dd/yyyy" to "mm/dd/yyyy")` clause.
+/// Investigations over months of retained data scope queries to a day or a
+/// date range; the end date is inclusive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtClause {
+    /// First day, `mm/dd/yyyy`.
+    pub start: String,
+    /// Optional last day (inclusive), `mm/dd/yyyy`.
+    pub end: Option<String>,
+}
+
+impl AtClause {
+    /// A single-day clause.
+    pub fn day(date: &str) -> Self {
+        AtClause {
+            start: date.to_string(),
+            end: None,
+        }
+    }
+}
+
+/// Global constraints applying to every event pattern in the query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Globals {
+    /// The `(at …)` time window, if present.
+    pub at: Option<AtClause>,
+    /// Global attribute constraints, e.g. `agentid = 7`.
+    pub constraints: Vec<AttrConstraint>,
+    /// Sliding-window specification (anomaly queries).
+    pub window: Option<WindowSpec>,
+}
+
+/// `window = <len>, step = <len>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window length.
+    pub length: Duration,
+    /// Slide step.
+    pub step: Duration,
+}
+
+/// A literal value in query source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// String literal (may contain `%` wildcards when used as a pattern).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+/// Comparison operators usable in constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Source form of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// `attr <op> literal`, e.g. `agentid = 7` or `dstip = "10.0.4.129"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrConstraint {
+    /// Attribute name.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand literal.
+    pub value: Literal,
+}
+
+/// Entity kinds in query syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityKindKw {
+    /// `proc`
+    Proc,
+    /// `file`
+    File,
+    /// `ip`
+    Ip,
+}
+
+impl EntityKindKw {
+    /// The keyword text.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            EntityKindKw::Proc => "proc",
+            EntityKindKw::File => "file",
+            EntityKindKw::Ip => "ip",
+        }
+    }
+
+    /// Maps to the data-model kind.
+    pub fn kind(self) -> aiql_model::EntityKind {
+        match self {
+            EntityKindKw::Proc => aiql_model::EntityKind::Process,
+            EntityKindKw::File => aiql_model::EntityKind::File,
+            EntityKindKw::Ip => aiql_model::EntityKind::NetConn,
+        }
+    }
+}
+
+/// One constraint inside an entity declaration's bracket list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclConstraint {
+    /// A bare literal constrains the kind's default attribute
+    /// (context-aware shortcut): `proc p1["%cmd.exe"]`.
+    Default(Literal),
+    /// An explicit attribute constraint: `ip i1[dstip = "10.0.4.129"]`.
+    Attr(AttrConstraint),
+}
+
+/// An entity declaration: `proc p1["%cmd.exe", agentid = 1]`.
+///
+/// Redeclaring the same variable in a later pattern (possibly without
+/// constraints, e.g. `file f1` after `file f1["%backup1.dmp"]`) expresses an
+/// implicit attribute relationship — both patterns must bind the *same*
+/// entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityDecl {
+    /// Declared kind.
+    pub kind: EntityKindKw,
+    /// Variable name.
+    pub var: String,
+    /// Bracketed constraints (possibly empty).
+    pub constraints: Vec<DeclConstraint>,
+}
+
+/// An event pattern: `subject op1 || op2 object as name`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPattern {
+    /// Subject entity (always a process in well-formed queries; validated
+    /// during analysis, not parsing).
+    pub subject: EntityDecl,
+    /// One or more alternative operations.
+    pub ops: Vec<String>,
+    /// Object entity.
+    pub object: EntityDecl,
+    /// Optional event variable (`as evt1`).
+    pub name: Option<String>,
+}
+
+/// Temporal operator between two event variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemporalOp {
+    /// `evt1 before evt2` — left ends no later than right starts; the
+    /// optional bound limits the gap.
+    Before(Option<Duration>),
+    /// `evt1 after evt2`.
+    After(Option<Duration>),
+}
+
+/// `with evt1 before evt2, …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalRelation {
+    /// Left event variable.
+    pub left: String,
+    /// The operator.
+    pub op: TemporalOp,
+    /// Right event variable.
+    pub right: String,
+}
+
+/// Aggregate functions available in anomaly queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(expr)` (or `count(*)` via `count(1)`).
+    Count,
+    /// `sum(expr)`
+    Sum,
+    /// `avg(expr)`
+    Avg,
+    /// `min(expr)`
+    Min,
+    /// `max(expr)`
+    Max,
+}
+
+impl AggFunc {
+    /// Function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parses a function name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+}
+
+/// Binary operators of the expression grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// Source form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+}
+
+/// Expressions (having clauses, aggregate arguments, return items).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Literal),
+    /// `var` or `var.attr` — an entity/event attribute reference. A bare
+    /// `var` resolves to the entity kind's default attribute.
+    Ref {
+        /// Variable name.
+        var: String,
+        /// Optional attribute.
+        attr: Option<String>,
+    },
+    /// Aggregate call: `avg(evt.amount)`.
+    Agg {
+        /// The function.
+        func: AggFunc,
+        /// Argument expression.
+        arg: Box<Expr>,
+    },
+    /// Historical aggregate access: `amt[1]` is the aliased aggregate's
+    /// value one sliding window earlier; `amt` alone (after aliasing) is
+    /// window 0. The unique AIQL construct for behavioral models.
+    History {
+        /// Alias of the aggregate being accessed.
+        name: String,
+        /// How many windows back (0 = current).
+        lag: u32,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a bare variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Ref {
+            var: name.to_string(),
+            attr: None,
+        }
+    }
+
+    /// Walks the expression tree, invoking `f` on every node.
+    pub fn visit(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Agg { arg, .. } => arg.visit(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Neg(e) => e.visit(f),
+            _ => {}
+        }
+    }
+}
+
+/// One projected item: `expr` optionally `as alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// The `return` clause.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReturnClause {
+    /// Whether `distinct` was requested.
+    pub distinct: bool,
+    /// Projected items, in order.
+    pub items: Vec<ReturnItem>,
+}
+
+/// Sort direction in `order by`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One `order by` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// Direction.
+    pub dir: SortDir,
+}
+
+/// A multievent AIQL query (§2.2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultieventQuery {
+    /// Global constraints.
+    pub globals: Globals,
+    /// Event patterns, in declaration order.
+    pub patterns: Vec<EventPattern>,
+    /// Temporal relationships from the `with` clause.
+    pub temporal: Vec<TemporalRelation>,
+    /// Projection.
+    pub ret: ReturnClause,
+    /// `group by` keys (empty when absent).
+    pub group_by: Vec<Expr>,
+    /// `having` filter.
+    pub having: Option<Expr>,
+    /// `order by` keys.
+    pub order_by: Vec<OrderItem>,
+    /// `limit`.
+    pub limit: Option<u64>,
+}
+
+/// Tracking direction of a dependency query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `forward:` — ramification analysis; earlier events appear to the
+    /// left of the path.
+    Forward,
+    /// `backward:` — root-cause analysis; later events appear to the left.
+    Backward,
+}
+
+/// Edge arrow orientation within a dependency path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrowDir {
+    /// `->[op]`: the left node is the subject acting on the right node
+    /// (or data flows left→right).
+    Right,
+    /// `<-[op]`: the right node is the subject acting on the left node.
+    Left,
+}
+
+/// One edge in a dependency path: `->[write] file f1[…]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepEdge {
+    /// Arrow orientation.
+    pub arrow: ArrowDir,
+    /// Operations on the edge (alternatives).
+    pub ops: Vec<String>,
+    /// The next node.
+    pub node: EntityDecl,
+}
+
+/// A dependency AIQL query (§2.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyQuery {
+    /// Global constraints.
+    pub globals: Globals,
+    /// Tracking direction.
+    pub direction: Direction,
+    /// Path start node.
+    pub start: EntityDecl,
+    /// Path edges in source order.
+    pub edges: Vec<DepEdge>,
+    /// Projection.
+    pub ret: ReturnClause,
+}
+
+/// An anomaly AIQL query (§2.2.3): a sliding-window aggregation over
+/// matched events with (optionally historical) `having` filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyQuery {
+    /// Global constraints; `globals.window` is required.
+    pub globals: Globals,
+    /// The event pattern whose matches are windowed.
+    pub patterns: Vec<EventPattern>,
+    /// Projection (may contain aggregates).
+    pub ret: ReturnClause,
+    /// Grouping keys.
+    pub group_by: Vec<Expr>,
+    /// Filter over aggregates, possibly accessing history.
+    pub having: Option<Expr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_display_quotes_strings() {
+        assert_eq!(Literal::Str("%cmd.exe".into()).to_string(), "\"%cmd.exe\"");
+        assert_eq!(
+            Literal::Str("a\"b\\c".into()).to_string(),
+            "\"a\\\"b\\\\c\""
+        );
+        assert_eq!(Literal::Int(42).to_string(), "42");
+        assert_eq!(Literal::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn expr_visit_reaches_all_nodes() {
+        let e = Expr::Binary {
+            op: BinOp::Gt,
+            lhs: Box::new(Expr::History {
+                name: "amt".into(),
+                lag: 0,
+            }),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::Literal(Literal::Int(2))),
+                rhs: Box::new(Expr::History {
+                    name: "amt".into(),
+                    lag: 1,
+                }),
+            }),
+        };
+        let mut count = 0;
+        e.visit(&mut |_| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn kind_keyword_mapping() {
+        assert_eq!(EntityKindKw::Proc.kind(), aiql_model::EntityKind::Process);
+        assert_eq!(EntityKindKw::Ip.kind(), aiql_model::EntityKind::NetConn);
+        assert_eq!(EntityKindKw::File.keyword(), "file");
+    }
+
+    #[test]
+    fn agg_parse_roundtrip() {
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            assert_eq!(AggFunc::parse(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+}

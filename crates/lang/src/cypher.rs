@@ -1,0 +1,411 @@
+//! Translation of AIQL queries to Cypher (Neo4j's query language).
+//!
+//! Used for the Figure 5 comparison and the conciseness metrics: in the
+//! graph model, entities are nodes and events are relationships, and a
+//! multievent AIQL query becomes a `MATCH` over several relationship
+//! patterns whose attribute and temporal constraints all land in one
+//! `WHERE` clause. As the paper notes, these queries "become quite verbose
+//! with many joins and constraints" as attack behaviors grow.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+use crate::rewrite::dependency_to_multievent;
+
+/// Translates any AIQL query to Cypher text.
+pub fn to_cypher(q: &Query) -> String {
+    match q {
+        Query::Multievent(m) => multievent_to_cypher(m),
+        Query::Dependency(d) => match dependency_to_multievent(d) {
+            Ok(m) => multievent_to_cypher(&m),
+            Err(e) => format!("// untranslatable dependency query: {e}"),
+        },
+        Query::Anomaly(a) => anomaly_to_cypher(a),
+    }
+}
+
+fn label(kind: EntityKindKw) -> &'static str {
+    match kind {
+        EntityKindKw::Proc => "Process",
+        EntityKindKw::File => "File",
+        EntityKindKw::Ip => "NetConn",
+    }
+}
+
+fn default_prop(kind: EntityKindKw) -> &'static str {
+    match kind {
+        EntityKindKw::Proc => "exe_name",
+        EntityKindKw::File => "name",
+        EntityKindKw::Ip => "dst_ip",
+    }
+}
+
+fn cypher_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::Str(s) => format!("'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(x) => format!("{x:?}"),
+    }
+}
+
+/// LIKE patterns become Cypher regular expressions (`=~`).
+fn like_to_regex(pattern: &str) -> String {
+    let mut re = String::from("(?i)");
+    for c in pattern.chars() {
+        match c {
+            '%' => re.push_str(".*"),
+            '_' => re.push('.'),
+            c if "\\.^$|?*+()[]{}".contains(c) => {
+                re.push('\\');
+                re.push(c);
+            }
+            c => re.push(c),
+        }
+    }
+    re
+}
+
+fn cmp_cypher(alias: &str, prop: &str, op: CmpOp, value: &Literal) -> String {
+    if let (CmpOp::Eq, Literal::Str(s)) = (op, value) {
+        if s.contains('%') {
+            return format!("{alias}.{prop} =~ '{}'", like_to_regex(s));
+        }
+    }
+    let op_text = match op {
+        CmpOp::Eq => "=",
+        CmpOp::Ne => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+    };
+    format!("{alias}.{prop} {op_text} {}", cypher_literal(value))
+}
+
+fn decl_predicates(decl: &EntityDecl, out: &mut Vec<String>) {
+    for c in &decl.constraints {
+        match c {
+            DeclConstraint::Default(lit) => {
+                out.push(cmp_cypher(&decl.var, default_prop(decl.kind), CmpOp::Eq, lit));
+            }
+            DeclConstraint::Attr(a) => {
+                out.push(cmp_cypher(&decl.var, &a.attr, a.op, &a.value));
+            }
+        }
+    }
+}
+
+fn expr_to_cypher(e: &Expr) -> String {
+    match e {
+        Expr::Literal(l) => cypher_literal(l),
+        Expr::Ref { var, attr } => match attr {
+            Some(a) => format!("{var}.{a}"),
+            None => var.clone(),
+        },
+        Expr::Agg { func, arg } => format!("{}({})", func.name(), expr_to_cypher(arg)),
+        Expr::History { name, lag } => format!("{name}_lag{lag}"),
+        Expr::Binary { op, lhs, rhs } => {
+            let o = match op {
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Ne => "<>",
+                other => other.symbol(),
+            };
+            format!("({} {} {})", expr_to_cypher(lhs), o, expr_to_cypher(rhs))
+        }
+        Expr::Neg(inner) => format!("-{}", expr_to_cypher(inner)),
+    }
+}
+
+/// Translates a multievent query to a single `MATCH … WHERE … RETURN`.
+pub fn multievent_to_cypher(m: &MultieventQuery) -> String {
+    let mut declared: Vec<String> = Vec::new();
+    let mut matches: Vec<String> = Vec::new();
+    let mut preds: Vec<String> = Vec::new();
+
+    let node = |d: &EntityDecl, declared: &mut Vec<String>, preds: &mut Vec<String>| {
+        let text = if declared.iter().any(|v| v == &d.var) {
+            format!("({})", d.var)
+        } else {
+            declared.push(d.var.clone());
+            decl_predicates(d, preds);
+            format!("({}:{})", d.var, label(d.kind))
+        };
+        text
+    };
+
+    for (i, p) in m.patterns.iter().enumerate() {
+        let evt = p.name.clone().unwrap_or_else(|| format!("evt{}", i + 1));
+        let subj = node(&p.subject, &mut declared, &mut preds);
+        let obj = node(&p.object, &mut declared, &mut preds);
+        let rel = if p.ops.len() == 1 {
+            p.ops[0].to_uppercase()
+        } else {
+            p.ops
+                .iter()
+                .map(|o| o.to_uppercase())
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        matches.push(format!("{subj}-[{evt}:{rel}]->{obj}"));
+        // Globals apply per event relationship.
+        if let Some(at) = &m.globals.at {
+            preds.push(format!("{evt}.start_time >= date('{}')", at.start));
+            preds.push(format!(
+                "{evt}.start_time < date('{}') + duration('P1D')",
+                at.end.as_deref().unwrap_or(&at.start)
+            ));
+        }
+        for c in &m.globals.constraints {
+            preds.push(cmp_cypher(&evt, &c.attr, c.op, &c.value));
+        }
+    }
+    for t in &m.temporal {
+        match &t.op {
+            TemporalOp::Before(bound) => {
+                preds.push(format!("{}.end_time <= {}.start_time", t.left, t.right));
+                if let Some(b) = bound {
+                    preds.push(format!(
+                        "{}.start_time - {}.end_time <= duration('{b}')",
+                        t.right, t.left
+                    ));
+                }
+            }
+            TemporalOp::After(bound) => {
+                preds.push(format!("{}.start_time >= {}.end_time", t.left, t.right));
+                if let Some(b) = bound {
+                    preds.push(format!(
+                        "{}.start_time - {}.end_time <= duration('{b}')",
+                        t.left, t.right
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut cypher = String::new();
+    let _ = write!(cypher, "MATCH {}", matches.join(",\n      "));
+    if !preds.is_empty() {
+        let _ = write!(cypher, "\nWHERE {}", preds.join("\n  AND "));
+    }
+    let items: Vec<String> = m
+        .ret
+        .items
+        .iter()
+        .map(|i| {
+            let body = match &i.expr {
+                Expr::Ref { var, attr: None } => {
+                    // Context-aware shortcut: project the default property.
+                    let kind = m
+                        .patterns
+                        .iter()
+                        .flat_map(|p| [&p.subject, &p.object])
+                        .find(|d| &d.var == var)
+                        .map(|d| d.kind);
+                    match kind {
+                        Some(k) => format!("{var}.{}", default_prop(k)),
+                        None => var.clone(),
+                    }
+                }
+                other => expr_to_cypher(other),
+            };
+            match &i.alias {
+                Some(a) => format!("{body} AS {a}"),
+                None => body,
+            }
+        })
+        .collect();
+    let _ = write!(
+        cypher,
+        "\nRETURN {}{}",
+        if m.ret.distinct { "DISTINCT " } else { "" },
+        items.join(", ")
+    );
+    if !m.order_by.is_empty() {
+        let keys: Vec<String> = m
+            .order_by
+            .iter()
+            .map(|o| {
+                format!(
+                    "{}{}",
+                    expr_to_cypher(&o.expr),
+                    match o.dir {
+                        SortDir::Asc => "",
+                        SortDir::Desc => " DESC",
+                    }
+                )
+            })
+            .collect();
+        let _ = write!(cypher, "\nORDER BY {}", keys.join(", "));
+    }
+    if let Some(l) = m.limit {
+        let _ = write!(cypher, "\nLIMIT {l}");
+    }
+    cypher.push(';');
+    cypher
+}
+
+/// Translates an anomaly query: windowed aggregation needs `WITH`-pipeline
+/// bucketing plus a self-join against earlier windows for history access —
+/// the most verbose translation of the three.
+pub fn anomaly_to_cypher(a: &AnomalyQuery) -> String {
+    let w = a.globals.window.expect("anomaly query has a window spec");
+    let mut preds: Vec<String> = Vec::new();
+    let mut matches: Vec<String> = Vec::new();
+    for (i, p) in a.patterns.iter().enumerate() {
+        let evt = p.name.clone().unwrap_or_else(|| format!("evt{}", i + 1));
+        decl_predicates(&p.subject, &mut preds);
+        decl_predicates(&p.object, &mut preds);
+        matches.push(format!(
+            "({}:{})-[{evt}:{}]->({}:{})",
+            p.subject.var,
+            label(p.subject.kind),
+            p.ops
+                .iter()
+                .map(|o| o.to_uppercase())
+                .collect::<Vec<_>>()
+                .join("|"),
+            p.object.var,
+            label(p.object.kind),
+        ));
+        for c in &a.globals.constraints {
+            preds.push(cmp_cypher(&evt, &c.attr, c.op, &c.value));
+        }
+    }
+    let group: Vec<String> = a.group_by.iter().map(expr_to_cypher).collect();
+    let aggs: Vec<String> = a
+        .ret
+        .items
+        .iter()
+        .map(|i| match &i.alias {
+            Some(al) => format!("{} AS {al}", expr_to_cypher(&i.expr)),
+            None => expr_to_cypher(&i.expr),
+        })
+        .collect();
+    let evt0 = a.patterns[0]
+        .name
+        .clone()
+        .unwrap_or_else(|| "evt1".to_string());
+    let mut cypher = String::new();
+    let _ = write!(cypher, "MATCH {}", matches.join(", "));
+    if !preds.is_empty() {
+        let _ = write!(cypher, "\nWHERE {}", preds.join("\n  AND "));
+    }
+    let _ = write!(
+        cypher,
+        "\nWITH {}, ({evt0}.start_time / {}) AS window_id, {}",
+        group.join(", "),
+        w.step.micros(),
+        aggs.join(", ")
+    );
+    // History access: collect per-window rows and index backwards.
+    let mut lags: Vec<(String, u32)> = Vec::new();
+    if let Some(h) = &a.having {
+        h.visit(&mut |e| {
+            if let Expr::History { name, lag } = e {
+                if *lag > 0 && !lags.contains(&(name.clone(), *lag)) {
+                    lags.push((name.clone(), *lag));
+                }
+            }
+        });
+    }
+    for (name, lag) in &lags {
+        let _ = write!(
+            cypher,
+            "\nOPTIONAL MATCH (prev{lag}) WHERE prev{lag}.window_id = window_id - {lag} // emulate {name}[{lag}]",
+        );
+        let _ = write!(cypher, "\nWITH *, prev{lag}.{name} AS {name}_lag{lag}");
+    }
+    if let Some(h) = &a.having {
+        let _ = write!(cypher, "\nWHERE {}", expr_to_cypher(h));
+    }
+    let names: Vec<String> = a
+        .ret
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.alias
+                .clone()
+                .unwrap_or_else(|| format!("col{}", i + 1))
+        })
+        .collect();
+    let _ = write!(cypher, "\nRETURN {};", names.join(", "));
+    cypher
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn multievent_cypher_shape() {
+        let q = parse_query(
+            r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+               proc p3 write file f1["%backup1.dmp"] as evt2
+               with evt1 before evt2
+               return distinct p1, f1"#,
+        )
+        .unwrap();
+        let c = to_cypher(&q);
+        assert!(c.contains("MATCH (p1:Process)-[evt1:START]->(p2:Process)"));
+        assert!(c.contains("(p3:Process)-[evt2:WRITE]->(f1:File)"));
+        assert!(c.contains("p1.exe_name =~ '(?i).*cmd\\.exe'"));
+        assert!(c.contains("evt1.end_time <= evt2.start_time"));
+        assert!(c.contains("RETURN DISTINCT p1.exe_name, f1.name"));
+    }
+
+    #[test]
+    fn shared_variable_not_redeclared() {
+        let q = parse_query(
+            r#"proc p3 write file f1["%x%"] as e1
+               proc p4 read file f1 as e2
+               return f1"#,
+        )
+        .unwrap();
+        let c = to_cypher(&q);
+        assert_eq!(c.matches("(f1:File)").count(), 1);
+        assert!(c.contains("->(f1)"));
+    }
+
+    #[test]
+    fn like_to_regex_escapes_metacharacters() {
+        assert_eq!(like_to_regex("%cmd.exe"), "(?i).*cmd\\.exe");
+        assert_eq!(like_to_regex("a_b"), "(?i)a.b");
+        assert_eq!(like_to_regex("50%+"), "(?i)50.*\\+");
+    }
+
+    #[test]
+    fn op_alternatives_in_relationship() {
+        let q = parse_query("proc p read || write ip i as e return p").unwrap();
+        let c = to_cypher(&q);
+        assert!(c.contains("[e:READ|WRITE]"));
+    }
+
+    #[test]
+    fn anomaly_cypher_mentions_window_emulation() {
+        let q = parse_query(
+            r#"window = 1 min, step = 10 sec
+               proc p write ip i as evt
+               return p, avg(evt.amount) as amt
+               group by p
+               having amt > 2 * amt[1]"#,
+        )
+        .unwrap();
+        let c = to_cypher(&q);
+        assert!(c.contains("window_id"));
+        assert!(c.contains("amt_lag1"));
+    }
+
+    #[test]
+    fn dependency_rewrites_before_translation() {
+        let q = parse_query(
+            r#"forward: proc p1["%cp%"] ->[write] file f1 <-[read] proc p2 return p2"#,
+        )
+        .unwrap();
+        let c = to_cypher(&q);
+        assert!(c.contains("dep_evt1"));
+        assert!(c.contains("dep_evt2"));
+    }
+}

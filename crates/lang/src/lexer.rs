@@ -1,0 +1,394 @@
+//! The AIQL lexer.
+//!
+//! Whitespace-insensitive, supports `//` line comments (the paper's example
+//! queries annotate lines with comments), double-quoted strings with escape
+//! sequences, integers/floats, and the operator vocabulary including the
+//! dependency arrows `->` / `<-` and the operation alternative `||`.
+
+use crate::error::ParseError;
+use crate::token::{Span, Tok, Token};
+
+/// Tokenizes an AIQL query.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut lexer = Lexer::new(source);
+    let mut out = Vec::new();
+    loop {
+        let token = lexer.next_token()?;
+        let done = token.tok == Tok::Eof;
+        out.push(token);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            offset: self.pos,
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia();
+        let span = self.span();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                tok: Tok::Eof,
+                span,
+            });
+        };
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'=' => {
+                self.bump();
+                // Accept both `=` and `==`.
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                }
+                Tok::Eq
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Ne
+                } else {
+                    return Err(ParseError::new(span, "stray `!` (did you mean `!=`?)"));
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Tok::Le
+                    }
+                    Some(b'-') => {
+                        self.bump();
+                        Tok::ArrowLeft
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(ParseError::new(span, "stray `|` (did you mean `||`?)"));
+                }
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::ArrowRight
+                } else {
+                    Tok::Minus
+                }
+            }
+            b'+' => {
+                self.bump();
+                Tok::Plus
+            }
+            b'*' => {
+                self.bump();
+                Tok::Star
+            }
+            b'/' => {
+                self.bump();
+                Tok::Slash
+            }
+            b'"' => self.lex_string(span)?,
+            c if c.is_ascii_digit() => self.lex_number(span)?,
+            c if c.is_ascii_alphabetic() || c == b'_' => self.lex_ident(),
+            other => {
+                return Err(ParseError::new(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Token { tok, span })
+    }
+
+    fn lex_string(&mut self, span: Span) -> Result<Tok, ParseError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(ParseError::new(span, "unterminated string literal")),
+                Some(b'"') => return Ok(Tok::Str(s)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(other) => {
+                        s.push('\\');
+                        s.push(other as char);
+                    }
+                    None => return Err(ParseError::new(span, "unterminated string literal")),
+                },
+                Some(other) => s.push(other as char),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<Tok, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // A dot only continues the number if followed by a digit — `evt.amount`
+        // must lex as ident, dot, ident.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| ParseError::new(span, format!("invalid float literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| ParseError::new(span, format!("integer literal out of range `{text}`")))
+        }
+    }
+
+    fn lex_ident(&mut self) -> Tok {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        Tok::Ident(text.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_event_pattern_line() {
+        let got = toks(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1"#);
+        assert_eq!(
+            got,
+            vec![
+                Tok::Ident("proc".into()),
+                Tok::Ident("p1".into()),
+                Tok::LBracket,
+                Tok::Str("%cmd.exe".into()),
+                Tok::RBracket,
+                Tok::Ident("start".into()),
+                Tok::Ident("proc".into()),
+                Tok::Ident("p2".into()),
+                Tok::LBracket,
+                Tok::Str("%osql.exe".into()),
+                Tok::RBracket,
+                Tok::Ident("as".into()),
+                Tok::Ident("evt1".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrows_and_oror() {
+        assert_eq!(
+            toks("->[write] <-[read] read || write"),
+            vec![
+                Tok::ArrowRight,
+                Tok::LBracket,
+                Tok::Ident("write".into()),
+                Tok::RBracket,
+                Tok::ArrowLeft,
+                Tok::LBracket,
+                Tok::Ident("read".into()),
+                Tok::RBracket,
+                Tok::Ident("read".into()),
+                Tok::OrOr,
+                Tok::Ident("write".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let got = toks("agentid = 3 // SQL database server\nwindow = 1 min");
+        assert_eq!(got[0], Tok::Ident("agentid".into()));
+        assert_eq!(got[1], Tok::Eq);
+        assert_eq!(got[2], Tok::Int(3));
+        assert_eq!(got[3], Tok::Ident("window".into()));
+    }
+
+    #[test]
+    fn dotted_attribute_vs_float() {
+        assert_eq!(
+            toks("evt.amount 3.5 2"),
+            vec![
+                Tok::Ident("evt".into()),
+                Tok::Dot,
+                Tok::Ident("amount".into()),
+                Tok::Float(3.5),
+                Tok::Int(2),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != < <= > >="),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            toks(r#""C:\\Windows\\cmd.exe" "say \"hi\"""#),
+            vec![
+                Tok::Str("C:\\Windows\\cmd.exe".into()),
+                Tok::Str("say \"hi\"".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let tokens = lex("proc p\nfile f").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[0].span.col, 1);
+        assert_eq!(tokens[2].span.line, 2);
+        assert_eq!(tokens[2].span.col, 1);
+        assert_eq!(tokens[3].span.col, 6);
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        let err = lex(r#"proc p["%cmd"#).unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn error_on_stray_bang() {
+        assert!(lex("a ! b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(toks("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]);
+        assert_eq!(toks("->"), vec![Tok::ArrowRight, Tok::Eof]);
+    }
+}

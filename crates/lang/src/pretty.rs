@@ -1,0 +1,238 @@
+//! Canonical pretty-printer.
+//!
+//! Renders an AST back to AIQL source. The output reparses to an identical
+//! AST (verified by property tests), which gives the web-UI-style query
+//! formatter for free and pins the grammar's round-trip semantics.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a query as canonical AIQL text.
+pub fn print_query(q: &Query) -> String {
+    let mut out = String::new();
+    print_globals(&mut out, q.globals());
+    match q {
+        Query::Multievent(m) => {
+            for p in &m.patterns {
+                print_pattern(&mut out, p);
+            }
+            if !m.temporal.is_empty() {
+                let rels: Vec<String> = m.temporal.iter().map(print_temporal).collect();
+                let _ = writeln!(out, "with {}", rels.join(", "));
+            }
+            print_return(&mut out, &m.ret);
+            print_group_having(&mut out, &m.group_by, &m.having);
+            if !m.order_by.is_empty() {
+                let keys: Vec<String> = m
+                    .order_by
+                    .iter()
+                    .map(|o| {
+                        format!(
+                            "{}{}",
+                            print_expr(&o.expr),
+                            match o.dir {
+                                SortDir::Asc => "",
+                                SortDir::Desc => " desc",
+                            }
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(out, "order by {}", keys.join(", "));
+            }
+            if let Some(limit) = m.limit {
+                let _ = writeln!(out, "limit {limit}");
+            }
+        }
+        Query::Dependency(d) => {
+            let dir = match d.direction {
+                Direction::Forward => "forward",
+                Direction::Backward => "backward",
+            };
+            let _ = write!(out, "{dir}: {}", print_decl(&d.start));
+            for e in &d.edges {
+                let arrow = match e.arrow {
+                    ArrowDir::Right => "->",
+                    ArrowDir::Left => "<-",
+                };
+                let _ = write!(out, " {arrow}[{}] {}", e.ops.join(" || "), print_decl(&e.node));
+            }
+            out.push('\n');
+            print_return(&mut out, &d.ret);
+        }
+        Query::Anomaly(a) => {
+            for p in &a.patterns {
+                print_pattern(&mut out, p);
+            }
+            print_return(&mut out, &a.ret);
+            print_group_having(&mut out, &a.group_by, &a.having);
+        }
+    }
+    out
+}
+
+fn print_globals(out: &mut String, g: &Globals) {
+    if let Some(at) = &g.at {
+        match &at.end {
+            Some(end) => {
+                let _ = writeln!(out, "(at \"{}\" to \"{}\")", at.start, end);
+            }
+            None => {
+                let _ = writeln!(out, "(at \"{}\")", at.start);
+            }
+        }
+    }
+    for c in &g.constraints {
+        let _ = writeln!(out, "{} {} {}", c.attr, c.op.symbol(), c.value);
+    }
+    if let Some(w) = &g.window {
+        let _ = writeln!(out, "window = {}, step = {}", w.length, w.step);
+    }
+}
+
+fn print_pattern(out: &mut String, p: &EventPattern) {
+    let _ = write!(
+        out,
+        "{} {} {}",
+        print_decl(&p.subject),
+        p.ops.join(" || "),
+        print_decl(&p.object)
+    );
+    if let Some(name) = &p.name {
+        let _ = write!(out, " as {name}");
+    }
+    out.push('\n');
+}
+
+/// Renders an entity declaration.
+pub fn print_decl(d: &EntityDecl) -> String {
+    let mut s = format!("{} {}", d.kind.keyword(), d.var);
+    if !d.constraints.is_empty() {
+        let parts: Vec<String> = d
+            .constraints
+            .iter()
+            .map(|c| match c {
+                DeclConstraint::Default(lit) => lit.to_string(),
+                DeclConstraint::Attr(a) => {
+                    format!("{} {} {}", a.attr, a.op.symbol(), a.value)
+                }
+            })
+            .collect();
+        let _ = write!(s, "[{}]", parts.join(", "));
+    }
+    s
+}
+
+fn print_temporal(t: &TemporalRelation) -> String {
+    let op = match &t.op {
+        TemporalOp::Before(None) => "before".to_string(),
+        TemporalOp::Before(Some(d)) => format!("before[{d}]"),
+        TemporalOp::After(None) => "after".to_string(),
+        TemporalOp::After(Some(d)) => format!("after[{d}]"),
+    };
+    format!("{} {} {}", t.left, op, t.right)
+}
+
+fn print_return(out: &mut String, r: &ReturnClause) {
+    let items: Vec<String> = r
+        .items
+        .iter()
+        .map(|i| match &i.alias {
+            Some(a) => format!("{} as {a}", print_expr(&i.expr)),
+            None => print_expr(&i.expr),
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "return {}{}",
+        if r.distinct { "distinct " } else { "" },
+        items.join(", ")
+    );
+}
+
+fn print_group_having(out: &mut String, group_by: &[Expr], having: &Option<Expr>) {
+    if !group_by.is_empty() {
+        let keys: Vec<String> = group_by.iter().map(print_expr).collect();
+        let _ = writeln!(out, "group by {}", keys.join(", "));
+    }
+    if let Some(h) = having {
+        let _ = writeln!(out, "having {}", print_expr(h));
+    }
+}
+
+/// Renders an expression with explicit parentheses around every binary
+/// operation (guaranteeing reparse fidelity without precedence reasoning).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(l) => l.to_string(),
+        Expr::Ref { var, attr: None } => var.clone(),
+        Expr::Ref {
+            var,
+            attr: Some(attr),
+        } => format!("{var}.{attr}"),
+        Expr::Agg { func, arg } => format!("{}({})", func.name(), print_expr(arg)),
+        Expr::History { name, lag } => format!("{name}[{lag}]"),
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), op.symbol(), print_expr(rhs))
+        }
+        Expr::Neg(inner) => format!("-{}", print_expr(inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn roundtrip(src: &str) {
+        let q1 = parse_query(src).unwrap();
+        let printed = print_query(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted:\n{printed}"));
+        // History lag 0 prints as `amt[0]`, which reparses identically, so
+        // plain equality is the right check.
+        assert_eq!(q1, q2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_multievent() {
+        roundtrip(
+            r#"(at "03/19/2018") agentid = 5
+            proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+            proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+            proc p4 read || write ip i1[dstip = "10.0.4.129"] as evt4
+            with evt1 before evt2, evt2 before[10 min] evt4
+            return distinct p1, p2, f1
+            order by p1 desc limit 5"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_dependency() {
+        roundtrip(
+            r#"forward: proc p1["%/bin/cp%", agentid = 1] ->[write] file f1["%info_stealer%"]
+            <-[read] proc p2["%apache%"] ->[connect] proc p3[agentid = 2]
+            return f1, p1, p2, p3"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_anomaly() {
+        roundtrip(
+            r#"agentid = 5 window = 1 min, step = 10 sec
+            proc p write ip i[dstip = "10.0.4.129"] as evt
+            return p, avg(evt.amount) as amt
+            group by p
+            having amt > 2 * (amt[0] + amt[1] + amt[2]) / 3"#,
+        );
+    }
+
+    #[test]
+    fn expr_parenthesization_is_unambiguous() {
+        let e = parse_query("proc p read file f as e return p having 1 + 2 * 3 > 4")
+            .unwrap();
+        let Query::Multievent(m) = e else { panic!() };
+        let s = print_expr(m.having.as_ref().unwrap());
+        assert_eq!(s, "((1 + (2 * 3)) > 4)");
+    }
+}

@@ -1,0 +1,160 @@
+//! Dependency-query rewriting.
+//!
+//! Per §2.3 of the paper, "for a dependency query, the parser compiles it to
+//! a semantically equivalent multievent query for execution". An event path
+//!
+//! ```text
+//! forward: proc p1 ->[write] file f1 <-[read] proc p2 ->[connect] proc p3
+//! ```
+//!
+//! becomes one event pattern per edge. The arrow gives the subject/object
+//! roles (`A ->[op] B` ⇒ A is the subject; `A <-[op] B` ⇒ B is the
+//! subject), path adjacency becomes an implicit attribute relationship
+//! (shared entity variable), and the tracking direction becomes a chain of
+//! temporal relationships (`forward` ⇒ each edge's event happens before the
+//! next; `backward` ⇒ after).
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::token::Span;
+
+/// Prefix of synthesized event variable names.
+pub const DEP_EVENT_PREFIX: &str = "dep_evt";
+
+/// Compiles a dependency query into the equivalent multievent query.
+pub fn dependency_to_multievent(d: &DependencyQuery) -> Result<MultieventQuery, ParseError> {
+    let mut patterns = Vec::with_capacity(d.edges.len());
+    let mut names = Vec::with_capacity(d.edges.len());
+    let mut left = d.start.clone();
+    for (i, edge) in d.edges.iter().enumerate() {
+        let right = edge.node.clone();
+        let (subject, object) = match edge.arrow {
+            ArrowDir::Right => (left.clone(), right.clone()),
+            ArrowDir::Left => (right.clone(), left.clone()),
+        };
+        if subject.kind != EntityKindKw::Proc {
+            return Err(ParseError::new(
+                Span::start(),
+                format!(
+                    "dependency edge {} has a non-process subject `{}`; arrows must point away from the acting process",
+                    i + 1,
+                    subject.var
+                ),
+            ));
+        }
+        let name = format!("{DEP_EVENT_PREFIX}{}", i + 1);
+        names.push(name.clone());
+        patterns.push(EventPattern {
+            subject,
+            ops: edge.ops.clone(),
+            object,
+            name: Some(name),
+        });
+        left = edge.node.clone();
+    }
+    let temporal = names
+        .windows(2)
+        .map(|pair| TemporalRelation {
+            left: pair[0].clone(),
+            op: match d.direction {
+                Direction::Forward => TemporalOp::Before(None),
+                Direction::Backward => TemporalOp::After(None),
+            },
+            right: pair[1].clone(),
+        })
+        .collect();
+    Ok(MultieventQuery {
+        globals: d.globals.clone(),
+        patterns,
+        temporal,
+        ret: d.ret.clone(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn dep(src: &str) -> DependencyQuery {
+        match parse_query(src).unwrap() {
+            Query::Dependency(d) => d,
+            other => panic!("expected dependency, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn forward_chain_produces_before_relations() {
+        let d = dep(
+            r#"forward: proc p1["%cp%"] ->[write] file f1["%x%"] <-[read] proc p2 ->[write] file f2
+               return p1, f2"#,
+        );
+        let m = dependency_to_multievent(&d).unwrap();
+        assert_eq!(m.patterns.len(), 3);
+        // Edge 1: p1 writes f1.
+        assert_eq!(m.patterns[0].subject.var, "p1");
+        assert_eq!(m.patterns[0].object.var, "f1");
+        // Edge 2 (left arrow): p2 reads f1.
+        assert_eq!(m.patterns[1].subject.var, "p2");
+        assert_eq!(m.patterns[1].object.var, "f1");
+        // Edge 3: p2 writes f2.
+        assert_eq!(m.patterns[2].subject.var, "p2");
+        assert_eq!(m.patterns[2].object.var, "f2");
+        assert_eq!(m.temporal.len(), 2);
+        assert!(m
+            .temporal
+            .iter()
+            .all(|t| t.op == TemporalOp::Before(None)));
+        assert_eq!(m.temporal[0].left, "dep_evt1");
+        assert_eq!(m.temporal[0].right, "dep_evt2");
+    }
+
+    #[test]
+    fn backward_chain_produces_after_relations() {
+        let d = dep(
+            r#"backward: file f1["%malware%"] <-[write] proc p1 <-[start] proc p0
+               return p0"#,
+        );
+        let m = dependency_to_multievent(&d).unwrap();
+        // f1 <-[write] p1 : p1 writes f1.
+        assert_eq!(m.patterns[0].subject.var, "p1");
+        assert_eq!(m.patterns[0].object.var, "f1");
+        // p1 <-[start] p0 : p0 starts p1.
+        assert_eq!(m.patterns[1].subject.var, "p0");
+        assert_eq!(m.patterns[1].object.var, "p1");
+        assert!(m.temporal.iter().all(|t| t.op == TemporalOp::After(None)));
+    }
+
+    #[test]
+    fn constraints_travel_with_the_declaration() {
+        let d = dep(
+            r#"forward: proc p1["%cp%", agentid = 1] ->[write] file f1["/var/www/%"]
+               return p1, f1"#,
+        );
+        let m = dependency_to_multievent(&d).unwrap();
+        assert_eq!(m.patterns[0].subject.constraints.len(), 2);
+        assert_eq!(m.patterns[0].object.constraints.len(), 1);
+    }
+
+    #[test]
+    fn non_process_subject_is_rejected() {
+        // file f1 ->[read] proc p2 would make the *file* the subject.
+        let d = dep(r#"forward: file f1 ->[read] proc p2 return p2"#);
+        assert!(dependency_to_multievent(&d).is_err());
+    }
+
+    #[test]
+    fn globals_and_return_are_preserved() {
+        let d = dep(
+            r#"(at "03/19/2018") agentid = 1
+               forward: proc p1 ->[write] file f1 return p1, f1"#,
+        );
+        let m = dependency_to_multievent(&d).unwrap();
+        assert_eq!(m.globals.at, Some(AtClause::day("03/19/2018")));
+        assert_eq!(m.ret.items.len(), 2);
+    }
+}

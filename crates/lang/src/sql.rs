@@ -1,0 +1,495 @@
+//! Translation of AIQL queries to semantically equivalent SQL.
+//!
+//! The paper's conciseness evaluation compares each AIQL query against the
+//! SQL an analyst would have to hand-write over the relational schema
+//! (`events` + one table per entity kind). The generated text mirrors that
+//! style: one `events` alias per event pattern, one entity-table alias per
+//! entity variable, all join conditions and constraints woven into a single
+//! `WHERE` clause — exactly the query shape whose construction the paper
+//! calls "time consuming and error-prone".
+//!
+//! Anomaly queries need sliding windows and *historical* aggregate access,
+//! which SQL expresses with a `generate_series` window driver plus `LAG`
+//! window functions over a nested subquery.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+use crate::rewrite::dependency_to_multievent;
+
+/// Translates any AIQL query to SQL text.
+pub fn to_sql(q: &Query) -> String {
+    match q {
+        Query::Multievent(m) => multievent_to_sql(m),
+        Query::Dependency(d) => match dependency_to_multievent(d) {
+            Ok(m) => multievent_to_sql(&m),
+            Err(e) => format!("-- untranslatable dependency query: {e}"),
+        },
+        Query::Anomaly(a) => anomaly_to_sql(a),
+    }
+}
+
+/// Table name for an entity kind.
+fn table(kind: EntityKindKw) -> &'static str {
+    match kind {
+        EntityKindKw::Proc => "processes",
+        EntityKindKw::File => "files",
+        EntityKindKw::Ip => "netconns",
+    }
+}
+
+/// Column for the kind's default attribute.
+fn default_col(kind: EntityKindKw) -> &'static str {
+    match kind {
+        EntityKindKw::Proc => "exe_name",
+        EntityKindKw::File => "name",
+        EntityKindKw::Ip => "dst_ip",
+    }
+}
+
+fn sql_literal(lit: &Literal) -> String {
+    match lit {
+        Literal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Literal::Int(i) => i.to_string(),
+        Literal::Float(x) => format!("{x:?}"),
+    }
+}
+
+fn cmp_sql(op: CmpOp, value: &Literal) -> (String, String) {
+    // String equality with wildcards becomes LIKE.
+    let uses_like = matches!((op, value), (CmpOp::Eq, Literal::Str(s)) if s.contains('%'));
+    let op_text = if uses_like {
+        "LIKE".to_string()
+    } else {
+        match op {
+            CmpOp::Eq => "=".to_string(),
+            CmpOp::Ne => "<>".to_string(),
+            CmpOp::Lt => "<".to_string(),
+            CmpOp::Le => "<=".to_string(),
+            CmpOp::Gt => ">".to_string(),
+            CmpOp::Ge => ">=".to_string(),
+        }
+    };
+    (op_text, sql_literal(value))
+}
+
+/// Collects the per-variable constraints and table aliases of a query.
+struct SqlCtx {
+    /// (variable, kind) in first-seen order.
+    vars: Vec<(String, EntityKindKw)>,
+}
+
+impl SqlCtx {
+    fn from_patterns(patterns: &[EventPattern]) -> Self {
+        let mut vars: Vec<(String, EntityKindKw)> = Vec::new();
+        let mut see = |d: &EntityDecl| {
+            if !vars.iter().any(|(v, _)| v == &d.var) {
+                vars.push((d.var.clone(), d.kind));
+            }
+        };
+        for p in patterns {
+            see(&p.subject);
+            see(&p.object);
+        }
+        SqlCtx { vars }
+    }
+
+    fn kind_of(&self, var: &str) -> Option<EntityKindKw> {
+        self.vars
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, k)| *k)
+    }
+}
+
+fn op_predicate(evt: &str, ops: &[String]) -> String {
+    if ops.len() == 1 {
+        format!("{evt}.optype = '{}'", ops[0])
+    } else {
+        let list: Vec<String> = ops.iter().map(|o| format!("'{o}'")).collect();
+        format!("{evt}.optype IN ({})", list.join(", "))
+    }
+}
+
+fn decl_predicates(ctx: &SqlCtx, decl: &EntityDecl, out: &mut Vec<String>) {
+    let alias = &decl.var;
+    for c in &decl.constraints {
+        match c {
+            DeclConstraint::Default(lit) => {
+                let (op, v) = cmp_sql(CmpOp::Eq, lit);
+                out.push(format!(
+                    "{alias}.{} {op} {v}",
+                    default_col(ctx.kind_of(alias).unwrap_or(decl.kind))
+                ));
+            }
+            DeclConstraint::Attr(a) => {
+                let (op, v) = cmp_sql(a.op, &a.value);
+                out.push(format!("{alias}.{} {op} {v}", normalize_attr(&a.attr)));
+            }
+        }
+    }
+}
+
+fn normalize_attr(attr: &str) -> String {
+    match attr {
+        "dstip" => "dst_ip".to_string(),
+        "srcip" => "src_ip".to_string(),
+        "dstport" => "dst_port".to_string(),
+        "srcport" => "src_port".to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn globals_predicates(globals: &Globals, evt: &str, out: &mut Vec<String>) {
+    if let Some(at) = &globals.at {
+        out.push(format!("{evt}.start_time >= DATE '{}'", at.start));
+        out.push(format!(
+            "{evt}.start_time < DATE '{}' + INTERVAL '1 day'",
+            at.end.as_deref().unwrap_or(&at.start)
+        ));
+    }
+    for c in &globals.constraints {
+        let (op, v) = cmp_sql(c.op, &c.value);
+        out.push(format!("{evt}.{} {op} {v}", normalize_attr(&c.attr)));
+    }
+}
+
+fn expr_to_sql(e: &Expr, ctx: Option<&SqlCtx>) -> String {
+    match e {
+        Expr::Literal(l) => sql_literal(l),
+        Expr::Ref { var, attr } => {
+            let col = match attr {
+                Some(a) => normalize_attr(a),
+                None => ctx
+                    .and_then(|c| c.kind_of(var))
+                    .map(|k| default_col(k).to_string())
+                    .unwrap_or_else(|| "value".to_string()),
+            };
+            format!("{var}.{col}")
+        }
+        Expr::Agg { func, arg } => {
+            format!("{}({})", func.name().to_uppercase(), expr_to_sql(arg, ctx))
+        }
+        Expr::History { name, lag } => {
+            if *lag == 0 {
+                name.clone()
+            } else {
+                format!("{name}_lag{lag}")
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let o = match op {
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Ne => "<>",
+                other => other.symbol(),
+            };
+            format!("({} {} {})", expr_to_sql(lhs, ctx), o, expr_to_sql(rhs, ctx))
+        }
+        Expr::Neg(inner) => format!("-{}", expr_to_sql(inner, ctx)),
+    }
+}
+
+fn return_items_sql(ret: &ReturnClause, ctx: &SqlCtx) -> String {
+    let items: Vec<String> = ret
+        .items
+        .iter()
+        .map(|i| {
+            let body = expr_to_sql(&i.expr, Some(ctx));
+            match &i.alias {
+                Some(a) => format!("{body} AS {a}"),
+                None => body,
+            }
+        })
+        .collect();
+    items.join(", ")
+}
+
+/// Translates a multievent query.
+pub fn multievent_to_sql(m: &MultieventQuery) -> String {
+    let ctx = SqlCtx::from_patterns(&m.patterns);
+    let mut from: Vec<String> = Vec::new();
+    let mut preds: Vec<String> = Vec::new();
+    let mut evt_names: Vec<String> = Vec::new();
+    for (i, p) in m.patterns.iter().enumerate() {
+        let evt = p
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("evt{}", i + 1));
+        from.push(format!("events {evt}"));
+        preds.push(op_predicate(&evt, &p.ops));
+        preds.push(format!("{evt}.subject_id = {}.id", p.subject.var));
+        preds.push(format!("{evt}.object_id = {}.id", p.object.var));
+        globals_predicates(&m.globals, &evt, &mut preds);
+        evt_names.push(evt);
+    }
+    for (var, kind) in &ctx.vars {
+        from.push(format!("{} {var}", table(*kind)));
+    }
+    // Entity constraints (each declaration site contributes its own).
+    for p in &m.patterns {
+        decl_predicates(&ctx, &p.subject, &mut preds);
+        decl_predicates(&ctx, &p.object, &mut preds);
+    }
+    // Temporal relationships.
+    for t in &m.temporal {
+        match &t.op {
+            TemporalOp::Before(bound) => {
+                preds.push(format!("{}.end_time <= {}.start_time", t.left, t.right));
+                if let Some(b) = bound {
+                    preds.push(format!(
+                        "{}.start_time - {}.end_time <= INTERVAL '{}'",
+                        t.right, t.left, b
+                    ));
+                }
+            }
+            TemporalOp::After(bound) => {
+                preds.push(format!("{}.start_time >= {}.end_time", t.left, t.right));
+                if let Some(b) = bound {
+                    preds.push(format!(
+                        "{}.start_time - {}.end_time <= INTERVAL '{}'",
+                        t.left, t.right, b
+                    ));
+                }
+            }
+        }
+    }
+    let mut sql = String::new();
+    let _ = write!(
+        sql,
+        "SELECT {}{}",
+        if m.ret.distinct { "DISTINCT " } else { "" },
+        return_items_sql(&m.ret, &ctx)
+    );
+    let _ = write!(sql, "\nFROM {}", from.join(", "));
+    if !preds.is_empty() {
+        let _ = write!(sql, "\nWHERE {}", preds.join("\n  AND "));
+    }
+    if !m.group_by.is_empty() {
+        let keys: Vec<String> = m.group_by.iter().map(|e| expr_to_sql(e, Some(&ctx))).collect();
+        let _ = write!(sql, "\nGROUP BY {}", keys.join(", "));
+    }
+    if let Some(h) = &m.having {
+        let _ = write!(sql, "\nHAVING {}", expr_to_sql(h, Some(&ctx)));
+    }
+    if !m.order_by.is_empty() {
+        let keys: Vec<String> = m
+            .order_by
+            .iter()
+            .map(|o| {
+                format!(
+                    "{}{}",
+                    expr_to_sql(&o.expr, Some(&ctx)),
+                    match o.dir {
+                        SortDir::Asc => "",
+                        SortDir::Desc => " DESC",
+                    }
+                )
+            })
+            .collect();
+        let _ = write!(sql, "\nORDER BY {}", keys.join(", "));
+    }
+    if let Some(l) = m.limit {
+        let _ = write!(sql, "\nLIMIT {l}");
+    }
+    sql.push(';');
+    sql
+}
+
+/// Translates an anomaly query (sliding windows via `generate_series`,
+/// historical aggregate access via `LAG` window functions).
+pub fn anomaly_to_sql(a: &AnomalyQuery) -> String {
+    let ctx = SqlCtx::from_patterns(&a.patterns);
+    let w = a.globals.window.expect("anomaly query has a window spec");
+    let mut preds: Vec<String> = Vec::new();
+    let mut from: Vec<String> = vec![
+        "generate_series(t_start, t_end, INTERVAL 'step') AS w(window_start)".to_string(),
+    ];
+    for (i, p) in a.patterns.iter().enumerate() {
+        let evt = p.name.clone().unwrap_or_else(|| format!("evt{}", i + 1));
+        from.push(format!("events {evt}"));
+        preds.push(op_predicate(&evt, &p.ops));
+        preds.push(format!("{evt}.subject_id = {}.id", p.subject.var));
+        preds.push(format!("{evt}.object_id = {}.id", p.object.var));
+        preds.push(format!("{evt}.start_time >= w.window_start"));
+        preds.push(format!(
+            "{evt}.start_time < w.window_start + INTERVAL '{}'",
+            w.length
+        ));
+        globals_predicates(&a.globals, &evt, &mut preds);
+        decl_predicates(&ctx, &p.subject, &mut preds);
+        decl_predicates(&ctx, &p.object, &mut preds);
+    }
+    for (var, kind) in &ctx.vars {
+        from.push(format!("{} {var}", table(*kind)));
+    }
+    let mut group_cols: Vec<String> = a
+        .group_by
+        .iter()
+        .map(|e| expr_to_sql(e, Some(&ctx)))
+        .collect();
+    group_cols.push("w.window_start".to_string());
+
+    // Inner query: per-window aggregates.
+    let mut inner = String::new();
+    let _ = write!(
+        inner,
+        "SELECT {}, {}",
+        group_cols.join(", "),
+        return_items_sql(&a.ret, &ctx)
+    );
+    let _ = write!(inner, "\n  FROM {}", from.join(", "));
+    let _ = write!(inner, "\n  WHERE {}", preds.join("\n    AND "));
+    let _ = write!(inner, "\n  GROUP BY {}", group_cols.join(", "));
+
+    // Middle query: LAG columns for every history lag used in HAVING.
+    let mut lags: Vec<(String, u32)> = Vec::new();
+    if let Some(h) = &a.having {
+        h.visit(&mut |e| {
+            if let Expr::History { name, lag } = e {
+                if *lag > 0 && !lags.contains(&(name.clone(), *lag)) {
+                    lags.push((name.clone(), *lag));
+                }
+            }
+        });
+    }
+    let mut sql = String::new();
+    if lags.is_empty() {
+        sql.push_str(&inner);
+        if let Some(h) = &a.having {
+            let _ = write!(sql, "\nHAVING {}", expr_to_sql(h, Some(&ctx)));
+        }
+    } else {
+        let lag_cols: Vec<String> = lags
+            .iter()
+            .map(|(name, lag)| {
+                format!(
+                    "LAG({name}, {lag}) OVER (PARTITION BY {} ORDER BY window_start) AS {name}_lag{lag}",
+                    a.group_by
+                        .iter()
+                        .map(|e| expr_to_sql(e, Some(&ctx)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .collect();
+        let _ = write!(
+            sql,
+            "SELECT * FROM (\n  SELECT g.*, {}\n  FROM (\n  {}\n  ) g\n) h",
+            lag_cols.join(",\n         "),
+            inner.replace('\n', "\n  ")
+        );
+        if let Some(h) = &a.having {
+            let _ = write!(sql, "\nWHERE {}", expr_to_sql(h, Some(&ctx)));
+        }
+    }
+    sql.push(';');
+    sql
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn multievent_sql_has_one_events_alias_per_pattern() {
+        let q = parse_query(
+            r#"(at "03/19/2018") agentid = 5
+               proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+               proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+               with evt1 before evt2
+               return distinct p1, p2, f1"#,
+        )
+        .unwrap();
+        let sql = to_sql(&q);
+        assert!(sql.contains("events evt1"));
+        assert!(sql.contains("events evt2"));
+        assert!(sql.contains("processes p1"));
+        assert!(sql.contains("files f1"));
+        assert!(sql.contains("p1.exe_name LIKE '%cmd.exe'"));
+        assert!(sql.contains("evt1.end_time <= evt2.start_time"));
+        assert!(sql.contains("SELECT DISTINCT"));
+        assert!(sql.contains("evt1.agentid = 5"));
+    }
+
+    #[test]
+    fn shared_variable_joins_through_one_alias() {
+        let q = parse_query(
+            r#"proc p3 write file f1["%backup1.dmp"] as evt2
+               proc p4 read file f1 as evt3
+               return f1"#,
+        )
+        .unwrap();
+        let sql = to_sql(&q);
+        // f1 appears once in FROM; both events join to it.
+        assert_eq!(sql.matches("files f1").count(), 1);
+        assert!(sql.contains("evt2.object_id = f1.id"));
+        assert!(sql.contains("evt3.object_id = f1.id"));
+    }
+
+    #[test]
+    fn op_alternatives_become_in_list() {
+        let q = parse_query("proc p read || write ip i as e return p").unwrap();
+        let sql = to_sql(&q);
+        assert!(sql.contains("e.optype IN ('read', 'write')"));
+    }
+
+    #[test]
+    fn at_range_translates_to_date_bounds() {
+        let q = parse_query(
+            r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#,
+        )
+        .unwrap();
+        let sql = to_sql(&q);
+        assert!(sql.contains("e.start_time >= DATE '03/19/2018'"));
+        assert!(sql.contains("e.start_time < DATE '03/21/2018' + INTERVAL '1 day'"));
+    }
+
+    #[test]
+    fn dependency_sql_goes_through_rewrite() {
+        let q = parse_query(
+            r#"forward: proc p1["%cp%"] ->[write] file f1["%x%"] <-[read] proc p2
+               return p1, p2"#,
+        )
+        .unwrap();
+        let sql = to_sql(&q);
+        assert!(sql.contains("events dep_evt1"));
+        assert!(sql.contains("dep_evt1.end_time <= dep_evt2.start_time"));
+    }
+
+    #[test]
+    fn anomaly_sql_uses_lag_window_functions() {
+        let q = parse_query(
+            r#"agentid = 5 window = 1 min, step = 10 sec
+               proc p write ip i[dstip = "10.0.4.129"] as evt
+               return p, avg(evt.amount) as amt
+               group by p
+               having amt > 2 * (amt + amt[1] + amt[2]) / 3"#,
+        )
+        .unwrap();
+        let sql = to_sql(&q);
+        assert!(sql.contains("generate_series"));
+        assert!(sql.contains("LAG(amt, 1)"));
+        assert!(sql.contains("LAG(amt, 2)"));
+        assert!(sql.contains("AVG(evt.amount) AS amt"));
+        assert!(sql.contains("amt_lag1"));
+    }
+
+    #[test]
+    fn sql_is_substantially_longer_than_aiql() {
+        // The conciseness claim, in miniature.
+        let src = r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+                     proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+                     with evt1 before evt2
+                     return distinct p1, p2, f1"#;
+        let q = parse_query(src).unwrap();
+        let sql = to_sql(&q);
+        let aiql_chars = src.chars().filter(|c| !c.is_whitespace()).count();
+        let sql_chars = sql.chars().filter(|c| !c.is_whitespace()).count();
+        assert!(
+            sql_chars as f64 > aiql_chars as f64 * 1.5,
+            "sql: {sql_chars} aiql: {aiql_chars}"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Tokens of the AIQL language.
+
+use std::fmt;
+
+/// Source position (1-based line and column) of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// The start-of-input span.
+    pub fn start() -> Self {
+        Span {
+            offset: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+}
+
+/// The token vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keyword recognition is contextual: `window`,
+    /// `return`, etc. are reserved; entity variables are free identifiers).
+    Ident(String),
+    /// String literal (double-quoted; supports `\"` and `\\` escapes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `||` (operation alternative in event patterns)
+    OrOr,
+    /// `->` (dependency edge, subject to object)
+    ArrowRight,
+    /// `<-` (dependency edge, object to subject)
+    ArrowLeft,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Float(x) => write!(f, "float {x}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::ArrowRight => write!(f, "`->`"),
+            Tok::ArrowLeft => write!(f, "`<-`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token value.
+    pub tok: Tok,
+    /// Where it begins.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_display_is_human_readable() {
+        assert_eq!(Tok::Ident("p1".into()).to_string(), "identifier `p1`");
+        assert_eq!(Tok::ArrowRight.to_string(), "`->`");
+        assert_eq!(Tok::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,267 @@
+//! Property-based tests for the language layer: the canonical printer and
+//! the parser must be exact inverses on the whole AST space.
+
+use aiql_lang::pretty::print_query;
+use aiql_lang::*;
+use aiql_model::Duration;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid reserved words by prefixing.
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| format!("v_{s}"))
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        "[ -!#-~]{0,12}".prop_map(Literal::Str), // printable ASCII minus `"`
+        (-1_000_000i64..1_000_000).prop_map(Literal::Int),
+        (-1000i32..1000).prop_map(|n| Literal::Float(f64::from(n) / 8.0)),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = EntityKindKw> {
+    prop_oneof![
+        Just(EntityKindKw::Proc),
+        Just(EntityKindKw::File),
+        Just(EntityKindKw::Ip)
+    ]
+}
+
+fn arb_attr_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("agentid".to_string()),
+        Just("pid".to_string()),
+        Just("exe_name".to_string()),
+        Just("dstip".to_string()),
+        Just("dst_port".to_string()),
+        Just("owner".to_string()),
+    ]
+}
+
+fn arb_decl_constraint() -> impl Strategy<Value = DeclConstraint> {
+    prop_oneof![
+        arb_literal().prop_map(DeclConstraint::Default),
+        (arb_attr_name(), arb_cmp(), arb_literal())
+            .prop_map(|(attr, op, value)| DeclConstraint::Attr(AttrConstraint { attr, op, value })),
+    ]
+}
+
+fn arb_decl(kind: impl Strategy<Value = EntityKindKw>) -> impl Strategy<Value = EntityDecl> {
+    (
+        kind,
+        arb_ident(),
+        proptest::collection::vec(arb_decl_constraint(), 0..3),
+    )
+        .prop_map(|(kind, var, constraints)| EntityDecl {
+            kind,
+            var,
+            constraints,
+        })
+}
+
+fn arb_op_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("read".to_string()),
+        Just("write".to_string()),
+        Just("start".to_string()),
+        Just("connect".to_string()),
+        Just("execute".to_string()),
+    ]
+}
+
+fn arb_pattern(i: usize) -> impl Strategy<Value = EventPattern> {
+    (
+        arb_decl(Just(EntityKindKw::Proc)),
+        proptest::collection::vec(arb_op_name(), 1..3),
+        arb_decl(arb_kind()),
+    )
+        .prop_map(move |(subject, ops, object)| EventPattern {
+            subject,
+            ops,
+            object,
+            name: Some(format!("evt{i}")),
+        })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(|v| Expr::Ref { var: v, attr: None }),
+        (arb_ident(), arb_attr_name()).prop_map(|(v, a)| Expr::Ref {
+            var: v,
+            attr: Some(a)
+        }),
+        (arb_ident(), 0u32..4).prop_map(|(name, lag)| Expr::History { name, lag }),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(l),
+                rhs: Box::new(r)
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+                op: BinOp::Gt,
+                lhs: Box::new(l),
+                rhs: Box::new(r)
+            }),
+            inner.clone().prop_map(|e| Expr::Agg {
+                func: AggFunc::Avg,
+                arg: Box::new(e)
+            }),
+            // The parser folds `-literal` into negative literals, so only
+            // generate Neg around non-literal operands.
+            inner.prop_map(|e| match e {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                other => Expr::Neg(Box::new(other)),
+            }),
+        ]
+    })
+}
+
+fn arb_multievent() -> impl Strategy<Value = MultieventQuery> {
+    (
+        proptest::collection::vec(arb_pattern(0), 1..4),
+        proptest::collection::vec(arb_ident(), 1..4),
+        any::<bool>(),
+        proptest::option::of(1u64..100),
+        any::<bool>(),
+    )
+        .prop_map(|(mut patterns, ret_vars, distinct, limit, ranged)| {
+            // Give each pattern a unique event name and build temporal
+            // relations chaining them.
+            for (i, p) in patterns.iter_mut().enumerate() {
+                p.name = Some(format!("evt{}", i + 1));
+            }
+            let temporal = (1..patterns.len())
+                .map(|i| TemporalRelation {
+                    left: format!("evt{i}"),
+                    op: if i % 2 == 0 {
+                        TemporalOp::Before(Some(Duration::from_mins(5)))
+                    } else {
+                        TemporalOp::Before(None)
+                    },
+                    right: format!("evt{}", i + 1),
+                })
+                .collect();
+            MultieventQuery {
+                globals: Globals {
+                    at: Some(if ranged {
+                        AtClause {
+                            start: "03/19/2018".to_string(),
+                            end: Some("03/21/2018".to_string()),
+                        }
+                    } else {
+                        AtClause::day("03/19/2018")
+                    }),
+                    constraints: vec![AttrConstraint {
+                        attr: "agentid".into(),
+                        op: CmpOp::Eq,
+                        value: Literal::Int(3),
+                    }],
+                    window: None,
+                },
+                patterns,
+                temporal,
+                ret: ReturnClause {
+                    distinct,
+                    items: ret_vars
+                        .into_iter()
+                        .map(|v| ReturnItem {
+                            expr: Expr::var(&v),
+                            alias: None,
+                        })
+                        .collect(),
+                },
+                group_by: vec![],
+                having: None,
+                order_by: vec![],
+                limit,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse = identity on generated multievent queries.
+    #[test]
+    fn multievent_roundtrip(q in arb_multievent()) {
+        let query = Query::Multievent(q);
+        let printed = print_query(&query);
+        let reparsed = parse_query(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(query, reparsed, "printed:\n{}", printed);
+    }
+
+    /// Expression printing always reparses to the same tree (inside a
+    /// having clause carrier query).
+    #[test]
+    fn expr_roundtrip(e in arb_expr()) {
+        let q = Query::Multievent(MultieventQuery {
+            globals: Globals::default(),
+            patterns: vec![EventPattern {
+                subject: EntityDecl { kind: EntityKindKw::Proc, var: "p".into(), constraints: vec![] },
+                ops: vec!["read".into()],
+                object: EntityDecl { kind: EntityKindKw::File, var: "f".into(), constraints: vec![] },
+                name: Some("e".into()),
+            }],
+            temporal: vec![],
+            ret: ReturnClause { distinct: false, items: vec![ReturnItem { expr: Expr::var("p"), alias: None }] },
+            group_by: vec![],
+            having: Some(e),
+            order_by: vec![],
+            limit: None,
+        });
+        let printed = print_query(&q);
+        let reparsed = parse_query(&printed)
+            .map_err(|err| TestCaseError::fail(format!("{err}\n{printed}")))?;
+        prop_assert_eq!(q, reparsed, "printed:\n{}", printed);
+    }
+
+    /// The SQL translation never panics and always mentions every pattern's
+    /// event alias.
+    #[test]
+    fn sql_translation_total(q in arb_multievent()) {
+        let n = q.patterns.len();
+        let sql = aiql_lang::sql::multievent_to_sql(&q);
+        for i in 1..=n {
+            let alias = format!("events evt{i}");
+            let found = sql.contains(&alias);
+            prop_assert!(found, "missing alias {}", alias);
+        }
+    }
+
+    /// The Cypher translation never panics and emits one MATCH pattern per
+    /// event pattern.
+    #[test]
+    fn cypher_translation_total(q in arb_multievent()) {
+        let n = q.patterns.len();
+        let cy = aiql_lang::cypher::multievent_to_cypher(&q);
+        prop_assert_eq!(cy.matches("]->(").count(), n);
+    }
+
+    /// Lexing arbitrary printable input never panics (it may error).
+    #[test]
+    fn lexer_total(src in "[ -~\\n]{0,200}") {
+        let _ = aiql_lang::lexer::lex(&src);
+    }
+
+    /// Parsing arbitrary printable input never panics (it may error).
+    #[test]
+    fn parser_total(src in "[ -~\\n]{0,200}") {
+        let _ = parse_query(&src);
+    }
+}

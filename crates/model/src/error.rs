@@ -1,0 +1,52 @@
+//! Error types for the data model layer.
+
+use std::fmt;
+
+/// Errors raised when constructing or parsing model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A date string did not match the `mm/dd/yyyy` form.
+    BadDate(String),
+    /// An IPv4 address string was malformed.
+    BadIp(String),
+    /// An attribute name is not defined for the entity kind.
+    UnknownAttribute {
+        /// The entity kind the attribute was looked up on.
+        kind: &'static str,
+        /// The attribute name that failed to resolve.
+        attr: String,
+    },
+    /// A duration string (e.g. `10 sec`) could not be parsed.
+    BadDuration(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadDate(s) => write!(f, "invalid date (expected mm/dd/yyyy): {s:?}"),
+            ModelError::BadIp(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            ModelError::UnknownAttribute { kind, attr } => {
+                write!(f, "unknown attribute {attr:?} for entity kind {kind}")
+            }
+            ModelError::BadDuration(s) => write!(f, "invalid duration: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = ModelError::UnknownAttribute {
+            kind: "proc",
+            attr: "bogus".into(),
+        };
+        assert!(e.to_string().contains("bogus"));
+        assert!(e.to_string().contains("proc"));
+        assert!(ModelError::BadDate("x".into()).to_string().contains("mm/dd/yyyy"));
+    }
+}

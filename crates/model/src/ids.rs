@@ -1,0 +1,100 @@
+//! Strongly-typed identifiers for hosts, entities, and events.
+//!
+//! System monitoring data is generated *per host* in the enterprise; the
+//! agent id is the spatial dimension the engine partitions on. Entity and
+//! event ids are dense store-local indices, which lets the storage layer use
+//! them directly as array offsets and posting-list payloads.
+
+use std::fmt;
+
+/// Identifier of a monitored host (the paper's `agentid`).
+///
+/// Each data collection agent (auditd / ETW / DTrace based) is deployed on
+/// one host; every event it reports carries this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AgentId(pub u32);
+
+/// Dense identifier of a deduplicated system entity within one store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+/// Dense identifier of a system event within one store.
+///
+/// Event ids are assigned in commit order and are unique across partitions,
+/// so they double as a stable tiebreaker for events with equal timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+impl AgentId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl EntityId {
+    /// Returns the raw numeric id, usable as an array index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EventId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent{}", self.0)
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_raw_value() {
+        assert!(EventId(1) < EventId(2));
+        assert!(EntityId(0) < EntityId(10));
+        assert!(AgentId(3) > AgentId(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AgentId(7).to_string(), "agent7");
+        assert_eq!(EntityId(42).to_string(), "n42");
+        assert_eq!(EventId(9).to_string(), "e9");
+    }
+
+    #[test]
+    fn entity_id_roundtrips_through_index() {
+        let id = EntityId(123);
+        assert_eq!(id.index(), 123);
+        assert_eq!(EntityId(id.index() as u32), id);
+    }
+}

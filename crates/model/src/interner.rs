@@ -1,0 +1,164 @@
+//! String interning.
+//!
+//! System monitoring data is massively repetitive: the same executable
+//! names, file paths, and user names appear millions of times. The paper's
+//! storage layer deduplicates this data; we do it at the lowest level by
+//! interning every string into a dictionary and carrying 4-byte [`Symbol`]s
+//! everywhere. Equality tests on attributes become integer compares, and
+//! `LIKE` patterns can be evaluated once against the (small) dictionary
+//! instead of per-event (see `aiql-storage`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned string. Cheap to copy, hash, and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw dictionary index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An append-only string dictionary.
+///
+/// Interning is idempotent: the same string always maps to the same symbol.
+/// The empty string is pre-interned as symbol 0 so that "absent" attributes
+/// have a canonical cheap representation.
+#[derive(Debug)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, Symbol>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interner {
+    /// The symbol of the pre-interned empty string.
+    pub const EMPTY: Symbol = Symbol(0);
+
+    /// Creates a dictionary containing only the empty string.
+    pub fn new() -> Self {
+        let mut i = Interner {
+            strings: Vec::new(),
+            lookup: HashMap::new(),
+        };
+        i.intern("");
+        i
+    }
+
+    /// Interns `s`, returning its stable symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol was not produced by this interner.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct strings in the dictionary (including `""`).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the dictionary holds only the pre-interned empty string.
+    pub fn is_empty(&self) -> bool {
+        self.strings.len() <= 1
+    }
+
+    /// Iterates over `(symbol, string)` pairs in insertion order.
+    ///
+    /// This is the scan used to pre-evaluate `LIKE` patterns against the
+    /// dictionary: the dictionary is orders of magnitude smaller than the
+    /// event table.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+
+    /// Approximate heap footprint in bytes (dictionary side only), used by
+    /// storage statistics.
+    pub fn heap_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum::<usize>() * 2
+            + self.strings.len() * std::mem::size_of::<Box<str>>() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("cmd.exe");
+        let b = i.intern("cmd.exe");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "cmd.exe");
+    }
+
+    #[test]
+    fn empty_string_is_symbol_zero() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern(""), Interner::EMPTY);
+        assert_eq!(i.resolve(Interner::EMPTY), "");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 3); // "", "a", "b"
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let all: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(all, vec!["", "x", "y"]);
+    }
+}

@@ -1,0 +1,262 @@
+//! SQL-`LIKE` style string patterns.
+//!
+//! AIQL entity constraints use `%`-wildcard patterns pervasively — e.g.
+//! `proc p1["%cmd.exe"]` matches any process whose executable path ends with
+//! `cmd.exe`. This module implements the matcher plus the structural
+//! analysis (prefix/suffix/exact classification) the storage layer uses to
+//! pick index strategies.
+
+use std::fmt;
+
+/// A `LIKE` pattern over strings. `%` matches any (possibly empty) sequence
+/// of characters; `_` matches exactly one character. Matching is
+/// case-insensitive for ASCII, mirroring how investigators match Windows
+/// artifact names (`%CMD.exe` should match `cmd.exe`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StringPattern {
+    raw: String,
+    segments: Vec<Segment>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Segment {
+    /// A literal run (lowercased); `_` wildcards are kept as `\x00` markers.
+    Literal(Vec<PatChar>),
+    /// A `%` wildcard.
+    Any,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PatChar {
+    Exact(char),
+    One,
+}
+
+/// Structural classification of a pattern, used for index selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternShape {
+    /// No wildcards at all: equality lookup.
+    Exact,
+    /// `prefix%`: range/prefix lookup.
+    Prefix,
+    /// `%suffix`: suffix lookup (dictionary scan in our store).
+    Suffix,
+    /// `%infix%` or anything more complex: dictionary scan.
+    Scan,
+}
+
+impl StringPattern {
+    /// Compiles a pattern string.
+    pub fn new(raw: &str) -> Self {
+        let mut segments = Vec::new();
+        let mut lit: Vec<PatChar> = Vec::new();
+        for c in raw.chars() {
+            match c {
+                '%' => {
+                    if !lit.is_empty() {
+                        segments.push(Segment::Literal(std::mem::take(&mut lit)));
+                    }
+                    if segments.last() != Some(&Segment::Any) {
+                        segments.push(Segment::Any);
+                    }
+                }
+                '_' => lit.push(PatChar::One),
+                c => lit.push(PatChar::Exact(c.to_ascii_lowercase())),
+            }
+        }
+        if !lit.is_empty() {
+            segments.push(Segment::Literal(lit));
+        }
+        StringPattern {
+            raw: raw.to_string(),
+            segments,
+        }
+    }
+
+    /// The original pattern text.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// Whether the pattern contains no wildcards.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.shape(), PatternShape::Exact)
+    }
+
+    /// Classifies the pattern for index selection.
+    pub fn shape(&self) -> PatternShape {
+        let has_one = self.segments.iter().any(|s| {
+            matches!(s, Segment::Literal(l) if l.iter().any(|c| matches!(c, PatChar::One)))
+        });
+        if has_one {
+            return PatternShape::Scan;
+        }
+        match self.segments.as_slice() {
+            [] | [Segment::Literal(_)] => PatternShape::Exact,
+            [Segment::Literal(_), Segment::Any] => PatternShape::Prefix,
+            [Segment::Any, Segment::Literal(_)] => PatternShape::Suffix,
+            _ => PatternShape::Scan,
+        }
+    }
+
+    /// An estimate of the pattern's selectivity in `[0, 1]`: lower means more
+    /// selective. Exact patterns are the most selective; bare `%` matches
+    /// everything. The engine's pruning-power scheduler consumes this.
+    pub fn selectivity_hint(&self) -> f64 {
+        let literal_len: usize = self
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Literal(l) => l.len(),
+                Segment::Any => 0,
+            })
+            .sum();
+        match self.shape() {
+            PatternShape::Exact => 0.001,
+            PatternShape::Prefix | PatternShape::Suffix => {
+                (0.05 / (literal_len.max(1) as f64)).max(0.002)
+            }
+            PatternShape::Scan => {
+                if literal_len == 0 {
+                    1.0
+                } else {
+                    (0.2 / (literal_len as f64)).max(0.005)
+                }
+            }
+        }
+    }
+
+    /// Tests the pattern against a string (ASCII case-insensitive).
+    pub fn matches(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().map(|c| c.to_ascii_lowercase()).collect();
+        Self::match_segments(&self.segments, &chars)
+    }
+
+    fn match_segments(segs: &[Segment], input: &[char]) -> bool {
+        match segs.split_first() {
+            None => input.is_empty(),
+            Some((Segment::Literal(lit), rest)) => {
+                if input.len() < lit.len() {
+                    return false;
+                }
+                let ok = lit
+                    .iter()
+                    .zip(input.iter())
+                    .all(|(p, &c)| match p {
+                        PatChar::Exact(e) => *e == c,
+                        PatChar::One => true,
+                    });
+                ok && Self::match_segments(rest, &input[lit.len()..])
+            }
+            Some((Segment::Any, rest)) => {
+                if rest.is_empty() {
+                    return true;
+                }
+                // Try every split point; literals after % anchor the search.
+                for start in 0..=input.len() {
+                    if Self::match_segments(rest, &input[start..]) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+impl fmt::Display for StringPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> StringPattern {
+        StringPattern::new(s)
+    }
+
+    #[test]
+    fn exact_match() {
+        assert!(p("cmd.exe").matches("cmd.exe"));
+        assert!(p("cmd.exe").matches("CMD.EXE"));
+        assert!(!p("cmd.exe").matches("cmd.exe2"));
+        assert!(!p("cmd.exe").matches("acmd.exe"));
+    }
+
+    #[test]
+    fn suffix_match() {
+        let pat = p("%cmd.exe");
+        assert!(pat.matches("cmd.exe"));
+        assert!(pat.matches("C:\\Windows\\System32\\cmd.exe"));
+        assert!(!pat.matches("cmd.exe.bak"));
+        assert_eq!(pat.shape(), PatternShape::Suffix);
+    }
+
+    #[test]
+    fn prefix_match() {
+        let pat = p("/var/www/%");
+        assert!(pat.matches("/var/www/html/index.php"));
+        assert!(!pat.matches("/etc/passwd"));
+        assert_eq!(pat.shape(), PatternShape::Prefix);
+    }
+
+    #[test]
+    fn infix_match() {
+        let pat = p("%info_stealer%");
+        assert!(pat.matches("/var/www/uploads/info_stealer.sh"));
+        assert!(pat.matches("info_stealer"));
+        assert!(!pat.matches("infostealer"));
+        assert_eq!(pat.shape(), PatternShape::Scan);
+    }
+
+    #[test]
+    fn underscore_matches_one_char() {
+        let pat = p("a_c");
+        assert!(pat.matches("abc"));
+        assert!(pat.matches("axc"));
+        assert!(!pat.matches("ac"));
+        assert!(!pat.matches("abbc"));
+        assert_eq!(pat.shape(), PatternShape::Scan);
+    }
+
+    #[test]
+    fn bare_percent_matches_everything() {
+        let pat = p("%");
+        assert!(pat.matches(""));
+        assert!(pat.matches("anything at all"));
+        assert!(pat.selectivity_hint() >= 0.99);
+    }
+
+    #[test]
+    fn consecutive_percents_collapse() {
+        let pat = p("%%x%%");
+        assert!(pat.matches("x"));
+        assert!(pat.matches("ax b x c"));
+        assert!(!pat.matches("y"));
+    }
+
+    #[test]
+    fn multi_segment_pattern() {
+        let pat = p("%/bin/cp%");
+        assert!(pat.matches("/usr/bin/cp"));
+        assert!(pat.matches("/bin/cp"));
+        assert!(!pat.matches("/bin/cat"));
+    }
+
+    #[test]
+    fn selectivity_ordering_is_sane() {
+        // Exact is more selective than suffix, which beats a bare scan.
+        assert!(p("cmd.exe").selectivity_hint() < p("%cmd.exe").selectivity_hint());
+        assert!(p("%cmd.exe").selectivity_hint() < p("%").selectivity_hint());
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        assert!(p("").matches(""));
+        assert!(!p("").matches("x"));
+        assert!(p("").is_exact());
+    }
+}

@@ -1,0 +1,224 @@
+//! Attribute values.
+//!
+//! Entity and event attributes are dynamically typed at the query boundary
+//! (an AIQL constraint like `dstip = "XXX.129"` compares a string literal
+//! against an IP attribute), so [`Value`] provides the small dynamic value
+//! vocabulary plus the comparison semantics the engines share.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::interner::{Interner, Symbol};
+use crate::time::Timestamp;
+
+/// An IPv4 address stored as a big-endian `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IpV4(pub u32);
+
+impl IpV4 {
+    /// Builds an address from its four octets.
+    pub const fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        IpV4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets of the address.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses dotted-quad notation.
+    pub fn parse(s: &str) -> Result<Self, ModelError> {
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in s.split('.') {
+            if n >= 4 {
+                return Err(ModelError::BadIp(s.to_string()));
+            }
+            octets[n] = part.parse().map_err(|_| ModelError::BadIp(s.to_string()))?;
+            n += 1;
+        }
+        if n != 4 {
+            return Err(ModelError::BadIp(s.to_string()));
+        }
+        Ok(IpV4(u32::from_be_bytes(octets)))
+    }
+}
+
+impl fmt::Display for IpV4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// A dynamically-typed attribute value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Absent attribute.
+    Null,
+    /// Signed integer (pids, ports, byte counts, window indices).
+    Int(i64),
+    /// Floating point (aggregate results such as `avg(evt.amount)`).
+    Float(f64),
+    /// Interned string (names, paths, users).
+    Str(Symbol),
+    /// IPv4 address.
+    Ip(IpV4),
+    /// Timestamp (event start/end times).
+    Time(Timestamp),
+    /// Boolean (filter results).
+    Bool(bool),
+}
+
+impl Value {
+    /// Whether this value is `Null`.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one.
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            Value::Time(t) => Some(t.micros() as f64),
+            Value::Bool(b) => Some(if b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it has one.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Float(f) => Some(f as i64),
+            Value::Time(t) => Some(t.micros()),
+            Value::Bool(b) => Some(i64::from(b)),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by `having`/filter evaluation.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Int(i) => i != 0,
+            Value::Float(f) => f != 0.0,
+            Value::Null => false,
+            _ => true,
+        }
+    }
+
+    /// Compares two values with numeric coercion; string/IP comparisons fall
+    /// back to their natural orders. Cross-type comparisons that make no
+    /// sense return `None` (treated as "filter fails").
+    pub fn compare(self, other: Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a.cmp(&b)), // symbol order: only Equal is meaningful
+            (Ip(a), Ip(b)) => Some(a.cmp(&b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(&b)),
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Renders the value for result tables, resolving symbols through the
+    /// given interner.
+    pub fn render(self, interner: &Interner) -> String {
+        match self {
+            Value::Null => "NULL".to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{:.1}", f)
+                } else {
+                    format!("{:.4}", f)
+                }
+            }
+            Value::Str(s) => interner.resolve(s).to_string(),
+            Value::Ip(ip) => ip.to_string(),
+            Value::Time(t) => t.to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Ip(ip) => write!(f, "{ip}"),
+            Value::Time(t) => write!(f, "{t}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_parse_and_display_roundtrip() {
+        let ip = IpV4::parse("10.0.4.129").unwrap();
+        assert_eq!(ip.to_string(), "10.0.4.129");
+        assert_eq!(ip, IpV4::from_octets(10, 0, 4, 129));
+    }
+
+    #[test]
+    fn ip_parse_rejects_malformed() {
+        assert!(IpV4::parse("10.0.4").is_err());
+        assert!(IpV4::parse("10.0.4.129.1").is_err());
+        assert!(IpV4::parse("10.0.4.300").is_err());
+        assert!(IpV4::parse("ten.zero.four.one").is_err());
+        assert!(IpV4::parse("").is_err());
+    }
+
+    #[test]
+    fn numeric_coercion_in_compare() {
+        assert_eq!(
+            Value::Int(3).compare(Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).compare(Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Null.compare(Value::Int(1)), None);
+    }
+
+    #[test]
+    fn cross_type_nonsense_comparisons_fail() {
+        let mut interner = Interner::new();
+        let s = interner.intern("x");
+        assert_eq!(Value::Str(s).compare(Value::Int(3)), None);
+        assert_eq!(Value::Ip(IpV4(1)).compare(Value::Str(s)), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Int(5).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Null.truthy());
+    }
+
+    #[test]
+    fn render_resolves_symbols() {
+        let mut interner = Interner::new();
+        let s = interner.intern("powershell.exe");
+        assert_eq!(Value::Str(s).render(&interner), "powershell.exe");
+        assert_eq!(Value::Float(2.0).render(&interner), "2.0");
+        assert_eq!(Value::Float(2.25).render(&interner), "2.2500");
+    }
+}

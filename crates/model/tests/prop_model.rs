@@ -1,0 +1,105 @@
+//! Property-based tests for the data model primitives.
+
+use aiql_model::{Duration, Interner, IpV4, StringPattern, TimeWindow, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    /// Civil-date conversion roundtrips for every day across ±80 years.
+    #[test]
+    fn date_roundtrip(days in -30_000i64..30_000) {
+        let ts = Timestamp(days * aiql_model::time::MICROS_PER_DAY);
+        let (y, m, d) = ts.to_date();
+        prop_assert_eq!(Timestamp::from_date(y, m, d), ts);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    /// Splitting a window never loses or duplicates time.
+    #[test]
+    fn window_split_partitions(start in -1_000_000i64..1_000_000, len in 1i64..1_000_000, n in 1usize..16) {
+        let w = TimeWindow::new(Timestamp(start), Timestamp(start + len));
+        let parts = w.split(n);
+        prop_assert_eq!(parts[0].start, w.start);
+        prop_assert_eq!(parts.last().unwrap().end, w.end);
+        for pair in parts.windows(2) {
+            prop_assert_eq!(pair[0].end, pair[1].start);
+        }
+        let total: i64 = parts.iter().map(|p| p.length().micros()).sum();
+        prop_assert_eq!(total, len);
+    }
+
+    /// A literal string always matches itself as a pattern (no wildcards in
+    /// the alphabet used here).
+    #[test]
+    fn literal_pattern_self_match(s in "[a-z0-9./\\\\-]{0,24}") {
+        let p = StringPattern::new(&s);
+        prop_assert!(p.matches(&s));
+        prop_assert!(p.is_exact());
+    }
+
+    /// `%s%` matches any string that contains `s`.
+    #[test]
+    fn infix_pattern_contains(prefix in "[a-z]{0,8}", middle in "[a-z]{1,8}", suffix in "[a-z]{0,8}") {
+        let p = StringPattern::new(&format!("%{middle}%"));
+        let hay = format!("{prefix}{middle}{suffix}");
+        let matched = p.matches(&hay);
+        prop_assert!(matched);
+    }
+
+    /// Suffix patterns match exactly the strings ending with the literal.
+    #[test]
+    fn suffix_pattern_semantics(head in "[a-z]{0,12}", tail in "[a-z]{1,8}") {
+        let p = StringPattern::new(&format!("%{tail}"));
+        let hit = format!("{head}{tail}");
+        // Appending a char outside the tail alphabet guarantees a miss.
+        let miss = format!("{head}{tail}9");
+        prop_assert!(p.matches(&hit));
+        prop_assert!(!p.matches(&miss));
+    }
+
+    /// Pattern matching is ASCII case-insensitive.
+    #[test]
+    fn pattern_case_insensitive(s in "[a-zA-Z]{1,16}") {
+        let p = StringPattern::new(&s.to_ascii_uppercase());
+        prop_assert!(p.matches(&s.to_ascii_lowercase()));
+    }
+
+    /// IPv4 addresses roundtrip through their dotted-quad rendering.
+    #[test]
+    fn ip_roundtrip(raw in any::<u32>()) {
+        let ip = IpV4(raw);
+        prop_assert_eq!(IpV4::parse(&ip.to_string()).unwrap(), ip);
+    }
+
+    /// Interning is stable and resolvable for arbitrary batches of strings.
+    #[test]
+    fn interner_stability(strings in proptest::collection::vec("[ -~]{0,20}", 1..40)) {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
+        for (s, sym) in strings.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(*sym), s.as_str());
+            prop_assert_eq!(interner.intern(s), *sym);
+        }
+    }
+
+    /// Window intersection is commutative and contained in both operands.
+    #[test]
+    fn window_intersect_props(a in -1000i64..1000, b in 0i64..1000, c in -1000i64..1000, d in 0i64..1000) {
+        let w1 = TimeWindow::new(Timestamp(a), Timestamp(a + b));
+        let w2 = TimeWindow::new(Timestamp(c), Timestamp(c + d));
+        let i12 = w1.intersect(&w2);
+        let i21 = w2.intersect(&w1);
+        prop_assert_eq!(i12.is_empty(), i21.is_empty());
+        if !i12.is_empty() {
+            prop_assert_eq!(i12, i21);
+            prop_assert!(i12.start >= w1.start && i12.end <= w1.end);
+            prop_assert!(i12.start >= w2.start && i12.end <= w2.end);
+        }
+    }
+
+    /// Durations render and carry the magnitude they were built from.
+    #[test]
+    fn duration_units(mins in 1i64..10_000) {
+        prop_assert_eq!(Duration::from_mins(mins).micros(), mins * 60_000_000);
+    }
+}

@@ -1,0 +1,424 @@
+//! The scripted APT campaigns.
+//!
+//! Campaign 1 is the five-step demo attack of §3 of the paper; campaign 2
+//! is a second intrusion in the style of the USENIX ATC case study, used by
+//! the Figure 5 evaluation. Every artifact name referenced by the
+//! investigation query catalogs ([`crate::queries`]) is emitted here.
+
+use aiql_model::{AgentId, Duration, IpV4, Operation, Timestamp};
+use aiql_storage::{EntitySpec, RawEvent};
+
+use crate::enterprise::{host_ip, hosts, ATTACKER_IP, C2_IP};
+
+fn proc(pid: u32, exe: &str, user: &str) -> EntitySpec {
+    EntitySpec::process(pid, exe, user)
+}
+
+fn file(name: &str, owner: &str) -> EntitySpec {
+    EntitySpec::file(name, owner)
+}
+
+fn conn_to(agent: AgentId, sport: u16, dst: IpV4, dport: u16) -> EntitySpec {
+    EntitySpec::tcp(host_ip(agent), sport, dst, dport)
+}
+
+fn conn_from(src: IpV4, sport: u16, agent: AgentId, dport: u16) -> EntitySpec {
+    EntitySpec::tcp(src, sport, host_ip(agent), dport)
+}
+
+struct Emitter {
+    t: Timestamp,
+    out: Vec<RawEvent>,
+}
+
+impl Emitter {
+    fn new(day: (i32, u32, u32)) -> Self {
+        Emitter {
+            t: Timestamp::from_date(day.0, day.1, day.2),
+            out: Vec::new(),
+        }
+    }
+
+    /// Moves the clock to `hh:mm:ss` of the campaign day.
+    fn at(&mut self, h: i64, m: i64, s: i64) -> &mut Self {
+        let midnight = Timestamp(self.t.micros() - self.t.micros().rem_euclid(86_400_000_000));
+        self.t = midnight + Duration::from_secs(h * 3600 + m * 60 + s);
+        self
+    }
+
+    /// Advances the clock by `secs` seconds.
+    fn step(&mut self, secs: i64) -> &mut Self {
+        self.t = self.t + Duration::from_secs(secs);
+        self
+    }
+
+    fn emit(
+        &mut self,
+        agent: AgentId,
+        op: Operation,
+        subject: EntitySpec,
+        object: EntitySpec,
+        amount: u64,
+    ) -> &mut Self {
+        self.out.push(RawEvent::instant(agent, op, subject, object, self.t, amount));
+        self
+    }
+
+    /// Emits a cross-host edge: the subject runs on `agent`, the object
+    /// entity lives on `object_agent` (dependency-tracking connect edges).
+    fn emit_x(
+        &mut self,
+        agent: AgentId,
+        op: Operation,
+        subject: EntitySpec,
+        object: EntitySpec,
+        object_agent: AgentId,
+        amount: u64,
+    ) -> &mut Self {
+        self.out.push(
+            RawEvent::instant(agent, op, subject, object, self.t, amount)
+                .with_object_agent(object_agent),
+        );
+        self
+    }
+}
+
+/// Emits the five-step demo APT (§3): UnrealIRCd exploit → malware
+/// infection → privilege escalation (Mimikatz/Kiwi) → credential dumping on
+/// the DC (PwDump7/WCE) → database dump exfiltration.
+pub fn demo_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
+    let mut e = Emitter::new(day);
+    let web = hosts::WEB;
+    let client = hosts::CLIENT;
+    let dc = hosts::DC;
+    let db = hosts::DB;
+
+    let ircd = || proc(310, "/usr/sbin/ircd", "irc");
+    let sh = || proc(4100, "/bin/sh", "irc");
+    let telnet = || proc(4101, "/usr/bin/telnet", "irc");
+    let wget = || proc(4102, "/usr/bin/wget", "irc");
+    let sbblv_web = || proc(4105, "/tmp/sbblv.exe", "irc");
+    let sbblv_client = || proc(5200, "C:\\Users\\alice\\AppData\\sbblv.exe", "alice");
+    let mimikatz = || proc(5201, "C:\\Users\\alice\\AppData\\mimikatz.exe", "alice");
+    let kiwi = || proc(5202, "C:\\Users\\alice\\AppData\\kiwi.exe", "alice");
+    let sbblv_dc = || proc(6300, "C:\\Windows\\Temp\\sbblv.exe", "Administrator");
+    let pwdump = || proc(6301, "C:\\Windows\\Temp\\PwDump7.exe", "Administrator");
+    let wce = || proc(6302, "C:\\Windows\\Temp\\WCE.exe", "Administrator");
+    let sbblv_db = || proc(7400, "C:\\Windows\\Temp\\sbblv.exe", "dbadmin");
+    let cmd_db = || proc(7401, "C:\\Windows\\System32\\cmd.exe", "dbadmin");
+    let osql = || proc(7402, "C:\\Program Files\\MSSQL\\osql.exe", "dbadmin");
+    let sqlservr = || proc(1200, "C:\\Program Files\\MSSQL\\sqlservr.exe", "mssql");
+
+    // a1 — Initial Compromise (web server, 09:10): the attacker exploits
+    // the UnrealIRCd backdoor; ircd accepts the exploit connection, spawns
+    // a shell, and the shell opens a telnet channel back to the attacker.
+    e.at(9, 10, 0)
+        .emit(web, Operation::Accept, ircd(), conn_from(ATTACKER_IP, 31337, web, 6667), 0)
+        .step(2)
+        .emit(web, Operation::Start, ircd(), sh(), 0)
+        .step(3)
+        .emit(web, Operation::Start, sh(), telnet(), 0)
+        .step(2)
+        .emit(web, Operation::Connect, telnet(), conn_to(web, 40123, ATTACKER_IP, 23), 0)
+        .step(1)
+        .emit(web, Operation::Write, telnet(), conn_to(web, 40123, ATTACKER_IP, 23), 2_048);
+
+    // a2 — Malware Infection (09:40): the shell downloads the malware via
+    // wget, marks it executable, runs it; the malware probes the intranet
+    // and infects the Windows client (cross-host connect edge).
+    e.at(9, 40, 0)
+        .emit(web, Operation::Start, sh(), wget(), 0)
+        .step(2)
+        .emit(web, Operation::Connect, wget(), conn_to(web, 40500, ATTACKER_IP, 80), 0)
+        .step(4)
+        .emit(web, Operation::Write, wget(), file("/tmp/sbblv.exe", "irc"), 918_528)
+        .step(3)
+        .emit(web, Operation::Execute, sh(), file("/tmp/sbblv.exe", "irc"), 0)
+        .step(1)
+        .emit(web, Operation::Start, sh(), sbblv_web(), 0)
+        .step(30)
+        .emit(web, Operation::Connect, sbblv_web(), conn_to(web, 40777, host_ip(client), 445), 0)
+        .step(5)
+        // Cross-host tracking edge: the web-side malware reaches the client
+        // process that will host the implant.
+        .emit_x(web, Operation::Connect, sbblv_web(), proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"), client, 0)
+        .step(10)
+        .emit(client, Operation::Write, proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"), file("C:\\Users\\alice\\AppData\\sbblv.exe", "alice"), 918_528)
+        .step(5)
+        .emit(client, Operation::Start, proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"), sbblv_client(), 0);
+
+    // a3 — Privilege Escalation (client, 11:00): the implant drops and runs
+    // the memory-dumping tools to harvest admin credentials.
+    e.at(11, 0, 0)
+        .emit(client, Operation::Write, sbblv_client(), file("C:\\Users\\alice\\AppData\\mimikatz.exe", "alice"), 1_204_224)
+        .step(4)
+        .emit(client, Operation::Start, sbblv_client(), mimikatz(), 0)
+        .step(6)
+        .emit(client, Operation::Read, mimikatz(), file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"), 52_428_800)
+        .step(9)
+        .emit(client, Operation::Write, mimikatz(), file("C:\\Users\\alice\\AppData\\creds.txt", "alice"), 4_096)
+        .step(20)
+        .emit(client, Operation::Start, sbblv_client(), kiwi(), 0)
+        .step(5)
+        .emit(client, Operation::Read, kiwi(), file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"), 52_428_800)
+        .step(8)
+        .emit(client, Operation::Write, kiwi(), file("C:\\Users\\alice\\AppData\\creds2.txt", "alice"), 4_096);
+
+    // a4 — Obtain User Credentials (DC, 13:30): with admin credentials the
+    // attacker penetrates the domain controller and dumps all users.
+    e.at(13, 30, 0)
+        .emit(client, Operation::Connect, sbblv_client(), conn_to(client, 41200, host_ip(dc), 445), 0)
+        .step(3)
+        .emit_x(client, Operation::Connect, sbblv_client(), proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), dc, 0)
+        .step(6)
+        .emit(dc, Operation::Write, proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), file("C:\\Windows\\Temp\\sbblv.exe", "Administrator"), 918_528)
+        .step(4)
+        .emit(dc, Operation::Start, proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), sbblv_dc(), 0)
+        .step(10)
+        .emit(dc, Operation::Write, sbblv_dc(), file("C:\\Windows\\Temp\\PwDump7.exe", "Administrator"), 393_216)
+        .step(2)
+        .emit(dc, Operation::Start, sbblv_dc(), pwdump(), 0)
+        .step(5)
+        .emit(dc, Operation::Read, pwdump(), file("C:\\Windows\\System32\\config\\SAM", "SYSTEM"), 262_144)
+        .step(4)
+        .emit(dc, Operation::Write, pwdump(), file("C:\\Windows\\Temp\\hashes.txt", "Administrator"), 16_384)
+        .step(12)
+        .emit(dc, Operation::Start, sbblv_dc(), wce(), 0)
+        .step(4)
+        .emit(dc, Operation::Read, wce(), file("C:\\Windows\\System32\\config\\SYSTEM", "SYSTEM"), 262_144)
+        .step(3)
+        .emit(dc, Operation::Write, wce(), file("C:\\Windows\\Temp\\wce_out.txt", "Administrator"), 8_192)
+        .step(10)
+        .emit(dc, Operation::Write, sbblv_dc(), conn_to(dc, 41900, ATTACKER_IP, 443), 32_768);
+
+    // a5 — Data Exfiltration (database server, 15:00): the attacker reaches
+    // the database server, dumps the database with OSQL, and the malware
+    // ships the dump to the attacker host — the behavior of Query 1.
+    e.at(15, 0, 0)
+        .emit_x(dc, Operation::Connect, sbblv_dc(), proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"), db, 0)
+        .step(5)
+        .emit(db, Operation::Write, proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"), file("C:\\Windows\\Temp\\sbblv.exe", "dbadmin"), 918_528)
+        .step(3)
+        .emit(db, Operation::Start, proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"), sbblv_db(), 0)
+        .step(30)
+        .emit(db, Operation::Start, sbblv_db(), cmd_db(), 0)
+        .step(10)
+        .emit(db, Operation::Start, cmd_db(), osql(), 0)
+        .step(20)
+        .emit(db, Operation::Write, osql(), conn_to(db, 42000, host_ip(db), 1433), 1_024)
+        .step(40)
+        .emit(db, Operation::Write, sqlservr(), file("C:\\dumps\\backup1.dmp", "mssql"), 268_435_456)
+        .step(60)
+        .emit(db, Operation::Read, sbblv_db(), file("C:\\dumps\\backup1.dmp", "mssql"), 268_435_456)
+        .step(10)
+        .emit(db, Operation::Connect, sbblv_db(), conn_to(db, 42107, ATTACKER_IP, 443), 0);
+    // The exfiltration transfer: a burst of large writes to the attacker IP
+    // over ten minutes — the spike the anomaly query (a5-1) detects.
+    for i in 0..30 {
+        e.step(20).emit(
+            db,
+            Operation::Write,
+            sbblv_db(),
+            conn_to(db, 42107, ATTACKER_IP, 443),
+            8_388_608 + i * 1_024,
+        );
+    }
+    e.out
+}
+
+/// Emits the second APT campaign (the ATC-style case study behind the
+/// Figure 5 queries): phishing dropper → C2 staging with persistence →
+/// lateral movement → discovery and credential dumping → archive staging
+/// and FTP exfiltration.
+pub fn case_study_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
+    let mut e = Emitter::new(day);
+    let client = hosts::CLIENT;
+    let web = hosts::WEB;
+    let dc = hosts::DC;
+
+    let outlook = || proc(5400, "C:\\Program Files\\Office\\outlook.exe", "alice");
+    let dropper = || proc(5401, "C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice");
+    let cmd = || proc(5402, "C:\\Windows\\System32\\cmd.exe", "alice");
+    let powershell = || proc(5403, "C:\\Windows\\System32\\powershell.exe", "alice");
+    let schtasks = || proc(5404, "C:\\Windows\\System32\\schtasks.exe", "alice");
+    let payload = || proc(5405, "C:\\Users\\alice\\AppData\\winupdate.exe", "alice");
+    let psexec = || proc(5406, "C:\\Users\\alice\\AppData\\psexec.exe", "alice");
+    let malsvc = || proc(8100, "C:\\Windows\\Temp\\malsvc.exe", "SYSTEM");
+    let whoami = || proc(8101, "C:\\Windows\\System32\\whoami.exe", "SYSTEM");
+    let net = || proc(8102, "C:\\Windows\\System32\\net.exe", "SYSTEM");
+    let mimikatz2 = || proc(8103, "C:\\Windows\\Temp\\m64.exe", "SYSTEM");
+    let rar = || proc(8104, "C:\\Windows\\Temp\\rar.exe", "SYSTEM");
+    let ftp = || proc(8105, "C:\\Windows\\System32\\ftp.exe", "SYSTEM");
+
+    // c1 — Delivery (08:55): the phishing attachment lands on disk.
+    e.at(8, 55, 0)
+        .emit(client, Operation::Write, outlook(), file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"), 512_000)
+        .step(40)
+        .emit(client, Operation::Start, outlook(), dropper(), 0);
+
+    // c2 — Initial compromise & persistence (09:05).
+    e.at(9, 5, 0)
+        .emit(client, Operation::Start, dropper(), cmd(), 0)
+        .step(3)
+        .emit(client, Operation::Start, cmd(), powershell(), 0)
+        .step(5)
+        .emit(client, Operation::Connect, powershell(), conn_to(client, 43000, C2_IP, 443), 0)
+        .step(8)
+        .emit(client, Operation::Write, powershell(), file("C:\\Users\\alice\\AppData\\winupdate.exe", "alice"), 786_432)
+        .step(4)
+        .emit(client, Operation::Read, powershell(), file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"), 512_000)
+        .step(6)
+        .emit(client, Operation::Start, cmd(), schtasks(), 0)
+        .step(2)
+        .emit(client, Operation::Write, schtasks(), file("C:\\Windows\\Tasks\\winupdate.job", "SYSTEM"), 2_048)
+        .step(10)
+        .emit(client, Operation::Start, powershell(), payload(), 0)
+        .step(5)
+        .emit(client, Operation::Write, payload(), conn_to(client, 43001, C2_IP, 443), 65_536)
+        .step(5)
+        .emit(client, Operation::Delete, payload(), file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"), 0);
+
+    // c3 — Lateral movement to the web/file server (10:20).
+    e.at(10, 20, 0)
+        .emit(client, Operation::Write, payload(), file("C:\\Users\\alice\\AppData\\psexec.exe", "alice"), 339_968)
+        .step(3)
+        .emit(client, Operation::Start, payload(), psexec(), 0)
+        .step(4)
+        .emit(client, Operation::Connect, psexec(), conn_to(client, 43100, host_ip(web), 445), 0)
+        .step(2)
+        .emit_x(client, Operation::Connect, psexec(), proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), web, 0)
+        .step(6)
+        .emit(web, Operation::Write, proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), file("C:\\Windows\\Temp\\malsvc.exe", "SYSTEM"), 466_944)
+        .step(3)
+        .emit(web, Operation::Start, proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), malsvc(), 0);
+
+    // c4 — Discovery & credential access on the server and DC (11:40).
+    e.at(11, 40, 0)
+        .emit(web, Operation::Start, malsvc(), whoami(), 0)
+        .step(2)
+        .emit(web, Operation::Start, malsvc(), net(), 0)
+        .step(4)
+        .emit(web, Operation::Write, malsvc(), file("C:\\Windows\\Temp\\m64.exe", "SYSTEM"), 1_204_224)
+        .step(3)
+        .emit(web, Operation::Start, malsvc(), mimikatz2(), 0)
+        .step(5)
+        .emit(web, Operation::Read, mimikatz2(), file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"), 52_428_800)
+        .step(4)
+        .emit(web, Operation::Write, mimikatz2(), file("C:\\Windows\\Temp\\dump.txt", "SYSTEM"), 8_192)
+        .step(30)
+        .emit(web, Operation::Connect, malsvc(), conn_to(web, 43500, host_ip(dc), 88), 0)
+        .step(4)
+        .emit_x(web, Operation::Connect, malsvc(), proc(9000, "C:\\Windows\\System32\\lsass.exe", "SYSTEM"), dc, 0)
+        .step(6)
+        .emit(dc, Operation::Read, proc(9000, "C:\\Windows\\System32\\lsass.exe", "SYSTEM"), file("C:\\Windows\\NTDS\\ntds.dit", "SYSTEM"), 134_217_728);
+
+    // c5 — Staging & exfiltration (14:10): sensitive documents are archived
+    // and shipped to the C2 over FTP.
+    e.at(14, 10, 0)
+        .emit(web, Operation::Write, malsvc(), file("C:\\Windows\\Temp\\rar.exe", "SYSTEM"), 589_824);
+    for i in 0..8 {
+        e.step(5).emit(
+            web,
+            Operation::Read,
+            rar(),
+            file(&format!("C:\\Shares\\finance\\report{i}.xlsx", ), "SYSTEM"),
+            2_097_152,
+        );
+    }
+    e.step(4)
+        .emit(web, Operation::Write, rar(), file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"), 16_777_216)
+        .step(10)
+        .emit(web, Operation::Start, malsvc(), ftp(), 0)
+        .step(3)
+        .emit(web, Operation::Read, ftp(), file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"), 16_777_216)
+        .step(2)
+        .emit(web, Operation::Connect, ftp(), conn_to(web, 43900, C2_IP, 21), 0);
+    for i in 0..20 {
+        e.step(15).emit(
+            web,
+            Operation::Write,
+            ftp(),
+            conn_to(web, 43900, C2_IP, 21),
+            4_194_304 + i * 512,
+        );
+    }
+    e.step(30)
+        .emit(web, Operation::Delete, malsvc(), file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"), 0)
+        .step(2)
+        .emit(web, Operation::Delete, malsvc(), file("C:\\Windows\\Temp\\dump.txt", "SYSTEM"), 0);
+
+    e.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_attack_emits_query1_artifacts() {
+        let raws = demo_attack((2018, 3, 19));
+        let has = |pred: &dyn Fn(&RawEvent) -> bool| raws.iter().any(pred);
+        assert!(has(&|r| matches!(&r.object, EntitySpec::File { name, .. } if name.contains("backup1.dmp"))));
+        assert!(has(&|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("osql"))));
+        assert!(has(&|r| matches!(&r.object, EntitySpec::NetConn { dst_ip, .. } if *dst_ip == ATTACKER_IP)));
+        assert!(has(&|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("PwDump7"))));
+        assert!(has(&|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("mimikatz"))));
+    }
+
+    #[test]
+    fn demo_attack_steps_are_temporally_ordered() {
+        let raws = demo_attack((2018, 3, 19));
+        // The dump write happens before the dump read, which happens before
+        // the exfil transfer (Query 1's temporal chain).
+        let find = |f: &dyn Fn(&RawEvent) -> bool| {
+            raws.iter().find(|r| f(r)).expect("event present").start_time
+        };
+        let dump_write = find(&|r| {
+            r.op == Operation::Write
+                && matches!(&r.object, EntitySpec::File { name, .. } if name.contains("backup1"))
+        });
+        let dump_read = find(&|r| {
+            r.op == Operation::Read
+                && matches!(&r.object, EntitySpec::File { name, .. } if name.contains("backup1"))
+        });
+        let exfil = find(&|r| {
+            r.op == Operation::Write
+                && matches!(&r.object, EntitySpec::NetConn { dst_ip, .. } if *dst_ip == ATTACKER_IP)
+                && r.amount > 1_000_000
+        });
+        assert!(dump_write < dump_read);
+        assert!(dump_read < exfil);
+    }
+
+    #[test]
+    fn case_study_emits_catalog_artifacts() {
+        let raws = case_study_attack((2018, 4, 2));
+        let has = |s: &str| {
+            raws.iter().any(|r| {
+                matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains(s))
+                    || matches!(&r.object, EntitySpec::File { name, .. } if name.contains(s))
+            })
+        };
+        for artifact in [
+            "invoice_dropper",
+            "winupdate",
+            "psexec",
+            "malsvc",
+            "m64.exe",
+            "stage.rar",
+            "ftp.exe",
+            "schtasks",
+        ] {
+            assert!(has(artifact), "missing artifact {artifact}");
+        }
+    }
+
+    #[test]
+    fn attacks_are_deterministic() {
+        assert_eq!(demo_attack((2018, 3, 19)), demo_attack((2018, 3, 19)));
+        assert_eq!(
+            case_study_attack((2018, 4, 2)),
+            case_study_attack((2018, 4, 2))
+        );
+    }
+}

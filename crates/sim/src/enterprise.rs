@@ -1,0 +1,277 @@
+//! Role-aware enterprise background activity.
+//!
+//! Mirrors the demonstration setup of Figure 2: a Windows client, a Linux
+//! web server, a database server, a Windows domain controller, and any
+//! number of additional workstations, all monitored by per-host agents.
+//! Each host runs a role-specific process population; events (file I/O,
+//! process starts, network transfers) are drawn with Zipf-skewed popularity
+//! from a seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aiql_model::{AgentId, IpV4, Operation, Timestamp};
+use aiql_storage::{EntitySpec, RawEvent};
+
+use crate::zipf::Zipf;
+
+/// Well-known agent ids of the demonstration topology.
+pub mod hosts {
+    use aiql_model::AgentId;
+    /// Windows client workstation.
+    pub const CLIENT: AgentId = AgentId(0);
+    /// Linux web server (UnrealIRCd also runs here in the demo attack).
+    pub const WEB: AgentId = AgentId(1);
+    /// SQL database server.
+    pub const DB: AgentId = AgentId(2);
+    /// Windows domain controller.
+    pub const DC: AgentId = AgentId(3);
+}
+
+/// The attacker's external address — the paper obfuscates it as `XXX.129`.
+pub const ATTACKER_IP: IpV4 = IpV4::from_octets(172, 16, 99, 129);
+
+/// Secondary C2 address used by the case-study attack.
+pub const C2_IP: IpV4 = IpV4::from_octets(172, 16, 99, 200);
+
+/// Internal address of a host.
+pub fn host_ip(agent: AgentId) -> IpV4 {
+    IpV4::from_octets(10, 0, 0, 10 + agent.raw() as u8)
+}
+
+/// Background generation parameters.
+#[derive(Debug, Clone)]
+pub struct EnterpriseConfig {
+    /// Number of monitored hosts (≥ 4; the first four take the demo roles).
+    pub hosts: u32,
+    /// Civil date of the simulated day.
+    pub day: (i32, u32, u32),
+    /// Background events generated per host.
+    pub events_per_host: usize,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for EnterpriseConfig {
+    fn default() -> Self {
+        EnterpriseConfig {
+            hosts: 6,
+            day: (2018, 3, 19),
+            events_per_host: 2_000,
+            seed: 0xA1_91,
+        }
+    }
+}
+
+/// Role-specific process population for a host.
+fn process_population(agent: AgentId) -> Vec<(u32, &'static str, &'static str)> {
+    let mut procs: Vec<(u32, &'static str, &'static str)> = Vec::new();
+    let base: &[(&str, &str)] = if agent == hosts::WEB {
+        &[
+            ("/usr/sbin/apache2", "www-data"),
+            ("/usr/sbin/sshd", "root"),
+            ("/usr/sbin/ircd", "irc"),
+            ("/usr/bin/python3", "www-data"),
+            ("/bin/bash", "admin"),
+            ("/usr/sbin/cron", "root"),
+            ("/usr/sbin/rsyslogd", "root"),
+        ]
+    } else if agent == hosts::DB {
+        &[
+            ("C:\\Program Files\\MSSQL\\sqlservr.exe", "mssql"),
+            ("C:\\Windows\\System32\\svchost.exe", "SYSTEM"),
+            ("C:\\Windows\\System32\\cmd.exe", "dbadmin"),
+            ("C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            ("C:\\Windows\\explorer.exe", "dbadmin"),
+            ("C:\\Program Files\\MSSQL\\sqlagent.exe", "mssql"),
+        ]
+    } else if agent == hosts::DC {
+        &[
+            ("C:\\Windows\\System32\\lsass.exe", "SYSTEM"),
+            ("C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            ("C:\\Windows\\System32\\svchost.exe", "SYSTEM"),
+            ("C:\\Windows\\System32\\dns.exe", "SYSTEM"),
+            ("C:\\Windows\\System32\\ntds.exe", "SYSTEM"),
+        ]
+    } else {
+        &[
+            ("C:\\Windows\\explorer.exe", "alice"),
+            ("C:\\Program Files\\Firefox\\firefox.exe", "alice"),
+            ("C:\\Windows\\System32\\svchost.exe", "SYSTEM"),
+            ("C:\\Windows\\System32\\cmd.exe", "alice"),
+            ("C:\\Program Files\\Office\\outlook.exe", "alice"),
+            ("C:\\Windows\\System32\\powershell.exe", "alice"),
+            ("C:\\Windows\\System32\\services.exe", "SYSTEM"),
+        ]
+    };
+    for (i, (exe, user)) in base.iter().enumerate() {
+        procs.push((1000 + agent.raw() * 100 + i as u32, exe, user));
+    }
+    procs
+}
+
+/// Role-specific file population.
+fn file_population(agent: AgentId, n: usize) -> Vec<(String, &'static str)> {
+    let mut files = Vec::with_capacity(n);
+    let (prefix, owner): (&str, &str) = if agent == hosts::WEB {
+        ("/var/www/html/page", "www-data")
+    } else if agent == hosts::DB {
+        ("C:\\MSSQL\\data\\table", "mssql")
+    } else if agent == hosts::DC {
+        ("C:\\Windows\\NTDS\\log", "SYSTEM")
+    } else {
+        ("C:\\Users\\alice\\Documents\\doc", "alice")
+    };
+    for i in 0..n {
+        files.push((format!("{prefix}{i}.dat"), owner));
+    }
+    files
+}
+
+/// Generates one day of background activity for all hosts.
+pub fn generate_background(cfg: &EnterpriseConfig) -> Vec<RawEvent> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let day_start = Timestamp::from_date(cfg.day.0, cfg.day.1, cfg.day.2);
+    let day_micros = 24 * 3600 * 1_000_000i64;
+    let mut out = Vec::with_capacity(cfg.hosts as usize * cfg.events_per_host);
+
+    for h in 0..cfg.hosts {
+        let agent = AgentId(h);
+        let procs = process_population(agent);
+        let files = file_population(agent, 40);
+        let proc_zipf = Zipf::new(procs.len(), 1.1);
+        let file_zipf = Zipf::new(files.len(), 1.0);
+
+        for _ in 0..cfg.events_per_host {
+            let t = day_start + aiql_model::Duration(rng.gen_range(0..day_micros));
+            let (pid, exe, user) = procs[proc_zipf.sample(&mut rng)];
+            let subject = EntitySpec::process(pid, exe, user);
+            let roll: f64 = rng.gen();
+            let event = if roll < 0.45 {
+                // File I/O.
+                let (name, owner) = &files[file_zipf.sample(&mut rng)];
+                let op = if rng.gen_bool(0.6) {
+                    Operation::Read
+                } else {
+                    Operation::Write
+                };
+                RawEvent::instant(
+                    agent,
+                    op,
+                    subject,
+                    EntitySpec::file(name, owner),
+                    t,
+                    rng.gen_range(128..65_536),
+                )
+            } else if roll < 0.6 {
+                // Process starts (parent → child within the population).
+                let (cpid, cexe, cuser) = procs[proc_zipf.sample(&mut rng)];
+                RawEvent::instant(
+                    agent,
+                    Operation::Start,
+                    subject,
+                    EntitySpec::process(cpid + 10_000, cexe, cuser),
+                    t,
+                    0,
+                )
+            } else if roll < 0.75 {
+                // Outbound connection setup.
+                let peer = IpV4::from_octets(10, 0, 0, rng.gen_range(10..40));
+                RawEvent::instant(
+                    agent,
+                    Operation::Connect,
+                    subject,
+                    EntitySpec::tcp(host_ip(agent), rng.gen_range(40_000..65_000), peer, 443),
+                    t,
+                    0,
+                )
+            } else {
+                // Data transfer over a connection (modest volumes; the
+                // exfiltration events of the attack dwarf these).
+                let peer = IpV4::from_octets(10, 0, 0, rng.gen_range(10..40));
+                let op = if rng.gen_bool(0.5) {
+                    Operation::Write
+                } else {
+                    Operation::Read
+                };
+                RawEvent::instant(
+                    agent,
+                    op,
+                    subject,
+                    EntitySpec::tcp(host_ip(agent), rng.gen_range(40_000..65_000), peer, 443),
+                    t,
+                    rng.gen_range(256..32_768),
+                )
+            };
+            out.push(event);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = EnterpriseConfig {
+            events_per_host: 200,
+            ..Default::default()
+        };
+        let a = generate_background(&cfg);
+        let b = generate_background(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6 * 200);
+    }
+
+    #[test]
+    fn all_hosts_emit_events() {
+        let cfg = EnterpriseConfig {
+            hosts: 5,
+            events_per_host: 100,
+            ..Default::default()
+        };
+        let raws = generate_background(&cfg);
+        for h in 0..5 {
+            assert!(
+                raws.iter().any(|r| r.agent == AgentId(h)),
+                "host {h} silent"
+            );
+        }
+    }
+
+    #[test]
+    fn events_fall_within_the_day() {
+        let cfg = EnterpriseConfig {
+            events_per_host: 300,
+            ..Default::default()
+        };
+        let day = aiql_model::TimeWindow::day(2018, 3, 19);
+        for r in generate_background(&cfg) {
+            assert!(day.contains(r.start_time));
+        }
+    }
+
+    #[test]
+    fn role_processes_differ_per_host() {
+        let web = process_population(hosts::WEB);
+        let db = process_population(hosts::DB);
+        assert!(web.iter().any(|(_, exe, _)| exe.contains("ircd")));
+        assert!(db.iter().any(|(_, exe, _)| exe.contains("sqlservr")));
+        assert!(!db.iter().any(|(_, exe, _)| exe.contains("ircd")));
+    }
+
+    #[test]
+    fn background_never_touches_attacker_ip() {
+        let cfg = EnterpriseConfig {
+            events_per_host: 500,
+            ..Default::default()
+        };
+        for r in generate_background(&cfg) {
+            if let EntitySpec::NetConn { dst_ip, .. } = &r.object {
+                assert_ne!(*dst_ip, ATTACKER_IP);
+            }
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The investigation query catalogs.
+//!
+//! Figure 4 evaluates the 19 queries an analyst issued while investigating
+//! the demo attack (`a1-1 … a5-5`; the a5 investigation *starts* with the
+//! anomaly query, per the paper's live-investigation narrative). Figure 5
+//! evaluates the 26 queries of the second APT case study (`c1-1 … c5-7`).
+//! Every query references artifacts emitted by [`crate::attack`], so all of
+//! them return non-empty results against the scenario stores.
+
+/// One catalog entry: the query id used on the figures' x-axes, what the
+/// analyst is asking, and the AIQL text.
+#[derive(Debug, Clone)]
+pub struct CatalogQuery {
+    /// Figure label, e.g. `a5-5`.
+    pub id: &'static str,
+    /// Investigation intent.
+    pub description: &'static str,
+    /// AIQL source.
+    pub aiql: String,
+}
+
+fn q(id: &'static str, description: &'static str, aiql: &str) -> CatalogQuery {
+    CatalogQuery {
+        id,
+        description,
+        aiql: aiql.to_string(),
+    }
+}
+
+/// The date both scenarios simulate (kept in the queries' `at` clauses).
+pub const DEMO_DATE: &str = "03/19/2018";
+/// The case-study date.
+pub const CASE_DATE: &str = "04/02/2018";
+
+/// The 19 investigation queries of Figure 4 (demo attack).
+pub fn demo_queries() -> Vec<CatalogQuery> {
+    vec![
+        // ---- a1: initial compromise on the web server (agent 1) ----
+        q(
+            "a1-1",
+            "Which processes on the web server accepted connections from the suspicious external host?",
+            r#"(at "03/19/2018") agentid = 1
+proc p accept ip i[srcip = "172.16.99.129"] as evt
+return distinct p, i.src_ip"#,
+        ),
+        q(
+            "a1-2",
+            "What did the IRC daemon spawn after the exploit?",
+            r#"(at "03/19/2018") agentid = 1
+proc p1["%ircd"] start proc p2 as evt
+return distinct p1, p2"#,
+        ),
+        q(
+            "a1-3",
+            "Backtrack the telnet channel to its root process.",
+            r#"(at "03/19/2018")
+backward: proc p3["%telnet"] <-[start] proc p2["%/bin/sh"] <-[start] proc p1
+return p1, p2, p3"#,
+        ),
+        q(
+            "a1-4",
+            "Confirm the reverse shell: telnet connecting back to the attacker.",
+            r#"(at "03/19/2018") agentid = 1
+proc p["%telnet"] connect ip i[dstip = "172.16.99.129"] as evt
+return distinct p, i"#,
+        ),
+        // ---- a2: malware infection ----
+        q(
+            "a2-1",
+            "Which files did wget download onto the web server?",
+            r#"(at "03/19/2018") agentid = 1
+proc p["%wget"] write file f as evt
+return distinct p, f"#,
+        ),
+        q(
+            "a2-2",
+            "Full infection chain: download, execution, and process start of the malware.",
+            r#"(at "03/19/2018") agentid = 1
+proc p1["%wget"] write file f1["%sbblv%"] as evt1
+proc p2["%/bin/sh"] execute file f1 as evt2
+proc p2 start proc p3["%sbblv%"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, f1, p2, p3"#,
+        ),
+        q(
+            "a2-3",
+            "Forward-track the malware's ramification from the web server into the client.",
+            r#"(at "03/19/2018")
+forward: proc p1["%sbblv%", agentid = 1] ->[connect] proc p2[agentid = 0]
+->[write] file f2["%sbblv%"]
+return p1, p2, f2"#,
+        ),
+        // ---- a3: privilege escalation on the client (agent 0) ----
+        q(
+            "a3-1",
+            "Which tools did the client-side implant start?",
+            r#"(at "03/19/2018") agentid = 0
+proc p1["%sbblv%"] start proc p2 as evt
+return distinct p1, p2"#,
+        ),
+        q(
+            "a3-2",
+            "Did the memory dumpers read LSASS?",
+            r#"(at "03/19/2018") agentid = 0
+proc p read file f["%lsass.exe"] as evt
+return distinct p, f, evt.amount"#,
+        ),
+        q(
+            "a3-3",
+            "Credential files produced after reading LSASS (dropper, read, then write).",
+            r#"(at "03/19/2018") agentid = 0
+proc p1["%sbblv%"] start proc p2 as evt1
+proc p2 read file f1["%lsass.exe"] as evt2
+proc p2 write file f2["%creds%"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p2, f2"#,
+        ),
+        // ---- a4: credential dumping on the DC (agent 3) ----
+        q(
+            "a4-1",
+            "Which implant copies landed on the domain controller, and who wrote them?",
+            r#"(at "03/19/2018") agentid = 3
+proc p write file f["%sbblv%"] as evt
+return distinct p, f"#,
+        ),
+        q(
+            "a4-2",
+            "Password-dumping tools executed on the DC.",
+            r#"(at "03/19/2018") agentid = 3
+proc p1 start proc p2["%PwDump7%"] as evt1
+proc p3 start proc p4["%WCE%"] as evt2
+return distinct p1, p2, p3, p4"#,
+        ),
+        q(
+            "a4-3",
+            "Registry hives read by the dumping tools, and their output files.",
+            r#"(at "03/19/2018") agentid = 3
+proc p1["%PwDump7%"] read file f1["%SAM"] as evt1
+proc p1 write file f2 as evt2
+with evt1 before evt2
+return distinct p1, f1, f2"#,
+        ),
+        q(
+            "a4-4",
+            "Did anything on the DC talk to the attacker host afterwards?",
+            r#"(at "03/19/2018") agentid = 3
+proc p write ip i[dstip = "172.16.99.129"] as evt
+return distinct p, i, evt.amount"#,
+        ),
+        // ---- a5: data exfiltration from the database server (agent 2) ----
+        q(
+            "a5-1",
+            "Anomaly model: processes on the DB server whose per-window outbound volume spikes over the moving average.",
+            r#"(at "03/19/2018") agentid = 2
+window = 1 min, step = 10 sec
+proc p write ip i as evt
+return p, i, avg(evt.amount) as amt
+group by p, i
+having amt > 2 * (amt + amt[1] + amt[2]) / 3 and amt > 1000000"#,
+        ),
+        q(
+            "a5-2",
+            "Which files did the suspicious process read before transferring data?",
+            r#"(at "03/19/2018") agentid = 2
+proc p["%sbblv%"] read file f as evt
+return distinct p, f, evt.amount"#,
+        ),
+        q(
+            "a5-3",
+            "Who created the database dump file?",
+            r#"(at "03/19/2018") agentid = 2
+proc p write file f["%backup1.dmp"] as evt
+return distinct p, f"#,
+        ),
+        q(
+            "a5-4",
+            "Did the malware open the channel to the attacker before the transfer?",
+            r#"(at "03/19/2018") agentid = 2
+proc p["%sbblv%"] connect ip i[dstip = "172.16.99.129"] as evt1
+proc p write ip i2[dstip = "172.16.99.129"] as evt2
+with evt1 before evt2
+return distinct p, i"#,
+        ),
+        q(
+            "a5-5",
+            "The end-to-end exfiltration behavior (Query 1 of the paper): OSQL dump, malware read, network transfer.",
+            r#"(at "03/19/2018") agentid = 2
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv%"] read file f1 as evt3
+proc p4 read || write ip i1[dstip = "172.16.99.129"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, f1, p4, i1"#,
+        ),
+    ]
+}
+
+/// The 26 investigation queries of Figure 5 (second APT case study).
+pub fn case_study_queries() -> Vec<CatalogQuery> {
+    vec![
+        // ---- c1: delivery ----
+        q(
+            "c1-1",
+            "Who wrote the phishing dropper to disk?",
+            r#"(at "04/02/2018") agentid = 0
+proc p write file f["%invoice_dropper%"] as evt
+return distinct p, f"#,
+        ),
+        // ---- c2: initial compromise & persistence ----
+        q(
+            "c2-1",
+            "What did the dropper start?",
+            r#"(at "04/02/2018") agentid = 0
+proc p1["%invoice_dropper%"] start proc p2 as evt
+return distinct p1, p2"#,
+        ),
+        q(
+            "c2-2",
+            "Shell chain from the dropper to PowerShell.",
+            r#"(at "04/02/2018") agentid = 0
+proc p1["%invoice_dropper%"] start proc p2["%cmd.exe"] as evt1
+proc p2 start proc p3["%powershell%"] as evt2
+with evt1 before evt2
+return distinct p1, p2, p3"#,
+        ),
+        q(
+            "c2-3",
+            "Outbound C2 connections from PowerShell.",
+            r#"(at "04/02/2018") agentid = 0
+proc p["%powershell%"] connect ip i[dstip = "172.16.99.200"] as evt
+return distinct p, i"#,
+        ),
+        q(
+            "c2-4",
+            "Payloads written by PowerShell after the C2 contact.",
+            r#"(at "04/02/2018") agentid = 0
+proc p["%powershell%"] connect ip i[dstip = "172.16.99.200"] as evt1
+proc p write file f as evt2
+with evt1 before evt2
+return distinct p, f"#,
+        ),
+        q(
+            "c2-5",
+            "Persistence: scheduled-task artifacts.",
+            r#"(at "04/02/2018") agentid = 0
+proc p["%schtasks%"] write file f as evt
+return distinct p, f"#,
+        ),
+        q(
+            "c2-6",
+            "Who started the scheduled-task tool?",
+            r#"(at "04/02/2018") agentid = 0
+proc p1 start proc p2["%schtasks%"] as evt
+return distinct p1, p2"#,
+        ),
+        q(
+            "c2-7",
+            "Execution of the staged payload and its first beacon.",
+            r#"(at "04/02/2018") agentid = 0
+proc p1["%powershell%"] start proc p2["%winupdate%"] as evt1
+proc p2 write ip i[dstip = "172.16.99.200"] as evt2
+with evt1 before evt2
+return distinct p1, p2, i"#,
+        ),
+        q(
+            "c2-8",
+            "Anti-forensics: who deleted the dropper?",
+            r#"(at "04/02/2018") agentid = 0
+proc p delete file f["%invoice_dropper%"] as evt
+return distinct p, f"#,
+        ),
+        // ---- c3: lateral movement ----
+        q(
+            "c3-1",
+            "PsExec staging and remote service connection.",
+            r#"(at "04/02/2018") agentid = 0
+proc p1 write file f["%psexec%"] as evt1
+proc p2["%psexec%"] connect ip i as evt2
+with evt1 before evt2
+return distinct p1, f, p2, i"#,
+        ),
+        q(
+            "c3-2",
+            "Forward-track PsExec into the server: remote service drops and starts the implant.",
+            r#"(at "04/02/2018")
+forward: proc p1["%psexec%", agentid = 0] ->[connect] proc p2[agentid = 1]
+->[write] file f["%malsvc%"]
+return p1, p2, f"#,
+        ),
+        // ---- c4: discovery & credential access ----
+        q(
+            "c4-1",
+            "Discovery commands launched by the server implant.",
+            r#"(at "04/02/2018") agentid = 1
+proc p1["%malsvc%"] start proc p2 as evt
+return distinct p1, p2"#,
+        ),
+        q(
+            "c4-2",
+            "whoami execution on the server.",
+            r#"(at "04/02/2018") agentid = 1
+proc p1 start proc p2["%whoami%"] as evt
+return distinct p1, p2"#,
+        ),
+        q(
+            "c4-3",
+            "net.exe enumeration on the server.",
+            r#"(at "04/02/2018") agentid = 1
+proc p1 start proc p2["%net.exe"] as evt
+return distinct p1, p2"#,
+        ),
+        q(
+            "c4-4",
+            "Where did the credential dumper binary come from?",
+            r#"(at "04/02/2018") agentid = 1
+proc p write file f["%m64.exe"] as evt
+return distinct p, f"#,
+        ),
+        q(
+            "c4-5",
+            "LSASS memory read by the credential dumper.",
+            r#"(at "04/02/2018") agentid = 1
+proc p["%m64.exe"] read file f["%lsass.exe"] as evt
+return distinct p, f, evt.amount"#,
+        ),
+        q(
+            "c4-6",
+            "Dumper output files after the LSASS read.",
+            r#"(at "04/02/2018") agentid = 1
+proc p["%m64.exe"] read file f1["%lsass.exe"] as evt1
+proc p write file f2 as evt2
+with evt1 before evt2
+return distinct p, f2"#,
+        ),
+        q(
+            "c4-7",
+            "Kerberos hop: implant connecting toward the domain controller.",
+            r#"(at "04/02/2018") agentid = 1
+proc p["%malsvc%"] connect ip i[dstport = 88] as evt
+return distinct p, i"#,
+        ),
+        q(
+            "c4-8",
+            "Cross-host: did the DC's LSASS read the directory database after the implant's contact?",
+            r#"(at "04/02/2018")
+forward: proc p1["%malsvc%", agentid = 1] ->[connect] proc p2[agentid = 3]
+->[read] file f["%ntds.dit"]
+return p1, p2, f"#,
+        ),
+        // ---- c5: staging & exfiltration ----
+        q(
+            "c5-1",
+            "Archiver staged onto the server.",
+            r#"(at "04/02/2018") agentid = 1
+proc p write file f["%rar.exe"] as evt
+return distinct p, f"#,
+        ),
+        q(
+            "c5-2",
+            "Documents the archiver read.",
+            r#"(at "04/02/2018") agentid = 1
+proc p["%rar.exe"] read file f as evt
+return distinct f"#,
+        ),
+        q(
+            "c5-3",
+            "The staged archive.",
+            r#"(at "04/02/2018") agentid = 1
+proc p["%rar.exe"] write file f["%stage.rar"] as evt
+return distinct p, f, evt.amount"#,
+        ),
+        q(
+            "c5-4",
+            "Who read the archive afterwards?",
+            r#"(at "04/02/2018") agentid = 1
+proc p1["%rar.exe"] write file f["%stage.rar"] as evt1
+proc p2 read file f as evt2
+with evt1 before evt2
+return distinct p2, f"#,
+        ),
+        q(
+            "c5-5",
+            "FTP channel to the C2 host.",
+            r#"(at "04/02/2018") agentid = 1
+proc p["%ftp.exe"] connect ip i[dstip = "172.16.99.200"] as evt
+return distinct p, i"#,
+        ),
+        q(
+            "c5-6",
+            "End-to-end staging-to-exfiltration behavior (archive, read, connect, transfer).",
+            r#"(at "04/02/2018") agentid = 1
+proc p1["%rar.exe"] write file f["%stage.rar"] as evt1
+proc p2["%ftp.exe"] read file f as evt2
+proc p2 connect ip i[dstip = "172.16.99.200"] as evt3
+proc p2 write ip i2[dstip = "172.16.99.200"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, f, p2, i2"#,
+        ),
+        q(
+            "c5-7",
+            "Anti-forensics: cleanup of the staged artifacts.",
+            r#"(at "04/02/2018") agentid = 1
+proc p delete file f["%stage.rar%"] as evt
+return distinct p, f"#,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_lang::parse_query;
+
+    #[test]
+    fn demo_catalog_has_19_queries_with_figure_labels() {
+        let qs = demo_queries();
+        assert_eq!(qs.len(), 19);
+        assert_eq!(qs[0].id, "a1-1");
+        assert_eq!(qs.last().unwrap().id, "a5-5");
+        // 4 + 3 + 3 + 4 + 5 per attack step, as on the Figure 4 x-axis.
+        for step in 1..=5 {
+            let n = qs
+                .iter()
+                .filter(|q| q.id.starts_with(&format!("a{step}-")))
+                .count();
+            let expected = [4, 3, 3, 4, 5][step - 1];
+            assert_eq!(n, expected, "step a{step}");
+        }
+    }
+
+    #[test]
+    fn case_catalog_has_26_queries_with_figure_labels() {
+        let qs = case_study_queries();
+        assert_eq!(qs.len(), 26);
+        for (step, expected) in [(1, 1), (2, 8), (3, 2), (4, 8), (5, 7)] {
+            let n = qs
+                .iter()
+                .filter(|q| q.id.starts_with(&format!("c{step}-")))
+                .count();
+            assert_eq!(n, expected, "step c{step}");
+        }
+    }
+
+    #[test]
+    fn every_catalog_query_parses() {
+        for cq in demo_queries().iter().chain(case_study_queries().iter()) {
+            parse_query(&cq.aiql).unwrap_or_else(|e| {
+                panic!("query {} failed to parse: {}\n{}", cq.id, e, cq.aiql)
+            });
+        }
+    }
+
+    #[test]
+    fn demo_catalog_contains_one_anomaly_query() {
+        let anomalies: Vec<_> = demo_queries()
+            .into_iter()
+            .filter(|cq| {
+                matches!(
+                    parse_query(&cq.aiql).unwrap(),
+                    aiql_lang::Query::Anomaly(_)
+                )
+            })
+            .collect();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].id, "a5-1");
+    }
+
+    #[test]
+    fn catalogs_contain_dependency_queries() {
+        let deps = |qs: Vec<CatalogQuery>| {
+            qs.into_iter()
+                .filter(|cq| {
+                    matches!(
+                        parse_query(&cq.aiql).unwrap(),
+                        aiql_lang::Query::Dependency(_)
+                    )
+                })
+                .count()
+        };
+        assert!(deps(demo_queries()) >= 2);
+        assert!(deps(case_study_queries()) >= 2);
+    }
+}

@@ -1,0 +1,481 @@
+//! Deduplicated entity dictionary.
+//!
+//! System monitoring data repeats the same entities (processes, files,
+//! connections) across millions of events. The paper's storage layer
+//! deduplicates them; we intern every distinct ⟨agent, attributes⟩
+//! combination into a dense [`EntityId`] and maintain *dictionary-level*
+//! indexes so query constraints are resolved against the (small) entity
+//! dictionary instead of the (huge) event table. That asymmetry is the
+//! foundation of the engine's pruning-power scheduling: a `LIKE` pattern is
+//! evaluated once against a few thousand distinct names, yielding an id set
+//! that prunes event scans via posting lists.
+
+use std::collections::HashMap;
+
+use aiql_model::{
+    AgentId, Entity, EntityAttrs, EntityId, EntityKind, Interner, StringPattern, Symbol, Value,
+};
+
+/// Comparison operator of an entity attribute constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrCmp {
+    /// Equality against a value.
+    Eq(Value),
+    /// Inequality against a value.
+    Ne(Value),
+    /// Strictly less than.
+    Lt(Value),
+    /// Less than or equal.
+    Le(Value),
+    /// Strictly greater than.
+    Gt(Value),
+    /// Greater than or equal.
+    Ge(Value),
+    /// SQL-LIKE pattern match (string attributes; IPs match their dotted
+    /// rendering so `dstip = "10.0.4.%"`-style investigations work).
+    Like(StringPattern),
+}
+
+/// A single constraint over one entity attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityConstraint {
+    /// Attribute name (`exe_name`, `dstip`, …). The empty string means the
+    /// entity kind's default attribute (context-aware shortcut).
+    pub attr: String,
+    /// The comparison to apply.
+    pub cmp: AttrCmp,
+}
+
+impl EntityConstraint {
+    /// Constraint on the kind's default attribute.
+    pub fn on_default(cmp: AttrCmp) -> Self {
+        EntityConstraint {
+            attr: String::new(),
+            cmp,
+        }
+    }
+
+    /// Constraint on a named attribute.
+    pub fn on(attr: &str, cmp: AttrCmp) -> Self {
+        EntityConstraint {
+            attr: attr.to_string(),
+            cmp,
+        }
+    }
+
+    fn resolved_attr(&self, kind: EntityKind) -> &str {
+        if self.attr.is_empty() {
+            kind.default_attr()
+        } else {
+            &self.attr
+        }
+    }
+
+    /// A rough selectivity estimate in `[0, 1]` used by the scheduler.
+    pub fn selectivity_hint(&self) -> f64 {
+        match &self.cmp {
+            AttrCmp::Eq(_) => 0.002,
+            AttrCmp::Like(p) => p.selectivity_hint(),
+            AttrCmp::Ne(_) => 0.9,
+            _ => 0.3,
+        }
+    }
+}
+
+/// The deduplicating entity dictionary, including the string interner shared
+/// by the whole store.
+#[derive(Debug)]
+pub struct EntityStore {
+    interner: Interner,
+    entities: Vec<Entity>,
+    dedup: HashMap<(AgentId, EntityAttrs), EntityId>,
+    by_kind: [Vec<EntityId>; 3],
+    /// Process entities grouped by executable-name symbol.
+    proc_by_name: HashMap<Symbol, Vec<EntityId>>,
+    /// File entities grouped by path symbol.
+    file_by_name: HashMap<Symbol, Vec<EntityId>>,
+    /// Network connections grouped by destination IP.
+    conn_by_dst: HashMap<u32, Vec<EntityId>>,
+    /// Count of observations that hit an existing entity (dedup savings).
+    dedup_hits: u64,
+}
+
+impl Default for EntityStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn kind_slot(kind: EntityKind) -> usize {
+    match kind {
+        EntityKind::Process => 0,
+        EntityKind::File => 1,
+        EntityKind::NetConn => 2,
+    }
+}
+
+impl EntityStore {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        EntityStore {
+            interner: Interner::new(),
+            entities: Vec::new(),
+            dedup: HashMap::new(),
+            by_kind: [Vec::new(), Vec::new(), Vec::new()],
+            proc_by_name: HashMap::new(),
+            file_by_name: HashMap::new(),
+            conn_by_dst: HashMap::new(),
+            dedup_hits: 0,
+        }
+    }
+
+    /// The shared string dictionary.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the string dictionary (used by ingestion and by
+    /// engines interning query literals).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Interns an entity observation, returning its stable id. Repeated
+    /// observations of identical attributes on the same host dedup to the
+    /// same id.
+    pub fn intern(&mut self, agent: AgentId, attrs: EntityAttrs) -> EntityId {
+        if let Some(&id) = self.dedup.get(&(agent, attrs)) {
+            self.dedup_hits += 1;
+            return id;
+        }
+        let id = EntityId(self.entities.len() as u32);
+        let entity = Entity { id, agent, attrs };
+        self.entities.push(entity);
+        self.dedup.insert((agent, attrs), id);
+        self.by_kind[kind_slot(attrs.kind())].push(id);
+        match attrs {
+            EntityAttrs::Process(p) => self.proc_by_name.entry(p.exe_name).or_default().push(id),
+            EntityAttrs::File(f) => self.file_by_name.entry(f.name).or_default().push(id),
+            EntityAttrs::NetConn(n) => {
+                self.conn_by_dst.entry(n.dst_ip.0).or_default().push(id)
+            }
+        }
+        id
+    }
+
+    /// Fetches an entity by id.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this store.
+    #[inline]
+    pub fn get(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// Number of distinct entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Number of distinct entities of one kind.
+    pub fn count_kind(&self, kind: EntityKind) -> usize {
+        self.by_kind[kind_slot(kind)].len()
+    }
+
+    /// Observations that were absorbed by deduplication.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// All entities of a kind, in id order.
+    pub fn ids_of_kind(&self, kind: EntityKind) -> &[EntityId] {
+        &self.by_kind[kind_slot(kind)]
+    }
+
+    /// Iterates all entities in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entity> {
+        self.entities.iter()
+    }
+
+    /// Resolves the set of entity ids of `kind` satisfying all `constraints`
+    /// (and, if given, restricted to `agents`). Uses the dictionary indexes
+    /// when a constraint targets the kind's indexed attribute; otherwise
+    /// falls back to a scan of the (small) per-kind dictionary.
+    pub fn find(
+        &self,
+        kind: EntityKind,
+        agents: Option<&[AgentId]>,
+        constraints: &[EntityConstraint],
+    ) -> Vec<EntityId> {
+        // Try to seed the candidate set from a dictionary index.
+        let mut candidates: Option<Vec<EntityId>> = None;
+        for c in constraints {
+            if let Some(seed) = self.index_lookup(kind, c) {
+                candidates = Some(seed);
+                break;
+            }
+        }
+        let check = |id: &EntityId| -> bool {
+            let e = self.get(*id);
+            if e.kind() != kind {
+                return false;
+            }
+            if let Some(agents) = agents {
+                if !agents.contains(&e.agent) {
+                    return false;
+                }
+            }
+            constraints.iter().all(|c| self.eval(e, c))
+        };
+        match candidates {
+            Some(seed) => seed.into_iter().filter(|id| check(id)).collect(),
+            None => self.by_kind[kind_slot(kind)]
+                .iter()
+                .copied()
+                .filter(|id| check(id))
+                .collect(),
+        }
+    }
+
+    /// Attempts an index-assisted candidate lookup for one constraint.
+    fn index_lookup(&self, kind: EntityKind, c: &EntityConstraint) -> Option<Vec<EntityId>> {
+        let attr = c.resolved_attr(kind);
+        match (kind, attr) {
+            (EntityKind::Process, "exe_name" | "name") => {
+                self.sym_index_lookup(&self.proc_by_name, c)
+            }
+            (EntityKind::File, "name" | "path") => self.sym_index_lookup(&self.file_by_name, c),
+            (EntityKind::NetConn, "dst_ip" | "dstip") => match &c.cmp {
+                AttrCmp::Eq(Value::Ip(ip)) => {
+                    Some(self.conn_by_dst.get(&ip.0).cloned().unwrap_or_default())
+                }
+                AttrCmp::Like(p) => {
+                    // Evaluate the pattern over distinct destination IPs.
+                    let mut out = Vec::new();
+                    for (raw, ids) in &self.conn_by_dst {
+                        let rendered = aiql_model::IpV4(*raw).to_string();
+                        if p.matches(&rendered) {
+                            out.extend_from_slice(ids);
+                        }
+                    }
+                    Some(out)
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn sym_index_lookup(
+        &self,
+        index: &HashMap<Symbol, Vec<EntityId>>,
+        c: &EntityConstraint,
+    ) -> Option<Vec<EntityId>> {
+        match &c.cmp {
+            AttrCmp::Eq(Value::Str(sym)) => Some(index.get(sym).cloned().unwrap_or_default()),
+            AttrCmp::Like(p) => {
+                // Evaluate the pattern once per *distinct* string — the core
+                // dictionary-vs-events asymmetry.
+                let mut out = Vec::new();
+                for (sym, ids) in index {
+                    if p.matches(self.interner.resolve(*sym)) {
+                        out.extend_from_slice(ids);
+                    }
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluates one constraint against one entity.
+    pub fn eval(&self, entity: &Entity, c: &EntityConstraint) -> bool {
+        let attr = c.resolved_attr(entity.kind());
+        let Ok(actual) = entity.get(attr) else {
+            return false;
+        };
+        self.eval_value(actual, &c.cmp)
+    }
+
+    /// Evaluates a comparison against a concrete attribute value.
+    pub fn eval_value(&self, actual: Value, cmp: &AttrCmp) -> bool {
+        use std::cmp::Ordering::*;
+        match cmp {
+            AttrCmp::Eq(v) => actual.compare(*v) == Some(Equal),
+            AttrCmp::Ne(v) => matches!(actual.compare(*v), Some(Less) | Some(Greater)),
+            AttrCmp::Lt(v) => actual.compare(*v) == Some(Less),
+            AttrCmp::Le(v) => matches!(actual.compare(*v), Some(Less) | Some(Equal)),
+            AttrCmp::Gt(v) => actual.compare(*v) == Some(Greater),
+            AttrCmp::Ge(v) => matches!(actual.compare(*v), Some(Greater) | Some(Equal)),
+            AttrCmp::Like(p) => match actual {
+                Value::Str(sym) => p.matches(self.interner.resolve(sym)),
+                Value::Ip(ip) => p.matches(&ip.to_string()),
+                _ => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{FileAttrs, IpV4, NetConnAttrs, ProcessAttrs, Protocol};
+
+    fn store_with_procs(names: &[&str]) -> EntityStore {
+        let mut s = EntityStore::new();
+        for (i, name) in names.iter().enumerate() {
+            let exe = s.interner_mut().intern(name);
+            let user = s.interner_mut().intern("alice");
+            let cmd = s.interner_mut().intern("");
+            s.intern(
+                AgentId(1),
+                EntityAttrs::Process(ProcessAttrs {
+                    pid: 1000 + i as u32,
+                    exe_name: exe,
+                    user,
+                    cmdline: cmd,
+                }),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn interning_dedups_identical_entities() {
+        let mut s = EntityStore::new();
+        let exe = s.interner_mut().intern("cmd.exe");
+        let user = s.interner_mut().intern("bob");
+        let cmd = s.interner_mut().intern("");
+        let attrs = EntityAttrs::Process(ProcessAttrs {
+            pid: 42,
+            exe_name: exe,
+            user,
+            cmdline: cmd,
+        });
+        let a = s.intern(AgentId(1), attrs);
+        let b = s.intern(AgentId(1), attrs);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.dedup_hits(), 1);
+        // Same attrs on another host is a different entity.
+        let c = s.intern(AgentId(2), attrs);
+        assert_ne!(a, c);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn like_lookup_uses_name_dictionary() {
+        let s = store_with_procs(&[
+            "C:\\Windows\\cmd.exe",
+            "C:\\Windows\\powershell.exe",
+            "/usr/bin/bash",
+        ]);
+        let found = s.find(
+            EntityKind::Process,
+            None,
+            &[EntityConstraint::on_default(AttrCmp::Like(
+                StringPattern::new("%cmd.exe"),
+            ))],
+        );
+        assert_eq!(found.len(), 1);
+        let e = s.get(found[0]);
+        assert_eq!(e.kind(), EntityKind::Process);
+    }
+
+    #[test]
+    fn agent_filter_applies() {
+        let mut s = store_with_procs(&["a.exe"]);
+        let exe = s.interner_mut().intern("a.exe");
+        let user = s.interner_mut().intern("alice");
+        let cmd = s.interner_mut().intern("");
+        s.intern(
+            AgentId(2),
+            EntityAttrs::Process(ProcessAttrs {
+                pid: 7,
+                exe_name: exe,
+                user,
+                cmdline: cmd,
+            }),
+        );
+        let only_agent2 = s.find(EntityKind::Process, Some(&[AgentId(2)]), &[]);
+        assert_eq!(only_agent2.len(), 1);
+        assert_eq!(s.get(only_agent2[0]).agent, AgentId(2));
+    }
+
+    #[test]
+    fn netconn_dst_ip_index() {
+        let mut s = EntityStore::new();
+        for d in [1u8, 2, 129] {
+            s.intern(
+                AgentId(1),
+                EntityAttrs::NetConn(NetConnAttrs {
+                    src_ip: IpV4::from_octets(10, 0, 0, 5),
+                    src_port: 5000,
+                    dst_ip: IpV4::from_octets(10, 0, 4, d),
+                    dst_port: 443,
+                    protocol: Protocol::Tcp,
+                }),
+            );
+        }
+        let hit = s.find(
+            EntityKind::NetConn,
+            None,
+            &[EntityConstraint::on(
+                "dstip",
+                AttrCmp::Eq(Value::Ip(IpV4::from_octets(10, 0, 4, 129))),
+            )],
+        );
+        assert_eq!(hit.len(), 1);
+        // LIKE over rendered IPs also works (`%.129`).
+        let like = s.find(
+            EntityKind::NetConn,
+            None,
+            &[EntityConstraint::on(
+                "dstip",
+                AttrCmp::Like(StringPattern::new("%.129")),
+            )],
+        );
+        assert_eq!(like, hit);
+    }
+
+    #[test]
+    fn numeric_constraints_scan_dictionary() {
+        let s = store_with_procs(&["a", "b", "c"]);
+        let found = s.find(
+            EntityKind::Process,
+            None,
+            &[EntityConstraint::on("pid", AttrCmp::Ge(Value::Int(1001)))],
+        );
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn file_name_index() {
+        let mut s = EntityStore::new();
+        for name in ["/var/www/info_stealer.sh", "/etc/passwd", "/tmp/x"] {
+            let n = s.interner_mut().intern(name);
+            let o = s.interner_mut().intern("root");
+            s.intern(AgentId(3), EntityAttrs::File(FileAttrs { name: n, owner: o }));
+        }
+        let found = s.find(
+            EntityKind::File,
+            None,
+            &[EntityConstraint::on_default(AttrCmp::Like(
+                StringPattern::new("%info_stealer%"),
+            ))],
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(s.count_kind(EntityKind::File), 3);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_empty() {
+        let s = store_with_procs(&["x"]);
+        assert!(s.find(EntityKind::File, None, &[]).is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Event scan filters (the predicate pushdown surface).
+//!
+//! An [`EventFilter`] is what an engine hands to the store: the global
+//! spatial/temporal constraints plus the per-pattern operation set and
+//! (optionally) the already-resolved subject/object entity id sets. The
+//! storage layer picks an access path per segment — posting lists when an id
+//! set is small, operation postings when the op set is selective, otherwise
+//! a column scan.
+
+use std::collections::HashSet;
+
+use aiql_model::{AgentId, EntityId, Event, Operation, TimeWindow, OPERATION_COUNT};
+
+/// A set of operations, encoded as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpSet(pub u16);
+
+impl OpSet {
+    /// The empty set.
+    pub const EMPTY: OpSet = OpSet(0);
+    /// All operations.
+    pub const ALL: OpSet = OpSet((1 << OPERATION_COUNT as u16) - 1);
+
+    /// A singleton set.
+    pub fn single(op: Operation) -> Self {
+        OpSet(1 << op.index() as u16)
+    }
+
+    /// Builds a set from a slice of operations.
+    pub fn from_ops(ops: &[Operation]) -> Self {
+        let mut s = OpSet::EMPTY;
+        for &op in ops {
+            s = s.with(op);
+        }
+        s
+    }
+
+    /// Returns the set with `op` added.
+    #[must_use]
+    pub fn with(self, op: Operation) -> Self {
+        OpSet(self.0 | (1 << op.index() as u16))
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, op: Operation) -> bool {
+        self.0 & (1 << op.index() as u16) != 0
+    }
+
+    /// Number of operations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this set covers every operation.
+    pub fn is_all(self) -> bool {
+        self.0 == Self::ALL.0
+    }
+
+    /// Iterates the member operations.
+    pub fn iter(self) -> impl Iterator<Item = Operation> {
+        (0..OPERATION_COUNT).filter_map(move |i| {
+            if self.0 & (1 << i as u16) != 0 {
+                Operation::from_index(i)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// A set of entity ids with O(1) membership, used for semi-join pushdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdSet {
+    set: HashSet<EntityId>,
+}
+
+impl IdSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from any id iterator (inherent convenience; the trait impl
+    /// below covers generic contexts).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(ids: impl IntoIterator<Item = EntityId>) -> Self {
+        IdSet {
+            set: ids.into_iter().collect(),
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Inserts an id.
+    pub fn insert(&mut self, id: EntityId) {
+        self.set.insert(id);
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates the ids (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.set.iter().copied()
+    }
+}
+
+impl FromIterator<EntityId> for IdSet {
+    fn from_iter<T: IntoIterator<Item = EntityId>>(iter: T) -> Self {
+        IdSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A pushed-down event predicate.
+#[derive(Debug, Clone)]
+pub struct EventFilter {
+    /// Temporal constraint (`[start, end)`).
+    pub window: TimeWindow,
+    /// Spatial constraint; `None` means all hosts.
+    pub agents: Option<Vec<AgentId>>,
+    /// Operations to match.
+    pub ops: OpSet,
+    /// If set, the subject must be in this set.
+    pub subjects: Option<IdSet>,
+    /// If set, the object must be in this set.
+    pub objects: Option<IdSet>,
+    /// Minimum `amount` (bytes), if any.
+    pub min_amount: Option<u64>,
+}
+
+impl Default for EventFilter {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl EventFilter {
+    /// A filter matching every event.
+    pub fn all() -> Self {
+        EventFilter {
+            window: TimeWindow::ALL,
+            agents: None,
+            ops: OpSet::ALL,
+            subjects: None,
+            objects: None,
+            min_amount: None,
+        }
+    }
+
+    /// Restricts the filter to a time window (intersection).
+    #[must_use]
+    pub fn with_window(mut self, window: TimeWindow) -> Self {
+        self.window = self.window.intersect(&window);
+        self
+    }
+
+    /// Restricts the filter to a set of agents.
+    #[must_use]
+    pub fn with_agents(mut self, agents: Vec<AgentId>) -> Self {
+        self.agents = Some(agents);
+        self
+    }
+
+    /// Restricts the operation set.
+    #[must_use]
+    pub fn with_ops(mut self, ops: OpSet) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Restricts subjects to an id set.
+    #[must_use]
+    pub fn with_subjects(mut self, ids: IdSet) -> Self {
+        self.subjects = Some(ids);
+        self
+    }
+
+    /// Restricts objects to an id set.
+    #[must_use]
+    pub fn with_objects(mut self, ids: IdSet) -> Self {
+        self.objects = Some(ids);
+        self
+    }
+
+    /// Whether a fully materialized event satisfies every predicate. This is
+    /// the reference semantics; the segment scanners must agree with it.
+    pub fn matches(&self, e: &Event) -> bool {
+        if !self.ops.contains(e.op) {
+            return false;
+        }
+        if !self.window.contains(e.start_time) {
+            return false;
+        }
+        if let Some(agents) = &self.agents {
+            if !agents.contains(&e.agent) {
+                return false;
+            }
+        }
+        if let Some(s) = &self.subjects {
+            if !s.contains(e.subject) {
+                return false;
+            }
+        }
+        if let Some(o) = &self.objects {
+            if !o.contains(e.object) {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_amount {
+            if e.amount < min {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aiql_model::{EventId, Timestamp};
+
+    fn ev(op: Operation, agent: u32, t: i64) -> Event {
+        Event {
+            id: EventId(0),
+            agent: AgentId(agent),
+            op,
+            subject: EntityId(1),
+            object: EntityId(2),
+            start_time: Timestamp(t),
+            end_time: Timestamp(t + 1),
+            amount: 10,
+        }
+    }
+
+    #[test]
+    fn opset_membership_and_iter() {
+        let s = OpSet::from_ops(&[Operation::Read, Operation::Write]);
+        assert!(s.contains(Operation::Read));
+        assert!(s.contains(Operation::Write));
+        assert!(!s.contains(Operation::Connect));
+        assert_eq!(s.len(), 2);
+        let ops: Vec<_> = s.iter().collect();
+        assert_eq!(ops, vec![Operation::Read, Operation::Write]);
+    }
+
+    #[test]
+    fn opset_all_contains_everything() {
+        for op in aiql_model::event::ALL_OPERATIONS {
+            assert!(OpSet::ALL.contains(op));
+        }
+        assert!(OpSet::ALL.is_all());
+        assert!(OpSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn filter_matches_reference_semantics() {
+        let f = EventFilter::all()
+            .with_ops(OpSet::single(Operation::Read))
+            .with_window(TimeWindow::new(Timestamp(0), Timestamp(100)))
+            .with_agents(vec![AgentId(1)]);
+        assert!(f.matches(&ev(Operation::Read, 1, 50)));
+        assert!(!f.matches(&ev(Operation::Write, 1, 50)));
+        assert!(!f.matches(&ev(Operation::Read, 2, 50)));
+        assert!(!f.matches(&ev(Operation::Read, 1, 150)));
+    }
+
+    #[test]
+    fn filter_entity_sets() {
+        let f = EventFilter::all()
+            .with_subjects(IdSet::from_iter([EntityId(1)]))
+            .with_objects(IdSet::from_iter([EntityId(9)]));
+        let mut e = ev(Operation::Read, 1, 1);
+        assert!(!f.matches(&e)); // object 2 not in {9}
+        e.object = EntityId(9);
+        assert!(f.matches(&e));
+        e.subject = EntityId(5);
+        assert!(!f.matches(&e));
+    }
+
+    #[test]
+    fn filter_min_amount() {
+        let mut f = EventFilter::all();
+        f.min_amount = Some(100);
+        let mut e = ev(Operation::Send, 1, 1);
+        assert!(!f.matches(&e));
+        e.amount = 100;
+        assert!(f.matches(&e));
+    }
+
+    #[test]
+    fn idset_basics() {
+        let mut s = IdSet::new();
+        assert!(s.is_empty());
+        s.insert(EntityId(3));
+        assert!(s.contains(EntityId(3)));
+        assert!(!s.contains(EntityId(4)));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # aiql-storage
+//!
+//! Domain-specific storage for system monitoring data, reproducing the
+//! optimizations of §2.1 of the AIQL paper:
+//!
+//! * **Data deduplication** — entities are interned ([`EntityStore`]): the
+//!   same process/file/connection observed many times maps to one id, and
+//!   excessive event records (same ⟨subject, op, object⟩ back-to-back) are
+//!   merged at commit time.
+//! * **Batch commit + in-memory indexes** — events are buffered and
+//!   committed in batches; each commit builds per-segment posting lists
+//!   (by operation, by subject, by object) so queries avoid full scans.
+//! * **Time and space partitioning / hypertable** — events live in
+//!   [`Segment`]s keyed by ⟨agent id, time bucket⟩ ([`PartitionKey`]); the
+//!   engine enumerates only the partitions a query's global constraints
+//!   allow and executes them in parallel.
+//! * **Persistence** — a write-ahead log ([`wal`]) with CRC-protected
+//!   framing, and full binary [`snapshot`]s of a store.
+//!
+//! The paper layers these optimizations over PostgreSQL/Greenplum; here they
+//! are a native embedded store (see DESIGN.md for the substitution argument).
+//! Crucially the *unoptimized* access path — a full scan over one logical
+//! heap, ignoring all indexes and partition pruning — is also exposed
+//! ([`EventStore::scan_unoptimized`]) because Figure 5 evaluates baselines
+//! without the storage optimizations.
+
+pub mod codec;
+pub mod entities;
+pub mod filter;
+pub mod ingest;
+pub mod segment;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+pub mod wal;
+
+pub use entities::{AttrCmp, EntityConstraint, EntityStore};
+pub use filter::{EventFilter, IdSet, OpSet};
+pub use ingest::{EntitySpec, RawEvent};
+pub use segment::{PartitionKey, Segment};
+pub use stats::{SegmentStats, StoreStats};
+pub use store::{EventStore, SharedStore, StoreConfig};
+pub use wal::{Wal, WalError};

@@ -1,0 +1,268 @@
+//! Full binary snapshots of a store.
+//!
+//! A snapshot captures the string dictionary, the entity dictionary, and all
+//! committed events; loading one reconstructs an equivalent store (same ids,
+//! same scan results) without re-running ingestion. Together with the WAL
+//! this gives the usual checkpoint + log persistence pair.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+
+use aiql_model::{
+    AgentId, EntityAttrs, EntityId, Event, EventId, FileAttrs, IpV4, NetConnAttrs, Operation,
+    ProcessAttrs, Protocol, Symbol, Timestamp,
+};
+
+use crate::codec::{self, CodecError};
+use crate::store::{EventStore, StoreConfig};
+use crate::wal::WalError;
+
+const MAGIC: &[u8; 4] = b"AQS1";
+
+/// Writes a snapshot of `store` to `path`.
+pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
+    let mut buf = BytesMut::with_capacity(1 << 20);
+    // Config (so the loaded hypertable buckets identically).
+    let cfg = store.config();
+    buf.put_i64_le(cfg.time_bucket.micros());
+    buf.put_u8(u8::from(cfg.dedup));
+    buf.put_i64_le(cfg.dedup_window.micros());
+    codec::put_varint(&mut buf, cfg.batch_size as u64);
+    // String dictionary, in symbol order.
+    let interner = store.interner();
+    codec::put_varint(&mut buf, interner.len() as u64);
+    for (_, s) in interner.iter() {
+        codec::put_str(&mut buf, s);
+    }
+    // Entity dictionary, in id order.
+    codec::put_varint(&mut buf, store.entities().len() as u64);
+    for entity in store.entities().iter() {
+        buf.put_u32_le(entity.agent.raw());
+        encode_attrs(&mut buf, &entity.attrs);
+    }
+    // Events, partition by partition.
+    let total: u64 = store.event_count();
+    codec::put_varint(&mut buf, total);
+    store.for_each_event(&mut |e| encode_event(&mut buf, e));
+
+    let crc = codec::crc32(&buf);
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(MAGIC)?;
+    file.write_all(&crc.to_le_bytes())?;
+    file.write_all(&(buf.len() as u64).to_le_bytes())?;
+    file.write_all(&buf)?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Loads a snapshot into a fresh store.
+pub fn load(path: &Path) -> Result<EventStore, WalError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    if &header[0..4] != MAGIC {
+        return Err(WalError::BadHeader);
+    }
+    let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let crc = codec::crc32(&body);
+    if crc != stored_crc {
+        return Err(WalError::Codec(CodecError::CrcMismatch(stored_crc, crc)));
+    }
+    let mut buf = body.as_slice();
+
+    let time_bucket = aiql_model::Duration(codec::get_i64(&mut buf)?);
+    let dedup = codec::get_u8(&mut buf)? != 0;
+    let dedup_window = aiql_model::Duration(codec::get_i64(&mut buf)?);
+    let batch_size = codec::get_varint(&mut buf)? as usize;
+    let mut store = EventStore::new(StoreConfig {
+        time_bucket,
+        dedup,
+        dedup_window,
+        batch_size,
+    });
+
+    // Dictionary: intern in order so symbols keep their ids.
+    let nstrings = codec::get_varint(&mut buf)?;
+    for _ in 0..nstrings {
+        let s = codec::get_str(&mut buf)?;
+        store.entities_mut().interner_mut().intern(&s);
+    }
+    // Entities: intern in id order so entity ids are preserved.
+    let nentities = codec::get_varint(&mut buf)?;
+    for i in 0..nentities {
+        let agent = AgentId(codec::get_u32(&mut buf)?);
+        let attrs = decode_attrs(&mut buf)?;
+        let id = store.entities_mut().intern(agent, attrs);
+        debug_assert_eq!(id, EntityId(i as u32));
+    }
+    // Events.
+    let nevents = codec::get_varint(&mut buf)?;
+    for _ in 0..nevents {
+        let event = decode_event(&mut buf)?;
+        store.insert_committed(event);
+    }
+    Ok(store)
+}
+
+fn encode_attrs(buf: &mut BytesMut, attrs: &EntityAttrs) {
+    match attrs {
+        EntityAttrs::Process(p) => {
+            buf.put_u8(0);
+            buf.put_u32_le(p.pid);
+            buf.put_u32_le(p.exe_name.raw());
+            buf.put_u32_le(p.user.raw());
+            buf.put_u32_le(p.cmdline.raw());
+        }
+        EntityAttrs::File(f) => {
+            buf.put_u8(1);
+            buf.put_u32_le(f.name.raw());
+            buf.put_u32_le(f.owner.raw());
+        }
+        EntityAttrs::NetConn(n) => {
+            buf.put_u8(2);
+            buf.put_u32_le(n.src_ip.0);
+            buf.put_u16_le(n.src_port);
+            buf.put_u32_le(n.dst_ip.0);
+            buf.put_u16_le(n.dst_port);
+            buf.put_u8(match n.protocol {
+                Protocol::Tcp => 0,
+                Protocol::Udp => 1,
+            });
+        }
+    }
+}
+
+fn decode_attrs(buf: &mut &[u8]) -> Result<EntityAttrs, CodecError> {
+    Ok(match codec::get_u8(buf)? {
+        0 => EntityAttrs::Process(ProcessAttrs {
+            pid: codec::get_u32(buf)?,
+            exe_name: Symbol(codec::get_u32(buf)?),
+            user: Symbol(codec::get_u32(buf)?),
+            cmdline: Symbol(codec::get_u32(buf)?),
+        }),
+        1 => EntityAttrs::File(FileAttrs {
+            name: Symbol(codec::get_u32(buf)?),
+            owner: Symbol(codec::get_u32(buf)?),
+        }),
+        2 => EntityAttrs::NetConn(NetConnAttrs {
+            src_ip: IpV4(codec::get_u32(buf)?),
+            src_port: codec::get_u16(buf)?,
+            dst_ip: IpV4(codec::get_u32(buf)?),
+            dst_port: codec::get_u16(buf)?,
+            protocol: match codec::get_u8(buf)? {
+                0 => Protocol::Tcp,
+                _ => Protocol::Udp,
+            },
+        }),
+        _ => return Err(CodecError::BadMagic),
+    })
+}
+
+fn encode_event(buf: &mut BytesMut, e: &Event) {
+    buf.put_u64_le(e.id.raw());
+    buf.put_u32_le(e.agent.raw());
+    buf.put_u8(e.op.index() as u8);
+    buf.put_u32_le(e.subject.raw());
+    buf.put_u32_le(e.object.raw());
+    buf.put_i64_le(e.start_time.micros());
+    buf.put_i64_le(e.end_time.micros());
+    codec::put_varint(buf, e.amount);
+}
+
+fn decode_event(buf: &mut &[u8]) -> Result<Event, CodecError> {
+    Ok(Event {
+        id: EventId(codec::get_u64(buf)?),
+        agent: AgentId(codec::get_u32(buf)?),
+        op: Operation::from_index(codec::get_u8(buf)? as usize).ok_or(CodecError::BadMagic)?,
+        subject: EntityId(codec::get_u32(buf)?),
+        object: EntityId(codec::get_u32(buf)?),
+        start_time: Timestamp(codec::get_i64(buf)?),
+        end_time: Timestamp(codec::get_i64(buf)?),
+        amount: codec::get_varint(buf)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::EventFilter;
+    use crate::ingest::{EntitySpec, RawEvent};
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("aiql-snap-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn populated_store() -> EventStore {
+        let mut store = EventStore::default();
+        let mut raws = Vec::new();
+        for i in 0..50 {
+            raws.push(RawEvent::instant(
+                AgentId((i % 4) as u32),
+                if i % 3 == 0 { Operation::Read } else { Operation::Write },
+                EntitySpec::process(100 + i as u32, &format!("exe{}", i % 5), "alice"),
+                EntitySpec::file(&format!("/data/f{}", i % 9), "alice"),
+                Timestamp::from_secs(i * 60),
+                i as u64 * 10,
+            ));
+        }
+        store.ingest_all(&raws);
+        store
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_scans() {
+        let store = populated_store();
+        let path = tmpfile("roundtrip");
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        let mut before = store.scan_collect(&EventFilter::all());
+        let mut after = loaded.scan_collect(&EventFilter::all());
+        before.sort_by_key(|e| e.id);
+        after.sort_by_key(|e| e.id);
+        assert_eq!(before, after);
+        assert_eq!(store.entities().len(), loaded.entities().len());
+        assert_eq!(store.interner().len(), loaded.interner().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_preserves_entity_attributes() {
+        let store = populated_store();
+        let path = tmpfile("attrs");
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        for (a, b) in store.entities().iter().zip(loaded.entities().iter()) {
+            assert_eq!(a, b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_snapshot_detected() {
+        let store = populated_store();
+        let path = tmpfile("corrupt");
+        save(&store, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_snapshot_file_rejected() {
+        let path = tmpfile("notasnap");
+        std::fs::write(&path, b"garbage data here").unwrap();
+        assert!(matches!(load(&path), Err(WalError::BadHeader)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,88 @@
+//! Storage statistics, consumed by the engine's pruning-power scheduler and
+//! surfaced in the benchmark reports (dataset size headers).
+
+use aiql_model::{Timestamp, OPERATION_COUNT};
+
+/// Per-segment statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Events stored.
+    pub events: usize,
+    /// Events per operation.
+    pub per_op: [usize; OPERATION_COUNT],
+    /// Distinct subject entities.
+    pub distinct_subjects: usize,
+    /// Distinct object entities.
+    pub distinct_objects: usize,
+    /// Earliest event start time.
+    pub min_time: Timestamp,
+    /// Latest event start time.
+    pub max_time: Timestamp,
+}
+
+/// Whole-store statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Total committed events.
+    pub events: u64,
+    /// Raw observations ingested (>= `events` when event dedup merged some).
+    pub raw_events: u64,
+    /// Events absorbed by event-level deduplication.
+    pub merged_events: u64,
+    /// Distinct entities after dedup.
+    pub entities: u64,
+    /// Entity observations absorbed by entity dedup.
+    pub entity_dedup_hits: u64,
+    /// Number of hypertable partitions.
+    pub partitions: u64,
+    /// Number of monitored hosts seen.
+    pub agents: u64,
+    /// Number of batch commits performed.
+    pub commits: u64,
+    /// Approximate resident bytes of event columns.
+    pub event_bytes: u64,
+    /// Approximate resident bytes of the string dictionary.
+    pub dict_bytes: u64,
+}
+
+impl StoreStats {
+    /// Human-readable one-line summary for benchmark headers.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} events ({} raw, {} merged) | {} entities ({} dedup hits) | {} partitions on {} hosts | ~{:.1} MB columns",
+            self.events,
+            self.raw_events,
+            self.merged_events,
+            self.entities,
+            self.entity_dedup_hits,
+            self.partitions,
+            self.agents,
+            self.event_bytes as f64 / 1_048_576.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_key_counts() {
+        let s = StoreStats {
+            events: 1000,
+            raw_events: 1200,
+            merged_events: 200,
+            entities: 50,
+            entity_dedup_hits: 1150,
+            partitions: 8,
+            agents: 4,
+            commits: 2,
+            event_bytes: 2 * 1_048_576,
+            dict_bytes: 1024,
+        };
+        let text = s.summary();
+        assert!(text.contains("1000 events"));
+        assert!(text.contains("8 partitions"));
+        assert!(text.contains("4 hosts"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Write-ahead log for raw observations.
+//!
+//! Agents stream observations continuously; the WAL makes ingestion durable
+//! before batch commit. Records are framed as `[len][crc32][payload]` so a
+//! torn tail (host crash mid-write) is detected and replay stops cleanly at
+//! the last intact record — standard embedded-database recovery semantics.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+
+use aiql_model::{AgentId, IpV4, Operation, Protocol, Timestamp};
+
+use crate::codec::{self, CodecError};
+use crate::ingest::{EntitySpec, RawEvent};
+
+const MAGIC: &[u8; 4] = b"AQW1";
+
+/// Errors raised by WAL operations.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Decoding failure (corrupt payload that passed CRC — format bug).
+    Codec(CodecError),
+    /// The file does not start with the WAL magic.
+    BadHeader,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Codec(e) => write!(f, "wal codec error: {e}"),
+            WalError::BadHeader => write!(f, "not a wal file (bad magic)"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> Self {
+        WalError::Codec(e)
+    }
+}
+
+/// An append-only write-ahead log.
+pub struct Wal {
+    writer: BufWriter<File>,
+    records: u64,
+}
+
+impl Wal {
+    /// Creates (or truncates) a WAL at `path`.
+    pub fn create(path: &Path) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        Ok(Wal {
+            writer: BufWriter::new(file),
+            records: 0,
+        })
+    }
+
+    /// Appends one observation.
+    pub fn append(&mut self, raw: &RawEvent) -> Result<(), WalError> {
+        let mut payload = BytesMut::with_capacity(128);
+        encode_raw_event(&mut payload, raw);
+        let crc = codec::crc32(&payload);
+        let mut frame = BytesMut::with_capacity(payload.len() + 8);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc);
+        frame.extend_from_slice(&payload);
+        self.writer.write_all(&frame)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered frames to the OS.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Records appended through this handle.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Replays a WAL file, returning all intact records. Stops (without
+    /// error) at the first torn or corrupt frame, mirroring crash recovery.
+    pub fn replay(path: &Path) -> Result<Vec<RawEvent>, WalError> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        if reader.read_exact(&mut magic).is_err() || &magic != MAGIC {
+            return Err(WalError::BadHeader);
+        }
+        let mut out = Vec::new();
+        loop {
+            let mut header = [0u8; 8];
+            match reader.read_exact(&mut header) {
+                Ok(()) => {}
+                Err(_) => break, // clean or torn end
+            }
+            let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+            let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+            let mut payload = vec![0u8; len];
+            if reader.read_exact(&mut payload).is_err() {
+                break; // torn tail
+            }
+            let crc = codec::crc32(&payload);
+            if crc != stored_crc {
+                break; // corrupt frame: stop replay
+            }
+            let mut slice = payload.as_slice();
+            out.push(decode_raw_event(&mut slice)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Encodes a raw event payload (shared with tests).
+pub fn encode_raw_event(buf: &mut BytesMut, raw: &RawEvent) {
+    buf.put_u32_le(raw.agent.raw());
+    buf.put_u8(raw.op.index() as u8);
+    encode_spec(buf, &raw.subject);
+    encode_spec(buf, &raw.object);
+    buf.put_i64_le(raw.start_time.micros());
+    buf.put_i64_le(raw.end_time.micros());
+    codec::put_varint(buf, raw.amount);
+    match raw.object_agent {
+        Some(a) => {
+            buf.put_u8(1);
+            buf.put_u32_le(a.raw());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+/// Decodes a raw event payload.
+pub fn decode_raw_event(buf: &mut &[u8]) -> Result<RawEvent, CodecError> {
+    let agent = AgentId(codec::get_u32(buf)?);
+    let op = Operation::from_index(codec::get_u8(buf)? as usize).ok_or(CodecError::BadMagic)?;
+    let subject = decode_spec(buf)?;
+    let object = decode_spec(buf)?;
+    let start_time = Timestamp(codec::get_i64(buf)?);
+    let end_time = Timestamp(codec::get_i64(buf)?);
+    let amount = codec::get_varint(buf)?;
+    let object_agent = if codec::get_u8(buf)? == 1 {
+        Some(AgentId(codec::get_u32(buf)?))
+    } else {
+        None
+    };
+    Ok(RawEvent {
+        agent,
+        op,
+        subject,
+        object,
+        object_agent,
+        start_time,
+        end_time,
+        amount,
+    })
+}
+
+fn encode_spec(buf: &mut BytesMut, spec: &EntitySpec) {
+    match spec {
+        EntitySpec::Process {
+            pid,
+            exe_name,
+            user,
+            cmdline,
+        } => {
+            buf.put_u8(0);
+            buf.put_u32_le(*pid);
+            codec::put_str(buf, exe_name);
+            codec::put_str(buf, user);
+            codec::put_str(buf, cmdline);
+        }
+        EntitySpec::File { name, owner } => {
+            buf.put_u8(1);
+            codec::put_str(buf, name);
+            codec::put_str(buf, owner);
+        }
+        EntitySpec::NetConn {
+            src_ip,
+            src_port,
+            dst_ip,
+            dst_port,
+            protocol,
+        } => {
+            buf.put_u8(2);
+            buf.put_u32_le(src_ip.0);
+            buf.put_u16_le(*src_port);
+            buf.put_u32_le(dst_ip.0);
+            buf.put_u16_le(*dst_port);
+            buf.put_u8(match protocol {
+                Protocol::Tcp => 0,
+                Protocol::Udp => 1,
+            });
+        }
+    }
+}
+
+fn decode_spec(buf: &mut &[u8]) -> Result<EntitySpec, CodecError> {
+    match codec::get_u8(buf)? {
+        0 => Ok(EntitySpec::Process {
+            pid: codec::get_u32(buf)?,
+            exe_name: codec::get_str(buf)?,
+            user: codec::get_str(buf)?,
+            cmdline: codec::get_str(buf)?,
+        }),
+        1 => Ok(EntitySpec::File {
+            name: codec::get_str(buf)?,
+            owner: codec::get_str(buf)?,
+        }),
+        2 => Ok(EntitySpec::NetConn {
+            src_ip: IpV4(codec::get_u32(buf)?),
+            src_port: codec::get_u16(buf)?,
+            dst_ip: IpV4(codec::get_u32(buf)?),
+            dst_port: codec::get_u16(buf)?,
+            protocol: match codec::get_u8(buf)? {
+                0 => Protocol::Tcp,
+                _ => Protocol::Udp,
+            },
+        }),
+        _ => Err(CodecError::BadMagic),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Seek;
+
+    fn sample(i: i64) -> RawEvent {
+        RawEvent::instant(
+            AgentId(1),
+            Operation::Write,
+            EntitySpec::process(42, "sqlservr.exe", "mssql"),
+            EntitySpec::file("C:\\dumps\\backup1.dmp", "mssql"),
+            Timestamp::from_secs(i),
+            4096,
+        )
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("aiql-wal-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let path = tmpfile("roundtrip");
+        let mut wal = Wal::create(&path).unwrap();
+        let events: Vec<RawEvent> = (0..10).map(sample).collect();
+        for e in &events {
+            wal.append(e).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(wal.records(), 10);
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_cleanly() {
+        let path = tmpfile("torn");
+        let mut wal = Wal::create(&path).unwrap();
+        for i in 0..5 {
+            wal.append(&sample(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        // Truncate mid-record to simulate a crash.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 7).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert_eq!(replayed.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_frame_stops_replay() {
+        let path = tmpfile("corrupt");
+        let mut wal = Wal::create(&path).unwrap();
+        for i in 0..3 {
+            wal.append(&sample(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        // Flip a byte in the middle of the file (inside record payloads).
+        let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        f.seek(std::io::SeekFrom::Start(40)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(std::io::SeekFrom::Start(40)).unwrap();
+        f.write_all(&[b[0] ^ 0xFF]).unwrap();
+        let replayed = Wal::replay(&path).unwrap();
+        assert!(replayed.len() < 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_non_wal_file() {
+        let path = tmpfile("badmagic");
+        std::fs::write(&path, b"not a wal").unwrap();
+        assert!(matches!(Wal::replay(&path), Err(WalError::BadHeader)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_spec_kinds_roundtrip() {
+        let conn = RawEvent::instant(
+            AgentId(9),
+            Operation::Connect,
+            EntitySpec::process(7, "sbblv.exe", "system"),
+            EntitySpec::tcp(
+                IpV4::from_octets(10, 0, 0, 2),
+                49152,
+                IpV4::from_octets(10, 0, 4, 129),
+                443,
+            ),
+            Timestamp::from_secs(1),
+            0,
+        );
+        let mut buf = BytesMut::new();
+        encode_raw_event(&mut buf, &conn);
+        let mut slice = &buf[..];
+        assert_eq!(decode_raw_event(&mut slice).unwrap(), conn);
+    }
+}

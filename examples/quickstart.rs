@@ -1,0 +1,100 @@
+//! Quickstart: ingest a handful of system events and run one query of each
+//! kind (multievent, dependency, anomaly).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use aiql::model::{AgentId, Operation, Timestamp};
+use aiql::{AiqlSystem, EntitySpec, RawEvent};
+
+fn main() {
+    let mut system = AiqlSystem::new();
+
+    // A tiny attack trace on host 1: cmd starts osql, the SQL server writes
+    // a dump, malware reads it and ships it to 172.16.99.129.
+    let t0 = Timestamp::from_date(2018, 3, 19);
+    let s = |secs: i64| t0 + aiql::model::Duration::from_secs(54_000 + secs);
+    let cmd = EntitySpec::process(101, "C:\\Windows\\System32\\cmd.exe", "dbadmin");
+    let osql = EntitySpec::process(102, "C:\\MSSQL\\osql.exe", "dbadmin");
+    let sqlservr = EntitySpec::process(103, "C:\\MSSQL\\sqlservr.exe", "mssql");
+    let malware = EntitySpec::process(104, "C:\\Temp\\sbblv.exe", "dbadmin");
+    let dump = EntitySpec::file("C:\\dumps\\backup1.dmp", "mssql");
+    let exfil = EntitySpec::tcp(
+        aiql::model::IpV4::from_octets(10, 0, 0, 12),
+        42_107,
+        aiql::model::IpV4::from_octets(172, 16, 99, 129),
+        443,
+    );
+
+    let mut events = vec![
+        RawEvent::instant(AgentId(1), Operation::Start, cmd, osql.clone(), s(0), 0),
+        RawEvent::instant(AgentId(1), Operation::Write, sqlservr, dump.clone(), s(60), 1 << 28),
+        RawEvent::instant(AgentId(1), Operation::Read, malware.clone(), dump, s(120), 1 << 28),
+    ];
+    for i in 0..10 {
+        events.push(RawEvent::instant(
+            AgentId(1),
+            Operation::Write,
+            malware.clone(),
+            exfil.clone(),
+            s(180 + i * 20),
+            8 << 20,
+        ));
+    }
+    // Benign noise.
+    for i in 0..50 {
+        events.push(RawEvent::instant(
+            AgentId(1),
+            Operation::Read,
+            osql.clone(),
+            EntitySpec::file(&format!("C:\\MSSQL\\data\\table{i}.dat"), "mssql"),
+            s(i),
+            4096,
+        ));
+    }
+    system.ingest(&events);
+    println!("store: {}\n", system.store().stats().summary());
+
+    // 1. Multievent query — the paper's Query 1, lightly adapted.
+    let multievent = r#"
+        (at "03/19/2018")
+        proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+        proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+        proc p4["%sbblv.exe"] read file f1 as evt3
+        proc p4 read || write ip i1[dstip = "172.16.99.129"] as evt4
+        with evt1 before evt2, evt2 before evt3, evt3 before evt4
+        return distinct p1, p2, p3, f1, p4, i1
+    "#;
+    println!("== multievent: data exfiltration behavior ==");
+    let table = system.query(multievent).expect("query");
+    println!("{}", system.render(&table));
+
+    // 2. Dependency query — what did the malware's dump read lead to?
+    let dependency = r#"
+        (at "03/19/2018")
+        backward: file f["%backup1.dmp"] <-[write] proc p["%sqlservr%"]
+        return f, p
+    "#;
+    println!("== dependency: who produced the dump ==");
+    let table = system.query(dependency).expect("query");
+    println!("{}", system.render(&table));
+
+    // 3. Anomaly query — volume spike to any destination.
+    let anomaly = r#"
+        (at "03/19/2018")
+        window = 1 min, step = 10 sec
+        proc p write ip i as evt
+        return p, i, avg(evt.amount) as amt
+        group by p, i
+        having amt > 2 * (amt + amt[1] + amt[2]) / 3 and amt > 1000000
+    "#;
+    println!("== anomaly: outbound volume spike ==");
+    let table = system.query(anomaly).expect("query");
+    println!("{}", system.render(&table));
+
+    // Bonus: show the equivalent SQL the analyst did NOT have to write.
+    let parsed = aiql::parse_query(multievent).unwrap();
+    println!("== equivalent SQL (generated) ==");
+    println!("{}", aiql::lang::sql::to_sql(&parsed));
+}

@@ -1,0 +1,123 @@
+//! End-to-end: every catalog query parses, analyzes, and executes against
+//! its scenario store, and the queries that pin down attack artifacts
+//! return them.
+
+use aiql::sim::{build_store, case_study_queries, demo_queries, scenario_case_study, scenario_demo, Scale};
+use aiql::{Engine, EngineConfig, StoreConfig};
+
+fn demo_store() -> aiql::EventStore {
+    build_store(&scenario_demo(Scale::test()), StoreConfig::default())
+}
+
+fn case_store() -> aiql::EventStore {
+    build_store(&scenario_case_study(Scale::test()), StoreConfig::default())
+}
+
+#[test]
+fn all_demo_queries_execute_and_find_evidence() {
+    let store = demo_store();
+    let engine = Engine::new(EngineConfig::default());
+    for cq in demo_queries() {
+        let table = engine
+            .execute_text(&store, &cq.aiql)
+            .unwrap_or_else(|e| panic!("query {} failed: {e}", cq.id));
+        assert!(
+            !table.rows.is_empty(),
+            "query {} returned no evidence:\n{}",
+            cq.id,
+            cq.aiql
+        );
+        assert!(!table.truncated, "query {} truncated", cq.id);
+    }
+}
+
+#[test]
+fn all_case_study_queries_execute_and_find_evidence() {
+    let store = case_store();
+    let engine = Engine::new(EngineConfig::default());
+    for cq in case_study_queries() {
+        let table = engine
+            .execute_text(&store, &cq.aiql)
+            .unwrap_or_else(|e| panic!("query {} failed: {e}", cq.id));
+        assert!(
+            !table.rows.is_empty(),
+            "query {} returned no evidence:\n{}",
+            cq.id,
+            cq.aiql
+        );
+    }
+}
+
+#[test]
+fn query1_returns_exactly_the_exfiltration_chain() {
+    let store = demo_store();
+    let engine = Engine::new(EngineConfig::default());
+    let a5_5 = demo_queries()
+        .into_iter()
+        .find(|q| q.id == "a5-5")
+        .unwrap();
+    let table = engine.execute_text(&store, &a5_5.aiql).unwrap();
+    assert_eq!(table.rows.len(), 1, "expected exactly one distinct chain");
+    let rendered = table.render(store.interner());
+    assert!(rendered.contains("osql.exe"));
+    assert!(rendered.contains("backup1.dmp"));
+    assert!(rendered.contains("sbblv.exe"));
+    assert!(rendered.contains("172.16.99.129"));
+}
+
+#[test]
+fn anomaly_query_detects_only_the_implant() {
+    let store = demo_store();
+    let engine = Engine::new(EngineConfig::default());
+    let a5_1 = demo_queries()
+        .into_iter()
+        .find(|q| q.id == "a5-1")
+        .unwrap();
+    let table = engine.execute_text(&store, &a5_1.aiql).unwrap();
+    assert!(!table.rows.is_empty());
+    let rendered = table.render(store.interner());
+    assert!(rendered.contains("sbblv.exe"), "{rendered}");
+    // Background processes never move megabytes per minute to one IP.
+    for row in &table.rows {
+        let p = row[0].render(store.interner());
+        assert!(p.contains("sbblv"), "false positive: {p}");
+    }
+}
+
+#[test]
+fn cross_host_dependency_tracking_reaches_the_client() {
+    let store = demo_store();
+    let engine = Engine::new(EngineConfig::default());
+    let a2_3 = demo_queries()
+        .into_iter()
+        .find(|q| q.id == "a2-3")
+        .unwrap();
+    let table = engine.execute_text(&store, &a2_3.aiql).unwrap();
+    let rendered = table.render(store.interner());
+    // The forward track crosses from the web server (agent 1) to the
+    // client (agent 0) and lands on the dropped implant copy.
+    assert!(rendered.contains("sbblv.exe"), "{rendered}");
+}
+
+#[test]
+fn queries_against_empty_store_return_empty_not_error() {
+    let store = aiql::EventStore::default();
+    let engine = Engine::new(EngineConfig::default());
+    for cq in demo_queries() {
+        let table = engine
+            .execute_text(&store, &cq.aiql)
+            .unwrap_or_else(|e| panic!("query {} failed on empty store: {e}", cq.id));
+        assert!(table.rows.is_empty());
+    }
+}
+
+#[test]
+fn facade_runs_the_catalog_too() {
+    let mut system = aiql::AiqlSystem::new();
+    system.ingest(&scenario_demo(Scale::test()).raws);
+    let table = system
+        .query(r#"(at "03/19/2018") agentid = 2 proc p write file f["%backup1.dmp"] as e return p"#)
+        .unwrap();
+    assert_eq!(table.rows.len(), 1);
+    assert!(system.render(&table).contains("sqlservr.exe"));
+}
