@@ -136,9 +136,7 @@ impl GraphEngine {
                 Box::new(full_scan.iter())
             };
         for e in candidates {
-            if !self.edge_matches(store, a, idx, e)
-                || !consistent(a, idx, e, tuple)
-            {
+            if !self.edge_matches(store, a, idx, e) || !consistent(a, idx, e, tuple) {
                 continue;
             }
             let prev_s = tuple.vars[p.subject];

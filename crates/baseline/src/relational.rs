@@ -287,7 +287,11 @@ mod tests {
         for i in 0..200i64 {
             raws.push(RawEvent::instant(
                 AgentId((i % 3) as u32),
-                if i % 4 == 0 { Operation::Write } else { Operation::Read },
+                if i % 4 == 0 {
+                    Operation::Write
+                } else {
+                    Operation::Read
+                },
                 EntitySpec::process(100 + (i % 5) as u32, &format!("exe{}.bin", i % 5), "u"),
                 EntitySpec::file(&format!("/data/f{}", i % 7), "u"),
                 Timestamp::from_secs(i * 30),

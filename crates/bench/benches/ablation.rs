@@ -68,6 +68,28 @@ fn bench_engine_ablations(c: &mut Criterion) {
                 ..EngineConfig::default()
             },
         ),
+        (
+            "no-late-materialization",
+            EngineConfig {
+                late_materialization: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "no-scan-pool",
+            EngineConfig {
+                scan_pool: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "seed-pipeline",
+            EngineConfig {
+                late_materialization: false,
+                scan_pool: false,
+                ..EngineConfig::default()
+            },
+        ),
         ("all-off", EngineConfig::unoptimized()),
     ];
     for (name, config) in variants {
@@ -170,6 +192,27 @@ fn bench_storage_ablations(c: &mut Criterion) {
     group.bench_function("selective-scan/full", |b| {
         b.iter(|| store.scan_unoptimized_collect(&filter).len());
     });
+
+    // Selection-vector row selection vs the materializing verification
+    // path, and the cost-based access-path choice vs the fixed 64-id
+    // cutoff (exercised through the columnar `count` API the late
+    // pipeline's scans are built on).
+    for (name, selection_vectors, cost_based_access) in [
+        ("scan-path/selection-vectors", true, true),
+        ("scan-path/fixed-cutoff", true, false),
+        ("scan-path/materializing", false, false),
+    ] {
+        let mut store = EventStore::new(StoreConfig {
+            selection_vectors,
+            cost_based_access,
+            ..StoreConfig::default()
+        });
+        store.ingest_all(&scenario.raws);
+        let filter = EventFilter::all().with_ops(OpSet::single(Operation::Write));
+        group.bench_function(name, |b| {
+            b.iter(|| store.count(&filter));
+        });
+    }
     group.finish();
 }
 

@@ -27,7 +27,11 @@ fn bench_fig5(c: &mut Criterion) {
             b.iter(|| engine.execute_text(&store, src).expect("aiql query"));
         });
         group.bench_with_input(BenchmarkId::new("postgresql", cq.id), &cq.aiql, |b, src| {
-            b.iter(|| postgres.execute_text(&store, src).expect("relational query"));
+            b.iter(|| {
+                postgres
+                    .execute_text(&store, src)
+                    .expect("relational query")
+            });
         });
         group.bench_with_input(BenchmarkId::new("neo4j", cq.id), &cq.aiql, |b, src| {
             b.iter(|| neo4j.execute_text(&store, src).expect("graph query"));

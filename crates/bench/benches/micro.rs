@@ -97,8 +97,57 @@ fn bench_dictionary(c: &mut Criterion) {
         b.iter(|| {
             store
                 .entities()
-                .find(aiql_model::EntityKind::Process, None, std::slice::from_ref(&pattern))
+                .find(
+                    aiql_model::EntityKind::Process,
+                    None,
+                    std::slice::from_ref(&pattern),
+                )
                 .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_idset(c: &mut Criterion) {
+    use aiql_model::EntityId;
+    use aiql_storage::IdSet;
+    use std::collections::HashSet;
+
+    let mut group = c.benchmark_group("micro/idset");
+    // Two overlapping sets of the size a semi-join narrowing step sees.
+    let a_ids: Vec<EntityId> = (0..20_000).step_by(2).map(EntityId).collect();
+    let b_ids: Vec<EntityId> = (0..20_000).step_by(3).map(EntityId).collect();
+    let a = IdSet::from_iter(a_ids.iter().copied());
+    let b = IdSet::from_iter(b_ids.iter().copied());
+    group.bench_function("bitmap-intersect-10k", |bch| {
+        bch.iter(|| {
+            let mut x = a.clone();
+            x.intersect_with(&b);
+            x.len()
+        });
+    });
+    // The seed's narrowing: rebuild a hash set per pattern per variable.
+    let a_hash: HashSet<EntityId> = a_ids.iter().copied().collect();
+    let b_hash: HashSet<EntityId> = b_ids.iter().copied().collect();
+    group.bench_function("hashset-rebuild-10k", |bch| {
+        bch.iter(|| {
+            let x: HashSet<EntityId> = a_hash
+                .iter()
+                .filter(|id| b_hash.contains(*id))
+                .copied()
+                .collect();
+            x.len()
+        });
+    });
+    group.bench_function("bitmap-membership-1m", |bch| {
+        bch.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..1_000_000u32 {
+                if a.contains(EntityId(i % 20_000)) {
+                    hits += 1;
+                }
+            }
+            hits
         });
     });
     group.finish();
@@ -109,6 +158,7 @@ criterion_group!(
     bench_parser,
     bench_patterns,
     bench_persistence,
-    bench_dictionary
+    bench_dictionary,
+    bench_idset
 );
 criterion_main!(benches);

@@ -82,7 +82,10 @@ fn main() {
         })
         .collect();
     let full = timings[0].1;
-    println!("{:<24} {:>12} {:>10}", "configuration", "time (ms)", "vs full");
+    println!(
+        "{:<24} {:>12} {:>10}",
+        "configuration", "time (ms)", "vs full"
+    );
     for (name, secs) in timings {
         println!(
             "{:<24} {:>12.3} {:>9.2}x",
@@ -120,7 +123,11 @@ fn main() {
             s.ingest_all(&scenario.raws);
             s.event_count()
         });
-        println!("{:<24} {:>12.1} ms", format!("batch size {batch}"), secs * 1e3);
+        println!(
+            "{:<24} {:>12.1} ms",
+            format!("batch size {batch}"),
+            secs * 1e3
+        );
     }
 
     let mut store2 = EventStore::default();

@@ -15,7 +15,16 @@ fn report(title: &str, catalog: &[CatalogQuery]) -> (f64, f64, f64) {
     println!("== {title} ==");
     println!(
         "{:<6} {:>6} {:>6} {:>6}   {:>6} {:>6} {:>6}   {:>7} {:>7} {:>7}",
-        "query", "a.cons", "a.word", "a.char", "s.cons", "s.word", "s.char", "r.cons", "r.word", "r.char"
+        "query",
+        "a.cons",
+        "a.word",
+        "a.char",
+        "s.cons",
+        "s.word",
+        "s.char",
+        "r.cons",
+        "r.word",
+        "r.char"
     );
     let (mut sum_c, mut sum_w, mut sum_ch) = (0.0, 0.0, 0.0);
     let mut min_c = f64::MAX;

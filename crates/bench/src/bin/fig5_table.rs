@@ -23,7 +23,15 @@ fn main() {
     println!();
     println!(
         "{:<6} {:>11} {:>11} {:>11} {:>8} {:>8} {:>9} {:>9} {:>9}",
-        "query", "aiql (ms)", "pg (ms)", "neo4j(ms)", "pg/aiql", "neo/aiql", "log10(A)", "log10(P)", "log10(N)"
+        "query",
+        "aiql (ms)",
+        "pg (ms)",
+        "neo4j(ms)",
+        "pg/aiql",
+        "neo/aiql",
+        "log10(A)",
+        "log10(P)",
+        "log10(N)"
     );
 
     let (mut ta, mut tp, mut tn) = (0.0, 0.0, 0.0);

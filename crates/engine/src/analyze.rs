@@ -128,9 +128,8 @@ pub fn analyze_multievent(
         let object = bind_var(&p.object, &mut vars, &mut var_index, store.interner())?;
         let mut ops = OpSet::EMPTY;
         for op_name in &p.ops {
-            let op = Operation::parse(op_name).map_err(|_| {
-                EngineError::Analysis(format!("unknown operation `{op_name}`"))
-            })?;
+            let op = Operation::parse(op_name)
+                .map_err(|_| EngineError::Analysis(format!("unknown operation `{op_name}`")))?;
             let object_kind = vars[object].kind;
             if !op.allowed_object_kinds().contains(&object_kind) {
                 return Err(EngineError::Analysis(format!(
@@ -159,7 +158,10 @@ pub fn analyze_multievent(
     let mut temporal = Vec::with_capacity(q.temporal.len());
     for t in &q.temporal {
         let left = *event_index.get(&t.left).ok_or_else(|| {
-            EngineError::Analysis(format!("unknown event variable `{}` in with clause", t.left))
+            EngineError::Analysis(format!(
+                "unknown event variable `{}` in with clause",
+                t.left
+            ))
         })?;
         let right = *event_index.get(&t.right).ok_or_else(|| {
             EngineError::Analysis(format!(
@@ -249,8 +251,7 @@ pub fn analyze_anomaly(
     if let Some(h) = &q.having {
         let aliases: Vec<String> = q.ret.items.iter().filter_map(|i| i.alias.clone()).collect();
         let known = |name: &str| {
-            base.vars.iter().any(|v| v.name == name)
-                || base.patterns.iter().any(|p| p.name == name)
+            base.vars.iter().any(|v| v.name == name) || base.patterns.iter().any(|p| p.name == name)
         };
         validate_expr(h, &known, &aliases, true)?;
         base.having = Some(h.clone());
@@ -270,10 +271,9 @@ fn validate_expr(
             return;
         }
         match node {
-            Expr::Ref { var, .. }
-                if !known_var(var) && !aliases.iter().any(|a| a == var) => {
-                    err = Some(EngineError::Analysis(format!("unknown variable `{var}`")));
-                }
+            Expr::Ref { var, .. } if !known_var(var) && !aliases.iter().any(|a| a == var) => {
+                err = Some(EngineError::Analysis(format!("unknown variable `{var}`")));
+            }
             Expr::History { name, .. } => {
                 if !allow_history {
                     err = Some(EngineError::Analysis(format!(
@@ -349,8 +349,7 @@ enum Lowered {
 
 /// Whether an attribute holds an IP address.
 fn is_ip_attr(kind: EntityKind, attr: &str) -> bool {
-    kind == EntityKind::NetConn
-        && matches!(attr, "" | "dstip" | "dst_ip" | "srcip" | "src_ip")
+    kind == EntityKind::NetConn && matches!(attr, "" | "dstip" | "dst_ip" | "srcip" | "src_ip")
 }
 
 fn lower_constraint(
@@ -494,8 +493,8 @@ fn analyze_globals(
 mod tests {
     use super::*;
     use aiql_lang::parse_query;
-    use aiql_storage::{EntitySpec, RawEvent};
     use aiql_model::Timestamp;
+    use aiql_storage::{EntitySpec, RawEvent};
 
     fn store() -> EventStore {
         let mut s = EventStore::default();
@@ -545,8 +544,7 @@ mod tests {
 
     #[test]
     fn exact_string_present_resolves_to_symbol() {
-        let a =
-            analyze(r#"proc p["C:\\Windows\\cmd.exe"] read file f as e return p"#).unwrap();
+        let a = analyze(r#"proc p["C:\\Windows\\cmd.exe"] read file f as e return p"#).unwrap();
         assert!(!a.vars[0].unsatisfiable);
         assert!(matches!(
             a.vars[0].constraints[0].cmp,
@@ -575,10 +573,8 @@ mod tests {
 
     #[test]
     fn at_range_widens_the_window() {
-        let a = analyze(
-            r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#,
-        )
-        .unwrap();
+        let a = analyze(r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#)
+            .unwrap();
         assert_eq!(
             a.globals.window.start,
             aiql_model::Timestamp::from_date(2018, 3, 19)
@@ -591,10 +587,8 @@ mod tests {
 
     #[test]
     fn at_range_backwards_rejected() {
-        let err = analyze(
-            r#"(at "03/21/2018" to "03/19/2018") proc p read file f as e return p"#,
-        )
-        .unwrap_err();
+        let err = analyze(r#"(at "03/21/2018" to "03/19/2018") proc p read file f as e return p"#)
+            .unwrap_err();
         assert!(err.to_string().contains("precedes"), "{err}");
     }
 
@@ -606,10 +600,8 @@ mod tests {
 
     #[test]
     fn kind_conflict_rejected() {
-        let err = analyze(
-            "proc p read file x as e1 proc x read file f as e2 return p",
-        )
-        .unwrap_err();
+        let err =
+            analyze("proc p read file x as e1 proc x read file f as e2 return p").unwrap_err();
         assert!(err.to_string().contains("declared as both"), "{err}");
     }
 
@@ -632,10 +624,7 @@ mod tests {
 
     #[test]
     fn unknown_temporal_event_rejected() {
-        let err = analyze(
-            "proc p read file f as e1 with e1 before e9 return p",
-        )
-        .unwrap_err();
+        let err = analyze("proc p read file f as e1 with e1 before e9 return p").unwrap_err();
         assert!(err.to_string().contains("e9"), "{err}");
     }
 
@@ -664,7 +653,9 @@ mod tests {
                having amt > 2 * amt[1]"#,
         )
         .unwrap();
-        let aiql_lang::Query::Anomaly(anom) = q else { panic!() };
+        let aiql_lang::Query::Anomaly(anom) = q else {
+            panic!()
+        };
         let a = analyze_anomaly(&anom, &store()).unwrap();
         assert!(a.base.having.is_some());
         assert_eq!(a.window_spec.step, aiql_model::Duration::from_secs(10));
@@ -679,7 +670,9 @@ mod tests {
                return p"#,
         )
         .unwrap();
-        let aiql_lang::Query::Anomaly(anom) = q else { panic!() };
+        let aiql_lang::Query::Anomaly(anom) = q else {
+            panic!()
+        };
         assert!(analyze_anomaly(&anom, &store()).is_err());
     }
 }

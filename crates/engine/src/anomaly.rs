@@ -27,9 +27,20 @@ pub fn run_anomaly(
     a: &AnalyzedAnomaly,
     config: &EngineConfig,
 ) -> Result<ResultTable, EngineError> {
+    run_anomaly_pooled(store, a, config, None)
+}
+
+/// [`run_anomaly`] with an optional persistent scan pool for the candidate
+/// fetch.
+pub fn run_anomaly_pooled(
+    store: &EventStore,
+    a: &AnalyzedAnomaly,
+    config: &EngineConfig,
+    pool: Option<std::sync::Arc<crate::pool::ScanPool>>,
+) -> Result<ResultTable, EngineError> {
     // Phase 1: fetch matching events with the multievent machinery (one
     // pattern, so tuples are single events).
-    let exec = MultieventExec::new(store, &a.base, config);
+    let exec = MultieventExec::new(store, &a.base, config).with_pool(pool);
     let (tuples, truncated, _) = exec.match_tuples()?;
     run_anomaly_over_tuples(store, a, tuples, truncated)
 }
@@ -289,10 +300,7 @@ fn replace_aggs(e: &Expr, aggs: &[(String, aiql_lang::AggFunc, Expr)], names: &[
     }
 }
 
-fn tuple_ctx_for<'a>(
-    base: &'a crate::analyze::AnalyzedMultievent,
-    t: &Tuple,
-) -> RowCtx<'a> {
+fn tuple_ctx_for<'a>(base: &'a crate::analyze::AnalyzedMultievent, t: &Tuple) -> RowCtx<'a> {
     let mut ctx = RowCtx::default();
     for (vi, var) in base.vars.iter().enumerate() {
         if let Some(id) = t.vars[vi] {

@@ -29,6 +29,14 @@ pub struct EngineConfig {
     pub semi_join_pushdown: bool,
     /// Narrow scan windows using temporal relations and observed bounds.
     pub temporal_narrowing: bool,
+    /// Carry ⟨partition, row⟩ references through candidate lists and the
+    /// join, materializing events only for surviving tuples. Disabled, every
+    /// scan copies full events and the join clones them (the seed's path).
+    pub late_materialization: bool,
+    /// Run parallel scans on a persistent worker pool spawned once per
+    /// engine. Disabled, every parallel scan spawns scoped threads (the
+    /// seed's per-scan fan-out).
+    pub scan_pool: bool,
     /// Minimum estimated scan size before partition-parallelism kicks in
     /// (thread fan-out is pure overhead for tiny scans).
     pub parallel_threshold: usize,
@@ -47,6 +55,8 @@ impl Default for EngineConfig {
             entity_pushdown: true,
             semi_join_pushdown: true,
             temporal_narrowing: true,
+            late_materialization: true,
+            scan_pool: true,
             parallel_threshold: 8_192,
             max_intermediate: 4_000_000,
         }
@@ -65,6 +75,8 @@ impl EngineConfig {
             entity_pushdown: false,
             semi_join_pushdown: false,
             temporal_narrowing: false,
+            late_materialization: false,
+            scan_pool: false,
             parallel_threshold: usize::MAX,
             max_intermediate: 4_000_000,
         }
@@ -75,17 +87,39 @@ impl EngineConfig {
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+    /// Persistent scan pool, spawned lazily on the first parallel query.
+    /// The cell itself is shared, so clones of an engine — whenever they
+    /// were made — use one pool.
+    pool: std::sync::Arc<std::sync::OnceLock<std::sync::Arc<crate::pool::ScanPool>>>,
 }
 
 impl Engine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine {
+            config,
+            pool: std::sync::Arc::new(std::sync::OnceLock::new()),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The persistent scan pool handle, if the configuration wants one.
+    fn pool(&self) -> Option<std::sync::Arc<crate::pool::ScanPool>> {
+        if !self.config.scan_pool || !self.config.partition_parallel || self.config.parallelism <= 1
+        {
+            return None;
+        }
+        Some(
+            self.pool
+                .get_or_init(|| {
+                    std::sync::Arc::new(crate::pool::ScanPool::new(self.config.parallelism))
+                })
+                .clone(),
+        )
     }
 
     /// Parses and executes AIQL query text against a store.
@@ -103,17 +137,21 @@ impl Engine {
         match query {
             Query::Multievent(m) => {
                 let a = analyze::analyze_multievent(m, store)?;
-                MultieventExec::new(store, &a, &self.config).run()
+                MultieventExec::new(store, &a, &self.config)
+                    .with_pool(self.pool())
+                    .run()
             }
             Query::Dependency(d) => {
                 // §2.3: compile to a semantically equivalent multievent query.
                 let m = aiql_lang::dependency_to_multievent(d)?;
                 let a = analyze::analyze_multievent(&m, store)?;
-                MultieventExec::new(store, &a, &self.config).run()
+                MultieventExec::new(store, &a, &self.config)
+                    .with_pool(self.pool())
+                    .run()
             }
             Query::Anomaly(anom) => {
                 let a = analyze::analyze_anomaly(anom, store)?;
-                anomaly::run_anomaly(store, &a, &self.config)
+                anomaly::run_anomaly_pooled(store, &a, &self.config, self.pool())
             }
         }
     }
@@ -126,6 +164,36 @@ impl Engine {
         m: &aiql_lang::MultieventQuery,
     ) -> Result<(ResultTable, ExecStats), EngineError> {
         let a = analyze::analyze_multievent(m, store)?;
-        MultieventExec::new(store, &a, &self.config).run_with_stats()
+        MultieventExec::new(store, &a, &self.config)
+            .with_pool(self.pool())
+            .run_with_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_scan_pool_even_before_first_use() {
+        let e1 = Engine::new(EngineConfig {
+            parallelism: 2,
+            ..EngineConfig::default()
+        });
+        let e2 = e1.clone(); // cloned before the pool ever spun up
+        let p1 = e1.pool().expect("parallel config wants a pool");
+        let p2 = e2.pool().expect("parallel config wants a pool");
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn serial_config_gets_no_pool() {
+        let e = Engine::new(EngineConfig {
+            parallelism: 1,
+            ..EngineConfig::default()
+        });
+        assert!(e.pool().is_none());
+        let unopt = Engine::new(EngineConfig::unoptimized());
+        assert!(unopt.pool().is_none());
     }
 }

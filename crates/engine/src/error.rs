@@ -28,7 +28,10 @@ impl fmt::Display for EngineError {
             EngineError::Analysis(m) => write!(f, "semantic error: {m}"),
             EngineError::Model(e) => write!(f, "semantic error: {e}"),
             EngineError::TooManyMatches { cap } => {
-                write!(f, "intermediate result exceeded {cap} tuples; refine the query")
+                write!(
+                    f,
+                    "intermediate result exceeded {cap} tuples; refine the query"
+                )
             }
         }
     }

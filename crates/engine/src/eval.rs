@@ -67,16 +67,16 @@ pub fn eval(expr: &Expr, store: &EventStore, ctx: &RowCtx<'_>) -> Result<Value, 
             }
             Err(EngineError::Analysis(format!("unbound variable `{var}`")))
         }
-        Expr::Agg { .. } => ctx
-            .agg_values
-            .get(&agg_key(expr))
-            .copied()
-            .ok_or_else(|| {
-                EngineError::Analysis("aggregate evaluated outside aggregation context".into())
-            }),
+        Expr::Agg { .. } => ctx.agg_values.get(&agg_key(expr)).copied().ok_or_else(|| {
+            EngineError::Analysis("aggregate evaluated outside aggregation context".into())
+        }),
         Expr::History { name, lag } => {
             if *lag == 0 {
-                return Ok(ctx.aliases.get(name.as_str()).copied().unwrap_or(Value::Null));
+                return Ok(ctx
+                    .aliases
+                    .get(name.as_str())
+                    .copied()
+                    .unwrap_or(Value::Null));
             }
             Ok(ctx
                 .history
@@ -178,11 +178,10 @@ mod tests {
     }
 
     fn having_expr(src: &str) -> Expr {
-        let q = parse_query(&format!(
-            "proc p read file f as e return p having {src}"
-        ))
-        .unwrap();
-        let aiql_lang::Query::Multievent(m) = q else { panic!() };
+        let q = parse_query(&format!("proc p read file f as e return p having {src}")).unwrap();
+        let aiql_lang::Query::Multievent(m) = q else {
+            panic!()
+        };
         m.having.unwrap()
     }
 

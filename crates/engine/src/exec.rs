@@ -1,16 +1,29 @@
 //! Multievent query execution: per-pattern data queries with binding
 //! propagation, parallel partition scans, multi-way join, and projection.
+//!
+//! Two data paths exist, selected by `EngineConfig::late_materialization`:
+//!
+//! * **Late materialization** (default): candidate lists, binding
+//!   propagation, and the multi-way join carry [`EventRef`]s — ⟨partition,
+//!   row⟩ pairs resolved against the columnar segments on demand. Full
+//!   `Event` structs are built exactly once, for the tuples that survive
+//!   the join.
+//! * **Materializing** (the seed's path, kept for ablation): every scan
+//!   copies events out of the segments and the join clones them through
+//!   each intermediate tuple.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use aiql_lang::{CmpOp, Expr, SortDir, TemporalOp};
-use aiql_model::{EntityId, Event, Value};
-use aiql_storage::{EventFilter, EventStore, IdSet};
+use aiql_model::{EntityId, Event, Timestamp, Value};
+use aiql_storage::{EventFilter, EventStore, IdSet, PartitionKey, Segment};
 
 use crate::analyze::AnalyzedMultievent;
 use crate::engine::EngineConfig;
 use crate::error::EngineError;
 use crate::eval::{self, agg_key, RowCtx};
+use crate::pool::ScanPool;
 use crate::result::ResultTable;
 use crate::schedule::{self, ResolvedVars};
 
@@ -24,11 +37,147 @@ pub struct Tuple {
     pub vars: Vec<Option<EntityId>>,
 }
 
+/// A row reference: index into the query's partition table plus the row
+/// inside that partition's segment. 8 bytes instead of the 56-byte `Event`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventRef {
+    /// Index into [`PartTable::keys`].
+    pub part: u32,
+    /// Row inside the partition's segment.
+    pub row: u32,
+}
+
+/// Sentinel for "no event placed for this pattern yet".
+const NO_REF: EventRef = EventRef {
+    part: u32::MAX,
+    row: u32::MAX,
+};
+
+/// Sentinel for "variable unbound" in the arena's binding columns
+/// (entity ids are dense store indices, nowhere near `u32::MAX`).
+const NO_VAR: u32 = u32::MAX;
+
+/// Intermediate tuples of the late-materialization join, stored as two flat
+/// arrays with fixed strides (`npatterns` refs + `nvars` bindings per
+/// tuple). Growing the frontier copies plain `u32`/8-byte rows — no
+/// per-tuple heap allocation, unlike the materializing join's
+/// `Vec<Option<Event>>` clones.
+#[derive(Debug, Default)]
+struct RefArena {
+    npatterns: usize,
+    nvars: usize,
+    events: Vec<EventRef>,
+    vars: Vec<u32>,
+}
+
+impl RefArena {
+    fn new(npatterns: usize, nvars: usize) -> Self {
+        RefArena {
+            npatterns,
+            nvars,
+            events: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        // Queries always bind at least one variable, but keep the
+        // degenerate nvars == 0 case well-defined.
+        self.vars
+            .len()
+            .checked_div(self.nvars)
+            .unwrap_or_else(|| usize::from(!self.events.is_empty()))
+    }
+
+    fn events_of(&self, i: usize) -> &[EventRef] {
+        &self.events[i * self.npatterns..(i + 1) * self.npatterns]
+    }
+
+    fn vars_of(&self, i: usize) -> &[u32] {
+        &self.vars[i * self.nvars..(i + 1) * self.nvars]
+    }
+
+    /// Appends a copy of tuple `i` of `src`, returning the new tuple index.
+    fn push_from(&mut self, src: &RefArena, i: usize) -> usize {
+        self.events.extend_from_slice(src.events_of(i));
+        self.vars.extend_from_slice(src.vars_of(i));
+        self.len() - 1
+    }
+
+    fn set_event(&mut self, i: usize, pattern: usize, r: EventRef) {
+        self.events[i * self.npatterns + pattern] = r;
+    }
+
+    fn set_var(&mut self, i: usize, var: usize, id: EntityId) {
+        self.vars[i * self.nvars + var] = id.raw();
+    }
+}
+
+/// Snapshot of the store's partitions for one query: the address space
+/// [`EventRef`]s resolve against. Keys are ascending (the store's partition
+/// order), so a sorted key lookup gives the partition index.
+struct PartTable<'a> {
+    keys: Vec<PartitionKey>,
+    segs: Vec<&'a Segment>,
+}
+
+impl<'a> PartTable<'a> {
+    fn build(store: &'a EventStore) -> Self {
+        let keys = store.partition_list();
+        let segs = keys
+            .iter()
+            .map(|&k| store.segment(k).expect("listed partition exists"))
+            .collect();
+        PartTable { keys, segs }
+    }
+
+    #[inline]
+    fn index_of(&self, key: PartitionKey) -> u32 {
+        self.keys
+            .binary_search(&key)
+            .expect("partition key in table") as u32
+    }
+
+    #[inline]
+    fn seg(&self, r: EventRef) -> &'a Segment {
+        self.segs[r.part as usize]
+    }
+
+    #[inline]
+    fn subject(&self, r: EventRef) -> EntityId {
+        self.seg(r).subject_at(r.row)
+    }
+
+    #[inline]
+    fn object(&self, r: EventRef) -> EntityId {
+        self.seg(r).object_at(r.row)
+    }
+
+    #[inline]
+    fn start(&self, r: EventRef) -> Timestamp {
+        self.seg(r).start_at(r.row)
+    }
+
+    #[inline]
+    fn end(&self, r: EventRef) -> Timestamp {
+        self.seg(r).end_at(r.row)
+    }
+
+    /// Materializes the referenced event (the single materialization point
+    /// of the late path).
+    #[inline]
+    fn event(&self, r: EventRef) -> Event {
+        self.seg(r)
+            .event_at(self.keys[r.part as usize].agent, r.row as usize)
+    }
+}
+
 /// The multievent executor.
 pub struct MultieventExec<'a> {
     store: &'a EventStore,
     a: &'a AnalyzedMultievent,
     config: &'a EngineConfig,
+    pool: Option<Arc<ScanPool>>,
 }
 
 /// Statistics of one execution, surfaced for benches and ablations.
@@ -45,27 +194,191 @@ pub struct ExecStats {
 impl<'a> MultieventExec<'a> {
     /// Creates an executor over a store.
     pub fn new(store: &'a EventStore, a: &'a AnalyzedMultievent, config: &'a EngineConfig) -> Self {
-        MultieventExec { store, a, config }
+        MultieventExec {
+            store,
+            a,
+            config,
+            pool: None,
+        }
+    }
+
+    /// Attaches a persistent scan pool (parallel scans otherwise spawn
+    /// scoped threads per scan, which is the ablation baseline).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Option<Arc<ScanPool>>) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Runs the query to a result table.
     pub fn run(&self) -> Result<ResultTable, EngineError> {
-        let (tuples, truncated, _) = self.match_tuples()?;
-        let mut table = project(self.store, self.a, &tuples)?;
-        table.truncated = truncated;
-        Ok(table)
+        self.run_with_stats().map(|(table, _)| table)
     }
 
     /// Runs the query and also returns execution statistics.
     pub fn run_with_stats(&self) -> Result<(ResultTable, ExecStats), EngineError> {
-        let (tuples, truncated, stats) = self.match_tuples()?;
-        let mut table = project(self.store, self.a, &tuples)?;
-        table.truncated = truncated;
-        Ok((table, stats))
+        if self.config.late_materialization {
+            // Late pipeline straight into projection: surviving tuples are
+            // materialized one at a time into a reused row context — no
+            // intermediate `Vec<Tuple>` is ever built.
+            let parts = PartTable::build(self.store);
+            let (arena, truncated, stats) = self.match_refs(&parts)?;
+            let mut table = project_with(self.store, self.a, arena.len(), |i, ctx| {
+                fill_ctx_arena(self.a, &arena, &parts, i, ctx);
+            })?;
+            table.truncated = truncated;
+            Ok((table, stats))
+        } else {
+            let (tuples, truncated, stats) = self.match_tuples_materializing()?;
+            let mut table = project(self.store, self.a, &tuples)?;
+            table.truncated = truncated;
+            Ok((table, stats))
+        }
     }
 
     /// Finds all joined tuples satisfying the query's pattern constraints.
+    ///
+    /// With `late_materialization` the pipeline carries [`EventRef`]s end to
+    /// end and materializes events only for the surviving tuples returned
+    /// here; otherwise the seed's materializing pipeline runs. (Callers that
+    /// only need projection should use [`MultieventExec::run`], which skips
+    /// this materialization entirely.)
     pub fn match_tuples(&self) -> Result<(Vec<Tuple>, bool, ExecStats), EngineError> {
+        if !self.config.late_materialization {
+            return self.match_tuples_materializing();
+        }
+        let parts = PartTable::build(self.store);
+        let (arena, truncated, stats) = self.match_refs(&parts)?;
+        // The single materialization point: survivors only.
+        let tuples = (0..arena.len())
+            .map(|ti| Tuple {
+                events: arena
+                    .events_of(ti)
+                    .iter()
+                    .map(|&r| (r != NO_REF).then(|| parts.event(r)))
+                    .collect(),
+                vars: arena
+                    .vars_of(ti)
+                    .iter()
+                    .map(|&v| (v != NO_VAR).then_some(EntityId(v)))
+                    .collect(),
+            })
+            .collect();
+        Ok((tuples, truncated, stats))
+    }
+
+    /// Late-materialization pipeline: selection-vector scans produce row
+    /// references and the join works over a flat arena of refs.
+    fn match_refs(
+        &self,
+        parts: &PartTable<'a>,
+    ) -> Result<(RefArena, bool, ExecStats), EngineError> {
+        let a = self.a;
+        let n = a.patterns.len();
+        let resolved: ResolvedVars = schedule::resolve_vars(a, self.store);
+        let plan = schedule::plan(a, self.store, &resolved, self.config.prioritize_pruning);
+
+        let mut candidates: Vec<Option<Vec<EventRef>>> = vec![None; n];
+        let mut bound: HashMap<usize, IdSet> = HashMap::new();
+        // (min_start, max_start, min_end, max_end) per executed pattern.
+        let mut time_stats: Vec<Option<(i64, i64, i64, i64)>> = vec![None; n];
+        let mut stats = ExecStats {
+            fetched: vec![0; n],
+            order: plan.order.clone(),
+            tuples: 0,
+        };
+
+        for &i in &plan.order {
+            let mut filter = schedule::base_filter(a, i, &resolved);
+            let p = &a.patterns[i];
+            if !self.config.entity_pushdown {
+                if a.vars[p.subject].unsatisfiable || a.vars[p.object].unsatisfiable {
+                    return Ok((RefArena::new(n, a.vars.len()), false, stats));
+                }
+                filter.subjects = None;
+                filter.objects = None;
+            }
+            if self.config.semi_join_pushdown {
+                for (var, is_subject) in [(p.subject, true), (p.object, false)] {
+                    if let Some(b) = bound.get(&var) {
+                        let slot = if is_subject {
+                            &mut filter.subjects
+                        } else {
+                            &mut filter.objects
+                        };
+                        match slot {
+                            // In-place bitmap AND — no per-pattern set rebuild.
+                            Some(existing) => existing.intersect_with(b),
+                            None => *slot = Some(b.clone()),
+                        }
+                    }
+                }
+            }
+            if self.config.temporal_narrowing {
+                self.narrow_window(&mut filter, i, &time_stats);
+            }
+            let mut refs = self.scan_refs(parts, &filter);
+            // Enforce the declared entity kinds and (without entity
+            // pushdown) the per-variable attribute constraints, reading the
+            // entity columns through the refs.
+            let (sub_kind, obj_kind) = (a.vars[p.subject].kind, a.vars[p.object].kind);
+            let same_var = p.subject == p.object;
+            let entities = self.store.entities();
+            refs.retain(|&r| {
+                let (subj, obj) = (parts.subject(r), parts.object(r));
+                if entities.get(subj).kind() != sub_kind
+                    || entities.get(obj).kind() != obj_kind
+                    || (same_var && subj != obj)
+                {
+                    return false;
+                }
+                if !self.config.entity_pushdown {
+                    for (var_idx, id) in [(p.subject, subj), (p.object, obj)] {
+                        let entity = entities.get(id);
+                        for c in &a.vars[var_idx].constraints {
+                            if !entities.eval(entity, c) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                true
+            });
+            stats.fetched[i] = refs.len();
+            if refs.is_empty() {
+                return Ok((RefArena::new(n, a.vars.len()), false, stats));
+            }
+            // Update bindings and time statistics for later patterns.
+            if self.config.semi_join_pushdown {
+                bound.insert(
+                    p.subject,
+                    IdSet::from_iter(refs.iter().map(|&r| parts.subject(r))),
+                );
+                bound.insert(
+                    p.object,
+                    IdSet::from_iter(refs.iter().map(|&r| parts.object(r))),
+                );
+            }
+            let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
+            for &r in &refs {
+                let (start, end) = (parts.start(r).micros(), parts.end(r).micros());
+                ts.0 = ts.0.min(start);
+                ts.1 = ts.1.max(start);
+                ts.2 = ts.2.min(end);
+                ts.3 = ts.3.max(end);
+            }
+            time_stats[i] = Some(ts);
+            candidates[i] = Some(refs);
+        }
+
+        let (arena, truncated) = self.join_refs(parts, candidates)?;
+        stats.tuples = arena.len();
+        Ok((arena, truncated, stats))
+    }
+
+    /// The seed's materializing pipeline (kept intact for the ablation
+    /// benches): scans copy full events; the join clones them per tuple.
+    fn match_tuples_materializing(&self) -> Result<(Vec<Tuple>, bool, ExecStats), EngineError> {
         let a = self.a;
         let n = a.patterns.len();
         let resolved: ResolvedVars = schedule::resolve_vars(a, self.store);
@@ -97,20 +410,15 @@ impl<'a> MultieventExec<'a> {
             if self.config.semi_join_pushdown {
                 for (var, is_subject) in [(p.subject, true), (p.object, false)] {
                     if let Some(b) = bound.get(&var) {
-                        let narrowed = match if is_subject {
-                            filter.subjects.take()
+                        let slot = if is_subject {
+                            &mut filter.subjects
                         } else {
-                            filter.objects.take()
-                        } {
-                            Some(existing) => {
-                                IdSet::from_iter(existing.iter().filter(|id| b.contains(*id)))
-                            }
-                            None => b.clone(),
+                            &mut filter.objects
                         };
-                        if is_subject {
-                            filter.subjects = Some(narrowed);
-                        } else {
-                            filter.objects = Some(narrowed);
+                        match slot {
+                            // In-place bitmap AND — no per-pattern set rebuild.
+                            Some(existing) => existing.intersect_with(b),
+                            None => *slot = Some(b.clone()),
                         }
                     }
                 }
@@ -151,7 +459,10 @@ impl<'a> MultieventExec<'a> {
             }
             // Update bindings and time statistics for later patterns.
             if self.config.semi_join_pushdown {
-                bound.insert(p.subject, IdSet::from_iter(events.iter().map(|e| e.subject)));
+                bound.insert(
+                    p.subject,
+                    IdSet::from_iter(events.iter().map(|e| e.subject)),
+                );
                 bound.insert(p.object, IdSet::from_iter(events.iter().map(|e| e.object)));
             }
             let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
@@ -209,60 +520,127 @@ impl<'a> MultieventExec<'a> {
         }
     }
 
-    /// Scans the store for one data query, in parallel across hypertable
-    /// partitions when enabled, applying residual global predicates.
-    fn scan(&self, filter: &EventFilter) -> Vec<Event> {
-        let residual = &self.a.globals.residual;
-        let keep = |e: &Event| residual_ok(e, residual);
-        let parts = self.store.partitions_for(filter);
+    /// Whether a scan over `parts` partitions should fan out.
+    fn parallel_scan(&self, filter: &EventFilter, parts: usize) -> bool {
         let threads = self.config.parallelism.max(1);
         let big_enough = self.config.parallel_threshold == 0
             || self.store.estimate(filter) >= self.config.parallel_threshold;
-        if !self.config.partition_parallel || threads <= 1 || parts.len() <= 1 || !big_enough {
+        self.config.partition_parallel && threads > 1 && parts > 1 && big_enough
+    }
+
+    /// Runs `work(chunk_index, output_slot)` for every chunk of `keys`,
+    /// fanning out on the persistent pool when attached (or scoped threads
+    /// otherwise — the seed's per-scan spawn, kept for ablation). Outputs
+    /// land in chunk order, so parallel scans stay deterministic.
+    fn scan_chunked<T: Send>(
+        &self,
+        keys: &[PartitionKey],
+        work: impl Fn(&[PartitionKey], &mut Vec<T>) + Sync + Send,
+    ) -> Vec<T> {
+        let threads = self.config.parallelism.max(1);
+        // Chunks finer than the thread count let the pool's self-scheduling
+        // balance skewed partitions.
+        let chunk = keys.len().div_ceil(threads * 4).max(1);
+        let groups: Vec<&[PartitionKey]> = keys.chunks(chunk).collect();
+        let slots: Vec<std::sync::Mutex<Vec<T>>> = groups
+            .iter()
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        match &self.pool {
+            Some(pool) => {
+                pool.run_chunks(groups.len(), &|i| {
+                    let mut out = Vec::new();
+                    work(groups[i], &mut out);
+                    *slots[i].lock().expect("scan slot") = out;
+                });
+            }
+            None => {
+                let work = &work;
+                std::thread::scope(|s| {
+                    let per = groups.len().div_ceil(threads).max(1);
+                    for (slot_group, group_group) in slots.chunks(per).zip(groups.chunks(per)) {
+                        s.spawn(move || {
+                            for (slot, group) in slot_group.iter().zip(group_group) {
+                                let mut out = Vec::new();
+                                work(group, &mut out);
+                                *slot.lock().expect("scan slot") = out;
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        let mut out = Vec::new();
+        for slot in slots {
+            out.append(&mut slot.into_inner().expect("scan slot"));
+        }
+        out
+    }
+
+    /// Scans the store for one data query, in parallel across hypertable
+    /// partitions when enabled, applying residual global predicates.
+    /// Materializing path: events are copied out of the segments.
+    fn scan(&self, filter: &EventFilter) -> Vec<Event> {
+        let residual = &self.a.globals.residual;
+        let parts = self.store.partitions_for(filter);
+        if !self.parallel_scan(filter, parts.len()) {
             let mut out = Vec::new();
             for key in parts {
                 self.store.scan_partition(key, filter, &mut |e| {
-                    if keep(e) {
+                    if residual_ok(e, residual) {
                         out.push(*e);
                     }
                 });
             }
             return out;
         }
-        let chunk = parts.len().div_ceil(threads);
         let store = self.store;
-        let mut results: Vec<Vec<Event>> = Vec::new();
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = parts
-                .chunks(chunk)
-                .map(|group| {
-                    s.spawn(move |_| {
-                        let mut out = Vec::new();
-                        for &key in group {
-                            store.scan_partition(key, filter, &mut |e| {
-                                if residual_ok(e, residual) {
-                                    out.push(*e);
-                                }
-                            });
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("partition scan thread panicked"));
+        self.scan_chunked(&parts, |group, out| {
+            for &key in group {
+                store.scan_partition(key, filter, &mut |e| {
+                    if residual_ok(e, residual) {
+                        out.push(*e);
+                    }
+                });
             }
         })
-        .expect("crossbeam scope");
-        results.concat()
+    }
+
+    /// Late-materialization scan: selection vectors per partition become
+    /// [`EventRef`]s; residual global predicates are verified against the
+    /// columns without building events.
+    fn scan_refs(&self, table: &PartTable<'a>, filter: &EventFilter) -> Vec<EventRef> {
+        let residual = &self.a.globals.residual;
+        let parts = self.store.partitions_for(filter);
+        let collect_part = |key: PartitionKey, out: &mut Vec<EventRef>| {
+            let part = table.index_of(key);
+            let seg = table.segs[part as usize];
+            for row in self.store.select_partition(key, filter) {
+                let r = EventRef { part, row };
+                if residual.is_empty()
+                    || residual_ok(&seg.event_at(key.agent, row as usize), residual)
+                {
+                    out.push(r);
+                }
+            }
+        };
+        if !self.parallel_scan(filter, parts.len()) {
+            let mut out = Vec::new();
+            for key in parts {
+                collect_part(key, &mut out);
+            }
+            return out;
+        }
+        self.scan_chunked(&parts, |group, out| {
+            for &key in group {
+                collect_part(key, out);
+            }
+        })
     }
 
     /// Multi-way hash join over the per-pattern candidate lists, verifying
     /// shared-variable equality and temporal relationships.
-    fn join(
-        &self,
-        candidates: Vec<Option<Vec<Event>>>,
-    ) -> Result<(Vec<Tuple>, bool), EngineError> {
+    fn join(&self, candidates: Vec<Option<Vec<Event>>>) -> Result<(Vec<Tuple>, bool), EngineError> {
         let a = self.a;
         let n = a.patterns.len();
         let nvars = a.vars.len();
@@ -342,6 +720,132 @@ impl<'a> MultieventExec<'a> {
         Ok((tuples, truncated))
     }
 
+    /// Multi-way hash join over per-pattern *reference* lists: identical
+    /// traversal to [`MultieventExec::join`], but the tuple frontier lives
+    /// in a flat [`RefArena`] (no per-tuple allocation) and join keys pack
+    /// the at-most-two bound entity ids of a pattern into one `u64`.
+    fn join_refs(
+        &self,
+        parts: &PartTable<'a>,
+        candidates: Vec<Option<Vec<EventRef>>>,
+    ) -> Result<(RefArena, bool), EngineError> {
+        let a = self.a;
+        let n = a.patterns.len();
+        let nvars = a.vars.len();
+        // Join order: smallest candidate list first.
+        let mut join_order: Vec<usize> = (0..n).collect();
+        join_order.sort_by_key(|&i| {
+            (
+                candidates[i].as_ref().map(Vec::len).unwrap_or(usize::MAX),
+                i,
+            )
+        });
+
+        let mut tuples = RefArena::new(n, nvars);
+        tuples.events.resize(n, NO_REF);
+        tuples.vars.resize(nvars, NO_VAR);
+        let mut truncated = false;
+
+        for &i in &join_order {
+            let p = &a.patterns[i];
+            let refs = candidates[i].as_ref().expect("all patterns fetched");
+            let same_var = p.subject == p.object;
+            // A pattern binds at most two variables, so the bound-var key
+            // packs into one u64 (`NO_VAR` pads the unused half).
+            let pattern_vars: [usize; 2] = [p.subject, p.object];
+            let proto_vars = tuples.vars_of(0);
+            let bound_vars: Vec<usize> = pattern_vars
+                .iter()
+                .take(if same_var { 1 } else { 2 })
+                .copied()
+                .filter(|&v| proto_vars[v] != NO_VAR)
+                .collect();
+            let pack = |ids: [u32; 2]| (u64::from(ids[0]) << 32) | u64::from(ids[1]);
+            let key_of_ref = |r: EventRef| {
+                let mut ids = [NO_VAR; 2];
+                for (slot, &v) in ids.iter_mut().zip(&bound_vars) {
+                    *slot = if v == p.subject {
+                        parts.subject(r).raw()
+                    } else {
+                        parts.object(r).raw()
+                    };
+                }
+                pack(ids)
+            };
+            let mut index: HashMap<u64, Vec<EventRef>> = HashMap::new();
+            for &r in refs {
+                if same_var && parts.subject(r) != parts.object(r) {
+                    continue;
+                }
+                index.entry(key_of_ref(r)).or_default().push(r);
+            }
+            let mut next = RefArena::new(n, nvars);
+            'tuples: for t in 0..tuples.len() {
+                let tvars = tuples.vars_of(t);
+                let mut ids = [NO_VAR; 2];
+                for (slot, &v) in ids.iter_mut().zip(&bound_vars) {
+                    *slot = tvars[v];
+                }
+                let Some(matches) = index.get(&pack(ids)) else {
+                    continue;
+                };
+                for &r in matches {
+                    if !self.temporal_ok_refs(parts, i, r, &tuples, t) {
+                        continue;
+                    }
+                    let ti = next.push_from(&tuples, t);
+                    next.set_event(ti, i, r);
+                    next.set_var(ti, p.subject, parts.subject(r));
+                    next.set_var(ti, p.object, parts.object(r));
+                    if next.len() >= self.config.max_intermediate {
+                        truncated = true;
+                        break 'tuples;
+                    }
+                }
+            }
+            tuples = next;
+            if tuples.len() == 0 {
+                return Ok((tuples, truncated));
+            }
+        }
+        Ok((tuples, truncated))
+    }
+
+    /// Temporal verification of the ref join, reading only the time columns.
+    fn temporal_ok_refs(
+        &self,
+        parts: &PartTable<'a>,
+        i: usize,
+        r: EventRef,
+        tuples: &RefArena,
+        t: usize,
+    ) -> bool {
+        let events = tuples.events_of(t);
+        for rel in &self.a.temporal {
+            let (l, rt, bound) = match &rel.op {
+                TemporalOp::Before(b) => (rel.left, rel.right, b),
+                // (after is before with sides swapped)
+                TemporalOp::After(b) => (rel.right, rel.left, b),
+            };
+            let (left_end, right_start) = if l == i && events[rt] != NO_REF {
+                (parts.end(r), parts.start(events[rt]))
+            } else if rt == i && events[l] != NO_REF {
+                (parts.end(events[l]), parts.start(r))
+            } else {
+                continue;
+            };
+            if left_end > right_start {
+                return false;
+            }
+            if let Some(b) = bound {
+                if (right_start - left_end) > *b {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Verifies every temporal relationship between pattern `i`'s candidate
     /// event and the events already placed in the tuple.
     fn temporal_ok(&self, i: usize, e: &Event, t: &Tuple) -> bool {
@@ -390,9 +894,17 @@ pub fn residual_ok(e: &Event, residual: &[(String, CmpOp, Value)]) -> bool {
     })
 }
 
-/// Builds the row context for one tuple.
-fn tuple_ctx<'a>(a: &'a AnalyzedMultievent, t: &Tuple) -> RowCtx<'a> {
-    let mut ctx = RowCtx::default();
+/// Resets a reused row context (keeping map capacity across tuples).
+fn clear_ctx(ctx: &mut RowCtx<'_>) {
+    ctx.var_entity.clear();
+    ctx.events.clear();
+    ctx.aliases.clear();
+    ctx.agg_values.clear();
+}
+
+/// Populates the row context from a materialized tuple.
+fn fill_ctx_tuple<'a>(a: &'a AnalyzedMultievent, t: &Tuple, ctx: &mut RowCtx<'a>) {
+    clear_ctx(ctx);
     for (vi, var) in a.vars.iter().enumerate() {
         if let Some(id) = t.vars[vi] {
             ctx.var_entity.insert(var.name.as_str(), id);
@@ -403,7 +915,30 @@ fn tuple_ctx<'a>(a: &'a AnalyzedMultievent, t: &Tuple) -> RowCtx<'a> {
             ctx.events.insert(p.name.as_str(), e);
         }
     }
-    ctx
+}
+
+/// Populates the row context straight from the ref arena, materializing the
+/// tuple's events on the fly.
+fn fill_ctx_arena<'a>(
+    a: &'a AnalyzedMultievent,
+    arena: &RefArena,
+    parts: &PartTable<'_>,
+    i: usize,
+    ctx: &mut RowCtx<'a>,
+) {
+    clear_ctx(ctx);
+    for (vi, var) in a.vars.iter().enumerate() {
+        let id = arena.vars_of(i)[vi];
+        if id != NO_VAR {
+            ctx.var_entity.insert(var.name.as_str(), EntityId(id));
+        }
+    }
+    for (pi, p) in a.patterns.iter().enumerate() {
+        let r = arena.events_of(i)[pi];
+        if r != NO_REF {
+            ctx.events.insert(p.name.as_str(), parts.event(r));
+        }
+    }
 }
 
 /// Aggregate accumulator.
@@ -506,15 +1041,31 @@ pub fn project(
     a: &AnalyzedMultievent,
     tuples: &[Tuple],
 ) -> Result<ResultTable, EngineError> {
+    project_with(store, a, tuples.len(), |i, ctx| {
+        fill_ctx_tuple(a, &tuples[i], ctx);
+    })
+}
+
+/// Core projection over any tuple source: `fill(i, ctx)` populates the
+/// (reused) row context for tuple `i`. The late-materialization path feeds
+/// its ref arena through this, building each surviving tuple's events
+/// exactly once and never allocating an intermediate tuple vector.
+fn project_with<'a>(
+    store: &EventStore,
+    a: &'a AnalyzedMultievent,
+    ntuples: usize,
+    fill: impl Fn(usize, &mut RowCtx<'a>),
+) -> Result<ResultTable, EngineError> {
     let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
     let mut table = ResultTable::new(columns);
     let aggs = collect_aggs(a);
     let aggregated = !aggs.is_empty() || !a.group_by.is_empty();
+    let mut ctx = RowCtx::default();
 
     let mut rows: Vec<Vec<Value>> = Vec::new();
     if !aggregated {
-        for t in tuples {
-            let ctx = tuple_ctx(a, t);
+        for i in 0..ntuples {
+            fill(i, &mut ctx);
             let mut row = Vec::with_capacity(a.ret.items.len());
             for item in &a.ret.items {
                 row.push(eval::eval(&item.expr, store, &ctx)?);
@@ -535,8 +1086,8 @@ pub fn project(
         }
         let mut groups: HashMap<String, Group> = HashMap::new();
         let mut group_order: Vec<String> = Vec::new();
-        for (ti, t) in tuples.iter().enumerate() {
-            let ctx = tuple_ctx(a, t);
+        for ti in 0..ntuples {
+            fill(ti, &mut ctx);
             let mut key_vals = Vec::with_capacity(a.group_by.len());
             for g in &a.group_by {
                 key_vals.push(eval::eval(g, store, &ctx)?);
@@ -558,7 +1109,7 @@ pub fn project(
         }
         for key in &group_order {
             let group = &groups[key];
-            let mut ctx = tuple_ctx(a, &tuples[group.rep]);
+            fill(group.rep, &mut ctx);
             for ((k, func, _), acc) in aggs.iter().zip(group.accs.iter()) {
                 ctx.agg_values.insert(k.clone(), acc.finalize(*func));
             }

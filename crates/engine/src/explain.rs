@@ -194,10 +194,7 @@ mod tests {
     #[test]
     fn dependency_plans_are_marked_rewritten() {
         let store = store();
-        let q = parse_query(
-            r#"forward: proc p1["%cmd.exe"] ->[start] proc p2 return p2"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"forward: proc p1["%cmd.exe"] ->[start] proc p2 return p2"#).unwrap();
         let plan = explain(&store, &q, &EngineConfig::default()).unwrap();
         assert!(plan.rewritten);
         assert_eq!(plan.kind, "dependency");

@@ -14,7 +14,15 @@
 //!    as early as possible.
 //! 2. **Temporal/spatial partitioning** ([`exec`]): each data query is
 //!    split along the hypertable's ⟨time-bucket, agent⟩ partitions and the
-//!    partitions are scanned in parallel (crossbeam scoped threads).
+//!    partitions are scanned in parallel on a persistent worker pool
+//!    ([`pool`]).
+//!
+//! The data path is columnar end to end ([`exec`]): scans produce
+//! selection vectors, candidate lists and the multi-way join carry
+//! ⟨partition, row⟩ references through a flat arena, and events are
+//! materialized once — for the tuples that survive the join. The seed's
+//! materializing pipeline is retained behind
+//! `EngineConfig::late_materialization` for ablation.
 //!
 //! Dependency queries are rewritten to equivalent multievent queries (in
 //! `aiql-lang`) and reuse the same pipeline. Anomaly queries are executed by
@@ -33,6 +41,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod pool;
 pub mod reference;
 pub mod result;
 pub mod schedule;

@@ -1,0 +1,258 @@
+//! A persistent scan worker pool.
+//!
+//! The seed executor spawned a fresh set of scoped threads for every
+//! pattern scan (`crossbeam::thread::scope`), paying thread-spawn latency
+//! per pattern per query. The pool spawns its workers once per engine and
+//! feeds them scan tasks through a shared queue; parallel scans
+//! self-schedule over fine-grained partition chunks (each worker pulls the
+//! next chunk index from a shared atomic cursor), which balances skewed
+//! partitions the way work-stealing would.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion barrier for one batch of pool tasks.
+struct WaitGroup {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+    panicked: AtomicBool,
+}
+
+impl WaitGroup {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(WaitGroup {
+            remaining: Mutex::new(count),
+            zero: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        })
+    }
+
+    fn done(&self) {
+        let mut left = self.remaining.lock().expect("waitgroup lock");
+        *left -= 1;
+        if *left == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().expect("waitgroup lock");
+        while *left > 0 {
+            left = self.zero.wait(left).expect("waitgroup wait");
+        }
+    }
+}
+
+/// A fixed set of worker threads executing submitted scan tasks.
+pub struct ScanPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ScanPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ScanPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("aiql-scan-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = receiver.lock().expect("pool queue lock");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // pool dropped
+                        }
+                    })
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        ScanPool {
+            sender: Some(sender),
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion on the pool, blocking the caller until
+    /// all have finished. Tasks may borrow from the caller's stack: the
+    /// blocking wait is what makes the lifetime extension below sound.
+    pub fn scope<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        /// Waits for every *submitted* task on drop — including when the
+        /// submit loop unwinds — so queued closures can never outlive the
+        /// caller's stack frame. Tasks not yet handed to the queue are
+        /// discounted first (nothing will ever signal them).
+        struct SubmitGuard<'a> {
+            wg: &'a Arc<WaitGroup>,
+            unsent: usize,
+        }
+        impl Drop for SubmitGuard<'_> {
+            fn drop(&mut self) {
+                for _ in 0..self.unsent {
+                    self.wg.done();
+                }
+                self.wg.wait();
+            }
+        }
+
+        let wg = WaitGroup::new(tasks.len());
+        let mut guard = SubmitGuard {
+            wg: &wg,
+            unsent: tasks.len(),
+        };
+        let sender = self.sender.as_ref().expect("pool alive");
+        let mut workers_gone = false;
+        for task in tasks {
+            // SAFETY: `scope` blocks until every submitted task has run —
+            // on the normal path and on unwind, via `SubmitGuard::drop`
+            // (the waitgroup decrement inside the job runs even when the
+            // task panics) — so no borrow in `task` can outlive this call.
+            // That is the guarantee `std::thread::scope` provides, minus
+            // the per-call spawns.
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            let wg_job = Arc::clone(&wg);
+            let sent = sender
+                .send(Box::new(move || {
+                    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                        wg_job.panicked.store(true, Ordering::SeqCst);
+                    }
+                    wg_job.done();
+                }))
+                .is_ok();
+            if !sent {
+                // Workers exited (pool shutting down): the rejected closure
+                // was returned and dropped inside this frame, so its borrow
+                // never escaped; remaining tasks stay discounted by the
+                // guard.
+                workers_gone = true;
+                break;
+            }
+            guard.unsent -= 1;
+        }
+        drop(guard); // blocks until all submitted tasks finished
+        if workers_gone {
+            panic!("scan pool workers exited while tasks were pending");
+        }
+        if wg.panicked.load(Ordering::SeqCst) {
+            panic!("scan pool task panicked");
+        }
+    }
+
+    /// Convenience: runs `f(chunk_index)` for every chunk index in
+    /// `0..chunks`, using up to `threads` concurrent self-scheduling tasks.
+    pub fn run_chunks(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let cursor = &cursor;
+        let workers = self.threads.min(chunks);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            tasks.push(Box::new(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= chunks {
+                    break;
+                }
+                f(i);
+            }));
+        }
+        self.scope(tasks);
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_all_tasks_with_borrows() {
+        let pool = ScanPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn chunked_runs_visit_every_chunk_once() {
+        let pool = ScanPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_chunks(100, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let pool = ScanPool::new(2);
+        for _ in 0..10 {
+            let counter = AtomicUsize::new(0);
+            pool.run_chunks(8, &|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_without_killing_workers() {
+        let pool = ScanPool::new(2);
+        let boom: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| panic!("intentional test panic"))];
+        assert!(catch_unwind(AssertUnwindSafe(|| pool.scope(boom))).is_err());
+        // Workers must still be serviceable afterwards.
+        let counter = AtomicUsize::new(0);
+        pool.run_chunks(4, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

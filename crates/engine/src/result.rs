@@ -118,7 +118,8 @@ mod tests {
         let s = interner.intern("powershell.exe");
         let mut t = ResultTable::new(vec!["p".into(), "amt".into()]);
         t.rows.push(vec![Value::Str(s), Value::Float(1234.5)]);
-        t.rows.push(vec![Value::Str(interner.intern("x")), Value::Int(7)]);
+        t.rows
+            .push(vec![Value::Str(interner.intern("x")), Value::Int(7)]);
         let text = t.render(&interner);
         assert!(text.contains("powershell.exe"));
         assert!(text.lines().count() >= 4);

@@ -28,11 +28,11 @@ pub fn resolve_vars(a: &AnalyzedMultievent, store: &EventStore) -> ResolvedVars 
             if v.constraints.is_empty() {
                 return None;
             }
-            Some(store.entities().find(
-                v.kind,
-                a.globals.agents.as_deref(),
-                &v.constraints,
-            ))
+            Some(
+                store
+                    .entities()
+                    .find(v.kind, a.globals.agents.as_deref(), &v.constraints),
+            )
         })
         .collect()
 }
@@ -127,7 +127,9 @@ mod tests {
 
     fn analyzed(src: &str, store: &EventStore) -> AnalyzedMultievent {
         let q = parse_query(src).unwrap();
-        let aiql_lang::Query::Multievent(m) = q else { panic!() };
+        let aiql_lang::Query::Multievent(m) = q else {
+            panic!()
+        };
         analyze_multievent(&m, store).unwrap()
     }
 

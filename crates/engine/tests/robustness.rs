@@ -16,7 +16,11 @@ fn store_with(n: i64) -> EventStore {
     for i in 0..n {
         raws.push(RawEvent::instant(
             AgentId((i % 2) as u32),
-            if i % 2 == 0 { Operation::Write } else { Operation::Read },
+            if i % 2 == 0 {
+                Operation::Write
+            } else {
+                Operation::Read
+            },
             EntitySpec::process(100 + (i % 3) as u32, &format!("exe{}.bin", i % 3), "u"),
             EntitySpec::file(&format!("/f{}", i % 4), "u"),
             Timestamp::from_secs(i),
@@ -74,10 +78,7 @@ fn order_by_unreturned_column_is_an_error() {
     let store = store_with(10);
     let engine = Engine::new(EngineConfig::default());
     let err = engine
-        .execute_text(
-            &store,
-            "proc p write file f as e return p order by f",
-        )
+        .execute_text(&store, "proc p write file f as e return p order by f")
         .unwrap_err();
     assert!(err.to_string().contains("order by"), "{err}");
 }
@@ -217,7 +218,10 @@ fn windows_paths_with_escapes_survive_the_pipeline() {
     )]);
     let engine = Engine::new(EngineConfig::default());
     let table = engine
-        .execute_text(&store, r#"proc p["%tool.exe"] write file f as e return p, f"#)
+        .execute_text(
+            &store,
+            r#"proc p["%tool.exe"] write file f as e return p, f"#,
+        )
         .unwrap();
     assert_eq!(table.rows.len(), 1);
     let csv = table.to_csv(store.interner());

@@ -555,7 +555,13 @@ mod tests {
 
     #[test]
     fn agg_parse_roundtrip() {
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             assert_eq!(AggFunc::parse(f.name()), Some(f));
         }
         assert_eq!(AggFunc::parse("median"), None);

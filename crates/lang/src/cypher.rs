@@ -86,7 +86,12 @@ fn decl_predicates(decl: &EntityDecl, out: &mut Vec<String>) {
     for c in &decl.constraints {
         match c {
             DeclConstraint::Default(lit) => {
-                out.push(cmp_cypher(&decl.var, default_prop(decl.kind), CmpOp::Eq, lit));
+                out.push(cmp_cypher(
+                    &decl.var,
+                    default_prop(decl.kind),
+                    CmpOp::Eq,
+                    lit,
+                ));
             }
             DeclConstraint::Attr(a) => {
                 out.push(cmp_cypher(&decl.var, &a.attr, a.op, &a.value));
@@ -400,10 +405,9 @@ mod tests {
 
     #[test]
     fn dependency_rewrites_before_translation() {
-        let q = parse_query(
-            r#"forward: proc p1["%cp%"] ->[write] file f1 <-[read] proc p2 return p2"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"forward: proc p1["%cp%"] ->[write] file f1 <-[read] proc p2 return p2"#)
+                .unwrap();
         let c = to_cypher(&q);
         assert!(c.contains("dep_evt1"));
         assert!(c.contains("dep_evt2"));

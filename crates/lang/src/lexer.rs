@@ -251,9 +251,9 @@ impl<'a> Lexer<'a> {
                 .map(Tok::Float)
                 .map_err(|_| ParseError::new(span, format!("invalid float literal `{text}`")))
         } else {
-            text.parse::<i64>()
-                .map(Tok::Int)
-                .map_err(|_| ParseError::new(span, format!("integer literal out of range `{text}`")))
+            text.parse::<i64>().map(Tok::Int).map_err(|_| {
+                ParseError::new(span, format!("integer literal out of range `{text}`"))
+            })
         }
     }
 
@@ -348,7 +348,15 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             toks("= != < <= > >="),
-            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eof
+            ]
         );
     }
 
@@ -388,7 +396,10 @@ mod tests {
 
     #[test]
     fn minus_vs_arrow() {
-        assert_eq!(toks("1 - 2"), vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]);
+        assert_eq!(
+            toks("1 - 2"),
+            vec![Tok::Int(1), Tok::Minus, Tok::Int(2), Tok::Eof]
+        );
         assert_eq!(toks("->"), vec![Tok::ArrowRight, Tok::Eof]);
     }
 }

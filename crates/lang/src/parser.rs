@@ -20,9 +20,7 @@ pub fn parse_query(source: &str) -> Result<Query, ParseError> {
     let mut p = Parser { tokens, pos: 0 };
     let globals = p.parse_globals()?;
     let query = match p.peek_ident() {
-        Some("forward") | Some("backward") => {
-            Query::Dependency(p.parse_dependency_body(globals)?)
-        }
+        Some("forward") | Some("backward") => Query::Dependency(p.parse_dependency_body(globals)?),
         _ => p.parse_event_body(globals)?,
     };
     p.expect_eof()?;
@@ -218,7 +216,9 @@ impl Parser {
                 match self.bump() {
                     Tok::Int(i) => Ok(Literal::Int(-i)),
                     Tok::Float(x) => Ok(Literal::Float(-x)),
-                    other => Err(self.err_here(format!("expected number after `-`, found {other}"))),
+                    other => {
+                        Err(self.err_here(format!("expected number after `-`, found {other}")))
+                    }
                 }
             }
             other => Err(self.err_here(format!("expected literal, found {other}"))),
@@ -228,9 +228,7 @@ impl Parser {
     fn parse_duration(&mut self) -> Result<Duration, ParseError> {
         let n = match self.bump() {
             Tok::Int(i) => i,
-            other => {
-                return Err(self.err_here(format!("expected duration count, found {other}")))
-            }
+            other => return Err(self.err_here(format!("expected duration count, found {other}"))),
         };
         let unit = self.any_ident("duration unit (us/ms/sec/min/hour/day)")?;
         let d = match unit.as_str() {
@@ -240,9 +238,7 @@ impl Parser {
             "min" | "mins" | "minute" | "minutes" => Duration::from_mins(n),
             "h" | "hour" | "hours" => Duration::from_hours(n),
             "d" | "day" | "days" => Duration::from_days(n),
-            other => {
-                return Err(self.err_here(format!("unknown duration unit `{other}`")))
-            }
+            other => return Err(self.err_here(format!("unknown duration unit `{other}`"))),
         };
         Ok(d)
     }
@@ -268,16 +264,15 @@ impl Parser {
         let kind = self.parse_kind_kw()?;
         let var = self.any_ident("entity variable")?;
         let mut constraints = Vec::new();
-        if self.eat(&Tok::LBracket)
-            && !self.eat(&Tok::RBracket) {
-                loop {
-                    constraints.push(self.parse_decl_constraint()?);
-                    if !self.eat(&Tok::Comma) {
-                        break;
-                    }
+        if self.eat(&Tok::LBracket) && !self.eat(&Tok::RBracket) {
+            loop {
+                constraints.push(self.parse_decl_constraint()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
                 }
-                self.expect(Tok::RBracket)?;
             }
+            self.expect(Tok::RBracket)?;
+        }
         Ok(EntityDecl {
             kind,
             var,
@@ -333,9 +328,9 @@ impl Parser {
         let mut patterns = Vec::new();
         while matches!(self.peek_ident(), Some("proc" | "file" | "ip")) {
             if self.peek_ident() != Some("proc") {
-                return Err(self.err_here(
-                    "event pattern subject must be a process (`proc …`)".to_string(),
-                ));
+                return Err(
+                    self.err_here("event pattern subject must be a process (`proc …`)".to_string())
+                );
             }
             patterns.push(self.parse_event_pattern()?);
         }
@@ -390,9 +385,7 @@ impl Parser {
         let limit = if self.eat_ident("limit") {
             match self.bump() {
                 Tok::Int(i) if i >= 0 => Some(i as u64),
-                other => {
-                    return Err(self.err_here(format!("expected limit count, found {other}")))
-                }
+                other => return Err(self.err_here(format!("expected limit count, found {other}"))),
             }
         } else {
             None
@@ -406,9 +399,8 @@ impl Parser {
                 ));
             }
             if !order_by.is_empty() || limit.is_some() {
-                return Err(self.err_here(
-                    "anomaly queries do not support `order by` / `limit`".to_string(),
-                ));
+                return Err(self
+                    .err_here("anomaly queries do not support `order by` / `limit`".to_string()));
             }
             Ok(Query::Anomaly(AnomalyQuery {
                 globals,
@@ -444,10 +436,7 @@ impl Parser {
             }
             _ => {
                 return Err(self
-                    .err_here(format!(
-                        "expected temporal operator, found {}",
-                        self.peek()
-                    ))
+                    .err_here(format!("expected temporal operator, found {}", self.peek()))
                     .with_expected(vec!["before".into(), "after".into()]))
             }
         };
@@ -491,9 +480,9 @@ impl Parser {
             "forward" => Direction::Forward,
             "backward" => Direction::Backward,
             other => {
-                return Err(self.err_here(format!(
-                    "expected `forward` or `backward`, found `{other}`"
-                )))
+                return Err(
+                    self.err_here(format!("expected `forward` or `backward`, found `{other}`"))
+                )
             }
         };
         self.expect(Tok::Colon)?;
@@ -513,9 +502,9 @@ impl Parser {
             edges.push(DepEdge { arrow, ops, node });
         }
         if edges.is_empty() {
-            return Err(self.err_here(
-                "dependency query needs at least one edge (`->[op] …`)".to_string(),
-            ));
+            return Err(
+                self.err_here("dependency query needs at least one edge (`->[op] …`)".to_string())
+            );
         }
         let ret = self.parse_return_clause()?;
         Ok(DependencyQuery {
@@ -637,9 +626,7 @@ impl Parser {
 
     fn parse_primary(&mut self) -> Result<Expr, ParseError> {
         match self.peek().clone() {
-            Tok::Str(_) | Tok::Int(_) | Tok::Float(_) => {
-                Ok(Expr::Literal(self.parse_literal()?))
-            }
+            Tok::Str(_) | Tok::Int(_) | Tok::Float(_) => Ok(Expr::Literal(self.parse_literal()?)),
             Tok::LParen => {
                 self.bump();
                 let e = self.parse_expr()?;
@@ -890,10 +877,7 @@ having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
 
     #[test]
     fn global_constraints_multiple() {
-        let q = parse_query(
-            "agentid = 3 agentid != 4 proc p read file f as e return p",
-        )
-        .unwrap();
+        let q = parse_query("agentid = 3 agentid != 4 proc p read file f as e return p").unwrap();
         assert_eq!(q.globals().constraints.len(), 2);
         assert_eq!(q.globals().constraints[1].op, CmpOp::Ne);
     }
@@ -907,10 +891,9 @@ having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
 
     #[test]
     fn at_range_parses() {
-        let q = parse_query(
-            r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#)
+                .unwrap();
         assert_eq!(
             q.globals().at,
             Some(AtClause {
@@ -922,8 +905,8 @@ having (amt > 2 * (amt + amt[1] + amt[2]) / 3)
 
     #[test]
     fn at_range_requires_string_end() {
-        let err = parse_query(r#"(at "03/19/2018" to 42) proc p read file f as e return p"#)
-            .unwrap_err();
+        let err =
+            parse_query(r#"(at "03/19/2018" to 42) proc p read file f as e return p"#).unwrap_err();
         assert!(err.message.contains("end date"), "{err}");
     }
 

@@ -55,7 +55,12 @@ pub fn print_query(q: &Query) -> String {
                     ArrowDir::Right => "->",
                     ArrowDir::Left => "<-",
                 };
-                let _ = write!(out, " {arrow}[{}] {}", e.ops.join(" || "), print_decl(&e.node));
+                let _ = write!(
+                    out,
+                    " {arrow}[{}] {}",
+                    e.ops.join(" || "),
+                    print_decl(&e.node)
+                );
             }
             out.push('\n');
             print_return(&mut out, &d.ret);
@@ -229,8 +234,7 @@ mod tests {
 
     #[test]
     fn expr_parenthesization_is_unambiguous() {
-        let e = parse_query("proc p read file f as e return p having 1 + 2 * 3 > 4")
-            .unwrap();
+        let e = parse_query("proc p read file f as e return p having 1 + 2 * 3 > 4").unwrap();
         let Query::Multievent(m) = e else { panic!() };
         let s = print_expr(m.having.as_ref().unwrap());
         assert_eq!(s, "((1 + (2 * 3)) > 4)");

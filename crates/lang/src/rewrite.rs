@@ -105,10 +105,7 @@ mod tests {
         assert_eq!(m.patterns[2].subject.var, "p2");
         assert_eq!(m.patterns[2].object.var, "f2");
         assert_eq!(m.temporal.len(), 2);
-        assert!(m
-            .temporal
-            .iter()
-            .all(|t| t.op == TemporalOp::Before(None)));
+        assert!(m.temporal.iter().all(|t| t.op == TemporalOp::Before(None)));
         assert_eq!(m.temporal[0].left, "dep_evt1");
         assert_eq!(m.temporal[0].right, "dep_evt2");
     }
@@ -149,10 +146,8 @@ mod tests {
 
     #[test]
     fn globals_and_return_are_preserved() {
-        let d = dep(
-            r#"(at "03/19/2018") agentid = 1
-               forward: proc p1 ->[write] file f1 return p1, f1"#,
-        );
+        let d = dep(r#"(at "03/19/2018") agentid = 1
+               forward: proc p1 ->[write] file f1 return p1, f1"#);
         let m = dependency_to_multievent(&d).unwrap();
         assert_eq!(m.globals.at, Some(AtClause::day("03/19/2018")));
         assert_eq!(m.ret.items.len(), 2);

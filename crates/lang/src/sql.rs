@@ -95,10 +95,7 @@ impl SqlCtx {
     }
 
     fn kind_of(&self, var: &str) -> Option<EntityKindKw> {
-        self.vars
-            .iter()
-            .find(|(v, _)| v == var)
-            .map(|(_, k)| *k)
+        self.vars.iter().find(|(v, _)| v == var).map(|(_, k)| *k)
     }
 }
 
@@ -184,7 +181,12 @@ fn expr_to_sql(e: &Expr, ctx: Option<&SqlCtx>) -> String {
                 BinOp::Ne => "<>",
                 other => other.symbol(),
             };
-            format!("({} {} {})", expr_to_sql(lhs, ctx), o, expr_to_sql(rhs, ctx))
+            format!(
+                "({} {} {})",
+                expr_to_sql(lhs, ctx),
+                o,
+                expr_to_sql(rhs, ctx)
+            )
         }
         Expr::Neg(inner) => format!("-{}", expr_to_sql(inner, ctx)),
     }
@@ -212,10 +214,7 @@ pub fn multievent_to_sql(m: &MultieventQuery) -> String {
     let mut preds: Vec<String> = Vec::new();
     let mut evt_names: Vec<String> = Vec::new();
     for (i, p) in m.patterns.iter().enumerate() {
-        let evt = p
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("evt{}", i + 1));
+        let evt = p.name.clone().unwrap_or_else(|| format!("evt{}", i + 1));
         from.push(format!("events {evt}"));
         preds.push(op_predicate(&evt, &p.ops));
         preds.push(format!("{evt}.subject_id = {}.id", p.subject.var));
@@ -266,7 +265,11 @@ pub fn multievent_to_sql(m: &MultieventQuery) -> String {
         let _ = write!(sql, "\nWHERE {}", preds.join("\n  AND "));
     }
     if !m.group_by.is_empty() {
-        let keys: Vec<String> = m.group_by.iter().map(|e| expr_to_sql(e, Some(&ctx))).collect();
+        let keys: Vec<String> = m
+            .group_by
+            .iter()
+            .map(|e| expr_to_sql(e, Some(&ctx)))
+            .collect();
         let _ = write!(sql, "\nGROUP BY {}", keys.join(", "));
     }
     if let Some(h) = &m.having {
@@ -302,9 +305,8 @@ pub fn anomaly_to_sql(a: &AnomalyQuery) -> String {
     let ctx = SqlCtx::from_patterns(&a.patterns);
     let w = a.globals.window.expect("anomaly query has a window spec");
     let mut preds: Vec<String> = Vec::new();
-    let mut from: Vec<String> = vec![
-        "generate_series(t_start, t_end, INTERVAL 'step') AS w(window_start)".to_string(),
-    ];
+    let mut from: Vec<String> =
+        vec!["generate_series(t_start, t_end, INTERVAL 'step') AS w(window_start)".to_string()];
     for (i, p) in a.patterns.iter().enumerate() {
         let evt = p.name.clone().unwrap_or_else(|| format!("evt{}", i + 1));
         from.push(format!("events {evt}"));
@@ -437,10 +439,9 @@ mod tests {
 
     #[test]
     fn at_range_translates_to_date_bounds() {
-        let q = parse_query(
-            r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"(at "03/19/2018" to "03/21/2018") proc p read file f as e return p"#)
+                .unwrap();
         let sql = to_sql(&q);
         assert!(sql.contains("e.start_time >= DATE '03/19/2018'"));
         assert!(sql.contains("e.start_time < DATE '03/21/2018' + INTERVAL '1 day'"));

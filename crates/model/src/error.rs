@@ -47,6 +47,8 @@ mod tests {
         };
         assert!(e.to_string().contains("bogus"));
         assert!(e.to_string().contains("proc"));
-        assert!(ModelError::BadDate("x".into()).to_string().contains("mm/dd/yyyy"));
+        assert!(ModelError::BadDate("x".into())
+            .to_string()
+            .contains("mm/dd/yyyy"));
     }
 }

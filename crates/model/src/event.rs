@@ -142,9 +142,7 @@ impl Operation {
             Operation::Read | Operation::Write => &[EntityKind::File, EntityKind::NetConn],
             Operation::Execute | Operation::Delete | Operation::Rename => &[EntityKind::File],
             Operation::Start | Operation::End => &[EntityKind::Process],
-            Operation::Connect | Operation::Accept => {
-                &[EntityKind::NetConn, EntityKind::Process]
-            }
+            Operation::Connect | Operation::Accept => &[EntityKind::NetConn, EntityKind::Process],
             Operation::Send | Operation::Recv => &[EntityKind::NetConn],
         }
     }

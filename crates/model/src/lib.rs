@@ -32,7 +32,9 @@ pub mod pattern;
 pub mod time;
 pub mod value;
 
-pub use entity::{Entity, EntityAttrs, EntityKind, FileAttrs, NetConnAttrs, ProcessAttrs, Protocol};
+pub use entity::{
+    Entity, EntityAttrs, EntityKind, FileAttrs, NetConnAttrs, ProcessAttrs, Protocol,
+};
 pub use error::ModelError;
 pub use event::{Event, EventType, Operation, ALL_OPERATIONS, OPERATION_COUNT};
 pub use ids::{AgentId, EntityId, EventId};

@@ -85,9 +85,9 @@ impl StringPattern {
 
     /// Classifies the pattern for index selection.
     pub fn shape(&self) -> PatternShape {
-        let has_one = self.segments.iter().any(|s| {
-            matches!(s, Segment::Literal(l) if l.iter().any(|c| matches!(c, PatChar::One)))
-        });
+        let has_one = self.segments.iter().any(
+            |s| matches!(s, Segment::Literal(l) if l.iter().any(|c| matches!(c, PatChar::One))),
+        );
         if has_one {
             return PatternShape::Scan;
         }
@@ -139,13 +139,10 @@ impl StringPattern {
                 if input.len() < lit.len() {
                     return false;
                 }
-                let ok = lit
-                    .iter()
-                    .zip(input.iter())
-                    .all(|(p, &c)| match p {
-                        PatChar::Exact(e) => *e == c,
-                        PatChar::One => true,
-                    });
+                let ok = lit.iter().zip(input.iter()).all(|(p, &c)| match p {
+                    PatChar::Exact(e) => *e == c,
+                    PatChar::One => true,
+                });
                 ok && Self::match_segments(rest, &input[lit.len()..])
             }
             Some((Segment::Any, rest)) => {

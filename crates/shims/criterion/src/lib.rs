@@ -1,0 +1,295 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, API-compatible subset of criterion: benchmark groups, `iter`
+//! timing, `BenchmarkId`, and the `criterion_group!`/`criterion_main!`
+//! macros. Timing is best-of-N wall clock (first sample warms caches) and
+//! results print as `name … best/mean` lines. Set `CRITERION_JSON=<path>`
+//! to also append one JSON line per benchmark for downstream tooling.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (identity in this shim —
+/// results produced by `iter` closures are consumed by the harness).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A two-part benchmark identifier, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to the group's sample count (bounded by its
+    /// measurement time). The first sample is treated as warm-up and
+    /// excluded from statistics when more than one sample was collected.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let budget_start = Instant::now();
+        for i in 0..self.target_samples.max(2) {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if i >= 1 && budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn stats(&self) -> Option<(Duration, Duration)> {
+        let measured = if self.samples.len() > 1 {
+            &self.samples[1..]
+        } else {
+            &self.samples[..]
+        };
+        let best = measured.iter().min()?;
+        let mean = measured.iter().sum::<Duration>() / measured.len() as u32;
+        Some((*best, mean))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let Some((best, mean)) = b.stats() else {
+        println!("{name:<48} (no samples)");
+        return;
+    };
+    println!(
+        "{name:<48} best {:>12}   mean {:>12}   ({} samples)",
+        fmt_duration(best),
+        fmt_duration(mean),
+        b.samples.len()
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "{{\"bench\":\"{}\",\"best_ns\":{},\"mean_ns\":{},\"samples\":{}}}",
+            name.replace('"', "'"),
+            best.as_nanos(),
+            mean.as_nanos(),
+            b.samples.len()
+        );
+        let _ = append_line(&path, &line);
+    }
+}
+
+fn append_line(path: &str, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up time (accepted for API compatibility; warm-up here
+    /// is the discarded first sample).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the wall-clock budget of one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares throughput for reporting (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(&name, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput declaration (accepted and ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let mut group = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            _parent: self,
+        };
+        group.bench_function(id, f);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

@@ -1,0 +1,164 @@
+//! Generation of strings from the small regex subset the tests use:
+//! literal characters, escapes (`\n`, `\t`, `\\`), character classes with
+//! ranges (`[a-z0-9./\-]`), and `{m,n}` / `{n}` repetition.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// One choice from an expanded character class.
+    Class(Vec<char>),
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                return set;
+            }
+            '\\' => {
+                let lit = unescape(chars.next().expect("dangling escape in class"));
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                pending = Some(lit);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("range start");
+                let mut hi = chars.next().expect("range end");
+                if hi == '\\' {
+                    hi = unescape(chars.next().expect("dangling escape in range"));
+                }
+                assert!(lo <= hi, "invalid class range {lo}-{hi}");
+                for x in lo as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(x) {
+                        set.push(ch);
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("repeat min"),
+            n.trim().parse().expect("repeat max"),
+        ),
+        None => {
+            let n: usize = spec.trim().parse().expect("repeat count");
+            (n, n)
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let set = parse_class(&mut chars);
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(unescape(chars.next().expect("dangling escape"))),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_repeat(&mut chars);
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse(pattern) {
+        let n = min + (rng.next_u64() % (max - min + 1) as u64) as usize;
+        for _ in 0..n {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    let i = (rng.next_u64() % set.len() as u64) as usize;
+                    out.push(set[i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_repeats() {
+        let mut rng = TestRng::for_test("pat");
+        for _ in 0..200 {
+            let s = generate_pattern("[a-c][0-9]{2,4}x", &mut rng);
+            let chars: Vec<char> = s.chars().collect();
+            assert!(('a'..='c').contains(&chars[0]));
+            assert!(chars[1..chars.len() - 1].iter().all(char::is_ascii_digit));
+            assert_eq!(*chars.last().unwrap(), 'x');
+            assert!(s.len() >= 4 && s.len() <= 6);
+        }
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        let mut rng = TestRng::for_test("esc");
+        for _ in 0..100 {
+            let s = generate_pattern("[ -~\\n]{0,20}", &mut rng);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::for_test("dash");
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = generate_pattern("[a\\-]{1}", &mut rng);
+            assert!(s == "a" || s == "-");
+            saw_dash |= s == "-";
+        }
+        assert!(saw_dash);
+    }
+}

@@ -60,7 +60,9 @@ impl Emitter {
         object: EntitySpec,
         amount: u64,
     ) -> &mut Self {
-        self.out.push(RawEvent::instant(agent, op, subject, object, self.t, amount));
+        self.out.push(RawEvent::instant(
+            agent, op, subject, object, self.t, amount,
+        ));
         self
     }
 
@@ -113,15 +115,33 @@ pub fn demo_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
     // the UnrealIRCd backdoor; ircd accepts the exploit connection, spawns
     // a shell, and the shell opens a telnet channel back to the attacker.
     e.at(9, 10, 0)
-        .emit(web, Operation::Accept, ircd(), conn_from(ATTACKER_IP, 31337, web, 6667), 0)
+        .emit(
+            web,
+            Operation::Accept,
+            ircd(),
+            conn_from(ATTACKER_IP, 31337, web, 6667),
+            0,
+        )
         .step(2)
         .emit(web, Operation::Start, ircd(), sh(), 0)
         .step(3)
         .emit(web, Operation::Start, sh(), telnet(), 0)
         .step(2)
-        .emit(web, Operation::Connect, telnet(), conn_to(web, 40123, ATTACKER_IP, 23), 0)
+        .emit(
+            web,
+            Operation::Connect,
+            telnet(),
+            conn_to(web, 40123, ATTACKER_IP, 23),
+            0,
+        )
         .step(1)
-        .emit(web, Operation::Write, telnet(), conn_to(web, 40123, ATTACKER_IP, 23), 2_048);
+        .emit(
+            web,
+            Operation::Write,
+            telnet(),
+            conn_to(web, 40123, ATTACKER_IP, 23),
+            2_048,
+        );
 
     // a2 — Malware Infection (09:40): the shell downloads the malware via
     // wget, marks it executable, runs it; the malware probes the intranet
@@ -129,89 +149,266 @@ pub fn demo_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
     e.at(9, 40, 0)
         .emit(web, Operation::Start, sh(), wget(), 0)
         .step(2)
-        .emit(web, Operation::Connect, wget(), conn_to(web, 40500, ATTACKER_IP, 80), 0)
+        .emit(
+            web,
+            Operation::Connect,
+            wget(),
+            conn_to(web, 40500, ATTACKER_IP, 80),
+            0,
+        )
         .step(4)
-        .emit(web, Operation::Write, wget(), file("/tmp/sbblv.exe", "irc"), 918_528)
+        .emit(
+            web,
+            Operation::Write,
+            wget(),
+            file("/tmp/sbblv.exe", "irc"),
+            918_528,
+        )
         .step(3)
-        .emit(web, Operation::Execute, sh(), file("/tmp/sbblv.exe", "irc"), 0)
+        .emit(
+            web,
+            Operation::Execute,
+            sh(),
+            file("/tmp/sbblv.exe", "irc"),
+            0,
+        )
         .step(1)
         .emit(web, Operation::Start, sh(), sbblv_web(), 0)
         .step(30)
-        .emit(web, Operation::Connect, sbblv_web(), conn_to(web, 40777, host_ip(client), 445), 0)
+        .emit(
+            web,
+            Operation::Connect,
+            sbblv_web(),
+            conn_to(web, 40777, host_ip(client), 445),
+            0,
+        )
         .step(5)
         // Cross-host tracking edge: the web-side malware reaches the client
         // process that will host the implant.
-        .emit_x(web, Operation::Connect, sbblv_web(), proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"), client, 0)
+        .emit_x(
+            web,
+            Operation::Connect,
+            sbblv_web(),
+            proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"),
+            client,
+            0,
+        )
         .step(10)
-        .emit(client, Operation::Write, proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"), file("C:\\Users\\alice\\AppData\\sbblv.exe", "alice"), 918_528)
+        .emit(
+            client,
+            Operation::Write,
+            proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"),
+            file("C:\\Users\\alice\\AppData\\sbblv.exe", "alice"),
+            918_528,
+        )
         .step(5)
-        .emit(client, Operation::Start, proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"), sbblv_client(), 0);
+        .emit(
+            client,
+            Operation::Start,
+            proc(5002, "C:\\Windows\\System32\\svchost.exe", "SYSTEM"),
+            sbblv_client(),
+            0,
+        );
 
     // a3 — Privilege Escalation (client, 11:00): the implant drops and runs
     // the memory-dumping tools to harvest admin credentials.
     e.at(11, 0, 0)
-        .emit(client, Operation::Write, sbblv_client(), file("C:\\Users\\alice\\AppData\\mimikatz.exe", "alice"), 1_204_224)
+        .emit(
+            client,
+            Operation::Write,
+            sbblv_client(),
+            file("C:\\Users\\alice\\AppData\\mimikatz.exe", "alice"),
+            1_204_224,
+        )
         .step(4)
         .emit(client, Operation::Start, sbblv_client(), mimikatz(), 0)
         .step(6)
-        .emit(client, Operation::Read, mimikatz(), file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"), 52_428_800)
+        .emit(
+            client,
+            Operation::Read,
+            mimikatz(),
+            file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"),
+            52_428_800,
+        )
         .step(9)
-        .emit(client, Operation::Write, mimikatz(), file("C:\\Users\\alice\\AppData\\creds.txt", "alice"), 4_096)
+        .emit(
+            client,
+            Operation::Write,
+            mimikatz(),
+            file("C:\\Users\\alice\\AppData\\creds.txt", "alice"),
+            4_096,
+        )
         .step(20)
         .emit(client, Operation::Start, sbblv_client(), kiwi(), 0)
         .step(5)
-        .emit(client, Operation::Read, kiwi(), file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"), 52_428_800)
+        .emit(
+            client,
+            Operation::Read,
+            kiwi(),
+            file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"),
+            52_428_800,
+        )
         .step(8)
-        .emit(client, Operation::Write, kiwi(), file("C:\\Users\\alice\\AppData\\creds2.txt", "alice"), 4_096);
+        .emit(
+            client,
+            Operation::Write,
+            kiwi(),
+            file("C:\\Users\\alice\\AppData\\creds2.txt", "alice"),
+            4_096,
+        );
 
     // a4 — Obtain User Credentials (DC, 13:30): with admin credentials the
     // attacker penetrates the domain controller and dumps all users.
     e.at(13, 30, 0)
-        .emit(client, Operation::Connect, sbblv_client(), conn_to(client, 41200, host_ip(dc), 445), 0)
+        .emit(
+            client,
+            Operation::Connect,
+            sbblv_client(),
+            conn_to(client, 41200, host_ip(dc), 445),
+            0,
+        )
         .step(3)
-        .emit_x(client, Operation::Connect, sbblv_client(), proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), dc, 0)
+        .emit_x(
+            client,
+            Operation::Connect,
+            sbblv_client(),
+            proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            dc,
+            0,
+        )
         .step(6)
-        .emit(dc, Operation::Write, proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), file("C:\\Windows\\Temp\\sbblv.exe", "Administrator"), 918_528)
+        .emit(
+            dc,
+            Operation::Write,
+            proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            file("C:\\Windows\\Temp\\sbblv.exe", "Administrator"),
+            918_528,
+        )
         .step(4)
-        .emit(dc, Operation::Start, proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), sbblv_dc(), 0)
+        .emit(
+            dc,
+            Operation::Start,
+            proc(6000, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            sbblv_dc(),
+            0,
+        )
         .step(10)
-        .emit(dc, Operation::Write, sbblv_dc(), file("C:\\Windows\\Temp\\PwDump7.exe", "Administrator"), 393_216)
+        .emit(
+            dc,
+            Operation::Write,
+            sbblv_dc(),
+            file("C:\\Windows\\Temp\\PwDump7.exe", "Administrator"),
+            393_216,
+        )
         .step(2)
         .emit(dc, Operation::Start, sbblv_dc(), pwdump(), 0)
         .step(5)
-        .emit(dc, Operation::Read, pwdump(), file("C:\\Windows\\System32\\config\\SAM", "SYSTEM"), 262_144)
+        .emit(
+            dc,
+            Operation::Read,
+            pwdump(),
+            file("C:\\Windows\\System32\\config\\SAM", "SYSTEM"),
+            262_144,
+        )
         .step(4)
-        .emit(dc, Operation::Write, pwdump(), file("C:\\Windows\\Temp\\hashes.txt", "Administrator"), 16_384)
+        .emit(
+            dc,
+            Operation::Write,
+            pwdump(),
+            file("C:\\Windows\\Temp\\hashes.txt", "Administrator"),
+            16_384,
+        )
         .step(12)
         .emit(dc, Operation::Start, sbblv_dc(), wce(), 0)
         .step(4)
-        .emit(dc, Operation::Read, wce(), file("C:\\Windows\\System32\\config\\SYSTEM", "SYSTEM"), 262_144)
+        .emit(
+            dc,
+            Operation::Read,
+            wce(),
+            file("C:\\Windows\\System32\\config\\SYSTEM", "SYSTEM"),
+            262_144,
+        )
         .step(3)
-        .emit(dc, Operation::Write, wce(), file("C:\\Windows\\Temp\\wce_out.txt", "Administrator"), 8_192)
+        .emit(
+            dc,
+            Operation::Write,
+            wce(),
+            file("C:\\Windows\\Temp\\wce_out.txt", "Administrator"),
+            8_192,
+        )
         .step(10)
-        .emit(dc, Operation::Write, sbblv_dc(), conn_to(dc, 41900, ATTACKER_IP, 443), 32_768);
+        .emit(
+            dc,
+            Operation::Write,
+            sbblv_dc(),
+            conn_to(dc, 41900, ATTACKER_IP, 443),
+            32_768,
+        );
 
     // a5 — Data Exfiltration (database server, 15:00): the attacker reaches
     // the database server, dumps the database with OSQL, and the malware
     // ships the dump to the attacker host — the behavior of Query 1.
     e.at(15, 0, 0)
-        .emit_x(dc, Operation::Connect, sbblv_dc(), proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"), db, 0)
+        .emit_x(
+            dc,
+            Operation::Connect,
+            sbblv_dc(),
+            proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            db,
+            0,
+        )
         .step(5)
-        .emit(db, Operation::Write, proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"), file("C:\\Windows\\Temp\\sbblv.exe", "dbadmin"), 918_528)
+        .emit(
+            db,
+            Operation::Write,
+            proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            file("C:\\Windows\\Temp\\sbblv.exe", "dbadmin"),
+            918_528,
+        )
         .step(3)
-        .emit(db, Operation::Start, proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"), sbblv_db(), 0)
+        .emit(
+            db,
+            Operation::Start,
+            proc(7001, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            sbblv_db(),
+            0,
+        )
         .step(30)
         .emit(db, Operation::Start, sbblv_db(), cmd_db(), 0)
         .step(10)
         .emit(db, Operation::Start, cmd_db(), osql(), 0)
         .step(20)
-        .emit(db, Operation::Write, osql(), conn_to(db, 42000, host_ip(db), 1433), 1_024)
+        .emit(
+            db,
+            Operation::Write,
+            osql(),
+            conn_to(db, 42000, host_ip(db), 1433),
+            1_024,
+        )
         .step(40)
-        .emit(db, Operation::Write, sqlservr(), file("C:\\dumps\\backup1.dmp", "mssql"), 268_435_456)
+        .emit(
+            db,
+            Operation::Write,
+            sqlservr(),
+            file("C:\\dumps\\backup1.dmp", "mssql"),
+            268_435_456,
+        )
         .step(60)
-        .emit(db, Operation::Read, sbblv_db(), file("C:\\dumps\\backup1.dmp", "mssql"), 268_435_456)
+        .emit(
+            db,
+            Operation::Read,
+            sbblv_db(),
+            file("C:\\dumps\\backup1.dmp", "mssql"),
+            268_435_456,
+        )
         .step(10)
-        .emit(db, Operation::Connect, sbblv_db(), conn_to(db, 42107, ATTACKER_IP, 443), 0);
+        .emit(
+            db,
+            Operation::Connect,
+            sbblv_db(),
+            conn_to(db, 42107, ATTACKER_IP, 443),
+            0,
+        );
     // The exfiltration transfer: a burst of large writes to the attacker IP
     // over ten minutes — the spike the anomaly query (a5-1) detects.
     for i in 0..30 {
@@ -237,7 +434,13 @@ pub fn case_study_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
     let dc = hosts::DC;
 
     let outlook = || proc(5400, "C:\\Program Files\\Office\\outlook.exe", "alice");
-    let dropper = || proc(5401, "C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice");
+    let dropper = || {
+        proc(
+            5401,
+            "C:\\Users\\alice\\Downloads\\invoice_dropper.exe",
+            "alice",
+        )
+    };
     let cmd = || proc(5402, "C:\\Windows\\System32\\cmd.exe", "alice");
     let powershell = || proc(5403, "C:\\Windows\\System32\\powershell.exe", "alice");
     let schtasks = || proc(5404, "C:\\Windows\\System32\\schtasks.exe", "alice");
@@ -252,7 +455,13 @@ pub fn case_study_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
 
     // c1 — Delivery (08:55): the phishing attachment lands on disk.
     e.at(8, 55, 0)
-        .emit(client, Operation::Write, outlook(), file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"), 512_000)
+        .emit(
+            client,
+            Operation::Write,
+            outlook(),
+            file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"),
+            512_000,
+        )
         .step(40)
         .emit(client, Operation::Start, outlook(), dropper(), 0);
 
@@ -262,35 +471,102 @@ pub fn case_study_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
         .step(3)
         .emit(client, Operation::Start, cmd(), powershell(), 0)
         .step(5)
-        .emit(client, Operation::Connect, powershell(), conn_to(client, 43000, C2_IP, 443), 0)
+        .emit(
+            client,
+            Operation::Connect,
+            powershell(),
+            conn_to(client, 43000, C2_IP, 443),
+            0,
+        )
         .step(8)
-        .emit(client, Operation::Write, powershell(), file("C:\\Users\\alice\\AppData\\winupdate.exe", "alice"), 786_432)
+        .emit(
+            client,
+            Operation::Write,
+            powershell(),
+            file("C:\\Users\\alice\\AppData\\winupdate.exe", "alice"),
+            786_432,
+        )
         .step(4)
-        .emit(client, Operation::Read, powershell(), file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"), 512_000)
+        .emit(
+            client,
+            Operation::Read,
+            powershell(),
+            file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"),
+            512_000,
+        )
         .step(6)
         .emit(client, Operation::Start, cmd(), schtasks(), 0)
         .step(2)
-        .emit(client, Operation::Write, schtasks(), file("C:\\Windows\\Tasks\\winupdate.job", "SYSTEM"), 2_048)
+        .emit(
+            client,
+            Operation::Write,
+            schtasks(),
+            file("C:\\Windows\\Tasks\\winupdate.job", "SYSTEM"),
+            2_048,
+        )
         .step(10)
         .emit(client, Operation::Start, powershell(), payload(), 0)
         .step(5)
-        .emit(client, Operation::Write, payload(), conn_to(client, 43001, C2_IP, 443), 65_536)
+        .emit(
+            client,
+            Operation::Write,
+            payload(),
+            conn_to(client, 43001, C2_IP, 443),
+            65_536,
+        )
         .step(5)
-        .emit(client, Operation::Delete, payload(), file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"), 0);
+        .emit(
+            client,
+            Operation::Delete,
+            payload(),
+            file("C:\\Users\\alice\\Downloads\\invoice_dropper.exe", "alice"),
+            0,
+        );
 
     // c3 — Lateral movement to the web/file server (10:20).
     e.at(10, 20, 0)
-        .emit(client, Operation::Write, payload(), file("C:\\Users\\alice\\AppData\\psexec.exe", "alice"), 339_968)
+        .emit(
+            client,
+            Operation::Write,
+            payload(),
+            file("C:\\Users\\alice\\AppData\\psexec.exe", "alice"),
+            339_968,
+        )
         .step(3)
         .emit(client, Operation::Start, payload(), psexec(), 0)
         .step(4)
-        .emit(client, Operation::Connect, psexec(), conn_to(client, 43100, host_ip(web), 445), 0)
+        .emit(
+            client,
+            Operation::Connect,
+            psexec(),
+            conn_to(client, 43100, host_ip(web), 445),
+            0,
+        )
         .step(2)
-        .emit_x(client, Operation::Connect, psexec(), proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), web, 0)
+        .emit_x(
+            client,
+            Operation::Connect,
+            psexec(),
+            proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            web,
+            0,
+        )
         .step(6)
-        .emit(web, Operation::Write, proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), file("C:\\Windows\\Temp\\malsvc.exe", "SYSTEM"), 466_944)
+        .emit(
+            web,
+            Operation::Write,
+            proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            file("C:\\Windows\\Temp\\malsvc.exe", "SYSTEM"),
+            466_944,
+        )
         .step(3)
-        .emit(web, Operation::Start, proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"), malsvc(), 0);
+        .emit(
+            web,
+            Operation::Start,
+            proc(8000, "C:\\Windows\\System32\\services.exe", "SYSTEM"),
+            malsvc(),
+            0,
+        );
 
     // c4 — Discovery & credential access on the server and DC (11:40).
     e.at(11, 40, 0)
@@ -298,41 +574,101 @@ pub fn case_study_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
         .step(2)
         .emit(web, Operation::Start, malsvc(), net(), 0)
         .step(4)
-        .emit(web, Operation::Write, malsvc(), file("C:\\Windows\\Temp\\m64.exe", "SYSTEM"), 1_204_224)
+        .emit(
+            web,
+            Operation::Write,
+            malsvc(),
+            file("C:\\Windows\\Temp\\m64.exe", "SYSTEM"),
+            1_204_224,
+        )
         .step(3)
         .emit(web, Operation::Start, malsvc(), mimikatz2(), 0)
         .step(5)
-        .emit(web, Operation::Read, mimikatz2(), file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"), 52_428_800)
+        .emit(
+            web,
+            Operation::Read,
+            mimikatz2(),
+            file("C:\\Windows\\System32\\lsass.exe", "SYSTEM"),
+            52_428_800,
+        )
         .step(4)
-        .emit(web, Operation::Write, mimikatz2(), file("C:\\Windows\\Temp\\dump.txt", "SYSTEM"), 8_192)
+        .emit(
+            web,
+            Operation::Write,
+            mimikatz2(),
+            file("C:\\Windows\\Temp\\dump.txt", "SYSTEM"),
+            8_192,
+        )
         .step(30)
-        .emit(web, Operation::Connect, malsvc(), conn_to(web, 43500, host_ip(dc), 88), 0)
+        .emit(
+            web,
+            Operation::Connect,
+            malsvc(),
+            conn_to(web, 43500, host_ip(dc), 88),
+            0,
+        )
         .step(4)
-        .emit_x(web, Operation::Connect, malsvc(), proc(9000, "C:\\Windows\\System32\\lsass.exe", "SYSTEM"), dc, 0)
+        .emit_x(
+            web,
+            Operation::Connect,
+            malsvc(),
+            proc(9000, "C:\\Windows\\System32\\lsass.exe", "SYSTEM"),
+            dc,
+            0,
+        )
         .step(6)
-        .emit(dc, Operation::Read, proc(9000, "C:\\Windows\\System32\\lsass.exe", "SYSTEM"), file("C:\\Windows\\NTDS\\ntds.dit", "SYSTEM"), 134_217_728);
+        .emit(
+            dc,
+            Operation::Read,
+            proc(9000, "C:\\Windows\\System32\\lsass.exe", "SYSTEM"),
+            file("C:\\Windows\\NTDS\\ntds.dit", "SYSTEM"),
+            134_217_728,
+        );
 
     // c5 — Staging & exfiltration (14:10): sensitive documents are archived
     // and shipped to the C2 over FTP.
-    e.at(14, 10, 0)
-        .emit(web, Operation::Write, malsvc(), file("C:\\Windows\\Temp\\rar.exe", "SYSTEM"), 589_824);
+    e.at(14, 10, 0).emit(
+        web,
+        Operation::Write,
+        malsvc(),
+        file("C:\\Windows\\Temp\\rar.exe", "SYSTEM"),
+        589_824,
+    );
     for i in 0..8 {
         e.step(5).emit(
             web,
             Operation::Read,
             rar(),
-            file(&format!("C:\\Shares\\finance\\report{i}.xlsx", ), "SYSTEM"),
+            file(&format!("C:\\Shares\\finance\\report{i}.xlsx",), "SYSTEM"),
             2_097_152,
         );
     }
     e.step(4)
-        .emit(web, Operation::Write, rar(), file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"), 16_777_216)
+        .emit(
+            web,
+            Operation::Write,
+            rar(),
+            file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"),
+            16_777_216,
+        )
         .step(10)
         .emit(web, Operation::Start, malsvc(), ftp(), 0)
         .step(3)
-        .emit(web, Operation::Read, ftp(), file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"), 16_777_216)
+        .emit(
+            web,
+            Operation::Read,
+            ftp(),
+            file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"),
+            16_777_216,
+        )
         .step(2)
-        .emit(web, Operation::Connect, ftp(), conn_to(web, 43900, C2_IP, 21), 0);
+        .emit(
+            web,
+            Operation::Connect,
+            ftp(),
+            conn_to(web, 43900, C2_IP, 21),
+            0,
+        );
     for i in 0..20 {
         e.step(15).emit(
             web,
@@ -343,9 +679,21 @@ pub fn case_study_attack(day: (i32, u32, u32)) -> Vec<RawEvent> {
         );
     }
     e.step(30)
-        .emit(web, Operation::Delete, malsvc(), file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"), 0)
+        .emit(
+            web,
+            Operation::Delete,
+            malsvc(),
+            file("C:\\Windows\\Temp\\stage.rar", "SYSTEM"),
+            0,
+        )
         .step(2)
-        .emit(web, Operation::Delete, malsvc(), file("C:\\Windows\\Temp\\dump.txt", "SYSTEM"), 0);
+        .emit(
+            web,
+            Operation::Delete,
+            malsvc(),
+            file("C:\\Windows\\Temp\\dump.txt", "SYSTEM"),
+            0,
+        );
 
     e.out
 }
@@ -358,11 +706,21 @@ mod tests {
     fn demo_attack_emits_query1_artifacts() {
         let raws = demo_attack((2018, 3, 19));
         let has = |pred: &dyn Fn(&RawEvent) -> bool| raws.iter().any(pred);
-        assert!(has(&|r| matches!(&r.object, EntitySpec::File { name, .. } if name.contains("backup1.dmp"))));
-        assert!(has(&|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("osql"))));
-        assert!(has(&|r| matches!(&r.object, EntitySpec::NetConn { dst_ip, .. } if *dst_ip == ATTACKER_IP)));
-        assert!(has(&|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("PwDump7"))));
-        assert!(has(&|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("mimikatz"))));
+        assert!(has(
+            &|r| matches!(&r.object, EntitySpec::File { name, .. } if name.contains("backup1.dmp"))
+        ));
+        assert!(has(
+            &|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("osql"))
+        ));
+        assert!(has(
+            &|r| matches!(&r.object, EntitySpec::NetConn { dst_ip, .. } if *dst_ip == ATTACKER_IP)
+        ));
+        assert!(has(
+            &|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("PwDump7"))
+        ));
+        assert!(has(
+            &|r| matches!(&r.subject, EntitySpec::Process { exe_name, .. } if exe_name.contains("mimikatz"))
+        ));
     }
 
     #[test]
@@ -371,7 +729,10 @@ mod tests {
         // The dump write happens before the dump read, which happens before
         // the exfil transfer (Query 1's temporal chain).
         let find = |f: &dyn Fn(&RawEvent) -> bool| {
-            raws.iter().find(|r| f(r)).expect("event present").start_time
+            raws.iter()
+                .find(|r| f(r))
+                .expect("event present")
+                .start_time
         };
         let dump_write = find(&|r| {
             r.op == Operation::Write

@@ -444,9 +444,8 @@ mod tests {
     #[test]
     fn every_catalog_query_parses() {
         for cq in demo_queries().iter().chain(case_study_queries().iter()) {
-            parse_query(&cq.aiql).unwrap_or_else(|e| {
-                panic!("query {} failed to parse: {}\n{}", cq.id, e, cq.aiql)
-            });
+            parse_query(&cq.aiql)
+                .unwrap_or_else(|e| panic!("query {} failed to parse: {}\n{}", cq.id, e, cq.aiql));
         }
     }
 
@@ -454,12 +453,7 @@ mod tests {
     fn demo_catalog_contains_one_anomaly_query() {
         let anomalies: Vec<_> = demo_queries()
             .into_iter()
-            .filter(|cq| {
-                matches!(
-                    parse_query(&cq.aiql).unwrap(),
-                    aiql_lang::Query::Anomaly(_)
-                )
-            })
+            .filter(|cq| matches!(parse_query(&cq.aiql).unwrap(), aiql_lang::Query::Anomaly(_)))
             .collect();
         assert_eq!(anomalies.len(), 1);
         assert_eq!(anomalies[0].id, "a5-1");

@@ -103,7 +103,10 @@ mod tests {
         let a = scenario_demo(Scale::test());
         let b = scenario_demo(Scale::test());
         assert_eq!(a.raws, b.raws);
-        assert!(a.raws.windows(2).all(|w| w[0].start_time <= w[1].start_time));
+        assert!(a
+            .raws
+            .windows(2)
+            .all(|w| w[0].start_time <= w[1].start_time));
     }
 
     #[test]

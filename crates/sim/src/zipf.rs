@@ -48,7 +48,9 @@ impl Zipf {
     /// Samples a rank in `0..n` (0 = most popular).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.len() - 1)
     }
 }
 

@@ -146,7 +146,11 @@ fn crc_table() -> &'static [u32; 256] {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -161,7 +165,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_boundaries() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = BytesMut::new();
             put_varint(&mut buf, v);
             let mut slice = &buf[..];
@@ -185,7 +199,10 @@ mod tests {
         put_str(&mut buf, "C:\\Windows\\System32\\cmd.exe");
         put_str(&mut buf, "");
         let mut slice = &buf[..];
-        assert_eq!(get_str(&mut slice).unwrap(), "C:\\Windows\\System32\\cmd.exe");
+        assert_eq!(
+            get_str(&mut slice).unwrap(),
+            "C:\\Windows\\System32\\cmd.exe"
+        );
         assert_eq!(get_str(&mut slice).unwrap(), "");
     }
 

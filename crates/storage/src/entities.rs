@@ -156,9 +156,7 @@ impl EntityStore {
         match attrs {
             EntityAttrs::Process(p) => self.proc_by_name.entry(p.exe_name).or_default().push(id),
             EntityAttrs::File(f) => self.file_by_name.entry(f.name).or_default().push(id),
-            EntityAttrs::NetConn(n) => {
-                self.conn_by_dst.entry(n.dst_ip.0).or_default().push(id)
-            }
+            EntityAttrs::NetConn(n) => self.conn_by_dst.entry(n.dst_ip.0).or_default().push(id),
         }
         id
     }
@@ -460,7 +458,10 @@ mod tests {
         for name in ["/var/www/info_stealer.sh", "/etc/passwd", "/tmp/x"] {
             let n = s.interner_mut().intern(name);
             let o = s.interner_mut().intern("root");
-            s.intern(AgentId(3), EntityAttrs::File(FileAttrs { name: n, owner: o }));
+            s.intern(
+                AgentId(3),
+                EntityAttrs::File(FileAttrs { name: n, owner: o }),
+            );
         }
         let found = s.find(
             EntityKind::File,

@@ -7,13 +7,18 @@
 //! set is small, operation postings when the op set is selective, otherwise
 //! a column scan.
 
-use std::collections::HashSet;
-
 use aiql_model::{AgentId, EntityId, Event, Operation, TimeWindow, OPERATION_COUNT};
 
 /// A set of operations, encoded as a bitmask.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpSet(pub u16);
+
+// The mask math below silently corrupts if operations outgrow the u16; fail
+// the build instead of the queries when someone adds a 17th operation.
+const _: () = assert!(
+    OPERATION_COUNT <= 16,
+    "OpSet is a u16 bitmask; widen OpSet before adding more operations"
+);
 
 impl OpSet {
     /// The empty set.
@@ -74,10 +79,18 @@ impl OpSet {
     }
 }
 
-/// A set of entity ids with O(1) membership, used for semi-join pushdown.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A set of entity ids used for semi-join pushdown, stored as a dense
+/// word-packed bitmap over the raw id space.
+///
+/// Entity ids are dictionary-assigned dense indices (see
+/// `aiql_model::ids`), so a bitmap of `max_id / 64` words is compact, gives
+/// O(1) membership inside column predicate loops, and makes the semi-join
+/// narrowing of binding propagation a word-wise AND instead of a rebuilt
+/// hash set.
+#[derive(Debug, Clone, Default)]
 pub struct IdSet {
-    set: HashSet<EntityId>,
+    words: Vec<u64>,
+    len: usize,
 }
 
 impl IdSet {
@@ -90,43 +103,96 @@ impl IdSet {
     /// below covers generic contexts).
     #[allow(clippy::should_implement_trait)]
     pub fn from_iter(ids: impl IntoIterator<Item = EntityId>) -> Self {
-        IdSet {
-            set: ids.into_iter().collect(),
+        let mut s = IdSet::new();
+        for id in ids {
+            s.insert(id);
         }
+        s
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, id: EntityId) -> bool {
-        self.set.contains(&id)
+        let idx = id.index();
+        match self.words.get(idx >> 6) {
+            Some(w) => w & (1u64 << (idx & 63)) != 0,
+            None => false,
+        }
     }
 
     /// Inserts an id.
     pub fn insert(&mut self, id: EntityId) {
-        self.set.insert(id);
+        let idx = id.index();
+        let word = idx >> 6;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (idx & 63);
+        if self.words[word] & bit == 0 {
+            self.words[word] |= bit;
+            self.len += 1;
+        }
+    }
+
+    /// Intersects in place (word-wise AND) — the semi-join narrowing step.
+    pub fn intersect_with(&mut self, other: &IdSet) {
+        if other.words.len() < self.words.len() {
+            self.words.truncate(other.words.len());
+        }
+        let mut len = 0usize;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= *o;
+            len += w.count_ones() as usize;
+        }
+        self.len = len;
     }
 
     /// Number of ids.
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.len
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.len == 0
     }
 
-    /// Iterates the ids (unordered).
+    /// Iterates the ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
-        self.set.iter().copied()
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(EntityId(((wi as u32) << 6) | bit))
+            })
+        })
     }
 }
 
+impl PartialEq for IdSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical set equality: ignore trailing zero words.
+        if self.len != other.len {
+            return false;
+        }
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for IdSet {}
+
 impl FromIterator<EntityId> for IdSet {
     fn from_iter<T: IntoIterator<Item = EntityId>>(iter: T) -> Self {
-        IdSet {
-            set: iter.into_iter().collect(),
-        }
+        Self::from_iter(iter)
     }
 }
 
@@ -315,5 +381,56 @@ mod tests {
         assert!(s.contains(EntityId(3)));
         assert!(!s.contains(EntityId(4)));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn idset_bitmap_across_words() {
+        let ids = [0u32, 1, 63, 64, 65, 127, 128, 1000];
+        let s = IdSet::from_iter(ids.iter().map(|&i| EntityId(i)));
+        assert_eq!(s.len(), ids.len());
+        for &i in &ids {
+            assert!(s.contains(EntityId(i)));
+        }
+        assert!(!s.contains(EntityId(999)));
+        assert!(!s.contains(EntityId(100_000)));
+        // Iteration is ascending.
+        let got: Vec<u32> = s.iter().map(EntityId::raw).collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn idset_duplicate_inserts_counted_once() {
+        let mut s = IdSet::new();
+        s.insert(EntityId(70));
+        s.insert(EntityId(70));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn idset_intersect_in_place() {
+        let mut a = IdSet::from_iter([1, 64, 65, 200, 500].map(EntityId));
+        let b = IdSet::from_iter([64, 200, 501].map(EntityId));
+        a.intersect_with(&b);
+        assert_eq!(a.len(), 2);
+        let got: Vec<u32> = a.iter().map(EntityId::raw).collect();
+        assert_eq!(got, vec![64, 200]);
+        // Intersection with a shorter bitmap truncates the tail words.
+        let mut c = IdSet::from_iter([5, 100_000].map(EntityId));
+        let d = IdSet::from_iter([5].map(EntityId));
+        c.intersect_with(&d);
+        assert_eq!(c.len(), 1);
+        assert!(!c.contains(EntityId(100_000)));
+    }
+
+    #[test]
+    fn idset_logical_equality_ignores_capacity() {
+        let mut a = IdSet::from_iter([3, 100_000].map(EntityId));
+        let b = IdSet::from_iter([3].map(EntityId));
+        assert_ne!(a, b);
+        let empty = IdSet::from_iter([100_000].map(EntityId));
+        a.intersect_with(&b);
+        // a now equals b logically even though its word vector is longer.
+        assert_eq!(a, b);
+        assert_ne!(a, empty);
     }
 }

@@ -5,8 +5,10 @@
 //! ids. [`RawEvent`] is the wire format (also what the WAL persists); the
 //! store resolves it against the entity dictionary at batch commit.
 
-use aiql_model::{AgentId, EntityAttrs, FileAttrs, IpV4, NetConnAttrs, Operation, ProcessAttrs,
-    Protocol, Timestamp};
+use aiql_model::{
+    AgentId, EntityAttrs, FileAttrs, IpV4, NetConnAttrs, Operation, ProcessAttrs, Protocol,
+    Timestamp,
+};
 
 use crate::entities::EntityStore;
 
@@ -192,8 +194,13 @@ mod tests {
         let mut store = EntityStore::new();
         let f = EntitySpec::file("/etc/passwd", "root").resolve(&mut store);
         assert_eq!(f.kind(), EntityKind::File);
-        let c = EntitySpec::tcp(IpV4::from_octets(10, 0, 0, 1), 1234, IpV4::from_octets(10, 0, 4, 129), 443)
-            .resolve(&mut store);
+        let c = EntitySpec::tcp(
+            IpV4::from_octets(10, 0, 0, 1),
+            1234,
+            IpV4::from_octets(10, 0, 4, 129),
+            443,
+        )
+        .resolve(&mut store);
         assert_eq!(c.kind(), EntityKind::NetConn);
     }
 }

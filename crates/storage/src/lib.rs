@@ -10,6 +10,11 @@
 //! * **Batch commit + in-memory indexes** — events are buffered and
 //!   committed in batches; each commit builds per-segment posting lists
 //!   (by operation, by subject, by object) so queries avoid full scans.
+//! * **Selection vectors** — predicates evaluate directly against the
+//!   columns ([`Segment::select`]): access paths merge by sort-merge into
+//!   sorted row-id vectors, entity id sets are dense bitmaps
+//!   ([`IdSet`]), and callers read fields through cheap column accessors
+//!   instead of materialized events.
 //! * **Time and space partitioning / hypertable** — events live in
 //!   [`Segment`]s keyed by ⟨agent id, time bucket⟩ ([`PartitionKey`]); the
 //!   engine enumerates only the partitions a query's global constraints

@@ -131,6 +131,48 @@ impl Segment {
         }
     }
 
+    /// Event id column accessor.
+    #[inline]
+    pub fn id_at(&self, row: u32) -> EventId {
+        self.ids[row as usize]
+    }
+
+    /// Operation column accessor.
+    #[inline]
+    pub fn op_at(&self, row: u32) -> Operation {
+        Operation::from_index(self.ops[row as usize] as usize).expect("valid op in column")
+    }
+
+    /// Subject entity column accessor.
+    #[inline]
+    pub fn subject_at(&self, row: u32) -> EntityId {
+        self.subjects[row as usize]
+    }
+
+    /// Object entity column accessor.
+    #[inline]
+    pub fn object_at(&self, row: u32) -> EntityId {
+        self.objects[row as usize]
+    }
+
+    /// Start-time column accessor.
+    #[inline]
+    pub fn start_at(&self, row: u32) -> Timestamp {
+        Timestamp(self.start_times[row as usize])
+    }
+
+    /// End-time column accessor.
+    #[inline]
+    pub fn end_at(&self, row: u32) -> Timestamp {
+        Timestamp(self.end_times[row as usize])
+    }
+
+    /// Amount column accessor.
+    #[inline]
+    pub fn amount_at(&self, row: u32) -> u64 {
+        self.amounts[row as usize]
+    }
+
     /// Number of events with the given operation (for selectivity
     /// estimation).
     pub fn op_count(&self, op: Operation) -> usize {
@@ -176,6 +218,10 @@ impl Segment {
     /// access path, verifies residual predicates, and invokes `f` for every
     /// matching event. `agent` is the partition's host (segments do not
     /// duplicate it per row).
+    ///
+    /// This is the *materializing* access path kept for ablation; the
+    /// selection-vector path ([`Segment::select`]) avoids building `Event`s
+    /// for rows that fail residual predicates.
     pub fn scan(&self, agent: AgentId, filter: &EventFilter, f: &mut dyn FnMut(&Event)) {
         if !self.overlaps_window(filter) {
             return;
@@ -227,7 +273,12 @@ impl Segment {
             .flatten()
             .min_by_key(Vec::len);
         match candidates {
-            Some(rows) => {
+            Some(mut rows) => {
+                // Candidate lists concatenated from several posting lists
+                // arrive unsorted; visiting rows out of order defeats cache
+                // locality and breaks the sorted-output contract.
+                rows.sort_unstable();
+                rows.dedup();
                 for row in rows {
                     let e = self.event_at(agent, row as usize);
                     if filter.matches(&e) {
@@ -237,6 +288,135 @@ impl Segment {
             }
             None => self.scan_full(agent, filter, f),
         }
+    }
+
+    /// Selection-vector scan: evaluates every predicate directly against
+    /// the columns and returns the sorted, deduped row ids that match —
+    /// no `Event` is materialized. Access paths (operation postings,
+    /// subject/object posting lists) are combined by sort-merge
+    /// intersection; with `cost_based` the posting-list paths are chosen by
+    /// estimated candidate count instead of the fixed 64-id cutoff.
+    pub fn select(&self, agent: AgentId, filter: &EventFilter, cost_based: bool) -> Vec<u32> {
+        if !self.overlaps_window(filter) {
+            return Vec::new();
+        }
+        if let Some(agents) = &filter.agents {
+            if !agents.contains(&agent) {
+                return Vec::new();
+            }
+        }
+        // Build each applicable access path as a sorted row-id list.
+        let budget = self.len() / 2;
+        let mut paths: Vec<Vec<u32>> = Vec::new();
+        for (ids, index) in [
+            (filter.subjects.as_ref(), &self.subj_index),
+            (filter.objects.as_ref(), &self.obj_index),
+        ] {
+            let Some(ids) = ids else { continue };
+            if let Some(rows) = self.entity_rows(ids, index, cost_based, budget) {
+                paths.push(rows);
+            }
+        }
+        if !filter.ops.is_all() {
+            let total: usize = filter.ops.iter().map(|op| self.op_count(op)).sum();
+            // The op path only pays for itself when it prunes; an
+            // unselective op set is cheaper as a direct column loop below.
+            if total * 2 < self.len() {
+                let lists: Vec<&[u32]> = filter
+                    .ops
+                    .iter()
+                    .map(|op| self.op_postings[op.index()].as_slice())
+                    .collect();
+                paths.push(merge_sorted(&lists));
+            }
+        }
+        // Residual verification straight off the columns. With no index
+        // path the row loop runs directly over the columns — no candidate
+        // vector is materialized. The window/op tests are unconditional
+        // (they are almost always the deciding predicates); the entity and
+        // amount tests only run when the filter carries them.
+        let (win_lo, win_hi) = (filter.window.start.micros(), filter.window.end.micros());
+        let ops_mask = filter.ops.0;
+        let residual = |r: usize| -> bool {
+            let t = self.start_times[r];
+            if t < win_lo || t >= win_hi {
+                return false;
+            }
+            if ops_mask & (1u16 << self.ops[r]) == 0 {
+                return false;
+            }
+            if let Some(s) = &filter.subjects {
+                if !s.contains(self.subjects[r]) {
+                    return false;
+                }
+            }
+            if let Some(o) = &filter.objects {
+                if !o.contains(self.objects[r]) {
+                    return false;
+                }
+            }
+            if let Some(min) = filter.min_amount {
+                if self.amounts[r] < min {
+                    return false;
+                }
+            }
+            true
+        };
+        match paths.into_iter().reduce(|a, b| intersect_sorted(&a, &b)) {
+            Some(mut rows) => {
+                rows.retain(|&row| residual(row as usize));
+                rows
+            }
+            None => {
+                let mut out = Vec::new();
+                for row in 0..self.len() {
+                    if residual(row) {
+                        out.push(row as u32);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Sorted candidate rows for an entity id set via its posting index, or
+    /// `None` when a column scan is estimated cheaper.
+    fn entity_rows(
+        &self,
+        ids: &crate::filter::IdSet,
+        index: &HashMap<EntityId, Vec<u32>>,
+        cost_based: bool,
+        budget: usize,
+    ) -> Option<Vec<u32>> {
+        if !cost_based && ids.len() > 64 {
+            return None;
+        }
+        let mut lists: Vec<&[u32]> = Vec::new();
+        let mut total = 0usize;
+        if ids.len() <= index.len() {
+            for id in ids.iter() {
+                if let Some(r) = index.get(&id) {
+                    total += r.len();
+                    if cost_based && total > budget {
+                        return None;
+                    }
+                    lists.push(r);
+                }
+            }
+        } else {
+            // Fewer distinct entities in the segment than ids in the set:
+            // probe the bitmap from the index side instead.
+            for (id, r) in index {
+                if ids.contains(*id) {
+                    total += r.len();
+                    if cost_based && total > budget {
+                        return None;
+                    }
+                    lists.push(r);
+                }
+            }
+        }
+        Some(merge_sorted(&lists))
     }
 
     /// Unconditional column scan verifying every predicate per row — the
@@ -275,6 +455,68 @@ impl Segment {
         }
         est
     }
+}
+
+/// K-way sort-merge union of sorted, pairwise-disjoint row lists (posting
+/// lists for distinct entities or operations never share a row, so no dedup
+/// pass is needed — only ordering).
+pub(crate) fn merge_sorted(lists: &[&[u32]]) -> Vec<u32> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].to_vec(),
+        2 => merge_two(lists[0], lists[1]),
+        _ => {
+            // Tournament of pairwise merges: O(total · log k).
+            let mut round: Vec<Vec<u32>> = lists.iter().map(|l| l.to_vec()).collect();
+            while round.len() > 1 {
+                let mut next = Vec::with_capacity(round.len().div_ceil(2));
+                let mut it = round.chunks_exact(2);
+                for pair in &mut it {
+                    next.push(merge_two(&pair[0], &pair[1]));
+                }
+                if let [odd] = it.remainder() {
+                    next.push(odd.clone());
+                }
+                round = next;
+            }
+            round.pop().unwrap_or_default()
+        }
+    }
+}
+
+fn merge_two(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sort-merge intersection of two sorted row lists.
+pub(crate) fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -368,7 +610,8 @@ mod tests {
     #[test]
     fn zone_map_pruning() {
         let s = seg_with_events();
-        let filter = EventFilter::all().with_window(TimeWindow::new(Timestamp(1000), Timestamp(2000)));
+        let filter =
+            EventFilter::all().with_window(TimeWindow::new(Timestamp(1000), Timestamp(2000)));
         assert!(!s.overlaps_window(&filter));
         assert_eq!(s.estimate(&filter), 0);
         let mut n = 0;
@@ -384,6 +627,72 @@ mod tests {
             .with_subjects(IdSet::from_iter([EntityId(2)]));
         // op count 2, subject postings 2 → estimate <= 2
         assert!(s.estimate(&filter) <= 2);
+    }
+
+    #[test]
+    fn select_agrees_with_full_scan_and_is_sorted() {
+        let s = seg_with_events();
+        let filters = [
+            EventFilter::all(),
+            EventFilter::all().with_ops(OpSet::from_ops(&[Operation::Read, Operation::Write])),
+            EventFilter::all().with_window(TimeWindow::new(Timestamp(150), Timestamp(350))),
+            EventFilter::all()
+                .with_subjects(IdSet::from_iter([EntityId(1)]))
+                .with_objects(IdSet::from_iter([EntityId(11)])),
+            EventFilter::all()
+                .with_ops(OpSet::single(Operation::Read))
+                .with_subjects(IdSet::from_iter([EntityId(2)])),
+            EventFilter::all().with_agents(vec![AgentId(9)]), // wrong agent
+        ];
+        for filter in filters {
+            for cost_based in [false, true] {
+                let rows = s.select(AgentId(1), &filter, cost_based);
+                assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+                let mut slow = Vec::new();
+                s.scan_full(AgentId(1), &filter, &mut |e| slow.push(e.id));
+                let got: Vec<EventId> = rows.iter().map(|&r| s.id_at(r)).collect();
+                assert_eq!(got, slow, "filter {filter:?} cost_based={cost_based}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_accessors_match_materialized_event() {
+        let s = seg_with_events();
+        for row in 0..s.len() as u32 {
+            let e = s.event_at(AgentId(1), row as usize);
+            assert_eq!(s.id_at(row), e.id);
+            assert_eq!(s.op_at(row), e.op);
+            assert_eq!(s.subject_at(row), e.subject);
+            assert_eq!(s.object_at(row), e.object);
+            assert_eq!(s.start_at(row), e.start_time);
+            assert_eq!(s.end_at(row), e.end_time);
+            assert_eq!(s.amount_at(row), e.amount);
+        }
+    }
+
+    #[test]
+    fn legacy_scan_visits_rows_in_order() {
+        // Two candidate posting lists that interleave: subject 1 hits rows
+        // {0, 1} and subject 2 hits rows {2, 3}; requesting both subjects
+        // must still visit rows ascending (the seed concatenated unsorted).
+        let s = seg_with_events();
+        let filter = EventFilter::all().with_subjects(IdSet::from_iter([EntityId(1), EntityId(2)]));
+        let mut got = Vec::new();
+        s.scan(AgentId(1), &filter, &mut |e| got.push(e.id.raw()));
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_and_intersect_helpers() {
+        assert_eq!(merge_sorted(&[]), Vec::<u32>::new());
+        assert_eq!(merge_sorted(&[&[1, 5, 9]]), vec![1, 5, 9]);
+        assert_eq!(
+            merge_sorted(&[&[1, 5], &[2, 6], &[0, 9]]),
+            vec![0, 1, 2, 5, 6, 9]
+        );
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 7, 8]), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[1, 2], &[3, 4]), Vec::<u32>::new());
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
         dedup,
         dedup_window,
         batch_size,
+        // Scan-path tunables are not persisted — a reloaded store runs with
+        // the current defaults.
+        ..StoreConfig::default()
     });
 
     // Dictionary: intern in order so symbols keep their ids.
@@ -206,7 +209,11 @@ mod tests {
         for i in 0..50 {
             raws.push(RawEvent::instant(
                 AgentId((i % 4) as u32),
-                if i % 3 == 0 { Operation::Read } else { Operation::Write },
+                if i % 3 == 0 {
+                    Operation::Read
+                } else {
+                    Operation::Write
+                },
                 EntitySpec::process(100 + i as u32, &format!("exe{}", i % 5), "alice"),
                 EntitySpec::file(&format!("/data/f{}", i % 9), "alice"),
                 Timestamp::from_secs(i * 60),

@@ -2,9 +2,7 @@
 //! batch ingestion with event-level deduplication.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use aiql_model::{AgentId, Duration, EntityId, Event, EventId, Operation, Timestamp};
 
@@ -26,6 +24,13 @@ pub struct StoreConfig {
     pub dedup_window: Duration,
     /// Buffered observations that trigger an automatic batch commit.
     pub batch_size: usize,
+    /// Scans produce selection vectors evaluated directly against the
+    /// columns ([`Segment::select`]); disabled, they materialize an `Event`
+    /// per candidate row before verifying predicates (the seed's path).
+    pub selection_vectors: bool,
+    /// Posting-list access paths are chosen by estimated candidate count;
+    /// disabled, a fixed 64-id cutoff decides (the seed's rule).
+    pub cost_based_access: bool,
 }
 
 impl Default for StoreConfig {
@@ -35,6 +40,8 @@ impl Default for StoreConfig {
             dedup: true,
             dedup_window: Duration::from_secs(1),
             batch_size: 8192,
+            selection_vectors: true,
+            cost_based_access: true,
         }
     }
 }
@@ -149,7 +156,11 @@ impl EventStore {
             // merge them (summing amounts, extending the interval).
             batch.sort_by(|a, b| {
                 (a.agent, a.subject, a.object, a.op as u8, a.start_time).cmp(&(
-                    b.agent, b.subject, b.object, b.op as u8, b.start_time,
+                    b.agent,
+                    b.subject,
+                    b.object,
+                    b.op as u8,
+                    b.start_time,
                 ))
             });
             let window = self.config.dedup_window;
@@ -226,6 +237,53 @@ impl EventStore {
             })
             .map(|(key, _)| *key)
             .collect()
+    }
+
+    /// Direct access to one partition's segment (columnar readers resolve
+    /// row references through this).
+    pub fn segment(&self, key: PartitionKey) -> Option<&Segment> {
+        self.partitions.get(&key)
+    }
+
+    /// All partition keys in ascending order (the engine's row-reference
+    /// address space: a reference is ⟨index into this list, row⟩).
+    pub fn partition_list(&self) -> Vec<PartitionKey> {
+        self.partitions.keys().copied().collect()
+    }
+
+    /// Selection-vector scan of one partition: sorted matching row ids for
+    /// columnar consumers (the engine's late-materialization path).
+    ///
+    /// With `selection_vectors` disabled, the row ids are produced the way
+    /// the seed moved data — materializing an `Event` per row and checking
+    /// the predicate against it — so the ablation benches can isolate what
+    /// evaluating predicates directly on the columns is worth.
+    pub fn select_partition(&self, key: PartitionKey, filter: &EventFilter) -> Vec<u32> {
+        let Some(seg) = self.partitions.get(&key) else {
+            return Vec::new();
+        };
+        if self.config.selection_vectors {
+            return seg.select(key.agent, filter, self.config.cost_based_access);
+        }
+        if !seg.overlaps_window(filter) {
+            return Vec::new();
+        }
+        let mut rows = Vec::new();
+        for row in 0..seg.len() {
+            if filter.matches(&seg.event_at(key.agent, row)) {
+                rows.push(row as u32);
+            }
+        }
+        rows
+    }
+
+    /// Matching-row count for a filter, through the selection-vector path —
+    /// no events are materialized when `selection_vectors` is on.
+    pub fn count(&self, filter: &EventFilter) -> usize {
+        self.partitions_for(filter)
+            .into_iter()
+            .map(|key| self.select_partition(key, filter).len())
+            .sum()
     }
 
     /// Index-assisted scan of one partition.
@@ -373,12 +431,12 @@ impl SharedStore {
 
     /// Runs `f` with shared (read) access.
     pub fn read<R>(&self, f: impl FnOnce(&EventStore) -> R) -> R {
-        f(&self.inner.read())
+        f(&self.inner.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Runs `f` with exclusive (write) access.
     pub fn write<R>(&self, f: impl FnOnce(&mut EventStore) -> R) -> R {
-        f(&mut self.inner.write())
+        f(&mut self.inner.write().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -409,7 +467,8 @@ mod tests {
             raw(2, Operation::Read, "less", "/var/log/syslog", 30, 300),
         ]);
         assert_eq!(store.event_count(), 3);
-        let reads = store.scan_collect(&EventFilter::all().with_ops(OpSet::single(Operation::Read)));
+        let reads =
+            store.scan_collect(&EventFilter::all().with_ops(OpSet::single(Operation::Read)));
         assert_eq!(reads.len(), 2);
     }
 
@@ -485,7 +544,11 @@ mod tests {
         for i in 0..200 {
             raws.push(raw(
                 (i % 3) as u32,
-                if i % 2 == 0 { Operation::Read } else { Operation::Connect },
+                if i % 2 == 0 {
+                    Operation::Read
+                } else {
+                    Operation::Connect
+                },
                 &format!("exe{}", i % 7),
                 &format!("/f{}", i % 11),
                 i,
@@ -558,7 +621,11 @@ mod tests {
         for i in 0..300 {
             raws.push(raw(
                 (i % 3) as u32,
-                if i % 5 == 0 { Operation::Execute } else { Operation::Read },
+                if i % 5 == 0 {
+                    Operation::Execute
+                } else {
+                    Operation::Read
+                },
                 &format!("exe{}", i % 4),
                 &format!("/f{}", i % 6),
                 i * 60, // spread over several hour buckets
@@ -579,8 +646,11 @@ mod tests {
         for f in filters {
             let mut indexed = Vec::new();
             store.scan_op_indexed(&f, &mut |e| indexed.push(e.id));
-            let mut reference: Vec<_> =
-                store.scan_unoptimized_collect(&f).iter().map(|e| e.id).collect();
+            let mut reference: Vec<_> = store
+                .scan_unoptimized_collect(&f)
+                .iter()
+                .map(|e| e.id)
+                .collect();
             indexed.sort_unstable();
             reference.sort_unstable();
             assert_eq!(indexed, reference);

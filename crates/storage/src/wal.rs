@@ -306,7 +306,11 @@ mod tests {
         wal.flush().unwrap();
         drop(wal);
         // Flip a byte in the middle of the file (inside record payloads).
-        let mut f = OpenOptions::new().read(true).write(true).open(&path).unwrap();
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
         f.seek(std::io::SeekFrom::Start(40)).unwrap();
         let mut b = [0u8; 1];
         f.read_exact(&mut b).unwrap();

@@ -9,12 +9,12 @@ use proptest::prelude::*;
 /// Strategy for a small random raw event.
 fn arb_raw() -> impl Strategy<Value = RawEvent> {
     (
-        0u32..4,          // agent
-        0usize..11,       // op index
-        0u32..6,          // exe choice
-        0u32..8,          // file choice
-        0i64..86_400,     // seconds within one day
-        0u64..10_000,     // amount
+        0u32..4,      // agent
+        0usize..11,   // op index
+        0u32..6,      // exe choice
+        0u32..8,      // file choice
+        0i64..86_400, // seconds within one day
+        0u64..10_000, // amount
     )
         .prop_map(|(agent, op, exe, file, secs, amount)| {
             RawEvent::instant(

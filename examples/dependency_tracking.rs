@@ -19,7 +19,11 @@ fn main() {
         println!("== {title} ==");
         println!("{}", src.trim());
         match engine.execute_text(&store, src) {
-            Ok(table) => println!("-- {} rows\n{}", table.rows.len(), table.render(store.interner())),
+            Ok(table) => println!(
+                "-- {} rows\n{}",
+                table.rows.len(),
+                table.render(store.interner())
+            ),
             Err(e) => println!("!! {e}"),
         }
     };

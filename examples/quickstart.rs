@@ -29,8 +29,22 @@ fn main() {
 
     let mut events = vec![
         RawEvent::instant(AgentId(1), Operation::Start, cmd, osql.clone(), s(0), 0),
-        RawEvent::instant(AgentId(1), Operation::Write, sqlservr, dump.clone(), s(60), 1 << 28),
-        RawEvent::instant(AgentId(1), Operation::Read, malware.clone(), dump, s(120), 1 << 28),
+        RawEvent::instant(
+            AgentId(1),
+            Operation::Write,
+            sqlservr,
+            dump.clone(),
+            s(60),
+            1 << 28,
+        ),
+        RawEvent::instant(
+            AgentId(1),
+            Operation::Read,
+            malware.clone(),
+            dump,
+            s(120),
+            1 << 28,
+        ),
     ];
     for i in 0..10 {
         events.push(RawEvent::instant(

@@ -21,7 +21,10 @@
 
 use std::io::{BufRead, Write};
 
-use aiql::sim::{build_store, case_study_queries, demo_queries, scenario_case_study, scenario_demo, CatalogQuery, Scale};
+use aiql::sim::{
+    build_store, case_study_queries, demo_queries, scenario_case_study, scenario_demo,
+    CatalogQuery, Scale,
+};
 use aiql::{Engine, EngineConfig, EventStore, StoreConfig};
 
 struct Repl {
@@ -42,7 +45,10 @@ impl Repl {
         let scenario = scenario_case_study(Scale::default());
         self.store = build_store(&scenario, StoreConfig::default());
         self.catalog = case_study_queries();
-        println!("loaded case-study scenario: {}", self.store.stats().summary());
+        println!(
+            "loaded case-study scenario: {}",
+            self.store.stats().summary()
+        );
     }
 
     fn execute(&self, src: &str) {

@@ -2,7 +2,9 @@
 //! its scenario store, and the queries that pin down attack artifacts
 //! return them.
 
-use aiql::sim::{build_store, case_study_queries, demo_queries, scenario_case_study, scenario_demo, Scale};
+use aiql::sim::{
+    build_store, case_study_queries, demo_queries, scenario_case_study, scenario_demo, Scale,
+};
 use aiql::{Engine, EngineConfig, StoreConfig};
 
 fn demo_store() -> aiql::EventStore {
@@ -52,10 +54,7 @@ fn all_case_study_queries_execute_and_find_evidence() {
 fn query1_returns_exactly_the_exfiltration_chain() {
     let store = demo_store();
     let engine = Engine::new(EngineConfig::default());
-    let a5_5 = demo_queries()
-        .into_iter()
-        .find(|q| q.id == "a5-5")
-        .unwrap();
+    let a5_5 = demo_queries().into_iter().find(|q| q.id == "a5-5").unwrap();
     let table = engine.execute_text(&store, &a5_5.aiql).unwrap();
     assert_eq!(table.rows.len(), 1, "expected exactly one distinct chain");
     let rendered = table.render(store.interner());
@@ -69,10 +68,7 @@ fn query1_returns_exactly_the_exfiltration_chain() {
 fn anomaly_query_detects_only_the_implant() {
     let store = demo_store();
     let engine = Engine::new(EngineConfig::default());
-    let a5_1 = demo_queries()
-        .into_iter()
-        .find(|q| q.id == "a5-1")
-        .unwrap();
+    let a5_1 = demo_queries().into_iter().find(|q| q.id == "a5-1").unwrap();
     let table = engine.execute_text(&store, &a5_1.aiql).unwrap();
     assert!(!table.rows.is_empty());
     let rendered = table.render(store.interner());
@@ -88,10 +84,7 @@ fn anomaly_query_detects_only_the_implant() {
 fn cross_host_dependency_tracking_reaches_the_client() {
     let store = demo_store();
     let engine = Engine::new(EngineConfig::default());
-    let a2_3 = demo_queries()
-        .into_iter()
-        .find(|q| q.id == "a2-3")
-        .unwrap();
+    let a2_3 = demo_queries().into_iter().find(|q| q.id == "a2-3").unwrap();
     let table = engine.execute_text(&store, &a2_3.aiql).unwrap();
     let rendered = table.render(store.interner());
     // The forward track crosses from the web server (agent 1) to the

@@ -4,7 +4,9 @@
 //! benchmarks then compare pure execution strategy, not semantics.
 
 use aiql::baseline::{GraphEngine, RelationalEngine};
-use aiql::sim::{build_store, case_study_queries, demo_queries, scenario_case_study, scenario_demo, Scale};
+use aiql::sim::{
+    build_store, case_study_queries, demo_queries, scenario_case_study, scenario_demo, Scale,
+};
 use aiql::{Engine, EngineConfig, StoreConfig};
 
 fn check_scenario(store: aiql::EventStore, queries: Vec<aiql::sim::CatalogQuery>) {
@@ -122,12 +124,22 @@ fn dedup_off_still_equivalent_for_distinct_queries() {
         let ra: Vec<String> = a
             .rows
             .iter()
-            .map(|r| r.iter().map(|v| v.render(merged.interner())).collect::<Vec<_>>().join("|"))
+            .map(|r| {
+                r.iter()
+                    .map(|v| v.render(merged.interner()))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
             .collect();
         let rb: Vec<String> = b
             .rows
             .iter()
-            .map(|r| r.iter().map(|v| v.render(unmerged.interner())).collect::<Vec<_>>().join("|"))
+            .map(|r| {
+                r.iter()
+                    .map(|v| v.render(unmerged.interner()))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
             .collect();
         let mut ra = ra;
         let mut rb = rb;

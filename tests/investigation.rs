@@ -31,7 +31,10 @@ fn step_a5_investigation_narrative() {
         )
         .unwrap();
     let out = rendered(&store, &t);
-    assert!(out.contains("sbblv.exe"), "anomaly missed the implant:\n{out}");
+    assert!(
+        out.contains("sbblv.exe"),
+        "anomaly missed the implant:\n{out}"
+    );
     assert!(out.contains("172.16.99.129"), "anomaly missed the drop IP");
 
     // 2. What did it read? — the database dump.

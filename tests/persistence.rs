@@ -117,7 +117,8 @@ fn checkpoint_plus_log_recovery() {
     assert_eq!(recovered.event_count(), full.event_count());
 
     let engine = Engine::new(EngineConfig::default());
-    let probe = r#"(at "03/19/2018") agentid = 2 proc p write file f["%backup1.dmp"] as e return p, f"#;
+    let probe =
+        r#"(at "03/19/2018") agentid = 2 proc p write file f["%backup1.dmp"] as e return p, f"#;
     let a = engine.execute_text(&full, probe).unwrap();
     let b = engine.execute_text(&recovered, probe).unwrap();
     assert_eq!(rendered_rows(&full, &a), rendered_rows(&recovered, &b));
