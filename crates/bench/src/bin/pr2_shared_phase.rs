@@ -1,0 +1,360 @@
+//! PR 2 perf trajectory: compiling the shared phase — n-gram dictionary
+//! indexes, the plan-resolution cache, slot-compiled projection, and
+//! vectorized residual filters — measured against the PR 1 pipeline.
+//!
+//! Emits `BENCH_PR2.json` (path via argv[1], default `BENCH_PR2.json`)
+//! comparing, per workload:
+//!
+//! * `baseline` — the PR 1 optimized pipeline with every PR 2 optimization
+//!   off (`StoreConfig::{ngram_index, vectorized_residual} = false`,
+//!   `EngineConfig::{plan_cache, compiled_projection} = false`);
+//! * `optimized` — everything on (the new defaults).
+//!
+//! Ablation rows isolate each tentpole contribution by adding exactly one
+//! optimization onto the PR 1 baseline.
+//!
+//! Run with `cargo run --release -p aiql-bench --bin pr2_shared_phase`.
+//! Pass `--check` for the single-iteration correctness mode used by CI: it
+//! executes every workload once per configuration and asserts identical
+//! results instead of timing them.
+
+use std::fmt::Write as _;
+
+use aiql_bench::{bench_scale, time_best_of};
+use aiql_engine::{Engine, EngineConfig};
+use aiql_model::StringPattern;
+use aiql_sim::{build_store, demo_queries, scenario_demo};
+use aiql_storage::{AttrCmp, EntityConstraint, EventFilter, EventStore, OpSet, StoreConfig};
+
+struct Row {
+    name: &'static str,
+    unit: &'static str,
+    baseline_ms: f64,
+    optimized_ms: f64,
+    detail: String,
+}
+
+fn store_config(ngram_index: bool, vectorized_residual: bool) -> StoreConfig {
+    StoreConfig {
+        ngram_index,
+        vectorized_residual,
+        ..StoreConfig::default()
+    }
+}
+
+fn engine_config(plan_cache: bool, compiled_projection: bool) -> EngineConfig {
+    EngineConfig {
+        plan_cache,
+        compiled_projection,
+        ..EngineConfig::default()
+    }
+}
+
+/// The catalog queries the acceptance criteria name, plus the multievent
+/// chains that must not regress.
+const CHAINS: [(&str, &str); 3] = [
+    (
+        "multievent/4pattern-chain",
+        r#"proc p1 write file f as e1
+           proc p2 read file f as e2
+           proc p2 write file f2 as e3
+           proc p3 read file f2 as e4
+           with e1 before e2, e2 before e3, e3 before e4
+           return count(e4.amount)"#,
+    ),
+    (
+        "multievent/3pattern-exfil",
+        r#"proc p1 write file f as e1
+           proc p2 read file f as e2
+           proc p2 write ip i as e3
+           with e1 before e2, e2 before e3
+           return count(e3.amount)"#,
+    ),
+    (
+        "multievent/2pattern-join",
+        r#"proc p1 write file f as e1
+           proc p2 read file f as e2
+           with e1 before e2
+           return count(e2.amount)"#,
+    ),
+];
+
+/// Projection-heavy aggregation: many surviving tuples, grouped output.
+const PROJECTION_QUERY: &str = r#"proc p write file f as e
+return p, f, count(e.amount) as n, sum(e.amount) as total
+group by p, f"#;
+
+/// LIKE patterns of the paper's investigations, resolved per engine run.
+const LIKE_PATTERNS: [&str; 5] = [
+    "%cmd.exe",
+    "%osql.exe",
+    "%sqlservr.exe",
+    "%backup1.dmp",
+    "%sbblv%",
+];
+
+fn like_resolution(store: &EventStore) -> usize {
+    let mut total = 0;
+    for pat in LIKE_PATTERNS {
+        let c = [EntityConstraint::on_default(AttrCmp::Like(
+            StringPattern::new(pat),
+        ))];
+        for kind in [
+            aiql_model::EntityKind::Process,
+            aiql_model::EntityKind::File,
+        ] {
+            total += store.entities().find(kind, None, &c).len();
+        }
+    }
+    total
+}
+
+fn catalog_query(id: &str) -> String {
+    demo_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("catalog query {id} exists"))
+        .aiql
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let check_mode = arg.as_deref() == Some("--check");
+    let out_path = if check_mode {
+        String::new()
+    } else {
+        arg.unwrap_or_else(|| "BENCH_PR2.json".to_string())
+    };
+    let reps: usize = if check_mode {
+        1
+    } else {
+        std::env::var("AIQL_BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5)
+    };
+
+    let scenario = scenario_demo(bench_scale());
+    eprintln!("building stores ({} raw events)...", scenario.raws.len());
+    let pr1_store: EventStore = build_store(&scenario, store_config(false, false));
+    let pr2_store: EventStore = build_store(&scenario, store_config(true, true));
+    let ngram_store: EventStore = build_store(&scenario, store_config(true, false));
+    let vec_store: EventStore = build_store(&scenario, store_config(false, true));
+    let total_events = pr2_store.event_count();
+
+    let pr1_engine = Engine::new(engine_config(false, false));
+    let pr2_engine = Engine::new(engine_config(true, true));
+    let cache_engine = Engine::new(engine_config(true, false));
+    let slot_engine = Engine::new(engine_config(false, true));
+    // Warm the persistent pools before timing.
+    for (engine, store) in [
+        (&pr1_engine, &pr1_store),
+        (&pr2_engine, &pr2_store),
+        (&cache_engine, &pr1_store),
+        (&slot_engine, &pr1_store),
+    ] {
+        let _ = engine.execute_text(store, "proc p execute file f as e return p");
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let check = |name: &str, a: &aiql_engine::ResultTable, b: &aiql_engine::ResultTable| {
+        assert_eq!(a.rows, b.rows, "{name}: rows/order must be identical");
+        assert_eq!(a.columns, b.columns, "{name}: columns must be identical");
+    };
+
+    // 1. End-to-end selective catalog queries (the acceptance rows): the
+    // full PR 2 shared phase vs the PR 1 pipeline, repeated-execution
+    // regime (an investigator iterating on a query — §6 of the paper).
+    for (name, id) in [
+        ("catalog/a5-5-selective", "a5-5"),
+        ("catalog/a2-3-selective", "a2-3"),
+    ] {
+        let aiql = catalog_query(id);
+        let want = pr1_engine
+            .execute_text(&pr1_store, &aiql)
+            .expect("baseline");
+        let got = pr2_engine
+            .execute_text(&pr2_store, &aiql)
+            .expect("optimized");
+        check(name, &want, &got);
+        assert!(!got.rows.is_empty(), "{name}: query must find evidence");
+        let base = time_best_of(reps, || {
+            pr1_engine.execute_text(&pr1_store, &aiql).expect("q").len()
+        });
+        let opt = time_best_of(reps, || {
+            pr2_engine.execute_text(&pr2_store, &aiql).expect("q").len()
+        });
+        rows.push(Row {
+            name,
+            unit: "ms",
+            baseline_ms: base * 1e3,
+            optimized_ms: opt * 1e3,
+            detail: format!(
+                "end-to-end, {} result row(s); PR1 pipeline vs compiled shared phase",
+                got.len()
+            ),
+        });
+    }
+
+    // 2. Multievent chains: must stay within 5% of the PR 1 pipeline.
+    for (name, src) in CHAINS {
+        let want = pr1_engine.execute_text(&pr1_store, src).expect("baseline");
+        let got = pr2_engine.execute_text(&pr2_store, src).expect("optimized");
+        check(name, &want, &got);
+        let base = time_best_of(reps, || {
+            pr1_engine.execute_text(&pr1_store, src).expect("q").len()
+        });
+        let opt = time_best_of(reps, || {
+            pr2_engine.execute_text(&pr2_store, src).expect("q").len()
+        });
+        rows.push(Row {
+            name,
+            unit: "ms",
+            baseline_ms: base * 1e3,
+            optimized_ms: opt * 1e3,
+            detail: format!(
+                "regression guard; optimized {:.2} Mevents/s through scan+join",
+                total_events as f64 / opt / 1e6
+            ),
+        });
+    }
+
+    // 3. Ablations: exactly one optimization added onto the PR 1 baseline.
+    // 3a. N-gram dictionary index, isolated on raw LIKE resolution.
+    let naive_n = like_resolution(&pr1_store);
+    assert_eq!(
+        naive_n,
+        like_resolution(&ngram_store),
+        "indexed and naive LIKE resolution must agree"
+    );
+    let base = time_best_of(reps, || like_resolution(&pr1_store));
+    let opt = time_best_of(reps, || like_resolution(&ngram_store));
+    rows.push(Row {
+        name: "ablation/dict-ngram-index",
+        unit: "ms",
+        baseline_ms: base * 1e3,
+        optimized_ms: opt * 1e3,
+        detail: format!(
+            "{naive_n} ids from {} investigation LIKE patterns over {} dictionary entries",
+            LIKE_PATTERNS.len() * 2,
+            pr2_store.entities().len()
+        ),
+    });
+
+    // 3b. Plan-resolution cache, isolated on the a5-5 end-to-end loop.
+    let aiql = catalog_query("a5-5");
+    let want = pr1_engine
+        .execute_text(&pr1_store, &aiql)
+        .expect("baseline");
+    let got = cache_engine
+        .execute_text(&pr1_store, &aiql)
+        .expect("cached");
+    check("ablation/plan-cache", &want, &got);
+    let base = time_best_of(reps, || {
+        pr1_engine.execute_text(&pr1_store, &aiql).expect("q").len()
+    });
+    let opt = time_best_of(reps, || {
+        cache_engine
+            .execute_text(&pr1_store, &aiql)
+            .expect("q")
+            .len()
+    });
+    rows.push(Row {
+        name: "ablation/plan-cache",
+        unit: "ms",
+        baseline_ms: base * 1e3,
+        optimized_ms: opt * 1e3,
+        detail: "a5-5 repeated-execution loop; only EngineConfig::plan_cache added".to_string(),
+    });
+
+    // 3c. Slot-compiled projection, isolated on a projection-heavy group-by.
+    let want = pr1_engine
+        .execute_text(&pr1_store, PROJECTION_QUERY)
+        .expect("baseline");
+    let got = slot_engine
+        .execute_text(&pr1_store, PROJECTION_QUERY)
+        .expect("compiled");
+    check("ablation/slot-projection", &want, &got);
+    let groups = got.len();
+    let base = time_best_of(reps, || {
+        pr1_engine
+            .execute_text(&pr1_store, PROJECTION_QUERY)
+            .expect("q")
+            .len()
+    });
+    let opt = time_best_of(reps, || {
+        slot_engine
+            .execute_text(&pr1_store, PROJECTION_QUERY)
+            .expect("q")
+            .len()
+    });
+    rows.push(Row {
+        name: "ablation/slot-projection",
+        unit: "ms",
+        baseline_ms: base * 1e3,
+        optimized_ms: opt * 1e3,
+        detail: format!(
+            "{groups} groups; only EngineConfig::compiled_projection added (RowCtx hash maps → slots)"
+        ),
+    });
+
+    // 3d. Vectorized residual pass, isolated on a store-wide columnar sweep
+    // (no posting-list access path, so the residual loop decides).
+    let filter = EventFilter::all().with_ops(OpSet::from_ops(&[
+        aiql_model::Operation::Read,
+        aiql_model::Operation::Write,
+    ]));
+    let matched = pr1_store.count(&filter);
+    assert_eq!(matched, vec_store.count(&filter), "scan paths must agree");
+    let base = time_best_of(reps, || pr1_store.count(&filter));
+    let opt = time_best_of(reps, || vec_store.count(&filter));
+    rows.push(Row {
+        name: "ablation/vectorized-residual",
+        unit: "ms",
+        baseline_ms: base * 1e3,
+        optimized_ms: opt * 1e3,
+        detail: format!(
+            "{matched} of {total_events} events matched; only StoreConfig::vectorized_residual added"
+        ),
+    });
+
+    if check_mode {
+        println!(
+            "pr2_shared_phase --check OK: {} workloads agree across all configurations ({} events)",
+            rows.len(),
+            total_events
+        );
+        return;
+    }
+
+    // Render JSON by hand (no serde in the offline environment).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(
+        json,
+        "  \"title\": \"compiled shared phase (ngram dictionary index + plan cache + slot projection + vectorized residual) vs PR 1 pipeline\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"scenario\": \"demo attack (fig4)\", \"hosts\": {}, \"events\": {}}},",
+        bench_scale().hosts,
+        total_events
+    );
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.baseline_ms / r.optimized_ms.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"baseline_{}\": {:.3}, \"optimized_{}\": {:.3}, \"speedup\": {:.2}, \"detail\": \"{}\"}}",
+            r.name, r.unit, r.baseline_ms, r.unit, r.optimized_ms, speedup,
+            r.detail.replace('"', "'")
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR2.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

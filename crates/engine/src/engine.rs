@@ -37,6 +37,15 @@ pub struct EngineConfig {
     /// engine. Disabled, every parallel scan spawns scoped threads (the
     /// seed's per-scan fan-out).
     pub scan_pool: bool,
+    /// Memoize dictionary constraint resolutions and filter estimates in a
+    /// store-epoch-invalidated LRU shared by every query this engine (and
+    /// its clones) runs — repeated investigations skip the shared phase.
+    pub plan_cache: bool,
+    /// Compile return items, group keys, and aggregate arguments to dense
+    /// variable/event slot indices before the tuple loop, replacing the
+    /// per-tuple `RowCtx` hash maps with indexed flat arrays (and
+    /// materializing only the event slots the projection actually reads).
+    pub compiled_projection: bool,
     /// Minimum estimated scan size before partition-parallelism kicks in
     /// (thread fan-out is pure overhead for tiny scans).
     pub parallel_threshold: usize,
@@ -57,6 +66,8 @@ impl Default for EngineConfig {
             temporal_narrowing: true,
             late_materialization: true,
             scan_pool: true,
+            plan_cache: true,
+            compiled_projection: true,
             parallel_threshold: 8_192,
             max_intermediate: 4_000_000,
         }
@@ -77,6 +88,8 @@ impl EngineConfig {
             temporal_narrowing: false,
             late_materialization: false,
             scan_pool: false,
+            plan_cache: false,
+            compiled_projection: false,
             parallel_threshold: usize::MAX,
             max_intermediate: 4_000_000,
         }
@@ -91,6 +104,8 @@ pub struct Engine {
     /// The cell itself is shared, so clones of an engine — whenever they
     /// were made — use one pool.
     pool: std::sync::Arc<std::sync::OnceLock<std::sync::Arc<crate::pool::ScanPool>>>,
+    /// Cross-query plan-resolution cache, shared by clones the same way.
+    plan_cache: std::sync::Arc<crate::schedule::PlanCache>,
 }
 
 impl Engine {
@@ -99,12 +114,18 @@ impl Engine {
         Engine {
             config,
             pool: std::sync::Arc::new(std::sync::OnceLock::new()),
+            plan_cache: std::sync::Arc::new(crate::schedule::PlanCache::default()),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The plan-resolution cache handle, if the configuration wants one.
+    fn cache(&self) -> Option<std::sync::Arc<crate::schedule::PlanCache>> {
+        self.config.plan_cache.then(|| self.plan_cache.clone())
     }
 
     /// The persistent scan pool handle, if the configuration wants one.
@@ -139,6 +160,7 @@ impl Engine {
                 let a = analyze::analyze_multievent(m, store)?;
                 MultieventExec::new(store, &a, &self.config)
                     .with_pool(self.pool())
+                    .with_plan_cache(self.cache())
                     .run()
             }
             Query::Dependency(d) => {
@@ -147,6 +169,7 @@ impl Engine {
                 let a = analyze::analyze_multievent(&m, store)?;
                 MultieventExec::new(store, &a, &self.config)
                     .with_pool(self.pool())
+                    .with_plan_cache(self.cache())
                     .run()
             }
             Query::Anomaly(anom) => {
@@ -166,6 +189,7 @@ impl Engine {
         let a = analyze::analyze_multievent(m, store)?;
         MultieventExec::new(store, &a, &self.config)
             .with_pool(self.pool())
+            .with_plan_cache(self.cache())
             .run_with_stats()
     }
 }

@@ -100,6 +100,204 @@ pub fn eval(expr: &Expr, store: &EventStore, ctx: &RowCtx<'_>) -> Result<Value, 
     }
 }
 
+/// A slot-compiled expression: every variable, alias, and aggregate
+/// reference is resolved to a dense slot index at compile time, so the
+/// per-tuple evaluation loop never hashes a name. Compiled once per query
+/// by [`compile_slots`]; evaluated against a [`SlotRow`].
+#[derive(Debug, Clone)]
+pub enum SlotExpr {
+    /// A literal, resolved once (string literals to their dictionary
+    /// symbol — the store is immutable for the duration of a query).
+    Const(Value),
+    /// Event attribute through the pattern's event slot.
+    Event {
+        /// Pattern index.
+        slot: usize,
+        /// Resolved attribute name (`id` when the reference was bare).
+        attr: String,
+        /// Source variable name (for error parity with the dynamic path).
+        name: String,
+    },
+    /// Entity attribute through the variable's slot (`attr: None` = the
+    /// kind's default attribute).
+    Entity {
+        /// Variable index.
+        slot: usize,
+        /// Attribute name, or `None` for the kind default.
+        attr: Option<String>,
+        /// Source variable name.
+        name: String,
+    },
+    /// Alias of an earlier return item (populated only in aggregated
+    /// projections, mirroring the dynamic path).
+    Alias {
+        /// Alias slot (item order).
+        slot: usize,
+        /// Alias text.
+        name: String,
+    },
+    /// Precomputed aggregate value by dense aggregate index.
+    Agg(usize),
+    /// Binary operator.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<SlotExpr>,
+        /// Right operand.
+        rhs: Box<SlotExpr>,
+    },
+    /// Arithmetic negation.
+    Neg(Box<SlotExpr>),
+}
+
+/// Dense per-tuple bindings for slot-compiled evaluation: flat arrays
+/// indexed by variable/pattern/alias/aggregate slot, replacing the
+/// [`RowCtx`] hash maps. Reused across tuples; only the slots a query's
+/// compiled expressions reference are ever written or read.
+#[derive(Debug, Default)]
+pub struct SlotRow {
+    /// Entity id per variable slot.
+    pub entities: Vec<Option<EntityId>>,
+    /// Materialized event per pattern slot.
+    pub events: Vec<Option<Event>>,
+    /// Alias values of already-evaluated return items.
+    pub aliases: Vec<Option<Value>>,
+    /// Aggregate values, parallel to the query's dense aggregate list.
+    pub aggs: Vec<Value>,
+}
+
+impl SlotRow {
+    /// A row with every slot unbound, sized for a query.
+    pub fn new(nvars: usize, npatterns: usize, naliases: usize, naggs: usize) -> Self {
+        SlotRow {
+            entities: vec![None; nvars],
+            events: vec![None; npatterns],
+            aliases: vec![None; naliases],
+            aggs: vec![Value::Null; naggs],
+        }
+    }
+}
+
+/// Name environment of [`compile_slots`]: resolves variable, event, alias,
+/// and aggregate names to their dense slots. Lookup precedence mirrors
+/// [`eval`] exactly: event bindings shadow entity bindings shadow aliases.
+pub struct SlotEnv<'a> {
+    /// Entity variable name → variable slot.
+    pub vars: HashMap<&'a str, usize>,
+    /// Event variable name → pattern slot.
+    pub events: HashMap<&'a str, usize>,
+    /// Alias name → alias slot (item order).
+    pub aliases: HashMap<&'a str, usize>,
+    /// Canonical aggregate key ([`agg_key`]) → dense aggregate index.
+    pub aggs: HashMap<String, usize>,
+}
+
+/// Compiles an expression against a slot environment. Returns `None` when
+/// the expression cannot be slot-compiled (unknown name, historical access)
+/// — callers fall back to the dynamic [`eval`] path, which reproduces the
+/// legacy behavior including its error messages.
+pub fn compile_slots(e: &Expr, store: &EventStore, env: &SlotEnv<'_>) -> Option<SlotExpr> {
+    Some(match e {
+        Expr::Literal(lit) => SlotExpr::Const(match lit {
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => match store.interner().get(s) {
+                Some(sym) => Value::Str(sym),
+                None => Value::Null,
+            },
+        }),
+        Expr::Ref { var, attr } => {
+            if let Some(&slot) = env.events.get(var.as_str()) {
+                SlotExpr::Event {
+                    slot,
+                    attr: attr.clone().unwrap_or_else(|| "id".to_string()),
+                    name: var.clone(),
+                }
+            } else if let Some(&slot) = env.vars.get(var.as_str()) {
+                SlotExpr::Entity {
+                    slot,
+                    attr: attr.clone(),
+                    name: var.clone(),
+                }
+            } else if attr.is_none() {
+                let &slot = env.aliases.get(var.as_str())?;
+                SlotExpr::Alias {
+                    slot,
+                    name: var.clone(),
+                }
+            } else {
+                return None;
+            }
+        }
+        Expr::Agg { .. } => SlotExpr::Agg(*env.aggs.get(&agg_key(e))?),
+        // Historical access only exists in anomaly having clauses, which
+        // keep the dynamic path.
+        Expr::History { .. } => return None,
+        Expr::Binary { op, lhs, rhs } => SlotExpr::Binary {
+            op: *op,
+            lhs: Box::new(compile_slots(lhs, store, env)?),
+            rhs: Box::new(compile_slots(rhs, store, env)?),
+        },
+        Expr::Neg(inner) => SlotExpr::Neg(Box::new(compile_slots(inner, store, env)?)),
+    })
+}
+
+impl SlotExpr {
+    /// Visits every node of the compiled tree.
+    pub fn visit(&self, f: &mut impl FnMut(&SlotExpr)) {
+        f(self);
+        match self {
+            SlotExpr::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            SlotExpr::Neg(inner) => inner.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Evaluates the compiled expression against a slot row.
+    pub fn eval(&self, store: &EventStore, row: &SlotRow) -> Result<Value, EngineError> {
+        match self {
+            SlotExpr::Const(v) => Ok(*v),
+            SlotExpr::Event { slot, attr, name } => match &row.events[*slot] {
+                Some(e) => e.get(attr).map_err(EngineError::Model),
+                None => Err(unbound(name)),
+            },
+            SlotExpr::Entity { slot, attr, name } => match row.entities[*slot] {
+                Some(id) => {
+                    let entity = store.entities().get(id);
+                    match attr {
+                        Some(a) => entity.get(a).map_err(EngineError::Model),
+                        None => Ok(entity.attrs.default_value()),
+                    }
+                }
+                None => Err(unbound(name)),
+            },
+            SlotExpr::Alias { slot, name } => row.aliases[*slot].ok_or_else(|| unbound(name)),
+            SlotExpr::Agg(i) => Ok(row.aggs[*i]),
+            SlotExpr::Binary { op, lhs, rhs } => {
+                let l = lhs.eval(store, row)?;
+                let r = rhs.eval(store, row)?;
+                Ok(apply_binop(*op, l, r))
+            }
+            SlotExpr::Neg(inner) => {
+                let v = inner.eval(store, row)?;
+                Ok(match v {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(x) => Value::Float(-x),
+                    _ => Value::Null,
+                })
+            }
+        }
+    }
+}
+
+fn unbound(name: &str) -> EngineError {
+    EngineError::Analysis(format!("unbound variable `{name}`"))
+}
+
 /// Applies a binary operator with numeric coercion; `Null` propagates
 /// through arithmetic and fails comparisons.
 pub fn apply_binop(op: BinOp, l: Value, r: Value) -> Value {

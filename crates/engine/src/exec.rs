@@ -22,10 +22,10 @@ use aiql_storage::{EventFilter, EventStore, IdSet, PartitionKey, Segment};
 use crate::analyze::AnalyzedMultievent;
 use crate::engine::EngineConfig;
 use crate::error::EngineError;
-use crate::eval::{self, agg_key, RowCtx};
+use crate::eval::{self, agg_key, RowCtx, SlotEnv, SlotExpr, SlotRow};
 use crate::pool::ScanPool;
 use crate::result::ResultTable;
-use crate::schedule::{self, ResolvedVars};
+use crate::schedule::{self, PlanCache, PlanCtx};
 
 /// One candidate match: an event per pattern plus the implied variable
 /// bindings.
@@ -178,6 +178,7 @@ pub struct MultieventExec<'a> {
     a: &'a AnalyzedMultievent,
     config: &'a EngineConfig,
     pool: Option<Arc<ScanPool>>,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 /// Statistics of one execution, surfaced for benches and ablations.
@@ -199,6 +200,7 @@ impl<'a> MultieventExec<'a> {
             a,
             config,
             pool: None,
+            plan_cache: None,
         }
     }
 
@@ -208,6 +210,26 @@ impl<'a> MultieventExec<'a> {
     pub fn with_pool(mut self, pool: Option<Arc<ScanPool>>) -> Self {
         self.pool = pool;
         self
+    }
+
+    /// Attaches a cross-query plan-resolution cache (ignored when
+    /// `EngineConfig::plan_cache` is off).
+    #[must_use]
+    pub fn with_plan_cache(mut self, cache: Option<Arc<PlanCache>>) -> Self {
+        self.plan_cache = cache;
+        self
+    }
+
+    /// Builds the shared phase of this execution: resolved vars, base
+    /// filters, and the schedule — computed once per query, memoized across
+    /// queries when a plan cache is attached.
+    fn prepare(&self) -> PlanCtx {
+        let cache = if self.config.plan_cache {
+            self.plan_cache.as_deref()
+        } else {
+            None
+        };
+        schedule::prepare(self.a, self.store, self.config.prioritize_pruning, cache)
     }
 
     /// Runs the query to a result table.
@@ -220,12 +242,25 @@ impl<'a> MultieventExec<'a> {
         if self.config.late_materialization {
             // Late pipeline straight into projection: surviving tuples are
             // materialized one at a time into a reused row context — no
-            // intermediate `Vec<Tuple>` is ever built.
+            // intermediate `Vec<Tuple>` is ever built. With
+            // `compiled_projection`, the context is a slot row (dense
+            // arrays, no hashing) and only the event slots the projection
+            // reads are materialized at all.
             let parts = PartTable::build(self.store);
             let (arena, truncated, stats) = self.match_refs(&parts)?;
-            let mut table = project_with(self.store, self.a, arena.len(), |i, ctx| {
-                fill_ctx_arena(self.a, &arena, &parts, i, ctx);
-            })?;
+            let compiled = self
+                .config
+                .compiled_projection
+                .then(|| compile_projection(self.store, self.a))
+                .flatten();
+            let mut table = match &compiled {
+                Some(cp) => project_compiled(self.store, self.a, cp, arena.len(), |i, row| {
+                    fill_slots_arena(&arena, &parts, cp, i, row);
+                })?,
+                None => project_with(self.store, self.a, arena.len(), |i, ctx| {
+                    fill_ctx_arena(self.a, &arena, &parts, i, ctx);
+                })?,
+            };
             table.truncated = truncated;
             Ok((table, stats))
         } else {
@@ -275,8 +310,8 @@ impl<'a> MultieventExec<'a> {
     ) -> Result<(RefArena, bool, ExecStats), EngineError> {
         let a = self.a;
         let n = a.patterns.len();
-        let resolved: ResolvedVars = schedule::resolve_vars(a, self.store);
-        let plan = schedule::plan(a, self.store, &resolved, self.config.prioritize_pruning);
+        let ctx = self.prepare();
+        let plan = &ctx.plan;
 
         let mut candidates: Vec<Option<Vec<EventRef>>> = vec![None; n];
         let mut bound: HashMap<usize, IdSet> = HashMap::new();
@@ -289,7 +324,7 @@ impl<'a> MultieventExec<'a> {
         };
 
         for &i in &plan.order {
-            let mut filter = schedule::base_filter(a, i, &resolved);
+            let mut filter = ctx.filters[i].clone();
             let p = &a.patterns[i];
             if !self.config.entity_pushdown {
                 if a.vars[p.subject].unsatisfiable || a.vars[p.object].unsatisfiable {
@@ -317,7 +352,7 @@ impl<'a> MultieventExec<'a> {
             if self.config.temporal_narrowing {
                 self.narrow_window(&mut filter, i, &time_stats);
             }
-            let mut refs = self.scan_refs(parts, &filter);
+            let mut refs = self.scan_refs(parts, &filter, plan.estimates[i]);
             // Enforce the declared entity kinds and (without entity
             // pushdown) the per-variable attribute constraints, reading the
             // entity columns through the refs.
@@ -381,8 +416,8 @@ impl<'a> MultieventExec<'a> {
     fn match_tuples_materializing(&self) -> Result<(Vec<Tuple>, bool, ExecStats), EngineError> {
         let a = self.a;
         let n = a.patterns.len();
-        let resolved: ResolvedVars = schedule::resolve_vars(a, self.store);
-        let plan = schedule::plan(a, self.store, &resolved, self.config.prioritize_pruning);
+        let ctx = self.prepare();
+        let plan = &ctx.plan;
 
         let mut candidates: Vec<Option<Vec<Event>>> = vec![None; n];
         let mut bound: HashMap<usize, IdSet> = HashMap::new();
@@ -395,7 +430,7 @@ impl<'a> MultieventExec<'a> {
         };
 
         for &i in &plan.order {
-            let mut filter = schedule::base_filter(a, i, &resolved);
+            let mut filter = ctx.filters[i].clone();
             let p = &a.patterns[i];
             if !self.config.entity_pushdown {
                 // Without the domain-specific pushdown the scan cannot use
@@ -426,7 +461,7 @@ impl<'a> MultieventExec<'a> {
             if self.config.temporal_narrowing {
                 self.narrow_window(&mut filter, i, &time_stats);
             }
-            let mut events = self.scan(&filter);
+            let mut events = self.scan(&filter, plan.estimates[i]);
             // Enforce the declared entity kinds: an unconstrained variable
             // carries no id set, but `proc p write ip i` must still reject
             // file-write events. Without entity pushdown the attribute
@@ -521,11 +556,22 @@ impl<'a> MultieventExec<'a> {
     }
 
     /// Whether a scan over `parts` partitions should fan out.
-    fn parallel_scan(&self, filter: &EventFilter, parts: usize) -> bool {
+    /// `base_estimate` is the pattern's planned match estimate — an upper
+    /// bound for the (possibly narrowed) `filter` actually scanned — so the
+    /// common small-scan case skips the per-scan partition-statistics walk
+    /// entirely. Only when the base estimate clears the threshold is the
+    /// narrowed filter re-estimated, preventing fan-out for a scan that
+    /// binding propagation has already shrunk to near-nothing.
+    fn parallel_scan(&self, filter: &EventFilter, parts: usize, base_estimate: usize) -> bool {
         let threads = self.config.parallelism.max(1);
-        let big_enough = self.config.parallel_threshold == 0
-            || self.store.estimate(filter) >= self.config.parallel_threshold;
-        self.config.partition_parallel && threads > 1 && parts > 1 && big_enough
+        if !(self.config.partition_parallel && threads > 1 && parts > 1) {
+            return false;
+        }
+        if self.config.parallel_threshold == 0 {
+            return true;
+        }
+        base_estimate >= self.config.parallel_threshold
+            && self.store.estimate(filter) >= self.config.parallel_threshold
     }
 
     /// Runs `work(chunk_index, output_slot)` for every chunk of `keys`,
@@ -580,10 +626,10 @@ impl<'a> MultieventExec<'a> {
     /// Scans the store for one data query, in parallel across hypertable
     /// partitions when enabled, applying residual global predicates.
     /// Materializing path: events are copied out of the segments.
-    fn scan(&self, filter: &EventFilter) -> Vec<Event> {
+    fn scan(&self, filter: &EventFilter, estimate: usize) -> Vec<Event> {
         let residual = &self.a.globals.residual;
         let parts = self.store.partitions_for(filter);
-        if !self.parallel_scan(filter, parts.len()) {
+        if !self.parallel_scan(filter, parts.len(), estimate) {
             let mut out = Vec::new();
             for key in parts {
                 self.store.scan_partition(key, filter, &mut |e| {
@@ -609,7 +655,12 @@ impl<'a> MultieventExec<'a> {
     /// Late-materialization scan: selection vectors per partition become
     /// [`EventRef`]s; residual global predicates are verified against the
     /// columns without building events.
-    fn scan_refs(&self, table: &PartTable<'a>, filter: &EventFilter) -> Vec<EventRef> {
+    fn scan_refs(
+        &self,
+        table: &PartTable<'a>,
+        filter: &EventFilter,
+        estimate: usize,
+    ) -> Vec<EventRef> {
         let residual = &self.a.globals.residual;
         let parts = self.store.partitions_for(filter);
         let collect_part = |key: PartitionKey, out: &mut Vec<EventRef>| {
@@ -624,7 +675,7 @@ impl<'a> MultieventExec<'a> {
                 }
             }
         };
-        if !self.parallel_scan(filter, parts.len()) {
+        if !self.parallel_scan(filter, parts.len(), estimate) {
             let mut out = Vec::new();
             for key in parts {
                 collect_part(key, &mut out);
@@ -1034,6 +1085,227 @@ fn column_name(item: &aiql_lang::ReturnItem) -> String {
         .unwrap_or_else(|| aiql_lang::pretty::print_expr(&item.expr))
 }
 
+/// A fully slot-compiled projection: return items, grouping keys, having
+/// filter, and aggregate arguments with every name resolved to a dense
+/// slot, plus the sets of event/variable slots the projection actually
+/// reads. Tuples bind into a reused [`SlotRow`] — no per-tuple hash maps —
+/// and events outside `used_events` are never materialized.
+struct CompiledProjection {
+    /// Compiled return items, in column order.
+    items: Vec<SlotExpr>,
+    /// Alias slot written after evaluating each item (aggregated path).
+    alias_slot: Vec<Option<usize>>,
+    /// Number of alias slots.
+    naliases: usize,
+    /// Compiled grouping keys.
+    group_by: Vec<SlotExpr>,
+    /// Compiled having filter.
+    having: Option<SlotExpr>,
+    /// Aggregates: function + compiled argument, in [`collect_aggs`] order
+    /// (the dense index [`SlotExpr::Agg`] nodes refer to).
+    aggs: Vec<(aiql_lang::AggFunc, SlotExpr)>,
+    /// Event slots referenced anywhere in the projection.
+    used_events: Vec<usize>,
+    /// Variable slots referenced anywhere in the projection.
+    used_vars: Vec<usize>,
+}
+
+/// Compiles a query's projection to slots. `None` when any expression
+/// resists compilation (unknown name, historical access) — the caller then
+/// keeps the dynamic [`RowCtx`] path, which reproduces legacy behavior
+/// bit for bit, errors included.
+fn compile_projection(store: &EventStore, a: &AnalyzedMultievent) -> Option<CompiledProjection> {
+    let aggs_src = collect_aggs(a);
+    let mut env = SlotEnv {
+        vars: a
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.as_str(), i))
+            .collect(),
+        events: a
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.as_str(), i))
+            .collect(),
+        aliases: HashMap::new(),
+        aggs: aggs_src
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _, _))| (k.clone(), i))
+            .collect(),
+    };
+    // Compile items in order; each alias becomes visible to later items,
+    // the grouping keys, the having clause, and the aggregate arguments —
+    // the same progressive scope the analyzer validated against.
+    let mut items = Vec::with_capacity(a.ret.items.len());
+    let mut alias_slot = Vec::with_capacity(a.ret.items.len());
+    let mut naliases = 0usize;
+    for item in &a.ret.items {
+        items.push(eval::compile_slots(&item.expr, store, &env)?);
+        alias_slot.push(item.alias.as_ref().map(|alias| {
+            let slot = naliases;
+            naliases += 1;
+            env.aliases.insert(alias.as_str(), slot);
+            slot
+        }));
+    }
+    let group_by: Vec<SlotExpr> = a
+        .group_by
+        .iter()
+        .map(|g| eval::compile_slots(g, store, &env))
+        .collect::<Option<_>>()?;
+    let having = match &a.having {
+        Some(h) => Some(eval::compile_slots(h, store, &env)?),
+        None => None,
+    };
+    let aggs: Vec<(aiql_lang::AggFunc, SlotExpr)> = aggs_src
+        .iter()
+        .map(|(_, func, arg)| Some((*func, eval::compile_slots(arg, store, &env)?)))
+        .collect::<Option<_>>()?;
+
+    let mut used_events: Vec<usize> = Vec::new();
+    let mut used_vars: Vec<usize> = Vec::new();
+    {
+        let mut mark = |e: &SlotExpr| {
+            e.visit(&mut |node| match node {
+                SlotExpr::Event { slot, .. } if !used_events.contains(slot) => {
+                    used_events.push(*slot);
+                }
+                SlotExpr::Entity { slot, .. } if !used_vars.contains(slot) => {
+                    used_vars.push(*slot);
+                }
+                _ => {}
+            });
+        };
+        for e in items.iter().chain(&group_by).chain(having.iter()) {
+            mark(e);
+        }
+        for (_, arg) in &aggs {
+            mark(arg);
+        }
+    }
+    Some(CompiledProjection {
+        items,
+        alias_slot,
+        naliases,
+        group_by,
+        having,
+        aggs,
+        used_events,
+        used_vars,
+    })
+}
+
+/// Populates a slot row from the ref arena, materializing only the event
+/// slots the compiled projection reads.
+fn fill_slots_arena(
+    arena: &RefArena,
+    parts: &PartTable<'_>,
+    cp: &CompiledProjection,
+    i: usize,
+    row: &mut SlotRow,
+) {
+    for &v in &cp.used_vars {
+        let id = arena.vars_of(i)[v];
+        row.entities[v] = (id != NO_VAR).then_some(EntityId(id));
+    }
+    for &pi in &cp.used_events {
+        let r = arena.events_of(i)[pi];
+        row.events[pi] = (r != NO_REF).then(|| parts.event(r));
+    }
+}
+
+/// Projection over slot rows: the same traversal as [`project_with`]
+/// (grouping by first occurrence, per-item alias scope, having-after-items)
+/// so the output is byte-identical — but every name lookup is an indexed
+/// array access and the row context is filled without hashing.
+fn project_compiled(
+    store: &EventStore,
+    a: &AnalyzedMultievent,
+    cp: &CompiledProjection,
+    ntuples: usize,
+    mut fill: impl FnMut(usize, &mut SlotRow),
+) -> Result<ResultTable, EngineError> {
+    let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
+    let mut table = ResultTable::new(columns);
+    let aggregated = !cp.aggs.is_empty() || !a.group_by.is_empty();
+    let mut ctx = SlotRow::new(a.vars.len(), a.patterns.len(), cp.naliases, cp.aggs.len());
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    if !aggregated {
+        for i in 0..ntuples {
+            fill(i, &mut ctx);
+            let mut row = Vec::with_capacity(cp.items.len());
+            for item in &cp.items {
+                row.push(item.eval(store, &ctx)?);
+            }
+            if let Some(h) = &cp.having {
+                // having without aggregation degenerates to a row filter.
+                if !h.eval(store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    } else {
+        struct Group {
+            rep: usize,
+            accs: Vec<AggAcc>,
+        }
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        let mut group_order: Vec<String> = Vec::new();
+        for ti in 0..ntuples {
+            fill(ti, &mut ctx);
+            let mut key_vals = Vec::with_capacity(cp.group_by.len());
+            for g in &cp.group_by {
+                key_vals.push(g.eval(store, &ctx)?);
+            }
+            let key = ResultTable::row_key(&key_vals);
+            let group = match groups.get_mut(&key) {
+                Some(g) => g,
+                None => {
+                    group_order.push(key.clone());
+                    groups.entry(key).or_insert(Group {
+                        rep: ti,
+                        accs: cp.aggs.iter().map(|_| AggAcc::new()).collect(),
+                    })
+                }
+            };
+            for ((_, arg), acc) in cp.aggs.iter().zip(group.accs.iter_mut()) {
+                acc.add(arg.eval(store, &ctx)?);
+            }
+        }
+        for key in &group_order {
+            let group = &groups[key];
+            fill(group.rep, &mut ctx);
+            for (slot, ((func, _), acc)) in cp.aggs.iter().zip(group.accs.iter()).enumerate() {
+                ctx.aggs[slot] = acc.finalize(*func);
+            }
+            ctx.aliases.iter_mut().for_each(|v| *v = None);
+            let mut row = Vec::with_capacity(cp.items.len());
+            for (item, alias) in cp.items.iter().zip(&cp.alias_slot) {
+                let v = item.eval(store, &ctx)?;
+                if let Some(slot) = alias {
+                    ctx.aliases[*slot] = Some(v);
+                }
+                row.push(v);
+            }
+            if let Some(h) = &cp.having {
+                if !h.eval(store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    finish_rows(a, &mut rows)?;
+    table.rows = rows;
+    Ok(table)
+}
+
 /// Projects joined tuples into the final result table (aggregation,
 /// having, distinct, order by, limit).
 pub fn project(
@@ -1131,6 +1403,14 @@ fn project_with<'a>(
         }
     }
 
+    finish_rows(a, &mut rows)?;
+    table.rows = rows;
+    Ok(table)
+}
+
+/// The projection tail shared by the dynamic and slot-compiled paths:
+/// distinct, order by, limit.
+fn finish_rows(a: &AnalyzedMultievent, rows: &mut Vec<Vec<Value>>) -> Result<(), EngineError> {
     if a.ret.distinct {
         let mut seen = std::collections::HashSet::new();
         rows.retain(|r| seen.insert(ResultTable::row_key(r)));
@@ -1176,6 +1456,5 @@ fn project_with<'a>(
     if let Some(limit) = a.limit {
         rows.truncate(limit as usize);
     }
-    table.rows = rows;
-    Ok(table)
+    Ok(())
 }

@@ -8,6 +8,10 @@
 //! counts and the dictionary-resolved entity id sets; patterns with smaller
 //! expected counts run first, and their bindings shrink every later scan.
 
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
 use aiql_model::EntityId;
 use aiql_storage::{EventFilter, EventStore, IdSet};
 
@@ -19,6 +23,17 @@ pub type ResolvedVars = Vec<Option<Vec<EntityId>>>;
 
 /// Resolves every variable's entity constraints against the dictionary.
 pub fn resolve_vars(a: &AnalyzedMultievent, store: &EventStore) -> ResolvedVars {
+    resolve_vars_cached(a, store, None)
+}
+
+/// The one resolution loop both the cached and uncached paths share: the
+/// unsatisfiable / unconstrained special cases are encoded exactly once,
+/// and only the dictionary `find` is memoized.
+fn resolve_vars_cached(
+    a: &AnalyzedMultievent,
+    store: &EventStore,
+    cache: Option<&PlanCache>,
+) -> ResolvedVars {
     a.vars
         .iter()
         .map(|v| {
@@ -28,11 +43,15 @@ pub fn resolve_vars(a: &AnalyzedMultievent, store: &EventStore) -> ResolvedVars 
             if v.constraints.is_empty() {
                 return None;
             }
-            Some(
+            let compute = || {
                 store
                     .entities()
-                    .find(v.kind, a.globals.agents.as_deref(), &v.constraints),
-            )
+                    .find(v.kind, a.globals.agents.as_deref(), &v.constraints)
+            };
+            Some(match cache {
+                Some(c) => c.resolved_var(store, &var_key(a, v), compute),
+                None => compute(),
+            })
         })
         .collect()
 }
@@ -84,11 +103,214 @@ pub fn plan(
     let estimates: Vec<usize> = (0..a.patterns.len())
         .map(|i| store.estimate(&base_filter(a, i, resolved)))
         .collect();
-    let mut order: Vec<usize> = (0..a.patterns.len()).collect();
+    Schedule {
+        order: order_patterns(&estimates, prioritize_pruning),
+        estimates,
+    }
+}
+
+fn order_patterns(estimates: &[usize], prioritize_pruning: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
     if prioritize_pruning {
         order.sort_by_key(|&i| (estimates[i], i));
     }
-    Schedule { order, estimates }
+    order
+}
+
+/// The compiled shared phase of one query execution: resolved variable
+/// candidate sets, per-pattern base pushdown filters, and the schedule.
+///
+/// Before this existed, both execution paths re-ran `resolve_vars`, built
+/// every base filter twice (once for estimates, once for execution), and
+/// `store.estimate` re-walked the partitions per pattern per scheduling
+/// pass. [`prepare`] computes everything once; with a [`PlanCache`]
+/// attached, repeated investigations (the paper's §6 interactive loop) skip
+/// dictionary resolution and estimation entirely until the store mutates.
+#[derive(Debug, Clone)]
+pub struct PlanCtx {
+    /// Per-variable resolved candidate id sets.
+    pub resolved: ResolvedVars,
+    /// Base pushdown filter per pattern (source order), before binding
+    /// propagation and temporal narrowing.
+    pub filters: Vec<EventFilter>,
+    /// The execution schedule.
+    pub plan: Schedule,
+}
+
+/// Builds the shared phase for one query, consulting `cache` when given.
+pub fn prepare(
+    a: &AnalyzedMultievent,
+    store: &EventStore,
+    prioritize_pruning: bool,
+    cache: Option<&PlanCache>,
+) -> PlanCtx {
+    let resolved = resolve_vars_cached(a, store, cache);
+    let filters: Vec<EventFilter> = (0..a.patterns.len())
+        .map(|i| base_filter(a, i, &resolved))
+        .collect();
+    let estimates: Vec<usize> = filters
+        .iter()
+        .enumerate()
+        .map(|(i, filter)| match cache {
+            Some(c) => c.estimate(store, &estimate_key(a, i), || store.estimate(filter)),
+            None => store.estimate(filter),
+        })
+        .collect();
+    PlanCtx {
+        resolved,
+        filters,
+        plan: Schedule {
+            order: order_patterns(&estimates, prioritize_pruning),
+            estimates,
+        },
+    }
+}
+
+/// Cache key of one variable's dictionary resolution: everything `find`
+/// reads besides the store contents themselves (which the cache guards via
+/// ⟨store id, epoch⟩).
+fn var_key(a: &AnalyzedMultievent, v: &crate::analyze::VarInfo) -> String {
+    let mut k = String::with_capacity(64);
+    let _ = write!(k, "{:?}|{:?}|{:?}", v.kind, a.globals.agents, v.constraints);
+    k
+}
+
+/// Cache key of one pattern's base-filter estimate: window, agents, op set,
+/// and the resolution keys of its subject/object variables (the resolved id
+/// sets are functions of those under a fixed store epoch).
+fn estimate_key(a: &AnalyzedMultievent, pattern_idx: usize) -> String {
+    let p = &a.patterns[pattern_idx];
+    let part = |vi: usize| -> String {
+        let v = &a.vars[vi];
+        if v.unsatisfiable {
+            "!".to_string()
+        } else if v.constraints.is_empty() {
+            "*".to_string()
+        } else {
+            var_key(a, v)
+        }
+    };
+    format!(
+        "{:?}|{:?}|{}|{}|{}",
+        a.globals.window,
+        a.globals.agents,
+        p.ops.0,
+        part(p.subject),
+        part(p.object),
+    )
+}
+
+/// A cross-query plan-resolution cache: memoizes dictionary constraint
+/// resolutions and base-filter estimates, keyed by their textual signature
+/// and guarded by the owning store's ⟨id, epoch⟩ — any store mutation
+/// (ingest, commit, snapshot load, mutable dictionary access) invalidates
+/// the whole cache on the next lookup. Bounded LRU (least-recently-used
+/// entry evicted beyond [`PlanCache::CAPACITY`]).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct PlanCacheInner {
+    store_id: u64,
+    epoch: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    vars: HashMap<String, (Vec<EntityId>, u64)>,
+    estimates: HashMap<String, (usize, u64)>,
+}
+
+impl PlanCache {
+    /// Maximum retained entries per map.
+    pub const CAPACITY: usize = 256;
+
+    /// A cached (or freshly computed) variable resolution.
+    pub fn resolved_var(
+        &self,
+        store: &EventStore,
+        key: &str,
+        compute: impl FnOnce() -> Vec<EntityId>,
+    ) -> Vec<EntityId> {
+        let mut g = self.lock_valid(store);
+        let inner = &mut *g;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((ids, stamp)) = inner.vars.get_mut(key) {
+            *stamp = tick;
+            inner.hits += 1;
+            return ids.clone();
+        }
+        drop(g);
+        // Resolve outside the lock: dictionary scans can be the expensive
+        // part, and concurrent queries must not serialize on each other.
+        let ids = compute();
+        let mut g = self.lock_valid(store);
+        g.misses += 1;
+        let tick = g.tick;
+        g.vars.insert(key.to_string(), (ids.clone(), tick));
+        evict_lru(&mut g.vars);
+        ids
+    }
+
+    /// A cached (or freshly computed) base-filter estimate.
+    pub fn estimate(
+        &self,
+        store: &EventStore,
+        key: &str,
+        compute: impl FnOnce() -> usize,
+    ) -> usize {
+        let mut g = self.lock_valid(store);
+        let inner = &mut *g;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((est, stamp)) = inner.estimates.get_mut(key) {
+            *stamp = tick;
+            inner.hits += 1;
+            return *est;
+        }
+        drop(g);
+        let est = compute();
+        let mut g = self.lock_valid(store);
+        g.misses += 1;
+        let tick = g.tick;
+        g.estimates.insert(key.to_string(), (est, tick));
+        evict_lru(&mut g.estimates);
+        est
+    }
+
+    /// `(hits, misses)` counters, for tests and diagnostics.
+    pub fn counters(&self) -> (u64, u64) {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (g.hits, g.misses)
+    }
+
+    /// Locks the cache, clearing it first if it was built against a
+    /// different store or an older epoch of the same store.
+    fn lock_valid(&self, store: &EventStore) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.store_id != store.store_id() || g.epoch != store.epoch() {
+            g.vars.clear();
+            g.estimates.clear();
+            g.store_id = store.store_id();
+            g.epoch = store.epoch();
+        }
+        g
+    }
+}
+
+fn evict_lru<T>(map: &mut HashMap<String, (T, u64)>) {
+    while map.len() > PlanCache::CAPACITY {
+        let Some(oldest) = map
+            .iter()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(k, _)| k.clone())
+        else {
+            return;
+        };
+        map.remove(&oldest);
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +405,81 @@ mod tests {
         let a = analyzed("proc p write file f as e return p", &store);
         let resolved = resolve_vars(&a, &store);
         assert!(resolved.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn prepare_matches_uncached_resolution_and_plan() {
+        let store = skewed_store();
+        let a = analyzed(
+            r#"proc p3 write file f1 as evt2
+               proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+               return p1"#,
+            &store,
+        );
+        let resolved = resolve_vars(&a, &store);
+        let uncached = plan(&a, &store, &resolved, true);
+        let cache = PlanCache::default();
+        for round in 0..3 {
+            let ctx = prepare(&a, &store, true, Some(&cache));
+            assert_eq!(ctx.resolved, resolved, "round {round}");
+            assert_eq!(ctx.plan.order, uncached.order);
+            assert_eq!(ctx.plan.estimates, uncached.estimates);
+        }
+        let (hits, misses) = cache.counters();
+        assert!(hits > 0, "repeat rounds must hit");
+        assert!(misses > 0, "first round must miss");
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_store_epoch_bump() {
+        let mut store = skewed_store();
+        let a = analyzed(r#"proc p["%osql.exe"] start proc q as e return p"#, &store);
+        let cache = PlanCache::default();
+        let before = prepare(&a, &store, true, Some(&cache));
+        assert_eq!(before.resolved[0].as_ref().map(Vec::len), Some(1));
+        // Ingest a second osql.exe process: the dictionary changes, the
+        // epoch bumps, and the cached resolution must not survive.
+        store.ingest_all(&[aiql_storage::RawEvent::instant(
+            AgentId(1),
+            Operation::Start,
+            EntitySpec::process(9, "cmd.exe", "admin"),
+            EntitySpec::process(10, "/tools/osql.exe", "admin"),
+            Timestamp::from_secs(60),
+            0,
+        )]);
+        let after = prepare(&a, &store, true, Some(&cache));
+        assert_eq!(after.resolved[0].as_ref().map(Vec::len), Some(2));
+        let fresh = prepare(&a, &store, true, None);
+        assert_eq!(after.resolved, fresh.resolved);
+        assert_eq!(after.plan.estimates, fresh.plan.estimates);
+    }
+
+    #[test]
+    fn plan_cache_is_store_scoped() {
+        let store_a = skewed_store();
+        let mut store_b = EventStore::default();
+        store_b.ingest_all(&[aiql_storage::RawEvent::instant(
+            AgentId(1),
+            Operation::Start,
+            EntitySpec::process(1, "cmd.exe", "x"),
+            EntitySpec::process(2, "osql.exe", "x"),
+            Timestamp::from_secs(1),
+            0,
+        )]);
+        let cache = PlanCache::default();
+        let qa = analyzed(
+            r#"proc p["%sqlservr.exe"] write file f as e return p"#,
+            &store_a,
+        );
+        let ra = prepare(&qa, &store_a, true, Some(&cache));
+        // Same constraint text against a different store must not reuse the
+        // other store's cached ids.
+        let qb = analyzed(
+            r#"proc p["%sqlservr.exe"] write file f as e return p"#,
+            &store_b,
+        );
+        let rb = prepare(&qb, &store_b, true, Some(&cache));
+        assert_eq!(ra.resolved[0].as_ref().map(Vec::len), Some(1));
+        assert_eq!(rb.resolved[0].as_ref().map(Vec::len), Some(0));
     }
 }

@@ -39,6 +39,6 @@ pub use error::ModelError;
 pub use event::{Event, EventType, Operation, ALL_OPERATIONS, OPERATION_COUNT};
 pub use ids::{AgentId, EntityId, EventId};
 pub use interner::{Interner, Symbol};
-pub use pattern::StringPattern;
+pub use pattern::{PatternShape, StringPattern};
 pub use time::{Duration, TimeWindow, Timestamp};
 pub use value::{IpV4, Value};

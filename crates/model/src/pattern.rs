@@ -126,6 +126,80 @@ impl StringPattern {
         }
     }
 
+    /// The maximal literal runs of the pattern (lowercased), split at every
+    /// wildcard (`%` and `_`). A matching string must contain each run, in
+    /// order — which is what lets an n-gram index pre-filter candidates: any
+    /// string matching `%info_stealer%` necessarily contains the trigrams of
+    /// `info` and `stealer`.
+    pub fn literal_runs(&self) -> Vec<String> {
+        let mut runs = Vec::new();
+        let mut cur = String::new();
+        for seg in &self.segments {
+            match seg {
+                Segment::Any => {
+                    if !cur.is_empty() {
+                        runs.push(std::mem::take(&mut cur));
+                    }
+                }
+                Segment::Literal(lit) => {
+                    for c in lit {
+                        match c {
+                            PatChar::Exact(e) => cur.push(*e),
+                            PatChar::One => {
+                                if !cur.is_empty() {
+                                    runs.push(std::mem::take(&mut cur));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !cur.is_empty() {
+            runs.push(cur);
+        }
+        runs
+    }
+
+    /// The lowercased literal prefix for [`PatternShape::Prefix`] patterns
+    /// (`prefix%`), usable as a range bound on a sorted dictionary.
+    pub fn literal_prefix(&self) -> Option<String> {
+        if self.shape() != PatternShape::Prefix {
+            return None;
+        }
+        match self.segments.first() {
+            Some(Segment::Literal(lit)) => Some(
+                lit.iter()
+                    .map(|c| match c {
+                        PatChar::Exact(e) => *e,
+                        PatChar::One => unreachable!("Prefix shape has no `_`"),
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// The lowercased literal of a wildcard-free pattern, usable as an exact
+    /// (case-insensitive) dictionary lookup key.
+    pub fn exact_lowered(&self) -> Option<String> {
+        if self.shape() != PatternShape::Exact {
+            return None;
+        }
+        match self.segments.as_slice() {
+            [] => Some(String::new()),
+            [Segment::Literal(lit)] => Some(
+                lit.iter()
+                    .map(|c| match c {
+                        PatChar::Exact(e) => *e,
+                        PatChar::One => unreachable!("Exact shape has no `_`"),
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
     /// Tests the pattern against a string (ASCII case-insensitive).
     pub fn matches(&self, input: &str) -> bool {
         let chars: Vec<char> = input.chars().map(|c| c.to_ascii_lowercase()).collect();
@@ -248,6 +322,29 @@ mod tests {
         // Exact is more selective than suffix, which beats a bare scan.
         assert!(p("cmd.exe").selectivity_hint() < p("%cmd.exe").selectivity_hint());
         assert!(p("%cmd.exe").selectivity_hint() < p("%").selectivity_hint());
+    }
+
+    #[test]
+    fn literal_runs_split_at_wildcards() {
+        assert_eq!(p("%info_stealer%").literal_runs(), vec!["info", "stealer"]);
+        assert_eq!(p("CMD.exe").literal_runs(), vec!["cmd.exe"]);
+        assert_eq!(p("a_c%d").literal_runs(), vec!["a", "c", "d"]);
+        assert!(p("%").literal_runs().is_empty());
+        assert!(p("___").literal_runs().is_empty());
+    }
+
+    #[test]
+    fn structural_accessors_follow_shape() {
+        assert_eq!(
+            p("/var/WWW/%").literal_prefix().as_deref(),
+            Some("/var/www/")
+        );
+        assert!(p("%cmd.exe").literal_prefix().is_none());
+        assert!(p("a_c%").literal_prefix().is_none());
+        assert_eq!(p("Cmd.EXE").exact_lowered().as_deref(), Some("cmd.exe"));
+        assert_eq!(p("").exact_lowered().as_deref(), Some(""));
+        assert!(p("cmd%").exact_lowered().is_none());
+        assert!(p("c_d").exact_lowered().is_none());
     }
 
     #[test]

@@ -10,11 +10,153 @@
 //! evaluated once against a few thousand distinct names, yielding an id set
 //! that prunes event scans via posting lists.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use aiql_model::{
-    AgentId, Entity, EntityAttrs, EntityId, EntityKind, Interner, StringPattern, Symbol, Value,
+    AgentId, Entity, EntityAttrs, EntityId, EntityKind, Interner, PatternShape, StringPattern,
+    Symbol, Value,
 };
+
+/// Inserts `key` into a posting list kept in ascending order. Keys arrive
+/// mostly ascending (dictionary interning order), so this is an append in
+/// the common case and a binary-search insert otherwise.
+fn sorted_insert(list: &mut Vec<u32>, key: u32) {
+    match list.last() {
+        Some(&last) if last < key => list.push(key),
+        _ => {
+            if let Err(pos) = list.binary_search(&key) {
+                list.insert(pos, key);
+            }
+        }
+    }
+}
+
+/// Sort-merge intersection of two ascending key lists.
+fn intersect_keys(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Candidate keys produced by a [`DictIndex`] pattern lookup.
+enum DictCandidates {
+    /// Definitive match set — no per-string verification needed.
+    Definitive(Vec<u32>),
+    /// Superset of the matching keys; verify the pattern per candidate.
+    Verify(Vec<u32>),
+    /// The index cannot narrow this pattern (no trigram-length literal run);
+    /// fall back to scanning the distinct dictionary strings.
+    Scan,
+}
+
+/// N-gram + prefix index over one dictionary's distinct renderings.
+///
+/// Maps each distinct (ASCII-lowercased) string to an opaque `u32` key — a
+/// [`Symbol`] for name dictionaries, a raw IPv4 for the destination-IP
+/// dictionary. `LIKE` patterns resolve by intersecting trigram posting
+/// lists (then verifying the survivors) instead of matching the pattern
+/// against every distinct string; `prefix%` and wildcard-free patterns
+/// resolve definitively from the sorted rendering map.
+#[derive(Debug, Default)]
+struct DictIndex {
+    /// Lowercased rendering → keys sharing it (distinct original casings of
+    /// one name are distinct symbols). Sorted, so prefix lookups are range
+    /// scans.
+    by_lower: BTreeMap<Box<str>, Vec<u32>>,
+    /// Byte trigram of a lowercased rendering → keys containing it.
+    trigrams: HashMap<[u8; 3], Vec<u32>>,
+}
+
+impl DictIndex {
+    /// Indexes one new dictionary entry. Call once per distinct key.
+    fn insert(&mut self, key: u32, rendered: &str) {
+        let lowered = rendered.to_ascii_lowercase();
+        let bytes = lowered.as_bytes();
+        let mut grams: Vec<[u8; 3]> = bytes.windows(3).map(|w| [w[0], w[1], w[2]]).collect();
+        grams.sort_unstable();
+        grams.dedup();
+        for g in grams {
+            sorted_insert(self.trigrams.entry(g).or_default(), key);
+        }
+        match self.by_lower.get_mut(lowered.as_str()) {
+            Some(keys) => sorted_insert(keys, key),
+            None => {
+                self.by_lower.insert(lowered.into_boxed_str(), vec![key]);
+            }
+        }
+    }
+
+    /// Resolves a `LIKE` pattern to candidate keys.
+    fn resolve(&self, p: &StringPattern) -> DictCandidates {
+        match p.shape() {
+            PatternShape::Exact => {
+                let lowered = p.exact_lowered().expect("exact shape");
+                DictCandidates::Definitive(
+                    self.by_lower
+                        .get(lowered.as_str())
+                        .cloned()
+                        .unwrap_or_default(),
+                )
+            }
+            PatternShape::Prefix => {
+                let prefix = p.literal_prefix().expect("prefix shape");
+                let mut keys = Vec::new();
+                for (_, k) in self
+                    .by_lower
+                    .range::<str, _>((
+                        std::ops::Bound::Included(prefix.as_str()),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .take_while(|(s, _)| s.starts_with(prefix.as_str()))
+                {
+                    keys.extend_from_slice(k);
+                }
+                keys.sort_unstable();
+                keys.dedup();
+                DictCandidates::Definitive(keys)
+            }
+            PatternShape::Suffix | PatternShape::Scan => {
+                // Every literal run must appear in a matching string, so each
+                // run's trigrams gate the candidate set. Intersect
+                // smallest-first and bail as soon as the set empties.
+                let mut lists: Vec<&[u32]> = Vec::new();
+                for run in p.literal_runs() {
+                    for w in run.as_bytes().windows(3) {
+                        match self.trigrams.get(&[w[0], w[1], w[2]]) {
+                            Some(l) => lists.push(l.as_slice()),
+                            // A required trigram no string contains: nothing
+                            // can match.
+                            None => return DictCandidates::Definitive(Vec::new()),
+                        }
+                    }
+                }
+                if lists.is_empty() {
+                    return DictCandidates::Scan;
+                }
+                lists.sort_by_key(|l| l.len());
+                let mut keys = lists[0].to_vec();
+                for l in &lists[1..] {
+                    if keys.is_empty() {
+                        break;
+                    }
+                    keys = intersect_keys(&keys, l);
+                }
+                DictCandidates::Verify(keys)
+            }
+        }
+    }
+}
 
 /// Comparison operator of an entity attribute constraint.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +238,19 @@ pub struct EntityStore {
     file_by_name: HashMap<Symbol, Vec<EntityId>>,
     /// Network connections grouped by destination IP.
     conn_by_dst: HashMap<u32, Vec<EntityId>>,
+    /// Trigram/prefix index over distinct process executable names.
+    proc_dict: DictIndex,
+    /// Trigram/prefix index over distinct file paths.
+    file_dict: DictIndex,
+    /// Trigram/prefix index over rendered destination IPs.
+    conn_dict: DictIndex,
+    /// Whether `LIKE` resolution may use the n-gram/prefix indexes (the
+    /// naive full-dictionary scan is kept for ablation and as the
+    /// differential-test oracle).
+    ngram_index: bool,
+    /// Distinct hosts observed, ascending (the `find` agent-restriction
+    /// fast path: a restriction covering every host is a no-op).
+    agents_seen: Vec<AgentId>,
     /// Count of observations that hit an existing entity (dedup savings).
     dedup_hits: u64,
 }
@@ -104,6 +259,18 @@ impl Default for EntityStore {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Sorts and dedups an id vector assembled from per-key posting lists.
+fn finish_ids(mut ids: Vec<EntityId>) -> Vec<EntityId> {
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// Whether sorted `restriction` contains every element of sorted `seen`.
+fn covers(restriction: &[AgentId], seen: &[AgentId]) -> bool {
+    seen.iter().all(|a| restriction.binary_search(a).is_ok())
 }
 
 fn kind_slot(kind: EntityKind) -> usize {
@@ -115,8 +282,15 @@ fn kind_slot(kind: EntityKind) -> usize {
 }
 
 impl EntityStore {
-    /// Creates an empty dictionary.
+    /// Creates an empty dictionary with the n-gram indexes enabled.
     pub fn new() -> Self {
+        Self::with_ngram_index(true)
+    }
+
+    /// Creates an empty dictionary, optionally without the n-gram/prefix
+    /// indexes (`LIKE` constraints then scan the distinct strings — the
+    /// pre-index behavior, kept for ablation).
+    pub fn with_ngram_index(ngram_index: bool) -> Self {
         EntityStore {
             interner: Interner::new(),
             entities: Vec::new(),
@@ -125,6 +299,11 @@ impl EntityStore {
             proc_by_name: HashMap::new(),
             file_by_name: HashMap::new(),
             conn_by_dst: HashMap::new(),
+            proc_dict: DictIndex::default(),
+            file_dict: DictIndex::default(),
+            conn_dict: DictIndex::default(),
+            ngram_index,
+            agents_seen: Vec::new(),
             dedup_hits: 0,
         }
     }
@@ -153,10 +332,35 @@ impl EntityStore {
         self.entities.push(entity);
         self.dedup.insert((agent, attrs), id);
         self.by_kind[kind_slot(attrs.kind())].push(id);
+        if let Err(pos) = self.agents_seen.binary_search(&agent) {
+            self.agents_seen.insert(pos, agent);
+        }
+        // Group the entity under its dictionary key; the first observation
+        // of a distinct key also enters the n-gram/prefix index.
         match attrs {
-            EntityAttrs::Process(p) => self.proc_by_name.entry(p.exe_name).or_default().push(id),
-            EntityAttrs::File(f) => self.file_by_name.entry(f.name).or_default().push(id),
-            EntityAttrs::NetConn(n) => self.conn_by_dst.entry(n.dst_ip.0).or_default().push(id),
+            EntityAttrs::Process(p) => {
+                let ids = self.proc_by_name.entry(p.exe_name).or_default();
+                if ids.is_empty() && self.ngram_index {
+                    self.proc_dict
+                        .insert(p.exe_name.raw(), self.interner.resolve(p.exe_name));
+                }
+                ids.push(id);
+            }
+            EntityAttrs::File(f) => {
+                let ids = self.file_by_name.entry(f.name).or_default();
+                if ids.is_empty() && self.ngram_index {
+                    self.file_dict
+                        .insert(f.name.raw(), self.interner.resolve(f.name));
+                }
+                ids.push(id);
+            }
+            EntityAttrs::NetConn(n) => {
+                let ids = self.conn_by_dst.entry(n.dst_ip.0).or_default();
+                if ids.is_empty() && self.ngram_index {
+                    self.conn_dict.insert(n.dst_ip.0, &n.dst_ip.to_string());
+                }
+                ids.push(id);
+            }
         }
         id
     }
@@ -210,21 +414,33 @@ impl EntityStore {
         agents: Option<&[AgentId]>,
         constraints: &[EntityConstraint],
     ) -> Vec<EntityId> {
-        // Try to seed the candidate set from a dictionary index.
-        let mut candidates: Option<Vec<EntityId>> = None;
-        for c in constraints {
-            if let Some(seed) = self.index_lookup(kind, c) {
-                candidates = Some(seed);
-                break;
-            }
-        }
+        // Sort the agent restriction once so the per-candidate test is a
+        // binary search; a restriction covering every observed host is a
+        // no-op and is dropped entirely.
+        let sorted_agents: Option<Vec<AgentId>> = agents.map(|a| {
+            let mut v = a.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        });
+        let agent_filter: Option<&[AgentId]> = match &sorted_agents {
+            Some(v) if covers(v, &self.agents_seen) => None,
+            Some(v) => Some(v.as_slice()),
+            None => None,
+        };
+        // Seed the candidate set from the most selective dictionary index
+        // hit (every constraint is re-verified below, so any seed is sound).
+        let candidates: Option<Vec<EntityId>> = constraints
+            .iter()
+            .filter_map(|c| self.index_lookup(kind, c))
+            .min_by_key(Vec::len);
         let check = |id: &EntityId| -> bool {
             let e = self.get(*id);
             if e.kind() != kind {
                 return false;
             }
-            if let Some(agents) = agents {
-                if !agents.contains(&e.agent) {
+            if let Some(agents) = agent_filter {
+                if agents.binary_search(&e.agent).is_err() {
                     return false;
                 }
             }
@@ -240,19 +456,45 @@ impl EntityStore {
         }
     }
 
-    /// Attempts an index-assisted candidate lookup for one constraint.
+    /// Attempts an index-assisted candidate lookup for one constraint. The
+    /// returned id vector is **sorted and deduped** (dictionary-assigned ids
+    /// ascend, so downstream posting-list merges can sort-merge).
     fn index_lookup(&self, kind: EntityKind, c: &EntityConstraint) -> Option<Vec<EntityId>> {
         let attr = c.resolved_attr(kind);
         match (kind, attr) {
             (EntityKind::Process, "exe_name" | "name") => {
-                self.sym_index_lookup(&self.proc_by_name, c)
+                self.sym_index_lookup(&self.proc_by_name, &self.proc_dict, c)
             }
-            (EntityKind::File, "name" | "path") => self.sym_index_lookup(&self.file_by_name, c),
+            (EntityKind::File, "name" | "path") => {
+                self.sym_index_lookup(&self.file_by_name, &self.file_dict, c)
+            }
             (EntityKind::NetConn, "dst_ip" | "dstip") => match &c.cmp {
-                AttrCmp::Eq(Value::Ip(ip)) => {
-                    Some(self.conn_by_dst.get(&ip.0).cloned().unwrap_or_default())
-                }
+                AttrCmp::Eq(Value::Ip(ip)) => Some(finish_ids(
+                    self.conn_by_dst.get(&ip.0).cloned().unwrap_or_default(),
+                )),
                 AttrCmp::Like(p) => {
+                    let resolve_keys = |keys: &[u32]| -> Vec<EntityId> {
+                        let mut out = Vec::new();
+                        for raw in keys {
+                            if let Some(ids) = self.conn_by_dst.get(raw) {
+                                out.extend_from_slice(ids);
+                            }
+                        }
+                        finish_ids(out)
+                    };
+                    if self.ngram_index {
+                        match self.conn_dict.resolve(p) {
+                            DictCandidates::Definitive(keys) => return Some(resolve_keys(&keys)),
+                            DictCandidates::Verify(keys) => {
+                                let verified: Vec<u32> = keys
+                                    .into_iter()
+                                    .filter(|raw| p.matches(&aiql_model::IpV4(*raw).to_string()))
+                                    .collect();
+                                return Some(resolve_keys(&verified));
+                            }
+                            DictCandidates::Scan => {}
+                        }
+                    }
                     // Evaluate the pattern over distinct destination IPs.
                     let mut out = Vec::new();
                     for (raw, ids) in &self.conn_by_dst {
@@ -261,7 +503,7 @@ impl EntityStore {
                             out.extend_from_slice(ids);
                         }
                     }
-                    Some(out)
+                    Some(finish_ids(out))
                 }
                 _ => None,
             },
@@ -272,20 +514,46 @@ impl EntityStore {
     fn sym_index_lookup(
         &self,
         index: &HashMap<Symbol, Vec<EntityId>>,
+        dict: &DictIndex,
         c: &EntityConstraint,
     ) -> Option<Vec<EntityId>> {
         match &c.cmp {
-            AttrCmp::Eq(Value::Str(sym)) => Some(index.get(sym).cloned().unwrap_or_default()),
+            AttrCmp::Eq(Value::Str(sym)) => {
+                Some(finish_ids(index.get(sym).cloned().unwrap_or_default()))
+            }
             AttrCmp::Like(p) => {
+                let resolve_keys = |keys: &[u32]| -> Vec<EntityId> {
+                    let mut out = Vec::new();
+                    for &raw in keys {
+                        if let Some(ids) = index.get(&Symbol(raw)) {
+                            out.extend_from_slice(ids);
+                        }
+                    }
+                    finish_ids(out)
+                };
+                if self.ngram_index {
+                    match dict.resolve(p) {
+                        DictCandidates::Definitive(keys) => return Some(resolve_keys(&keys)),
+                        DictCandidates::Verify(keys) => {
+                            let verified: Vec<u32> = keys
+                                .into_iter()
+                                .filter(|&raw| p.matches(self.interner.resolve(Symbol(raw))))
+                                .collect();
+                            return Some(resolve_keys(&verified));
+                        }
+                        DictCandidates::Scan => {}
+                    }
+                }
                 // Evaluate the pattern once per *distinct* string — the core
-                // dictionary-vs-events asymmetry.
+                // dictionary-vs-events asymmetry (and the n-gram fallback
+                // when no literal run is trigram-sized).
                 let mut out = Vec::new();
                 for (sym, ids) in index {
                     if p.matches(self.interner.resolve(*sym)) {
                         out.extend_from_slice(ids);
                     }
                 }
-                Some(out)
+                Some(finish_ids(out))
             }
             _ => None,
         }
@@ -478,5 +746,138 @@ mod tests {
     fn kind_mismatch_yields_empty() {
         let s = store_with_procs(&["x"]);
         assert!(s.find(EntityKind::File, None, &[]).is_empty());
+    }
+
+    /// Every pattern shape must resolve identically through the n-gram
+    /// index and the naive distinct-string scan, and both must come back
+    /// sorted and deduped.
+    #[test]
+    fn ngram_index_agrees_with_naive_scan() {
+        let names = [
+            "C:\\Windows\\System32\\cmd.exe",
+            "C:\\Windows\\CMD.EXE", // distinct casing, distinct symbol
+            "C:\\Windows\\System32\\osql.exe",
+            "/usr/sbin/sqlservr.exe",
+            "/var/www/uploads/info_stealer.sh",
+            "/var/www/uploads/index.php",
+            "sbblv.exe",
+            "ab", // shorter than a trigram
+            "",
+        ];
+        let indexed = store_with_procs(&names);
+        let mut naive = EntityStore::with_ngram_index(false);
+        for (i, name) in names.iter().enumerate() {
+            let exe = naive.interner_mut().intern(name);
+            let user = naive.interner_mut().intern("alice");
+            let cmd = naive.interner_mut().intern("");
+            naive.intern(
+                AgentId(1),
+                EntityAttrs::Process(ProcessAttrs {
+                    pid: 1000 + i as u32,
+                    exe_name: exe,
+                    user,
+                    cmdline: cmd,
+                }),
+            );
+        }
+        let patterns = [
+            "%cmd.exe",       // suffix, matches both casings
+            "cmd.exe",        // exact (case-insensitive like)
+            "C:\\Windows\\%", // prefix
+            "%info_stealer%", // infix
+            "%sql%",          // infix hitting two names
+            "%o_ql%",         // `_` one-char wildcard inside a run
+            "%",              // matches everything
+            "ab",             // short exact
+            "%zz%",           // no candidate trigram
+            "",               // empty exact
+            "x_",             // short scan shape, no trigram
+        ];
+        for pat in patterns {
+            let c = [EntityConstraint::on_default(AttrCmp::Like(
+                StringPattern::new(pat),
+            ))];
+            let a = indexed.find(EntityKind::Process, None, &c);
+            let b = naive.find(EntityKind::Process, None, &c);
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted: {pat}");
+            assert_eq!(a, b, "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn ip_like_resolves_through_ngram_index() {
+        let mut s = EntityStore::new();
+        for d in [1u8, 2, 129, 130] {
+            s.intern(
+                AgentId(1),
+                EntityAttrs::NetConn(NetConnAttrs {
+                    src_ip: IpV4::from_octets(10, 0, 0, 5),
+                    src_port: 5000,
+                    dst_ip: IpV4::from_octets(172, 16, 99, d),
+                    dst_port: 443,
+                    protocol: Protocol::Tcp,
+                }),
+            );
+        }
+        let like = |pat: &str| {
+            s.find(
+                EntityKind::NetConn,
+                None,
+                &[EntityConstraint::on(
+                    "dstip",
+                    AttrCmp::Like(StringPattern::new(pat)),
+                )],
+            )
+        };
+        assert_eq!(like("172.16.99.%").len(), 4);
+        assert_eq!(like("%.129").len(), 1);
+        assert_eq!(like("172.16.99.129").len(), 1);
+        assert!(like("10.0.%").is_empty());
+    }
+
+    #[test]
+    fn agent_restriction_covering_all_hosts_is_dropped() {
+        let mut s = store_with_procs(&["a.exe", "b.exe"]);
+        let exe = s.interner_mut().intern("a.exe");
+        let user = s.interner_mut().intern("alice");
+        let cmd = s.interner_mut().intern("");
+        s.intern(
+            AgentId(9),
+            EntityAttrs::Process(ProcessAttrs {
+                pid: 7,
+                exe_name: exe,
+                user,
+                cmdline: cmd,
+            }),
+        );
+        let unrestricted = s.find(EntityKind::Process, None, &[]);
+        // A superset of every observed host behaves exactly like `None`
+        // (and exercises the unsorted-input path: agents arrive unsorted).
+        let all = s.find(
+            EntityKind::Process,
+            Some(&[AgentId(9), AgentId(1), AgentId(3)]),
+            &[],
+        );
+        assert_eq!(all, unrestricted);
+        // A genuine restriction still filters.
+        let only9 = s.find(EntityKind::Process, Some(&[AgentId(9)]), &[]);
+        assert_eq!(only9.len(), 1);
+        assert!(s.find(EntityKind::Process, Some(&[]), &[]).is_empty());
+    }
+
+    #[test]
+    fn index_lookup_outputs_are_sorted_and_deduped() {
+        // Two constraints resolvable by index: find must seed from the
+        // smaller and still return ascending ids.
+        let s = store_with_procs(&["match.exe", "other.exe", "match.exe2", "MATCH.exe"]);
+        let found = s.find(
+            EntityKind::Process,
+            None,
+            &[EntityConstraint::on_default(AttrCmp::Like(
+                StringPattern::new("%match%"),
+            ))],
+        );
+        assert_eq!(found.len(), 3);
+        assert!(found.windows(2).all(|w| w[0] < w[1]));
     }
 }

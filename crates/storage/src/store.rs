@@ -31,6 +31,16 @@ pub struct StoreConfig {
     /// Posting-list access paths are chosen by estimated candidate count;
     /// disabled, a fixed 64-id cutoff decides (the seed's rule).
     pub cost_based_access: bool,
+    /// `LIKE` constraints resolve through trigram/prefix indexes over the
+    /// entity dictionary (posting-list intersection + verify); disabled,
+    /// every distinct string is matched against the pattern (the PR 1
+    /// behavior, kept for ablation).
+    pub ngram_index: bool,
+    /// Residual predicates of selection-vector scans run as chunked
+    /// columnar mask passes (64-row blocks writing a bitmask, then
+    /// compacting); disabled, a branchy per-row closure runs (the PR 1
+    /// behavior, kept for ablation).
+    pub vectorized_residual: bool,
 }
 
 impl Default for StoreConfig {
@@ -42,6 +52,8 @@ impl Default for StoreConfig {
             batch_size: 8192,
             selection_vectors: true,
             cost_based_access: true,
+            ngram_index: true,
+            vectorized_residual: true,
         }
     }
 }
@@ -58,6 +70,9 @@ struct PendingEvent {
     amount: u64,
 }
 
+/// Source of unique store identities (see [`EventStore::store_id`]).
+static NEXT_STORE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// The embedded system-monitoring event store.
 #[derive(Debug)]
 pub struct EventStore {
@@ -69,6 +84,8 @@ pub struct EventStore {
     raw_events: u64,
     merged_events: u64,
     commits: u64,
+    store_id: u64,
+    epoch: u64,
 }
 
 impl Default for EventStore {
@@ -81,20 +98,36 @@ impl EventStore {
     /// Creates an empty store with the given configuration.
     pub fn new(config: StoreConfig) -> Self {
         EventStore {
+            entities: EntityStore::with_ngram_index(config.ngram_index),
             config,
-            entities: EntityStore::new(),
             partitions: BTreeMap::new(),
             buffer: Vec::new(),
             next_event_id: 0,
             raw_events: 0,
             merged_events: 0,
             commits: 0,
+            store_id: NEXT_STORE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            epoch: 0,
         }
     }
 
     /// The store configuration.
     pub fn config(&self) -> &StoreConfig {
         &self.config
+    }
+
+    /// Process-unique identity of this store. Together with [`Self::epoch`]
+    /// it keys cross-query plan caches: a cached resolution is valid only
+    /// for the exact ⟨store, epoch⟩ it was computed against.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// Mutation epoch: bumped on every write-side entry point (ingest,
+    /// commit, snapshot insertion, mutable dictionary access). Plan caches
+    /// treat any bump as full invalidation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The entity dictionary.
@@ -104,6 +137,7 @@ impl EventStore {
 
     /// Mutable entity dictionary (engines intern query literals here).
     pub fn entities_mut(&mut self) -> &mut EntityStore {
+        self.epoch += 1;
         &mut self.entities
     }
 
@@ -131,6 +165,7 @@ impl EventStore {
             amount: raw.amount,
         });
         self.raw_events += 1;
+        self.epoch += 1;
         if self.buffer.len() >= self.config.batch_size {
             self.commit();
         }
@@ -150,6 +185,7 @@ impl EventStore {
         if self.buffer.is_empty() {
             return;
         }
+        self.epoch += 1;
         let mut batch = std::mem::take(&mut self.buffer);
         if self.config.dedup {
             // Group identical SVO interactions that are adjacent in time and
@@ -263,7 +299,12 @@ impl EventStore {
             return Vec::new();
         };
         if self.config.selection_vectors {
-            return seg.select(key.agent, filter, self.config.cost_based_access);
+            return seg.select(
+                key.agent,
+                filter,
+                self.config.cost_based_access,
+                self.config.vectorized_residual,
+            );
         }
         if !seg.overlaps_window(filter) {
             return Vec::new();
@@ -389,6 +430,7 @@ impl EventStore {
     /// Direct committed-event insertion used by snapshot loading; bypasses
     /// the ingest buffer and dedup (the snapshot already reflects them).
     pub(crate) fn insert_committed(&mut self, event: Event) {
+        self.epoch += 1;
         let key = PartitionKey::for_event(
             event.agent,
             event.start_time,

@@ -1,0 +1,177 @@
+//! Differential property tests for the n-gram/prefix dictionary indexes.
+//!
+//! The trigram-intersection + verify path, the prefix range scan, and the
+//! case-folded exact lookup must return *exactly* the id set of the naive
+//! full-dictionary scan (the PR 1 behavior, kept behind
+//! `StoreConfig::ngram_index = false`) for every pattern shape — `%`, `_`,
+//! prefix, suffix, infix, degenerate — over arbitrary dictionaries.
+
+use aiql_model::{
+    AgentId, EntityAttrs, EntityKind, FileAttrs, IpV4, NetConnAttrs, ProcessAttrs, Protocol,
+    StringPattern,
+};
+use aiql_storage::{AttrCmp, EntityConstraint, EntityStore};
+use proptest::prelude::*;
+
+/// Name fragments that deliberately share trigrams (`sql` ⊂ `osql` ⊂
+/// `sqlservr`-style overlaps) so patterns collide with several entries.
+fn frag() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("cmd"),
+        Just("CMD"),
+        Just("osql"),
+        Just("sql"),
+        Just("servr"),
+        Just("sbblv"),
+        Just("backup1"),
+        Just("dmp"),
+        Just("exe"),
+        Just("info"),
+        Just("stealer"),
+        Just("a"),
+        Just("ab"),
+        Just(""),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    (proptest::collection::vec(frag(), 1..4), 0usize..4).prop_map(|(parts, sep)| {
+        let sep = ["", ".", "/", "_"][sep % 4];
+        parts.join(sep)
+    })
+}
+
+/// Pattern pieces: literals sharing the name fragments, plus both wildcards.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    let piece = prop_oneof![
+        Just("%"),
+        Just("_"),
+        Just("cmd"),
+        Just("sql"),
+        Just("sbblv"),
+        Just("exe"),
+        Just("backup1"),
+        Just("."),
+        Just("/"),
+        Just("a"),
+        Just("b"),
+    ];
+    proptest::collection::vec(piece, 1..5).prop_map(|ps| ps.concat())
+}
+
+/// Builds one store with the n-gram indexes and one without, holding the
+/// same names as both processes and files on alternating hosts.
+fn paired_stores(names: &[String]) -> (EntityStore, EntityStore) {
+    let mut indexed = EntityStore::with_ngram_index(true);
+    let mut naive = EntityStore::with_ngram_index(false);
+    for store in [&mut indexed, &mut naive] {
+        for (i, name) in names.iter().enumerate() {
+            let agent = AgentId((i % 3) as u32);
+            let sym = store.interner_mut().intern(name);
+            let user = store.interner_mut().intern("user");
+            let empty = store.interner_mut().intern("");
+            store.intern(
+                agent,
+                EntityAttrs::Process(ProcessAttrs {
+                    pid: i as u32,
+                    exe_name: sym,
+                    user,
+                    cmdline: empty,
+                }),
+            );
+            store.intern(
+                agent,
+                EntityAttrs::File(FileAttrs {
+                    name: sym,
+                    owner: user,
+                }),
+            );
+        }
+    }
+    (indexed, naive)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed LIKE resolution == naive scan, for processes and files,
+    /// with and without agent restrictions.
+    #[test]
+    fn ngram_like_matches_naive_scan(
+        names in proptest::collection::vec(arb_name(), 0..24),
+        patterns in proptest::collection::vec(arb_pattern(), 1..8),
+        restrict in 0u32..4,
+    ) {
+        let (indexed, naive) = paired_stores(&names);
+        let agents = [AgentId(0), AgentId(1)];
+        let restriction: Option<&[AgentId]> = match restrict {
+            0 => None,
+            1 => Some(&agents[..1]),
+            2 => Some(&agents[..2]),
+            _ => Some(&[]),
+        };
+        for pat in &patterns {
+            let c = [EntityConstraint::on_default(AttrCmp::Like(
+                StringPattern::new(pat),
+            ))];
+            for kind in [EntityKind::Process, EntityKind::File] {
+                let a = indexed.find(kind, restriction, &c);
+                let b = naive.find(kind, restriction, &c);
+                prop_assert!(
+                    a.windows(2).all(|w| w[0] < w[1]),
+                    "indexed result must be sorted+deduped for {pat:?}"
+                );
+                prop_assert!(
+                    b.windows(2).all(|w| w[0] < w[1]),
+                    "naive result must be sorted+deduped for {pat:?}"
+                );
+                prop_assert_eq!(a, b, "kind {:?} pattern {:?}", kind, pat);
+            }
+        }
+    }
+
+    /// Indexed LIKE over rendered destination IPs == naive rendering scan.
+    #[test]
+    fn ngram_ip_like_matches_naive_scan(
+        octets in proptest::collection::vec((0u32..3, 0u32..3, 99u32..101, 0u32..256), 0..20),
+        patterns in proptest::collection::vec(
+            prop_oneof![
+                Just("%"),
+                Just("%.129"),
+                Just("172.%"),
+                Just("0.%"),
+                Just("%.99.%"),
+                Just("1.1.99.1"),
+                Just("%._"),
+                Just("2.2.100.255"),
+            ],
+            1..6,
+        ),
+    ) {
+        let mut indexed = EntityStore::with_ngram_index(true);
+        let mut naive = EntityStore::with_ngram_index(false);
+        for store in [&mut indexed, &mut naive] {
+            for &(a, b, c, d) in &octets {
+                store.intern(
+                    AgentId(1),
+                    EntityAttrs::NetConn(NetConnAttrs {
+                        src_ip: IpV4::from_octets(10, 0, 0, 1),
+                        src_port: 1000,
+                        dst_ip: IpV4::from_octets(a as u8, b as u8, c as u8, d as u8),
+                        dst_port: 443,
+                        protocol: Protocol::Tcp,
+                    }),
+                );
+            }
+        }
+        for pat in &patterns {
+            let c = [EntityConstraint::on(
+                "dstip",
+                AttrCmp::Like(StringPattern::new(pat)),
+            )];
+            let a = indexed.find(EntityKind::NetConn, None, &c);
+            let b = naive.find(EntityKind::NetConn, None, &c);
+            prop_assert_eq!(a, b, "pattern {:?}", pat);
+        }
+    }
+}
