@@ -1,0 +1,331 @@
+//! PR 3 perf trajectory: the operator pipeline's parallel multievent join,
+//! measured as a serial-vs-parallel ablation at 1/2/4/8 threads.
+//!
+//! The workload is join-dominated by construction: per host, groups of a
+//! 4-stage pipeline (`p1 write f → p2 read f → p2 write f2 → p3 read f2`)
+//! with `k` events per stage, so a 4-pattern chain query joins to `k⁴`
+//! tuples per group while the scans stay cheap. Background noise events
+//! keep the scans honest.
+//!
+//! Emits `BENCH_PR3.json` (path via argv[1], default `BENCH_PR3.json`):
+//! per thread count, the chain query with `parallel_join` off vs on —
+//! everything else (scan parallelism, pool, late materialization)
+//! identical, private pools sized to the thread count so thread counts
+//! mean what they say. Also records the plan-cache partition-scoped
+//! invalidation behavior (hits surviving an ingest into an untouched
+//! partition).
+//!
+//! Run with `cargo run --release -p aiql-bench --bin pr3_operator_join`.
+//! Pass `--check` for the single-iteration correctness mode used by CI:
+//! every configuration (including truncating `max_intermediate` values)
+//! must return byte-identical tables, and the plan-cache property is
+//! asserted, instead of timing anything.
+
+use std::fmt::Write as _;
+
+use aiql_bench::time_best_of;
+use aiql_engine::{Engine, EngineConfig};
+use aiql_model::{AgentId, Operation, Timestamp};
+use aiql_storage::{EntitySpec, EventStore, RawEvent, StoreConfig};
+
+// Stage-constrained chain: each pattern resolves to one pipeline stage,
+// so candidate lists are equal-sized and the size-ordered join visits the
+// chain in connected order (every step shares a variable with the frontier
+// — no cartesian blowup, the shape the paper's investigations have).
+const CHAIN_QUERY: &str = r#"proc p1["%stage1-writer.exe"] write file f as e1
+proc p2["%stage2-etl.exe"] read file f as e2
+proc p2 write file f2 as e3
+proc p3["%stage3-reader.exe"] read file f2 as e4
+with e1 before e2, e2 before e3, e3 before e4
+return count(e4.amount)"#;
+
+/// Day-0-windowed query for the plan-cache demonstration.
+const CACHED_QUERY: &str =
+    r#"(at "01/01/1970") proc p["%stage1-writer.exe"] write file f as e return p, f"#;
+
+/// Builds the join-heavy store: `groups` 4-stage pipelines per host with
+/// `k` events per stage, plus one noise event per group.
+fn join_heavy_store(hosts: u32, groups: usize, k: usize) -> EventStore {
+    let mut raws = Vec::new();
+    for h in 0..hosts {
+        for g in 0..groups {
+            let t0 = (g as i64) * 240; // 4 minutes per group
+            let f1 = format!("/data/h{h}/g{g}/stage1");
+            let f2 = format!("/data/h{h}/g{g}/stage2");
+            let pid = (g as u32) * 8;
+            let p1 = EntitySpec::process(1000 + pid, "stage1-writer.exe", "svc");
+            let p2 = EntitySpec::process(2000 + pid, "stage2-etl.exe", "svc");
+            let p3 = EntitySpec::process(3000 + pid, "stage3-reader.exe", "svc");
+            for j in 0..k {
+                let j = j as i64;
+                let mk = |op, s: &EntitySpec, o: &EntitySpec, t: i64| {
+                    RawEvent::instant(
+                        AgentId(h),
+                        op,
+                        s.clone(),
+                        o.clone(),
+                        Timestamp::from_secs(t),
+                        64,
+                    )
+                };
+                raws.push(mk(
+                    Operation::Write,
+                    &p1,
+                    &EntitySpec::file(&f1, "svc"),
+                    t0 + j,
+                ));
+                raws.push(mk(
+                    Operation::Read,
+                    &p2,
+                    &EntitySpec::file(&f1, "svc"),
+                    t0 + 60 + j,
+                ));
+                raws.push(mk(
+                    Operation::Write,
+                    &p2,
+                    &EntitySpec::file(&f2, "svc"),
+                    t0 + 120 + j,
+                ));
+                raws.push(mk(
+                    Operation::Read,
+                    &p3,
+                    &EntitySpec::file(&f2, "svc"),
+                    t0 + 180 + j,
+                ));
+            }
+            // Noise: an unrelated connect per group.
+            raws.push(RawEvent::instant(
+                AgentId(h),
+                Operation::Connect,
+                EntitySpec::process(4000 + pid, "browser.exe", "user"),
+                EntitySpec::tcp(
+                    aiql_model::IpV4::from_octets(10, 0, 0, 1),
+                    40_000,
+                    aiql_model::IpV4::from_octets(93, 184, 216, 34),
+                    443,
+                ),
+                Timestamp::from_secs(t0 + 30),
+                1,
+            ));
+        }
+    }
+    let mut store = EventStore::new(StoreConfig {
+        dedup: false,
+        ..StoreConfig::default()
+    });
+    store.ingest_all(&raws);
+    store
+}
+
+/// Engine with the operator pipeline at `threads`, join parallelism
+/// toggled. Private pool so the thread count is exactly `threads`.
+fn engine(threads: usize, parallel_join: bool) -> Engine {
+    Engine::new(EngineConfig {
+        parallelism: threads,
+        parallel_join,
+        shared_scan_pool: false,
+        ..EngineConfig::default()
+    })
+}
+
+/// Asserts the partition-scoped plan cache keeps a windowed plan hot
+/// across an ingest into a partition it never read. Returns (hits,
+/// misses) after the sequence, for the JSON record.
+fn assert_cache_survives_ingest(store: &mut EventStore) -> (u64, u64) {
+    let e = Engine::new(EngineConfig::default());
+    let first = e.execute_text(store, CACHED_QUERY).expect("cached query");
+    assert!(!first.rows.is_empty(), "cache workload must find evidence");
+    e.execute_text(store, CACHED_QUERY).expect("cached query");
+    let (h1, m1) = e.plan_cache_counters();
+    assert!(h1 > 0 && m1 > 0);
+    // Two days later, entities already interned: new partition, untouched
+    // dictionary and day-0 buckets.
+    store.ingest_all(&[RawEvent::instant(
+        AgentId(0),
+        Operation::Write,
+        EntitySpec::process(1000, "stage1-writer.exe", "svc"),
+        EntitySpec::file("/data/h0/g0/stage1", "svc"),
+        Timestamp::from_secs(2 * 86_400),
+        64,
+    )]);
+    let again = e.execute_text(store, CACHED_QUERY).expect("cached query");
+    let (h2, m2) = e.plan_cache_counters();
+    assert_eq!(again.rows, first.rows, "day-0 results unchanged");
+    assert!(
+        h2 > h1,
+        "plan-cache hit must survive ingest into an untouched partition"
+    );
+    assert_eq!(
+        m2, m1,
+        "ingest into an untouched partition must not recompute cache entries"
+    );
+    (h2, m2)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let check_mode = arg.as_deref() == Some("--check");
+    let out_path = if check_mode {
+        String::new()
+    } else {
+        arg.unwrap_or_else(|| "BENCH_PR3.json".to_string())
+    };
+    let reps: usize = if check_mode {
+        1
+    } else {
+        std::env::var("AIQL_BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5)
+    };
+    let groups: usize = std::env::var("AIQL_BENCH_GROUPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if check_mode { 8 } else { 100 });
+    let k = if check_mode { 3 } else { 4 };
+
+    let hosts = 8u32;
+    eprintln!("building join-heavy store ({hosts} hosts × {groups} groups × k={k})...");
+    let mut store = join_heavy_store(hosts, groups, k);
+    let total_events = store.event_count();
+
+    // Correctness gate (always, both modes): serial vs parallel join at
+    // every thread count — and under truncating max_intermediate values in
+    // check mode — must return byte-identical tables.
+    let reference = engine(1, false);
+    let want = reference.execute_text(&store, CHAIN_QUERY).expect("chain");
+    assert!(!want.rows.is_empty());
+    let thread_counts = [1usize, 2, 4, 8];
+    for &t in &thread_counts {
+        for pj in [false, true] {
+            let got = engine(t, pj)
+                .execute_text(&store, CHAIN_QUERY)
+                .expect("chain");
+            assert_eq!(
+                (&want.rows, want.truncated),
+                (&got.rows, got.truncated),
+                "threads {t} parallel_join {pj}: result diverged from serial"
+            );
+        }
+    }
+    if check_mode {
+        for max in [1usize, 7, 1000] {
+            let serial = Engine::new(EngineConfig {
+                parallel_join: false,
+                max_intermediate: max,
+                ..EngineConfig::default()
+            });
+            let parallel = Engine::new(EngineConfig {
+                parallelism: 8,
+                parallel_join: true,
+                join_partitions: 8,
+                shared_scan_pool: false,
+                max_intermediate: max,
+                ..EngineConfig::default()
+            });
+            let a = serial.execute_text(&store, CHAIN_QUERY).expect("chain");
+            let b = parallel.execute_text(&store, CHAIN_QUERY).expect("chain");
+            assert_eq!(
+                (&a.rows, a.truncated),
+                (&b.rows, b.truncated),
+                "max_intermediate {max}: truncated results diverged"
+            );
+        }
+    }
+    let (cache_hits, cache_misses) = assert_cache_survives_ingest(&mut store);
+
+    if check_mode {
+        println!(
+            "pr3_operator_join --check OK: serial/parallel join agree at threads {thread_counts:?} \
+             (+ truncation at max_intermediate 1/7/1000), plan-cache hit survived untouched-partition \
+             ingest ({cache_hits} hits / {cache_misses} misses) over {total_events} events"
+        );
+        return;
+    }
+
+    // Timing: per thread count, the chain with the join serial vs
+    // partitioned. Warm each engine's pool before timing.
+    struct Row {
+        threads: usize,
+        serial_ms: f64,
+        parallel_ms: f64,
+        tuples: usize,
+    }
+    let mut rows = Vec::new();
+    for &t in &thread_counts {
+        let serial = engine(t, false);
+        let parallel = engine(t, true);
+        let mut tuples = 0usize;
+        for e in [&serial, &parallel] {
+            let q = aiql_lang::parse_query(CHAIN_QUERY).expect("parse");
+            let aiql_lang::Query::Multievent(m) = &q else {
+                unreachable!()
+            };
+            let (_, stats) = e.execute_multievent_with_stats(&store, m).expect("chain");
+            tuples = stats.tuples;
+        }
+        let serial_s = time_best_of(reps, || {
+            serial
+                .execute_text(&store, CHAIN_QUERY)
+                .expect("chain")
+                .len()
+        });
+        let parallel_s = time_best_of(reps, || {
+            parallel
+                .execute_text(&store, CHAIN_QUERY)
+                .expect("chain")
+                .len()
+        });
+        eprintln!(
+            "threads {t}: serial {:.2} ms, parallel {:.2} ms ({:.2}×), {tuples} joined tuples",
+            serial_s * 1e3,
+            parallel_s * 1e3,
+            serial_s / parallel_s.max(1e-9)
+        );
+        rows.push(Row {
+            threads: t,
+            serial_ms: serial_s * 1e3,
+            parallel_ms: parallel_s * 1e3,
+            tuples,
+        });
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(
+        json,
+        "  \"title\": \"operator-pipeline parallel multievent join: serial vs frontier-partitioned ablation\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"kind\": \"4-stage pipeline chain\", \"hosts\": {hosts}, \"groups_per_host\": {groups}, \"events\": {total_events}, \"query\": \"4-pattern chain, 3 temporal relations\"}},"
+    );
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"serial and parallel paths asserted byte-identical before timing; speedups are bounded by host_cores — on a single-core host the parallel path measures its own overhead\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"plan_cache\": {{\"survives_untouched_partition_ingest\": true, \"hits\": {cache_hits}, \"misses\": {cache_misses}}},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.serial_ms / r.parallel_ms.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"name\": \"chain-4pattern/threads-{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}, \"joined_tuples\": {}}}",
+            r.threads, r.serial_ms, r.parallel_ms, speedup, r.tuples
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR3.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

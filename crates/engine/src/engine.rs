@@ -33,13 +33,32 @@ pub struct EngineConfig {
     /// join, materializing events only for surviving tuples. Disabled, every
     /// scan copies full events and the join clones them (the seed's path).
     pub late_materialization: bool,
-    /// Run parallel scans on a persistent worker pool spawned once per
-    /// engine. Disabled, every parallel scan spawns scoped threads (the
-    /// seed's per-scan fan-out).
+    /// Run parallel scans on a persistent worker pool. Disabled, every
+    /// parallel scan spawns scoped threads (the seed's per-scan fan-out).
     pub scan_pool: bool,
-    /// Memoize dictionary constraint resolutions and filter estimates in a
-    /// store-epoch-invalidated LRU shared by every query this engine (and
-    /// its clones) runs — repeated investigations skip the shared phase.
+    /// Use the process-wide shared scan executor (sized by
+    /// `std::thread::available_parallelism`, spawned once per process)
+    /// instead of a private per-engine pool. Per-query fan-out stays
+    /// capped at `parallelism` either way; disabling this is the override
+    /// for engines that need an isolated worker set of exactly
+    /// `parallelism` threads.
+    pub shared_scan_pool: bool,
+    /// Partition the multi-way join's tuple frontier across the scan
+    /// executor (contiguous ranges merged deterministically, so results
+    /// are byte-identical to the serial join). Disabled, every join step
+    /// runs on the query thread.
+    pub parallel_join: bool,
+    /// Join partition count. 0 = auto: `4 × parallelism` partitions once a
+    /// step's probe work clears an internal threshold. A non-zero value
+    /// forces exactly that many partitions on every step big enough to
+    /// split (ablation and differential tests pin this).
+    pub join_partitions: usize,
+    /// Memoize dictionary constraint resolutions and filter estimates in
+    /// an LRU shared by every query this engine (and its clones) runs —
+    /// repeated investigations skip the shared phase. Invalidation is
+    /// partition-scoped: resolutions are guarded by the store's dictionary
+    /// epoch, estimates by the ⟨partition, epoch⟩ dependencies they read,
+    /// so cached plans survive ingest into partitions they never touched.
     pub plan_cache: bool,
     /// Compile return items, group keys, and aggregate arguments to dense
     /// variable/event slot indices before the tuple loop, replacing the
@@ -66,6 +85,9 @@ impl Default for EngineConfig {
             temporal_narrowing: true,
             late_materialization: true,
             scan_pool: true,
+            shared_scan_pool: true,
+            parallel_join: true,
+            join_partitions: 0,
             plan_cache: true,
             compiled_projection: true,
             parallel_threshold: 8_192,
@@ -88,6 +110,9 @@ impl EngineConfig {
             temporal_narrowing: false,
             late_materialization: false,
             scan_pool: false,
+            shared_scan_pool: false,
+            parallel_join: false,
+            join_partitions: 0,
             plan_cache: false,
             compiled_projection: false,
             parallel_threshold: usize::MAX,
@@ -128,11 +153,16 @@ impl Engine {
         self.config.plan_cache.then(|| self.plan_cache.clone())
     }
 
-    /// The persistent scan pool handle, if the configuration wants one.
+    /// The persistent scan pool handle, if the configuration wants one:
+    /// the process-wide shared executor by default, or a private pool of
+    /// exactly `parallelism` workers when `shared_scan_pool` is off.
     fn pool(&self) -> Option<std::sync::Arc<crate::pool::ScanPool>> {
         if !self.config.scan_pool || !self.config.partition_parallel || self.config.parallelism <= 1
         {
             return None;
+        }
+        if self.config.shared_scan_pool {
+            return Some(crate::pool::shared());
         }
         Some(
             self.pool
@@ -141,6 +171,13 @@ impl Engine {
                 })
                 .clone(),
         )
+    }
+
+    /// `(hits, misses)` of the engine's plan-resolution cache, for tests
+    /// and benches asserting cache behavior (e.g. that a cached plan
+    /// survives an ingest into a partition it never read).
+    pub fn plan_cache_counters(&self) -> (u64, u64) {
+        self.plan_cache.counters()
     }
 
     /// Parses and executes AIQL query text against a store.
@@ -202,12 +239,40 @@ mod tests {
     fn clones_share_one_scan_pool_even_before_first_use() {
         let e1 = Engine::new(EngineConfig {
             parallelism: 2,
+            shared_scan_pool: false, // exercise the private-pool override
             ..EngineConfig::default()
         });
         let e2 = e1.clone(); // cloned before the pool ever spun up
         let p1 = e1.pool().expect("parallel config wants a pool");
         let p2 = e2.pool().expect("parallel config wants a pool");
         assert!(std::sync::Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn independent_engines_share_the_process_wide_pool() {
+        let e1 = Engine::new(EngineConfig {
+            parallelism: 2,
+            ..EngineConfig::default()
+        });
+        let e2 = Engine::new(EngineConfig {
+            parallelism: 4,
+            ..EngineConfig::default()
+        });
+        let p1 = e1.pool().expect("parallel config wants a pool");
+        let p2 = e2.pool().expect("parallel config wants a pool");
+        assert!(
+            std::sync::Arc::ptr_eq(&p1, &p2),
+            "default-config engines must use one process-wide executor"
+        );
+        // A private-pool engine opts out of the shared executor.
+        let private = Engine::new(EngineConfig {
+            parallelism: 2,
+            shared_scan_pool: false,
+            ..EngineConfig::default()
+        });
+        let p3 = private.pool().expect("parallel config wants a pool");
+        assert!(!std::sync::Arc::ptr_eq(&p1, &p3));
+        assert_eq!(p3.threads(), 2);
     }
 
     #[test]

@@ -1,5 +1,13 @@
-//! Multievent query execution: per-pattern data queries with binding
-//! propagation, parallel partition scans, multi-way join, and projection.
+//! Multievent query execution: the driver over the physical operator
+//! pipeline ([`crate::op`]).
+//!
+//! The executor assembles the operator tree the scheduler planned —
+//! `SemiJoinNarrow → PatternScan` per pattern in schedule order, feeding
+//! `TemporalJoin`, closed by `Project`/`Aggregate` — and executes it
+//! post-order, timing every operator into [`ExecStats::ops`]. All data
+//! movement lives in the operators; this module only prepares the shared
+//! phase (plan context, partition table, pool handle) and adapts the
+//! pipeline's outputs to the public API.
 //!
 //! Two data paths exist, selected by `EngineConfig::late_materialization`:
 //!
@@ -12,165 +20,25 @@
 //!   copies events out of the segments and the join clones them through
 //!   each intermediate tuple.
 
-use std::collections::HashMap;
 use std::sync::Arc;
-
-use aiql_lang::{CmpOp, Expr, SortDir, TemporalOp};
-use aiql_model::{EntityId, Event, Timestamp, Value};
-use aiql_storage::{EventFilter, EventStore, IdSet, PartitionKey, Segment};
 
 use crate::analyze::AnalyzedMultievent;
 use crate::engine::EngineConfig;
 use crate::error::EngineError;
-use crate::eval::{self, agg_key, RowCtx, SlotEnv, SlotExpr, SlotRow};
+use crate::op::{self, ExecEnv, Frontier, PartTable, PipelineState, NO_REF, NO_VAR};
 use crate::pool::ScanPool;
 use crate::result::ResultTable;
-use crate::schedule::{self, PlanCache, PlanCtx};
+use crate::schedule::{self, PlanCache};
 
-/// One candidate match: an event per pattern plus the implied variable
-/// bindings.
-#[derive(Debug, Clone)]
-pub struct Tuple {
-    /// Event per pattern, in source order.
-    pub events: Vec<Option<Event>>,
-    /// Entity binding per variable.
-    pub vars: Vec<Option<EntityId>>,
-}
+use aiql_model::EntityId;
+use aiql_storage::EventStore;
 
-/// A row reference: index into the query's partition table plus the row
-/// inside that partition's segment. 8 bytes instead of the 56-byte `Event`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventRef {
-    /// Index into [`PartTable::keys`].
-    pub part: u32,
-    /// Row inside the partition's segment.
-    pub row: u32,
-}
-
-/// Sentinel for "no event placed for this pattern yet".
-const NO_REF: EventRef = EventRef {
-    part: u32::MAX,
-    row: u32::MAX,
-};
-
-/// Sentinel for "variable unbound" in the arena's binding columns
-/// (entity ids are dense store indices, nowhere near `u32::MAX`).
-const NO_VAR: u32 = u32::MAX;
-
-/// Intermediate tuples of the late-materialization join, stored as two flat
-/// arrays with fixed strides (`npatterns` refs + `nvars` bindings per
-/// tuple). Growing the frontier copies plain `u32`/8-byte rows — no
-/// per-tuple heap allocation, unlike the materializing join's
-/// `Vec<Option<Event>>` clones.
-#[derive(Debug, Default)]
-struct RefArena {
-    npatterns: usize,
-    nvars: usize,
-    events: Vec<EventRef>,
-    vars: Vec<u32>,
-}
-
-impl RefArena {
-    fn new(npatterns: usize, nvars: usize) -> Self {
-        RefArena {
-            npatterns,
-            nvars,
-            events: Vec::new(),
-            vars: Vec::new(),
-        }
-    }
-
-    fn len(&self) -> usize {
-        // Queries always bind at least one variable, but keep the
-        // degenerate nvars == 0 case well-defined.
-        self.vars
-            .len()
-            .checked_div(self.nvars)
-            .unwrap_or_else(|| usize::from(!self.events.is_empty()))
-    }
-
-    fn events_of(&self, i: usize) -> &[EventRef] {
-        &self.events[i * self.npatterns..(i + 1) * self.npatterns]
-    }
-
-    fn vars_of(&self, i: usize) -> &[u32] {
-        &self.vars[i * self.nvars..(i + 1) * self.nvars]
-    }
-
-    /// Appends a copy of tuple `i` of `src`, returning the new tuple index.
-    fn push_from(&mut self, src: &RefArena, i: usize) -> usize {
-        self.events.extend_from_slice(src.events_of(i));
-        self.vars.extend_from_slice(src.vars_of(i));
-        self.len() - 1
-    }
-
-    fn set_event(&mut self, i: usize, pattern: usize, r: EventRef) {
-        self.events[i * self.npatterns + pattern] = r;
-    }
-
-    fn set_var(&mut self, i: usize, var: usize, id: EntityId) {
-        self.vars[i * self.nvars + var] = id.raw();
-    }
-}
-
-/// Snapshot of the store's partitions for one query: the address space
-/// [`EventRef`]s resolve against. Keys are ascending (the store's partition
-/// order), so a sorted key lookup gives the partition index.
-struct PartTable<'a> {
-    keys: Vec<PartitionKey>,
-    segs: Vec<&'a Segment>,
-}
-
-impl<'a> PartTable<'a> {
-    fn build(store: &'a EventStore) -> Self {
-        let keys = store.partition_list();
-        let segs = keys
-            .iter()
-            .map(|&k| store.segment(k).expect("listed partition exists"))
-            .collect();
-        PartTable { keys, segs }
-    }
-
-    #[inline]
-    fn index_of(&self, key: PartitionKey) -> u32 {
-        self.keys
-            .binary_search(&key)
-            .expect("partition key in table") as u32
-    }
-
-    #[inline]
-    fn seg(&self, r: EventRef) -> &'a Segment {
-        self.segs[r.part as usize]
-    }
-
-    #[inline]
-    fn subject(&self, r: EventRef) -> EntityId {
-        self.seg(r).subject_at(r.row)
-    }
-
-    #[inline]
-    fn object(&self, r: EventRef) -> EntityId {
-        self.seg(r).object_at(r.row)
-    }
-
-    #[inline]
-    fn start(&self, r: EventRef) -> Timestamp {
-        self.seg(r).start_at(r.row)
-    }
-
-    #[inline]
-    fn end(&self, r: EventRef) -> Timestamp {
-        self.seg(r).end_at(r.row)
-    }
-
-    /// Materializes the referenced event (the single materialization point
-    /// of the late path).
-    #[inline]
-    fn event(&self, r: EventRef) -> Event {
-        self.seg(r)
-            .event_at(self.keys[r.part as usize].agent, r.row as usize)
-    }
-}
+// Public API surface kept stable across the operator-pipeline refactor:
+// the baselines and tests reach these through `aiql_engine::exec`.
+pub(crate) use crate::op::project::collect_aggs;
+pub use crate::op::project::project;
+pub use crate::op::scan::residual_ok;
+pub use crate::op::{EventRef, ExecStats, OpStat, Tuple};
 
 /// The multievent executor.
 pub struct MultieventExec<'a> {
@@ -179,17 +47,6 @@ pub struct MultieventExec<'a> {
     config: &'a EngineConfig,
     pool: Option<Arc<ScanPool>>,
     plan_cache: Option<Arc<PlanCache>>,
-}
-
-/// Statistics of one execution, surfaced for benches and ablations.
-#[derive(Debug, Clone, Default)]
-pub struct ExecStats {
-    /// Events fetched per pattern (source order).
-    pub fetched: Vec<usize>,
-    /// Pattern execution order used.
-    pub order: Vec<usize>,
-    /// Final joined tuple count.
-    pub tuples: usize,
 }
 
 impl<'a> MultieventExec<'a> {
@@ -220,16 +77,23 @@ impl<'a> MultieventExec<'a> {
         self
     }
 
-    /// Builds the shared phase of this execution: resolved vars, base
-    /// filters, and the schedule — computed once per query, memoized across
-    /// queries when a plan cache is attached.
-    fn prepare(&self) -> PlanCtx {
+    /// Builds the execution environment: the compiled shared phase
+    /// (resolved vars, base filters, schedule — memoized across queries
+    /// when a plan cache is attached) plus the partition address space.
+    fn env(&self) -> ExecEnv<'a> {
         let cache = if self.config.plan_cache {
             self.plan_cache.as_deref()
         } else {
             None
         };
-        schedule::prepare(self.a, self.store, self.config.prioritize_pruning, cache)
+        ExecEnv {
+            store: self.store,
+            a: self.a,
+            config: self.config,
+            pool: self.pool.clone(),
+            ctx: schedule::prepare(self.a, self.store, self.config.prioritize_pruning, cache),
+            parts: PartTable::build(self.store),
+        }
     }
 
     /// Runs the query to a result table.
@@ -239,1222 +103,50 @@ impl<'a> MultieventExec<'a> {
 
     /// Runs the query and also returns execution statistics.
     pub fn run_with_stats(&self) -> Result<(ResultTable, ExecStats), EngineError> {
-        if self.config.late_materialization {
-            // Late pipeline straight into projection: surviving tuples are
-            // materialized one at a time into a reused row context — no
-            // intermediate `Vec<Tuple>` is ever built. With
-            // `compiled_projection`, the context is a slot row (dense
-            // arrays, no hashing) and only the event slots the projection
-            // reads are materialized at all.
-            let parts = PartTable::build(self.store);
-            let (arena, truncated, stats) = self.match_refs(&parts)?;
-            let compiled = self
-                .config
-                .compiled_projection
-                .then(|| compile_projection(self.store, self.a))
-                .flatten();
-            let mut table = match &compiled {
-                Some(cp) => project_compiled(self.store, self.a, cp, arena.len(), |i, row| {
-                    fill_slots_arena(&arena, &parts, cp, i, row);
-                })?,
-                None => project_with(self.store, self.a, arena.len(), |i, ctx| {
-                    fill_ctx_arena(self.a, &arena, &parts, i, ctx);
-                })?,
-            };
-            table.truncated = truncated;
-            Ok((table, stats))
-        } else {
-            let (tuples, truncated, stats) = self.match_tuples_materializing()?;
-            let mut table = project(self.store, self.a, &tuples)?;
-            table.truncated = truncated;
-            Ok((table, stats))
-        }
+        let env = self.env();
+        let tree = op::query_tree(self.a, &env.ctx.plan.order);
+        let mut st = PipelineState::new(
+            self.a,
+            &env.ctx.plan.order,
+            self.config.late_materialization,
+        );
+        tree.execute(&env, &mut st)?;
+        let table = st.table.take().expect("Project closed the pipeline");
+        Ok((table, st.stats))
     }
 
     /// Finds all joined tuples satisfying the query's pattern constraints.
     ///
-    /// With `late_materialization` the pipeline carries [`EventRef`]s end to
-    /// end and materializes events only for the surviving tuples returned
-    /// here; otherwise the seed's materializing pipeline runs. (Callers that
-    /// only need projection should use [`MultieventExec::run`], which skips
-    /// this materialization entirely.)
+    /// Runs the operator tree without its projection root. On the late
+    /// path the surviving tuples are materialized here — callers that only
+    /// need projection should use [`MultieventExec::run`], which skips
+    /// this materialization entirely.
     pub fn match_tuples(&self) -> Result<(Vec<Tuple>, bool, ExecStats), EngineError> {
-        if !self.config.late_materialization {
-            return self.match_tuples_materializing();
-        }
-        let parts = PartTable::build(self.store);
-        let (arena, truncated, stats) = self.match_refs(&parts)?;
-        // The single materialization point: survivors only.
-        let tuples = (0..arena.len())
-            .map(|ti| Tuple {
-                events: arena
-                    .events_of(ti)
-                    .iter()
-                    .map(|&r| (r != NO_REF).then(|| parts.event(r)))
-                    .collect(),
-                vars: arena
-                    .vars_of(ti)
-                    .iter()
-                    .map(|&v| (v != NO_VAR).then_some(EntityId(v)))
-                    .collect(),
-            })
-            .collect();
-        Ok((tuples, truncated, stats))
-    }
-
-    /// Late-materialization pipeline: selection-vector scans produce row
-    /// references and the join works over a flat arena of refs.
-    fn match_refs(
-        &self,
-        parts: &PartTable<'a>,
-    ) -> Result<(RefArena, bool, ExecStats), EngineError> {
-        let a = self.a;
-        let n = a.patterns.len();
-        let ctx = self.prepare();
-        let plan = &ctx.plan;
-
-        let mut candidates: Vec<Option<Vec<EventRef>>> = vec![None; n];
-        let mut bound: HashMap<usize, IdSet> = HashMap::new();
-        // (min_start, max_start, min_end, max_end) per executed pattern.
-        let mut time_stats: Vec<Option<(i64, i64, i64, i64)>> = vec![None; n];
-        let mut stats = ExecStats {
-            fetched: vec![0; n],
-            order: plan.order.clone(),
-            tuples: 0,
-        };
-
-        for &i in &plan.order {
-            let mut filter = ctx.filters[i].clone();
-            let p = &a.patterns[i];
-            if !self.config.entity_pushdown {
-                if a.vars[p.subject].unsatisfiable || a.vars[p.object].unsatisfiable {
-                    return Ok((RefArena::new(n, a.vars.len()), false, stats));
-                }
-                filter.subjects = None;
-                filter.objects = None;
-            }
-            if self.config.semi_join_pushdown {
-                for (var, is_subject) in [(p.subject, true), (p.object, false)] {
-                    if let Some(b) = bound.get(&var) {
-                        let slot = if is_subject {
-                            &mut filter.subjects
-                        } else {
-                            &mut filter.objects
-                        };
-                        match slot {
-                            // In-place bitmap AND — no per-pattern set rebuild.
-                            Some(existing) => existing.intersect_with(b),
-                            None => *slot = Some(b.clone()),
-                        }
-                    }
-                }
-            }
-            if self.config.temporal_narrowing {
-                self.narrow_window(&mut filter, i, &time_stats);
-            }
-            let mut refs = self.scan_refs(parts, &filter, plan.estimates[i]);
-            // Enforce the declared entity kinds and (without entity
-            // pushdown) the per-variable attribute constraints, reading the
-            // entity columns through the refs.
-            let (sub_kind, obj_kind) = (a.vars[p.subject].kind, a.vars[p.object].kind);
-            let same_var = p.subject == p.object;
-            let entities = self.store.entities();
-            refs.retain(|&r| {
-                let (subj, obj) = (parts.subject(r), parts.object(r));
-                if entities.get(subj).kind() != sub_kind
-                    || entities.get(obj).kind() != obj_kind
-                    || (same_var && subj != obj)
-                {
-                    return false;
-                }
-                if !self.config.entity_pushdown {
-                    for (var_idx, id) in [(p.subject, subj), (p.object, obj)] {
-                        let entity = entities.get(id);
-                        for c in &a.vars[var_idx].constraints {
-                            if !entities.eval(entity, c) {
-                                return false;
-                            }
-                        }
-                    }
-                }
-                true
-            });
-            stats.fetched[i] = refs.len();
-            if refs.is_empty() {
-                return Ok((RefArena::new(n, a.vars.len()), false, stats));
-            }
-            // Update bindings and time statistics for later patterns.
-            if self.config.semi_join_pushdown {
-                bound.insert(
-                    p.subject,
-                    IdSet::from_iter(refs.iter().map(|&r| parts.subject(r))),
-                );
-                bound.insert(
-                    p.object,
-                    IdSet::from_iter(refs.iter().map(|&r| parts.object(r))),
-                );
-            }
-            let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
-            for &r in &refs {
-                let (start, end) = (parts.start(r).micros(), parts.end(r).micros());
-                ts.0 = ts.0.min(start);
-                ts.1 = ts.1.max(start);
-                ts.2 = ts.2.min(end);
-                ts.3 = ts.3.max(end);
-            }
-            time_stats[i] = Some(ts);
-            candidates[i] = Some(refs);
-        }
-
-        let (arena, truncated) = self.join_refs(parts, candidates)?;
-        stats.tuples = arena.len();
-        Ok((arena, truncated, stats))
-    }
-
-    /// The seed's materializing pipeline (kept intact for the ablation
-    /// benches): scans copy full events; the join clones them per tuple.
-    fn match_tuples_materializing(&self) -> Result<(Vec<Tuple>, bool, ExecStats), EngineError> {
-        let a = self.a;
-        let n = a.patterns.len();
-        let ctx = self.prepare();
-        let plan = &ctx.plan;
-
-        let mut candidates: Vec<Option<Vec<Event>>> = vec![None; n];
-        let mut bound: HashMap<usize, IdSet> = HashMap::new();
-        // (min_start, max_start, min_end, max_end) per executed pattern.
-        let mut time_stats: Vec<Option<(i64, i64, i64, i64)>> = vec![None; n];
-        let mut stats = ExecStats {
-            fetched: vec![0; n],
-            order: plan.order.clone(),
-            tuples: 0,
-        };
-
-        for &i in &plan.order {
-            let mut filter = ctx.filters[i].clone();
-            let p = &a.patterns[i];
-            if !self.config.entity_pushdown {
-                // Without the domain-specific pushdown the scan cannot use
-                // entity posting lists; constraints are verified per row
-                // below (but unsatisfiable constraints still short-circuit).
-                if a.vars[p.subject].unsatisfiable || a.vars[p.object].unsatisfiable {
-                    return Ok((Vec::new(), false, stats));
-                }
-                filter.subjects = None;
-                filter.objects = None;
-            }
-            if self.config.semi_join_pushdown {
-                for (var, is_subject) in [(p.subject, true), (p.object, false)] {
-                    if let Some(b) = bound.get(&var) {
-                        let slot = if is_subject {
-                            &mut filter.subjects
-                        } else {
-                            &mut filter.objects
-                        };
-                        match slot {
-                            // In-place bitmap AND — no per-pattern set rebuild.
-                            Some(existing) => existing.intersect_with(b),
-                            None => *slot = Some(b.clone()),
-                        }
-                    }
-                }
-            }
-            if self.config.temporal_narrowing {
-                self.narrow_window(&mut filter, i, &time_stats);
-            }
-            let mut events = self.scan(&filter, plan.estimates[i]);
-            // Enforce the declared entity kinds: an unconstrained variable
-            // carries no id set, but `proc p write ip i` must still reject
-            // file-write events. Without entity pushdown the attribute
-            // constraints are verified per row here as well.
-            let (sub_kind, obj_kind) = (a.vars[p.subject].kind, a.vars[p.object].kind);
-            let same_var = p.subject == p.object;
-            let entities = self.store.entities();
-            events.retain(|e| {
-                if entities.get(e.subject).kind() != sub_kind
-                    || entities.get(e.object).kind() != obj_kind
-                    || (same_var && e.subject != e.object)
-                {
-                    return false;
-                }
-                if !self.config.entity_pushdown {
-                    for (var_idx, id) in [(p.subject, e.subject), (p.object, e.object)] {
-                        let entity = entities.get(id);
-                        for c in &a.vars[var_idx].constraints {
-                            if !entities.eval(entity, c) {
-                                return false;
-                            }
-                        }
-                    }
-                }
-                true
-            });
-            stats.fetched[i] = events.len();
-            if events.is_empty() {
-                return Ok((Vec::new(), false, stats));
-            }
-            // Update bindings and time statistics for later patterns.
-            if self.config.semi_join_pushdown {
-                bound.insert(
-                    p.subject,
-                    IdSet::from_iter(events.iter().map(|e| e.subject)),
-                );
-                bound.insert(p.object, IdSet::from_iter(events.iter().map(|e| e.object)));
-            }
-            let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
-            for e in &events {
-                ts.0 = ts.0.min(e.start_time.micros());
-                ts.1 = ts.1.max(e.start_time.micros());
-                ts.2 = ts.2.min(e.end_time.micros());
-                ts.3 = ts.3.max(e.end_time.micros());
-            }
-            time_stats[i] = Some(ts);
-            candidates[i] = Some(events);
-        }
-
-        let (tuples, truncated) = self.join(candidates)?;
-        stats.tuples = tuples.len();
-        Ok((tuples, truncated, stats))
-    }
-
-    /// Narrows a pattern's scan window using the observed time bounds of
-    /// already-executed patterns it is temporally related to.
-    fn narrow_window(
-        &self,
-        filter: &mut EventFilter,
-        idx: usize,
-        time_stats: &[Option<(i64, i64, i64, i64)>],
-    ) {
-        use aiql_model::{TimeWindow, Timestamp};
-        let mut lo = filter.window.start.micros();
-        let mut hi = filter.window.end.micros();
-        for t in &self.a.temporal {
-            // `left before right`: left.end <= right.start.
-            let (before_left, before_right) = match &t.op {
-                TemporalOp::Before(b) => ((t.left, t.right), b),
-                TemporalOp::After(b) => ((t.right, t.left), b),
-            };
-            let (l, r) = before_left;
-            if r == idx {
-                if let Some((_, _, min_end, max_end)) = time_stats[l] {
-                    lo = lo.max(min_end);
-                    if let Some(bound) = before_right {
-                        hi = hi.min(max_end.saturating_add(bound.micros()).saturating_add(1));
-                    }
-                }
-            }
-            if l == idx {
-                if let Some((_, max_start, ..)) = time_stats[r] {
-                    // This pattern's events must end (hence start) no later
-                    // than the latest start of the other side.
-                    hi = hi.min(max_start.saturating_add(1));
-                }
-            }
-        }
-        if lo > filter.window.start.micros() || hi < filter.window.end.micros() {
-            filter.window = TimeWindow::new(Timestamp(lo), Timestamp(hi.max(lo)));
-        }
-    }
-
-    /// Whether a scan over `parts` partitions should fan out.
-    /// `base_estimate` is the pattern's planned match estimate — an upper
-    /// bound for the (possibly narrowed) `filter` actually scanned — so the
-    /// common small-scan case skips the per-scan partition-statistics walk
-    /// entirely. Only when the base estimate clears the threshold is the
-    /// narrowed filter re-estimated, preventing fan-out for a scan that
-    /// binding propagation has already shrunk to near-nothing.
-    fn parallel_scan(&self, filter: &EventFilter, parts: usize, base_estimate: usize) -> bool {
-        let threads = self.config.parallelism.max(1);
-        if !(self.config.partition_parallel && threads > 1 && parts > 1) {
-            return false;
-        }
-        if self.config.parallel_threshold == 0 {
-            return true;
-        }
-        base_estimate >= self.config.parallel_threshold
-            && self.store.estimate(filter) >= self.config.parallel_threshold
-    }
-
-    /// Runs `work(chunk_index, output_slot)` for every chunk of `keys`,
-    /// fanning out on the persistent pool when attached (or scoped threads
-    /// otherwise — the seed's per-scan spawn, kept for ablation). Outputs
-    /// land in chunk order, so parallel scans stay deterministic.
-    fn scan_chunked<T: Send>(
-        &self,
-        keys: &[PartitionKey],
-        work: impl Fn(&[PartitionKey], &mut Vec<T>) + Sync + Send,
-    ) -> Vec<T> {
-        let threads = self.config.parallelism.max(1);
-        // Chunks finer than the thread count let the pool's self-scheduling
-        // balance skewed partitions.
-        let chunk = keys.len().div_ceil(threads * 4).max(1);
-        let groups: Vec<&[PartitionKey]> = keys.chunks(chunk).collect();
-        let slots: Vec<std::sync::Mutex<Vec<T>>> = groups
-            .iter()
-            .map(|_| std::sync::Mutex::new(Vec::new()))
-            .collect();
-        match &self.pool {
-            Some(pool) => {
-                pool.run_chunks(groups.len(), &|i| {
-                    let mut out = Vec::new();
-                    work(groups[i], &mut out);
-                    *slots[i].lock().expect("scan slot") = out;
-                });
-            }
-            None => {
-                let work = &work;
-                std::thread::scope(|s| {
-                    let per = groups.len().div_ceil(threads).max(1);
-                    for (slot_group, group_group) in slots.chunks(per).zip(groups.chunks(per)) {
-                        s.spawn(move || {
-                            for (slot, group) in slot_group.iter().zip(group_group) {
-                                let mut out = Vec::new();
-                                work(group, &mut out);
-                                *slot.lock().expect("scan slot") = out;
-                            }
-                        });
-                    }
-                });
-            }
-        }
-        let mut out = Vec::new();
-        for slot in slots {
-            out.append(&mut slot.into_inner().expect("scan slot"));
-        }
-        out
-    }
-
-    /// Scans the store for one data query, in parallel across hypertable
-    /// partitions when enabled, applying residual global predicates.
-    /// Materializing path: events are copied out of the segments.
-    fn scan(&self, filter: &EventFilter, estimate: usize) -> Vec<Event> {
-        let residual = &self.a.globals.residual;
-        let parts = self.store.partitions_for(filter);
-        if !self.parallel_scan(filter, parts.len(), estimate) {
-            let mut out = Vec::new();
-            for key in parts {
-                self.store.scan_partition(key, filter, &mut |e| {
-                    if residual_ok(e, residual) {
-                        out.push(*e);
-                    }
-                });
-            }
-            return out;
-        }
-        let store = self.store;
-        self.scan_chunked(&parts, |group, out| {
-            for &key in group {
-                store.scan_partition(key, filter, &mut |e| {
-                    if residual_ok(e, residual) {
-                        out.push(*e);
-                    }
-                });
-            }
-        })
-    }
-
-    /// Late-materialization scan: selection vectors per partition become
-    /// [`EventRef`]s; residual global predicates are verified against the
-    /// columns without building events.
-    fn scan_refs(
-        &self,
-        table: &PartTable<'a>,
-        filter: &EventFilter,
-        estimate: usize,
-    ) -> Vec<EventRef> {
-        let residual = &self.a.globals.residual;
-        let parts = self.store.partitions_for(filter);
-        let collect_part = |key: PartitionKey, out: &mut Vec<EventRef>| {
-            let part = table.index_of(key);
-            let seg = table.segs[part as usize];
-            for row in self.store.select_partition(key, filter) {
-                let r = EventRef { part, row };
-                if residual.is_empty()
-                    || residual_ok(&seg.event_at(key.agent, row as usize), residual)
-                {
-                    out.push(r);
-                }
-            }
-        };
-        if !self.parallel_scan(filter, parts.len(), estimate) {
-            let mut out = Vec::new();
-            for key in parts {
-                collect_part(key, &mut out);
-            }
-            return out;
-        }
-        self.scan_chunked(&parts, |group, out| {
-            for &key in group {
-                collect_part(key, out);
-            }
-        })
-    }
-
-    /// Multi-way hash join over the per-pattern candidate lists, verifying
-    /// shared-variable equality and temporal relationships.
-    fn join(&self, candidates: Vec<Option<Vec<Event>>>) -> Result<(Vec<Tuple>, bool), EngineError> {
-        let a = self.a;
-        let n = a.patterns.len();
-        let nvars = a.vars.len();
-        // Join order: smallest candidate list first.
-        let mut join_order: Vec<usize> = (0..n).collect();
-        join_order.sort_by_key(|&i| {
-            (
-                candidates[i].as_ref().map(Vec::len).unwrap_or(usize::MAX),
-                i,
-            )
-        });
-
-        let mut tuples: Vec<Tuple> = vec![Tuple {
-            events: vec![None; n],
-            vars: vec![None; nvars],
-        }];
-        let mut truncated = false;
-
-        for &i in &join_order {
-            let p = &a.patterns[i];
-            let events = candidates[i].as_ref().expect("all patterns fetched");
-            // Vars of this pattern, deduped (subject may equal object).
-            let pattern_vars: Vec<usize> = if p.subject == p.object {
-                vec![p.subject]
-            } else {
-                vec![p.subject, p.object]
-            };
-            let mut next: Vec<Tuple> = Vec::new();
-            // Index events by the entity ids of vars that are already bound
-            // in at least one tuple. For simplicity (and since tuples at a
-            // given step share the same bound-var set), use the first tuple
-            // as the prototype.
-            let proto_bound: Vec<usize> = pattern_vars
-                .iter()
-                .copied()
-                .filter(|&v| tuples.first().map(|t| t.vars[v].is_some()).unwrap_or(false))
-                .collect();
-            let mut index: HashMap<Vec<EntityId>, Vec<&Event>> = HashMap::new();
-            for e in events {
-                if p.subject == p.object && e.subject != e.object {
-                    continue;
-                }
-                let key: Vec<EntityId> = proto_bound
-                    .iter()
-                    .map(|&v| if v == p.subject { e.subject } else { e.object })
-                    .collect();
-                index.entry(key).or_default().push(e);
-            }
-            'tuples: for t in &tuples {
-                let key: Vec<EntityId> = proto_bound
-                    .iter()
-                    .map(|&v| t.vars[v].expect("prototype bound var"))
-                    .collect();
-                let Some(matches) = index.get(&key) else {
-                    continue;
-                };
-                for e in matches {
-                    if !self.temporal_ok(i, e, t) {
-                        continue;
-                    }
-                    let mut nt = t.clone();
-                    nt.events[i] = Some(**e);
-                    nt.vars[p.subject] = Some(e.subject);
-                    nt.vars[p.object] = Some(e.object);
-                    next.push(nt);
-                    if next.len() >= self.config.max_intermediate {
-                        truncated = true;
-                        break 'tuples;
-                    }
-                }
-            }
-            tuples = next;
-            if tuples.is_empty() {
-                return Ok((tuples, truncated));
-            }
-        }
-        Ok((tuples, truncated))
-    }
-
-    /// Multi-way hash join over per-pattern *reference* lists: identical
-    /// traversal to [`MultieventExec::join`], but the tuple frontier lives
-    /// in a flat [`RefArena`] (no per-tuple allocation) and join keys pack
-    /// the at-most-two bound entity ids of a pattern into one `u64`.
-    fn join_refs(
-        &self,
-        parts: &PartTable<'a>,
-        candidates: Vec<Option<Vec<EventRef>>>,
-    ) -> Result<(RefArena, bool), EngineError> {
-        let a = self.a;
-        let n = a.patterns.len();
-        let nvars = a.vars.len();
-        // Join order: smallest candidate list first.
-        let mut join_order: Vec<usize> = (0..n).collect();
-        join_order.sort_by_key(|&i| {
-            (
-                candidates[i].as_ref().map(Vec::len).unwrap_or(usize::MAX),
-                i,
-            )
-        });
-
-        let mut tuples = RefArena::new(n, nvars);
-        tuples.events.resize(n, NO_REF);
-        tuples.vars.resize(nvars, NO_VAR);
-        let mut truncated = false;
-
-        for &i in &join_order {
-            let p = &a.patterns[i];
-            let refs = candidates[i].as_ref().expect("all patterns fetched");
-            let same_var = p.subject == p.object;
-            // A pattern binds at most two variables, so the bound-var key
-            // packs into one u64 (`NO_VAR` pads the unused half).
-            let pattern_vars: [usize; 2] = [p.subject, p.object];
-            let proto_vars = tuples.vars_of(0);
-            let bound_vars: Vec<usize> = pattern_vars
-                .iter()
-                .take(if same_var { 1 } else { 2 })
-                .copied()
-                .filter(|&v| proto_vars[v] != NO_VAR)
-                .collect();
-            let pack = |ids: [u32; 2]| (u64::from(ids[0]) << 32) | u64::from(ids[1]);
-            let key_of_ref = |r: EventRef| {
-                let mut ids = [NO_VAR; 2];
-                for (slot, &v) in ids.iter_mut().zip(&bound_vars) {
-                    *slot = if v == p.subject {
-                        parts.subject(r).raw()
-                    } else {
-                        parts.object(r).raw()
-                    };
-                }
-                pack(ids)
-            };
-            let mut index: HashMap<u64, Vec<EventRef>> = HashMap::new();
-            for &r in refs {
-                if same_var && parts.subject(r) != parts.object(r) {
-                    continue;
-                }
-                index.entry(key_of_ref(r)).or_default().push(r);
-            }
-            let mut next = RefArena::new(n, nvars);
-            'tuples: for t in 0..tuples.len() {
-                let tvars = tuples.vars_of(t);
-                let mut ids = [NO_VAR; 2];
-                for (slot, &v) in ids.iter_mut().zip(&bound_vars) {
-                    *slot = tvars[v];
-                }
-                let Some(matches) = index.get(&pack(ids)) else {
-                    continue;
-                };
-                for &r in matches {
-                    if !self.temporal_ok_refs(parts, i, r, &tuples, t) {
-                        continue;
-                    }
-                    let ti = next.push_from(&tuples, t);
-                    next.set_event(ti, i, r);
-                    next.set_var(ti, p.subject, parts.subject(r));
-                    next.set_var(ti, p.object, parts.object(r));
-                    if next.len() >= self.config.max_intermediate {
-                        truncated = true;
-                        break 'tuples;
-                    }
-                }
-            }
-            tuples = next;
-            if tuples.len() == 0 {
-                return Ok((tuples, truncated));
-            }
-        }
-        Ok((tuples, truncated))
-    }
-
-    /// Temporal verification of the ref join, reading only the time columns.
-    fn temporal_ok_refs(
-        &self,
-        parts: &PartTable<'a>,
-        i: usize,
-        r: EventRef,
-        tuples: &RefArena,
-        t: usize,
-    ) -> bool {
-        let events = tuples.events_of(t);
-        for rel in &self.a.temporal {
-            let (l, rt, bound) = match &rel.op {
-                TemporalOp::Before(b) => (rel.left, rel.right, b),
-                // (after is before with sides swapped)
-                TemporalOp::After(b) => (rel.right, rel.left, b),
-            };
-            let (left_end, right_start) = if l == i && events[rt] != NO_REF {
-                (parts.end(r), parts.start(events[rt]))
-            } else if rt == i && events[l] != NO_REF {
-                (parts.end(events[l]), parts.start(r))
-            } else {
-                continue;
-            };
-            if left_end > right_start {
-                return false;
-            }
-            if let Some(b) = bound {
-                if (right_start - left_end) > *b {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    /// Verifies every temporal relationship between pattern `i`'s candidate
-    /// event and the events already placed in the tuple.
-    fn temporal_ok(&self, i: usize, e: &Event, t: &Tuple) -> bool {
-        for rel in &self.a.temporal {
-            let (l, r, bound, is_before) = match &rel.op {
-                TemporalOp::Before(b) => (rel.left, rel.right, b, true),
-                TemporalOp::After(b) => (rel.right, rel.left, b, true),
-                // (after is before with sides swapped)
-            };
-            let _ = is_before;
-            let (left_event, right_event) = if l == i && t.events[r].is_some() {
-                (*e, t.events[r].expect("checked"))
-            } else if r == i && t.events[l].is_some() {
-                (t.events[l].expect("checked"), *e)
-            } else {
-                continue;
-            };
-            if left_event.end_time > right_event.start_time {
-                return false;
-            }
-            if let Some(b) = bound {
-                if (right_event.start_time - left_event.end_time) > *b {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-}
-
-/// Checks the residual global predicates against one event.
-pub fn residual_ok(e: &Event, residual: &[(String, CmpOp, Value)]) -> bool {
-    residual.iter().all(|(attr, op, value)| {
-        let Ok(actual) = e.get(attr) else {
-            return false;
-        };
-        let bin = match op {
-            CmpOp::Eq => aiql_lang::BinOp::Eq,
-            CmpOp::Ne => aiql_lang::BinOp::Ne,
-            CmpOp::Lt => aiql_lang::BinOp::Lt,
-            CmpOp::Le => aiql_lang::BinOp::Le,
-            CmpOp::Gt => aiql_lang::BinOp::Gt,
-            CmpOp::Ge => aiql_lang::BinOp::Ge,
-        };
-        eval::apply_binop(bin, actual, *value).truthy()
-    })
-}
-
-/// Resets a reused row context (keeping map capacity across tuples).
-fn clear_ctx(ctx: &mut RowCtx<'_>) {
-    ctx.var_entity.clear();
-    ctx.events.clear();
-    ctx.aliases.clear();
-    ctx.agg_values.clear();
-}
-
-/// Populates the row context from a materialized tuple.
-fn fill_ctx_tuple<'a>(a: &'a AnalyzedMultievent, t: &Tuple, ctx: &mut RowCtx<'a>) {
-    clear_ctx(ctx);
-    for (vi, var) in a.vars.iter().enumerate() {
-        if let Some(id) = t.vars[vi] {
-            ctx.var_entity.insert(var.name.as_str(), id);
-        }
-    }
-    for (pi, p) in a.patterns.iter().enumerate() {
-        if let Some(e) = t.events[pi] {
-            ctx.events.insert(p.name.as_str(), e);
-        }
-    }
-}
-
-/// Populates the row context straight from the ref arena, materializing the
-/// tuple's events on the fly.
-fn fill_ctx_arena<'a>(
-    a: &'a AnalyzedMultievent,
-    arena: &RefArena,
-    parts: &PartTable<'_>,
-    i: usize,
-    ctx: &mut RowCtx<'a>,
-) {
-    clear_ctx(ctx);
-    for (vi, var) in a.vars.iter().enumerate() {
-        let id = arena.vars_of(i)[vi];
-        if id != NO_VAR {
-            ctx.var_entity.insert(var.name.as_str(), EntityId(id));
-        }
-    }
-    for (pi, p) in a.patterns.iter().enumerate() {
-        let r = arena.events_of(i)[pi];
-        if r != NO_REF {
-            ctx.events.insert(p.name.as_str(), parts.event(r));
-        }
-    }
-}
-
-/// Aggregate accumulator.
-#[derive(Debug, Clone, Default)]
-struct AggAcc {
-    count: u64,
-    sum: f64,
-    all_int: bool,
-    min: Option<Value>,
-    max: Option<Value>,
-}
-
-impl AggAcc {
-    fn new() -> Self {
-        AggAcc {
-            all_int: true,
-            ..Default::default()
-        }
-    }
-
-    fn add(&mut self, v: Value) {
-        if v.is_null() {
-            return;
-        }
-        self.count += 1;
-        if let Some(x) = v.as_f64() {
-            self.sum += x;
-        }
-        if !matches!(v, Value::Int(_)) {
-            self.all_int = false;
-        }
-        self.min = Some(match self.min {
-            Some(m) if eval::cmp_values(&m, &v).is_le() => m,
-            _ => v,
-        });
-        self.max = Some(match self.max {
-            Some(m) if eval::cmp_values(&m, &v).is_ge() => m,
-            _ => v,
-        });
-    }
-
-    fn finalize(&self, func: aiql_lang::AggFunc) -> Value {
-        use aiql_lang::AggFunc::*;
-        match func {
-            Count => Value::Int(self.count as i64),
-            Sum => {
-                if self.all_int {
-                    Value::Int(self.sum as i64)
-                } else {
-                    Value::Float(self.sum)
-                }
-            }
-            Avg => {
-                if self.count == 0 {
-                    Value::Null
-                } else {
-                    Value::Float(self.sum / self.count as f64)
-                }
-            }
-            Min => self.min.unwrap_or(Value::Null),
-            Max => self.max.unwrap_or(Value::Null),
-        }
-    }
-}
-
-/// Collects every aggregate node appearing in the return items and having
-/// clause.
-pub(crate) fn collect_aggs(a: &AnalyzedMultievent) -> Vec<(String, aiql_lang::AggFunc, Expr)> {
-    let mut out: Vec<(String, aiql_lang::AggFunc, Expr)> = Vec::new();
-    let mut visit = |e: &Expr| {
-        e.visit(&mut |node| {
-            if let Expr::Agg { func, arg } = node {
-                let key = agg_key(node);
-                if !out.iter().any(|(k, _, _)| k == &key) {
-                    out.push((key, *func, (**arg).clone()));
-                }
-            }
-        });
-    };
-    for item in &a.ret.items {
-        visit(&item.expr);
-    }
-    if let Some(h) = &a.having {
-        visit(h);
-    }
-    out
-}
-
-/// Column header for a return item.
-fn column_name(item: &aiql_lang::ReturnItem) -> String {
-    item.alias
-        .clone()
-        .unwrap_or_else(|| aiql_lang::pretty::print_expr(&item.expr))
-}
-
-/// A fully slot-compiled projection: return items, grouping keys, having
-/// filter, and aggregate arguments with every name resolved to a dense
-/// slot, plus the sets of event/variable slots the projection actually
-/// reads. Tuples bind into a reused [`SlotRow`] — no per-tuple hash maps —
-/// and events outside `used_events` are never materialized.
-struct CompiledProjection {
-    /// Compiled return items, in column order.
-    items: Vec<SlotExpr>,
-    /// Alias slot written after evaluating each item (aggregated path).
-    alias_slot: Vec<Option<usize>>,
-    /// Number of alias slots.
-    naliases: usize,
-    /// Compiled grouping keys.
-    group_by: Vec<SlotExpr>,
-    /// Compiled having filter.
-    having: Option<SlotExpr>,
-    /// Aggregates: function + compiled argument, in [`collect_aggs`] order
-    /// (the dense index [`SlotExpr::Agg`] nodes refer to).
-    aggs: Vec<(aiql_lang::AggFunc, SlotExpr)>,
-    /// Event slots referenced anywhere in the projection.
-    used_events: Vec<usize>,
-    /// Variable slots referenced anywhere in the projection.
-    used_vars: Vec<usize>,
-}
-
-/// Compiles a query's projection to slots. `None` when any expression
-/// resists compilation (unknown name, historical access) — the caller then
-/// keeps the dynamic [`RowCtx`] path, which reproduces legacy behavior
-/// bit for bit, errors included.
-fn compile_projection(store: &EventStore, a: &AnalyzedMultievent) -> Option<CompiledProjection> {
-    let aggs_src = collect_aggs(a);
-    let mut env = SlotEnv {
-        vars: a
-            .vars
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.name.as_str(), i))
-            .collect(),
-        events: a
-            .patterns
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.name.as_str(), i))
-            .collect(),
-        aliases: HashMap::new(),
-        aggs: aggs_src
-            .iter()
-            .enumerate()
-            .map(|(i, (k, _, _))| (k.clone(), i))
-            .collect(),
-    };
-    // Compile items in order; each alias becomes visible to later items,
-    // the grouping keys, the having clause, and the aggregate arguments —
-    // the same progressive scope the analyzer validated against.
-    let mut items = Vec::with_capacity(a.ret.items.len());
-    let mut alias_slot = Vec::with_capacity(a.ret.items.len());
-    let mut naliases = 0usize;
-    for item in &a.ret.items {
-        items.push(eval::compile_slots(&item.expr, store, &env)?);
-        alias_slot.push(item.alias.as_ref().map(|alias| {
-            let slot = naliases;
-            naliases += 1;
-            env.aliases.insert(alias.as_str(), slot);
-            slot
-        }));
-    }
-    let group_by: Vec<SlotExpr> = a
-        .group_by
-        .iter()
-        .map(|g| eval::compile_slots(g, store, &env))
-        .collect::<Option<_>>()?;
-    let having = match &a.having {
-        Some(h) => Some(eval::compile_slots(h, store, &env)?),
-        None => None,
-    };
-    let aggs: Vec<(aiql_lang::AggFunc, SlotExpr)> = aggs_src
-        .iter()
-        .map(|(_, func, arg)| Some((*func, eval::compile_slots(arg, store, &env)?)))
-        .collect::<Option<_>>()?;
-
-    let mut used_events: Vec<usize> = Vec::new();
-    let mut used_vars: Vec<usize> = Vec::new();
-    {
-        let mut mark = |e: &SlotExpr| {
-            e.visit(&mut |node| match node {
-                SlotExpr::Event { slot, .. } if !used_events.contains(slot) => {
-                    used_events.push(*slot);
-                }
-                SlotExpr::Entity { slot, .. } if !used_vars.contains(slot) => {
-                    used_vars.push(*slot);
-                }
-                _ => {}
-            });
-        };
-        for e in items.iter().chain(&group_by).chain(having.iter()) {
-            mark(e);
-        }
-        for (_, arg) in &aggs {
-            mark(arg);
-        }
-    }
-    Some(CompiledProjection {
-        items,
-        alias_slot,
-        naliases,
-        group_by,
-        having,
-        aggs,
-        used_events,
-        used_vars,
-    })
-}
-
-/// Populates a slot row from the ref arena, materializing only the event
-/// slots the compiled projection reads.
-fn fill_slots_arena(
-    arena: &RefArena,
-    parts: &PartTable<'_>,
-    cp: &CompiledProjection,
-    i: usize,
-    row: &mut SlotRow,
-) {
-    for &v in &cp.used_vars {
-        let id = arena.vars_of(i)[v];
-        row.entities[v] = (id != NO_VAR).then_some(EntityId(id));
-    }
-    for &pi in &cp.used_events {
-        let r = arena.events_of(i)[pi];
-        row.events[pi] = (r != NO_REF).then(|| parts.event(r));
-    }
-}
-
-/// Projection over slot rows: the same traversal as [`project_with`]
-/// (grouping by first occurrence, per-item alias scope, having-after-items)
-/// so the output is byte-identical — but every name lookup is an indexed
-/// array access and the row context is filled without hashing.
-fn project_compiled(
-    store: &EventStore,
-    a: &AnalyzedMultievent,
-    cp: &CompiledProjection,
-    ntuples: usize,
-    mut fill: impl FnMut(usize, &mut SlotRow),
-) -> Result<ResultTable, EngineError> {
-    let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
-    let mut table = ResultTable::new(columns);
-    let aggregated = !cp.aggs.is_empty() || !a.group_by.is_empty();
-    let mut ctx = SlotRow::new(a.vars.len(), a.patterns.len(), cp.naliases, cp.aggs.len());
-
-    let mut rows: Vec<Vec<Value>> = Vec::new();
-    if !aggregated {
-        for i in 0..ntuples {
-            fill(i, &mut ctx);
-            let mut row = Vec::with_capacity(cp.items.len());
-            for item in &cp.items {
-                row.push(item.eval(store, &ctx)?);
-            }
-            if let Some(h) = &cp.having {
-                // having without aggregation degenerates to a row filter.
-                if !h.eval(store, &ctx)?.truthy() {
-                    continue;
-                }
-            }
-            rows.push(row);
-        }
-    } else {
-        struct Group {
-            rep: usize,
-            accs: Vec<AggAcc>,
-        }
-        let mut groups: HashMap<String, Group> = HashMap::new();
-        let mut group_order: Vec<String> = Vec::new();
-        for ti in 0..ntuples {
-            fill(ti, &mut ctx);
-            let mut key_vals = Vec::with_capacity(cp.group_by.len());
-            for g in &cp.group_by {
-                key_vals.push(g.eval(store, &ctx)?);
-            }
-            let key = ResultTable::row_key(&key_vals);
-            let group = match groups.get_mut(&key) {
-                Some(g) => g,
-                None => {
-                    group_order.push(key.clone());
-                    groups.entry(key).or_insert(Group {
-                        rep: ti,
-                        accs: cp.aggs.iter().map(|_| AggAcc::new()).collect(),
-                    })
-                }
-            };
-            for ((_, arg), acc) in cp.aggs.iter().zip(group.accs.iter_mut()) {
-                acc.add(arg.eval(store, &ctx)?);
-            }
-        }
-        for key in &group_order {
-            let group = &groups[key];
-            fill(group.rep, &mut ctx);
-            for (slot, ((func, _), acc)) in cp.aggs.iter().zip(group.accs.iter()).enumerate() {
-                ctx.aggs[slot] = acc.finalize(*func);
-            }
-            ctx.aliases.iter_mut().for_each(|v| *v = None);
-            let mut row = Vec::with_capacity(cp.items.len());
-            for (item, alias) in cp.items.iter().zip(&cp.alias_slot) {
-                let v = item.eval(store, &ctx)?;
-                if let Some(slot) = alias {
-                    ctx.aliases[*slot] = Some(v);
-                }
-                row.push(v);
-            }
-            if let Some(h) = &cp.having {
-                if !h.eval(store, &ctx)?.truthy() {
-                    continue;
-                }
-            }
-            rows.push(row);
-        }
-    }
-
-    finish_rows(a, &mut rows)?;
-    table.rows = rows;
-    Ok(table)
-}
-
-/// Projects joined tuples into the final result table (aggregation,
-/// having, distinct, order by, limit).
-pub fn project(
-    store: &EventStore,
-    a: &AnalyzedMultievent,
-    tuples: &[Tuple],
-) -> Result<ResultTable, EngineError> {
-    project_with(store, a, tuples.len(), |i, ctx| {
-        fill_ctx_tuple(a, &tuples[i], ctx);
-    })
-}
-
-/// Core projection over any tuple source: `fill(i, ctx)` populates the
-/// (reused) row context for tuple `i`. The late-materialization path feeds
-/// its ref arena through this, building each surviving tuple's events
-/// exactly once and never allocating an intermediate tuple vector.
-fn project_with<'a>(
-    store: &EventStore,
-    a: &'a AnalyzedMultievent,
-    ntuples: usize,
-    fill: impl Fn(usize, &mut RowCtx<'a>),
-) -> Result<ResultTable, EngineError> {
-    let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
-    let mut table = ResultTable::new(columns);
-    let aggs = collect_aggs(a);
-    let aggregated = !aggs.is_empty() || !a.group_by.is_empty();
-    let mut ctx = RowCtx::default();
-
-    let mut rows: Vec<Vec<Value>> = Vec::new();
-    if !aggregated {
-        for i in 0..ntuples {
-            fill(i, &mut ctx);
-            let mut row = Vec::with_capacity(a.ret.items.len());
-            for item in &a.ret.items {
-                row.push(eval::eval(&item.expr, store, &ctx)?);
-            }
-            if let Some(h) = &a.having {
-                // having without aggregation degenerates to a row filter.
-                if !eval::eval(h, store, &ctx)?.truthy() {
-                    continue;
-                }
-            }
-            rows.push(row);
-        }
-    } else {
-        // Group tuples.
-        struct Group {
-            rep: usize,
-            accs: Vec<AggAcc>,
-        }
-        let mut groups: HashMap<String, Group> = HashMap::new();
-        let mut group_order: Vec<String> = Vec::new();
-        for ti in 0..ntuples {
-            fill(ti, &mut ctx);
-            let mut key_vals = Vec::with_capacity(a.group_by.len());
-            for g in &a.group_by {
-                key_vals.push(eval::eval(g, store, &ctx)?);
-            }
-            let key = ResultTable::row_key(&key_vals);
-            let group = match groups.get_mut(&key) {
-                Some(g) => g,
-                None => {
-                    group_order.push(key.clone());
-                    groups.entry(key).or_insert(Group {
-                        rep: ti,
-                        accs: aggs.iter().map(|_| AggAcc::new()).collect(),
-                    })
-                }
-            };
-            for ((_, _, arg), acc) in aggs.iter().zip(group.accs.iter_mut()) {
-                acc.add(eval::eval(arg, store, &ctx)?);
-            }
-        }
-        for key in &group_order {
-            let group = &groups[key];
-            fill(group.rep, &mut ctx);
-            for ((k, func, _), acc) in aggs.iter().zip(group.accs.iter()) {
-                ctx.agg_values.insert(k.clone(), acc.finalize(*func));
-            }
-            // Alias environment (items may be referenced by alias in having).
-            let mut row = Vec::with_capacity(a.ret.items.len());
-            for item in &a.ret.items {
-                let v = eval::eval(&item.expr, store, &ctx)?;
-                if let Some(alias) = &item.alias {
-                    ctx.aliases.insert(alias.clone(), v);
-                }
-                row.push(v);
-            }
-            if let Some(h) = &a.having {
-                if !eval::eval(h, store, &ctx)?.truthy() {
-                    continue;
-                }
-            }
-            rows.push(row);
-        }
-    }
-
-    finish_rows(a, &mut rows)?;
-    table.rows = rows;
-    Ok(table)
-}
-
-/// The projection tail shared by the dynamic and slot-compiled paths:
-/// distinct, order by, limit.
-fn finish_rows(a: &AnalyzedMultievent, rows: &mut Vec<Vec<Value>>) -> Result<(), EngineError> {
-    if a.ret.distinct {
-        let mut seen = std::collections::HashSet::new();
-        rows.retain(|r| seen.insert(ResultTable::row_key(r)));
-    }
-
-    if !a.order_by.is_empty() {
-        // Each order key must correspond to an output column.
-        let mut key_cols = Vec::with_capacity(a.order_by.len());
-        for o in &a.order_by {
-            let idx = a
-                .ret
-                .items
-                .iter()
-                .position(|item| {
-                    item.expr == o.expr
-                        || matches!(
-                            (&o.expr, &item.alias),
-                            (Expr::Ref { var, attr: None }, Some(alias)) if var == alias
-                        )
+        let env = self.env();
+        let tree = op::join_tree(&env.ctx.plan.order);
+        let mut st = PipelineState::new(
+            self.a,
+            &env.ctx.plan.order,
+            self.config.late_materialization,
+        );
+        tree.execute(&env, &mut st)?;
+        let tuples = match st.frontier {
+            Frontier::Events(tuples) => tuples,
+            Frontier::Refs(arena) => (0..arena.len())
+                .map(|ti| Tuple {
+                    events: arena
+                        .events_of(ti)
+                        .iter()
+                        .map(|&r| (r != NO_REF).then(|| env.parts.event(r)))
+                        .collect(),
+                    vars: arena
+                        .vars_of(ti)
+                        .iter()
+                        .map(|&v| (v != NO_VAR).then_some(EntityId(v)))
+                        .collect(),
                 })
-                .ok_or_else(|| {
-                    EngineError::Analysis(
-                        "order by must reference a returned column or alias".into(),
-                    )
-                })?;
-            key_cols.push((idx, o.dir));
-        }
-        rows.sort_by(|x, y| {
-            for (idx, dir) in &key_cols {
-                let ord = eval::cmp_values(&x[*idx], &y[*idx]);
-                let ord = match dir {
-                    SortDir::Asc => ord,
-                    SortDir::Desc => ord.reverse(),
-                };
-                if !ord.is_eq() {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+                .collect(),
+        };
+        Ok((tuples, st.truncated, st.stats))
     }
-
-    if let Some(limit) = a.limit {
-        rows.truncate(limit as usize);
-    }
-    Ok(())
 }

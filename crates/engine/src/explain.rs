@@ -36,6 +36,29 @@ pub struct PatternPlan {
     pub partitions: usize,
 }
 
+/// One node of the physical operator tree, as `EXPLAIN` renders it:
+/// the same shape [`crate::op::query_tree`] assembles for execution.
+#[derive(Debug, Clone)]
+pub struct OpPlanNode {
+    /// Operator kind (`PatternScan`, `SemiJoinNarrow`, `TemporalJoin`,
+    /// `Project`, `Aggregate`) — matches [`crate::op::OpStat::kind`].
+    pub kind: &'static str,
+    /// Human-readable operator detail (pattern, estimates, access path,
+    /// fan-out).
+    pub detail: String,
+    /// Child operators (executed before this one).
+    pub children: Vec<OpPlanNode>,
+}
+
+impl OpPlanNode {
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let _ = writeln!(out, "  {}{} {}", "  ".repeat(depth), self.kind, self.detail);
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
 /// A full query plan.
 #[derive(Debug, Clone)]
 pub struct QueryPlan {
@@ -51,6 +74,8 @@ pub struct QueryPlan {
     pub pruning_priority: bool,
     /// Scan parallelism.
     pub parallelism: usize,
+    /// The physical operator tree the executor will run.
+    pub operators: OpPlanNode,
 }
 
 impl QueryPlan {
@@ -88,6 +113,8 @@ impl QueryPlan {
                 p.partitions,
             );
         }
+        let _ = writeln!(out, "physical operator tree:");
+        self.operators.render_into(&mut out, 0);
         out
     }
 }
@@ -111,7 +138,7 @@ pub fn explain(
     };
     let resolved = schedule::resolve_vars(&analyzed, store);
     let plan = schedule::plan(&analyzed, store, &resolved, config.prioritize_pruning);
-    let patterns = analyzed
+    let patterns: Vec<PatternPlan> = analyzed
         .patterns
         .iter()
         .map(|p| {
@@ -131,6 +158,7 @@ pub fn explain(
             }
         })
         .collect();
+    let operators = operator_tree(store, &analyzed, &resolved, &plan, config);
     Ok(QueryPlan {
         kind,
         rewritten,
@@ -138,7 +166,127 @@ pub fn explain(
         temporal_relations: analyzed.temporal.len(),
         pruning_priority: config.prioritize_pruning,
         parallelism: config.parallelism,
+        operators,
     })
+}
+
+/// Builds the `EXPLAIN` rendering of the physical operator tree — the same
+/// shape [`crate::op::query_tree`] assembles for execution, annotated with
+/// estimates, chosen access paths, and planned partition fan-out.
+fn operator_tree(
+    store: &EventStore,
+    a: &AnalyzedMultievent,
+    resolved: &schedule::ResolvedVars,
+    plan: &schedule::Schedule,
+    config: &EngineConfig,
+) -> OpPlanNode {
+    let threads = config.parallelism.max(1);
+    let scans: Vec<OpPlanNode> = plan
+        .order
+        .iter()
+        .enumerate()
+        .map(|(position, &i)| {
+            let p = &a.patterns[i];
+            let filter = schedule::base_filter(a, i, resolved);
+            let partitions = store.partitions_for(&filter).len();
+            let parallel = config.partition_parallel
+                && threads > 1
+                && partitions > 1
+                && plan.estimates[i] >= config.parallel_threshold;
+            // Which of this pattern's variables earlier patterns will have
+            // bound by the time it scans (the semi-join inputs).
+            let earlier = &plan.order[..position];
+            let mut narrowed_by: Vec<&str> = Vec::new();
+            if config.semi_join_pushdown {
+                for &e in earlier {
+                    let ep = &a.patterns[e];
+                    if [ep.subject, ep.object]
+                        .iter()
+                        .any(|v| *v == p.subject || *v == p.object)
+                    {
+                        narrowed_by.push(ep.name.as_str());
+                    }
+                }
+            }
+            let window_narrowed = config.temporal_narrowing
+                && a.temporal.iter().any(|t| {
+                    (t.left == i && earlier.contains(&t.right))
+                        || (t.right == i && earlier.contains(&t.left))
+                });
+            let mut semi_detail = if narrowed_by.is_empty() {
+                "pass-through".to_string()
+            } else {
+                format!("bindings from {}", narrowed_by.join(", "))
+            };
+            if window_narrowed {
+                semi_detail.push_str(" | window narrowed");
+            }
+            OpPlanNode {
+                kind: "PatternScan",
+                detail: format!(
+                    "{} est {} candidates | path {} | {} partition(s){}",
+                    p.name,
+                    plan.estimates[i],
+                    store.access_path(&filter),
+                    partitions,
+                    if parallel {
+                        format!(" | parallel ×{threads}")
+                    } else {
+                        String::new()
+                    },
+                ),
+                children: vec![OpPlanNode {
+                    kind: "SemiJoinNarrow",
+                    detail: format!("{} {}", p.name, semi_detail),
+                    children: Vec::new(),
+                }],
+            }
+        })
+        .collect();
+    let join_fanout =
+        if config.parallel_join && config.scan_pool && config.partition_parallel && threads > 1 {
+            if config.join_partitions > 0 {
+                config.join_partitions
+            } else {
+                threads * 4
+            }
+        } else {
+            1
+        };
+    let join = OpPlanNode {
+        kind: "TemporalJoin",
+        detail: format!(
+            "{} pattern(s), {} temporal relation(s) | {} | max_intermediate {}",
+            a.patterns.len(),
+            a.temporal.len(),
+            if join_fanout > 1 {
+                format!("parallel ×{join_fanout} frontier partition(s)")
+            } else {
+                "serial".to_string()
+            },
+            config.max_intermediate,
+        ),
+        children: scans,
+    };
+    let aggregated = !crate::exec::collect_aggs(a).is_empty() || !a.group_by.is_empty();
+    OpPlanNode {
+        kind: if aggregated { "Aggregate" } else { "Project" },
+        detail: format!(
+            "{} column(s){}{}{}",
+            a.ret.items.len(),
+            if a.group_by.is_empty() {
+                String::new()
+            } else {
+                format!(" | group by {}", a.group_by.len())
+            },
+            if a.ret.distinct { " | distinct" } else { "" },
+            match a.limit {
+                Some(l) => format!(" | limit {l}"),
+                None => String::new(),
+            },
+        ),
+        children: vec![join],
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +365,60 @@ mod tests {
         assert!(text.contains("1 temporal relation"));
         assert!(text.contains("#1"));
         assert!(text.contains("e1"));
+    }
+
+    #[test]
+    fn operator_tree_matches_execution_shape() {
+        let store = store();
+        let q = parse_query(
+            r#"proc p1["%cmd.exe"] start proc p2 as e1
+               proc p2 write file f as e2
+               with e1 before e2
+               return p1, f, count(e2.amount) as n
+               group by p1, f"#,
+        )
+        .unwrap();
+        let config = EngineConfig {
+            parallelism: 8,
+            ..EngineConfig::default()
+        };
+        let plan = explain(&store, &q, &config).unwrap();
+        // Root: aggregation; one join; one scan chain per pattern, each
+        // with its narrowing child — the exact shape op::query_tree builds.
+        assert_eq!(plan.operators.kind, "Aggregate");
+        assert_eq!(plan.operators.children.len(), 1);
+        let join = &plan.operators.children[0];
+        assert_eq!(join.kind, "TemporalJoin");
+        assert!(join.detail.contains("parallel ×32 frontier partition(s)"));
+        assert_eq!(join.children.len(), 2);
+        for scan in &join.children {
+            assert_eq!(scan.kind, "PatternScan");
+            assert_eq!(scan.children.len(), 1);
+            assert_eq!(scan.children[0].kind, "SemiJoinNarrow");
+        }
+        // The selective start pattern runs first and uses entity postings;
+        // the dependent write pattern receives its bindings.
+        assert!(join.children[0].detail.contains("e1"));
+        assert!(join.children[0].detail.contains("entity-postings"));
+        assert!(join.children[1].children[0]
+            .detail
+            .contains("bindings from e1"));
+        let text = plan.render();
+        assert!(text.contains("physical operator tree:"));
+        assert!(text.contains("TemporalJoin"));
+    }
+
+    #[test]
+    fn serial_config_renders_serial_join() {
+        let store = store();
+        let q = parse_query(r#"proc p write file f as e return p, f"#).unwrap();
+        let config = EngineConfig {
+            parallelism: 1,
+            ..EngineConfig::default()
+        };
+        let plan = explain(&store, &q, &config).unwrap();
+        assert_eq!(plan.operators.kind, "Project");
+        assert!(plan.operators.children[0].detail.contains("serial"));
     }
 
     #[test]

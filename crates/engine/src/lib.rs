@@ -12,10 +12,16 @@
 //!    statistics) execute first, and their bindings are pushed into later
 //!    data queries as entity-id semi-joins — irrelevant events are discarded
 //!    as early as possible.
-//! 2. **Temporal/spatial partitioning** ([`exec`]): each data query is
+//! 2. **Temporal/spatial partitioning** ([`op`]): each data query is
 //!    split along the hypertable's ⟨time-bucket, agent⟩ partitions and the
-//!    partitions are scanned in parallel on a persistent worker pool
-//!    ([`pool`]).
+//!    partitions are scanned in parallel on a process-wide shared worker
+//!    pool ([`pool`]); the multi-way join itself partitions its tuple
+//!    frontier across the same executor.
+//!
+//! Execution is structured as a tree of physical operators ([`op`]):
+//! `SemiJoinNarrow → PatternScan` per pattern, `TemporalJoin`,
+//! `Project`/`Aggregate` — assembled by the scheduler, driven by
+//! [`exec`], and rendered verbatim by `EXPLAIN` ([`explain`]).
 //!
 //! The data path is columnar end to end ([`exec`]): scans produce
 //! selection vectors, candidate lists and the multi-way join carry
@@ -41,6 +47,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod op;
 pub mod pool;
 pub mod reference;
 pub mod result;

@@ -1,0 +1,578 @@
+//! `TemporalJoin`: the multi-way hash join over per-pattern candidate
+//! batches, verifying shared-variable equality and temporal relationships.
+//!
+//! Patterns join smallest-candidate-list first. Each step indexes the
+//! pattern's candidates by the entity ids of the variables the frontier
+//! already binds (a pattern binds at most two variables, so the key packs
+//! into one `u64`), probes the index for every frontier tuple, and appends
+//! the surviving extensions.
+//!
+//! ## Parallel join
+//!
+//! With `EngineConfig::parallel_join`, a step whose frontier is large
+//! enough is partitioned into contiguous tuple ranges (for the first
+//! pattern — a single proto tuple — the candidate list itself is
+//! partitioned, which follows storage-partition order) and the partitions
+//! are driven concurrently on the shared scan executor. Each partition
+//! appends into a private arena; partials merge back **in partition
+//! order**, so the frontier is byte-identical to the serial traversal.
+//!
+//! `max_intermediate` is enforced through a shared atomic budget: each
+//! finished partition publishes its tuple count, and a running partition
+//! stops once it has produced as many tuples as could still be kept given
+//! the published counts of the partitions ordered before it (their final
+//! counts only grow, so stopping is always sound). The merged frontier is
+//! truncated to `max_intermediate`, which reproduces the serial
+//! truncation prefix exactly.
+//!
+//! The materializing path (`late_materialization = false`, the seed's
+//! pipeline) joins `Event` batches serially, kept for ablation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use aiql_lang::TemporalOp;
+use aiql_model::{EntityId, Event};
+
+use crate::analyze::AnalyzedMultievent;
+use crate::error::EngineError;
+use crate::op::{
+    Batch, EventRef, ExecEnv, Frontier, OpIo, Operator, PartTable, PipelineState, RefArena, Tuple,
+    NO_REF, NO_VAR,
+};
+
+/// Minimum per-step probe work (frontier tuples, or candidates for the
+/// first pattern) before the join fans out in auto mode. Below this the
+/// fork/merge overhead outweighs the step.
+const PARALLEL_JOIN_MIN_WORK: usize = 1024;
+
+/// How many appended tuples a join partition produces between refreshes of
+/// its shared-budget cap. Bounds how far a partition can overshoot the
+/// budget before it notices earlier partitions have already filled it.
+const BUDGET_REFRESH: usize = 4096;
+
+/// The multi-way join operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TemporalJoin;
+
+impl TemporalJoin {
+    pub(crate) fn new() -> Self {
+        TemporalJoin
+    }
+}
+
+impl Operator for TemporalJoin {
+    fn kind(&self) -> &'static str {
+        "TemporalJoin"
+    }
+
+    fn run(&self, env: &ExecEnv<'_>, st: &mut PipelineState) -> Result<OpIo, EngineError> {
+        if st.done {
+            // A pattern came back empty: the frontier stays empty, and the
+            // projection above produces the empty table.
+            st.stats.tuples = 0;
+            return Ok(OpIo::default());
+        }
+        let candidates = std::mem::take(&mut st.candidates);
+        let rows_in: usize = candidates
+            .iter()
+            .map(|c| c.as_ref().map(Batch::len).unwrap_or(0))
+            .sum();
+        let late = matches!(candidates.first(), Some(Some(Batch::Refs(_))));
+        let (frontier, truncated, fanout) = if late {
+            let lists: Vec<Vec<EventRef>> = candidates
+                .into_iter()
+                .map(|c| match c {
+                    Some(Batch::Refs(v)) => v,
+                    _ => unreachable!("late path fetched refs for every pattern"),
+                })
+                .collect();
+            let (arena, truncated, fanout) = join_refs(env, lists);
+            (Frontier::Refs(arena), truncated, fanout)
+        } else {
+            let lists: Vec<Vec<Event>> = candidates
+                .into_iter()
+                .map(|c| match c {
+                    Some(Batch::Events(v)) => v,
+                    _ => unreachable!("materializing path fetched events for every pattern"),
+                })
+                .collect();
+            let (tuples, truncated) = join_events(env, lists);
+            (Frontier::Events(tuples), truncated, 1)
+        };
+        st.truncated = truncated;
+        st.stats.tuples = frontier.len();
+        let rows_out = frontier.len();
+        st.frontier = frontier;
+        Ok(OpIo {
+            rows_in,
+            rows_out,
+            fanout,
+        })
+    }
+}
+
+/// Join-step partition count for `work` probe items, or `None` for serial.
+pub(crate) fn join_partitions(env: &ExecEnv<'_>, work: usize) -> Option<usize> {
+    if !env.config.parallel_join || env.pool.is_none() {
+        return None;
+    }
+    if env.config.join_partitions > 0 {
+        // Explicit partition count: force the parallel path (tests and
+        // ablations exercise tiny frontiers through it).
+        (work >= 2).then_some(env.config.join_partitions.min(work))
+    } else {
+        let threads = env.config.parallelism.max(1);
+        (threads > 1 && work >= PARALLEL_JOIN_MIN_WORK).then(|| (threads * 4).min(work))
+    }
+}
+
+/// Packs the at-most-two bound entity ids of a pattern into one `u64`
+/// (`NO_VAR` pads the unused half).
+#[inline]
+fn pack(ids: [u32; 2]) -> u64 {
+    (u64::from(ids[0]) << 32) | u64::from(ids[1])
+}
+
+/// Shared truncation budget of one parallel join step. `produced[k]` is a
+/// monotone running count of partition `k`'s appended tuples (published
+/// every [`BUDGET_REFRESH`] appends and at completion), so any partition
+/// can compute a lower bound on the tuples committed before it in merge
+/// order — a running count can only grow toward its final value, so the
+/// bound stays sound. Publishing progress (not just completion) keeps the
+/// peak intermediate memory of a truncating step near `max` plus a
+/// refresh-interval of slack per partition, instead of `max` *per
+/// partition*.
+struct JoinBudget {
+    max: usize,
+    produced: Vec<AtomicUsize>,
+}
+
+impl JoinBudget {
+    fn new(max: usize, partitions: usize) -> Self {
+        JoinBudget {
+            max,
+            produced: (0..partitions).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Upper bound on how many tuples partition `k` could still contribute
+    /// to the merged frontier. Earlier partitions' published counts only
+    /// push this down, never up, so acting on a stale value is sound.
+    fn cap(&self, k: usize) -> usize {
+        let committed_before: usize = self.produced[..k]
+            .iter()
+            .map(|d| d.load(Ordering::Acquire))
+            .sum();
+        self.max.saturating_sub(committed_before)
+    }
+
+    /// Publishes partition `k`'s running (monotone) tuple count.
+    fn publish(&self, k: usize, produced: usize) {
+        self.produced[k].store(produced, Ordering::Release);
+    }
+}
+
+/// Append-budget tracker of one join drive: stops the drive at `cap`
+/// appended tuples, periodically tightening the cap from the shared
+/// budget (parallel partitions only — the serial drive's cap is fixed at
+/// `max_intermediate`).
+struct CapTracker<'b> {
+    cap: usize,
+    shared: Option<(&'b JoinBudget, usize)>,
+    next_refresh: usize,
+}
+
+impl<'b> CapTracker<'b> {
+    fn fixed(cap: usize) -> Self {
+        CapTracker {
+            cap,
+            shared: None,
+            next_refresh: usize::MAX,
+        }
+    }
+
+    fn shared(budget: &'b JoinBudget, k: usize) -> Self {
+        CapTracker {
+            cap: budget.cap(k),
+            shared: Some((budget, k)),
+            next_refresh: BUDGET_REFRESH,
+        }
+    }
+
+    /// Called after each append with the drive's output length; `true`
+    /// means stop (the budget is exhausted). The cap only ever shrinks,
+    /// so stopping is final. On each refresh the drive's own progress is
+    /// published, tightening the caps of later partitions while this one
+    /// is still running.
+    #[inline]
+    fn exhausted(&mut self, len: usize) -> bool {
+        if len >= self.next_refresh {
+            if let Some((budget, k)) = self.shared {
+                budget.publish(k, len);
+                self.cap = self.cap.min(budget.cap(k));
+            }
+            self.next_refresh = len + BUDGET_REFRESH;
+        }
+        len >= self.cap
+    }
+}
+
+/// Multi-way hash join over per-pattern *reference* lists: the tuple
+/// frontier lives in a flat [`RefArena`] (no per-tuple allocation). Returns
+/// the final frontier, the truncation flag, and the widest partition
+/// fan-out any step used.
+fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, bool, usize) {
+    let a = env.a;
+    let parts = &env.parts;
+    let n = a.patterns.len();
+    let nvars = a.vars.len();
+    // Join order: smallest candidate list first.
+    let mut join_order: Vec<usize> = (0..n).collect();
+    join_order.sort_by_key(|&i| (candidates[i].len(), i));
+
+    let mut tuples = RefArena::new(n, nvars);
+    tuples.events.resize(n, NO_REF);
+    tuples.vars.resize(nvars, NO_VAR);
+    let mut truncated = false;
+    let mut max_fanout = 1;
+
+    for &i in &join_order {
+        let p = &a.patterns[i];
+        let refs = &candidates[i];
+        let same_var = p.subject == p.object;
+        // A pattern binds at most two variables, so the bound-var key
+        // packs into one u64.
+        let pattern_vars: [usize; 2] = [p.subject, p.object];
+        let proto_vars = tuples.vars_of(0);
+        let bound_vars: Vec<usize> = pattern_vars
+            .iter()
+            .take(if same_var { 1 } else { 2 })
+            .copied()
+            .filter(|&v| proto_vars[v] != NO_VAR)
+            .collect();
+        let key_of_ref = |r: EventRef| {
+            let mut ids = [NO_VAR; 2];
+            for (slot, &v) in ids.iter_mut().zip(&bound_vars) {
+                *slot = if v == p.subject {
+                    parts.subject(r).raw()
+                } else {
+                    parts.object(r).raw()
+                };
+            }
+            pack(ids)
+        };
+        let mut index: HashMap<u64, Vec<EventRef>> = HashMap::new();
+        for &r in refs {
+            if same_var && parts.subject(r) != parts.object(r) {
+                continue;
+            }
+            index.entry(key_of_ref(r)).or_default().push(r);
+        }
+
+        let step = JoinStep {
+            env,
+            parts,
+            a,
+            index: &index,
+            bound_vars: &bound_vars,
+            pattern: i,
+            subject: p.subject,
+            object: p.object,
+        };
+        // Probe work of this step: frontier tuples — except at the very
+        // first step, whose single proto tuple probes one bucket holding
+        // every candidate (partitioning that bucket follows storage
+        // partition order, since candidates are collected that way).
+        let single_proto = tuples.len() == 1 && bound_vars.is_empty();
+        let work = if single_proto {
+            index.get(&pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
+        } else {
+            tuples.len()
+        };
+        let (next, step_truncated) = match join_partitions(env, work) {
+            Some(nparts) => {
+                max_fanout = max_fanout.max(nparts);
+                step.parallel(&tuples, nparts, single_proto)
+            }
+            None => step.serial(&tuples),
+        };
+        truncated |= step_truncated;
+        tuples = next;
+        if tuples.len() == 0 {
+            return (tuples, truncated, max_fanout);
+        }
+    }
+    (tuples, truncated, max_fanout)
+}
+
+/// One ref-join step: everything shared by its serial and parallel drives.
+struct JoinStep<'s, 'a> {
+    env: &'s ExecEnv<'a>,
+    parts: &'s PartTable<'a>,
+    a: &'s AnalyzedMultievent,
+    index: &'s HashMap<u64, Vec<EventRef>>,
+    bound_vars: &'s [usize],
+    pattern: usize,
+    subject: usize,
+    object: usize,
+}
+
+impl JoinStep<'_, '_> {
+    /// Probes the index for tuple `t` (restricted to the match-slice range
+    /// `[mlo, mhi)` when partitioning a single proto tuple; pass the full
+    /// range otherwise) and appends surviving extensions to `out`. Returns
+    /// `true` when the tracker's budget was exhausted — the caller must
+    /// stop its drive.
+    #[inline]
+    fn probe_into(
+        &self,
+        tuples: &RefArena,
+        t: usize,
+        range: Option<(usize, usize)>,
+        out: &mut RefArena,
+        caps: &mut CapTracker<'_>,
+    ) -> bool {
+        let tvars = tuples.vars_of(t);
+        let mut ids = [NO_VAR; 2];
+        for (slot, &v) in ids.iter_mut().zip(self.bound_vars) {
+            *slot = tvars[v];
+        }
+        let Some(matches) = self.index.get(&pack(ids)) else {
+            return false;
+        };
+        let (mlo, mhi) = range.unwrap_or((0, matches.len()));
+        for &r in &matches[mlo..mhi] {
+            if !temporal_ok_refs(self.a, self.parts, self.pattern, r, tuples, t) {
+                continue;
+            }
+            let ti = out.push_from(tuples, t);
+            out.set_event(ti, self.pattern, r);
+            out.set_var(ti, self.subject, self.parts.subject(r));
+            out.set_var(ti, self.object, self.parts.object(r));
+            if caps.exhausted(out.len()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The serial drive: identical traversal to the pre-operator fused
+    /// loop.
+    fn serial(&self, tuples: &RefArena) -> (RefArena, bool) {
+        let mut caps = CapTracker::fixed(self.env.config.max_intermediate);
+        let mut next = RefArena::new(tuples.npatterns, tuples.nvars);
+        let mut truncated = false;
+        for t in 0..tuples.len() {
+            if self.probe_into(tuples, t, None, &mut next, &mut caps) {
+                truncated = true;
+                break;
+            }
+        }
+        (next, truncated)
+    }
+
+    /// The parallel drive: contiguous probe-range partitions on the scan
+    /// executor, merged in partition order.
+    fn parallel(&self, tuples: &RefArena, nparts: usize, single_proto: bool) -> (RefArena, bool) {
+        let env = self.env;
+        let max = env.config.max_intermediate;
+        let pool = env.pool.as_ref().expect("parallel join requires the pool");
+        let work = if single_proto {
+            self.index
+                .get(&pack([NO_VAR; 2]))
+                .map(Vec::len)
+                .unwrap_or(0)
+        } else {
+            tuples.len()
+        };
+        let nparts = nparts.min(work).max(1);
+        let per = work.div_ceil(nparts);
+        let budget = JoinBudget::new(max, nparts);
+        let partials: Vec<std::sync::Mutex<RefArena>> = (0..nparts)
+            .map(|_| std::sync::Mutex::new(RefArena::default()))
+            .collect();
+
+        pool.run_chunks_capped(nparts, env.config.parallelism.max(1), &|k| {
+            // Rounding up `per` can leave trailing partitions empty; clamp
+            // both bounds so their ranges are empty instead of invalid.
+            let lo = (k * per).min(work);
+            let hi = (lo + per).min(work);
+            let mut out = RefArena::new(tuples.npatterns, tuples.nvars);
+            let mut caps = CapTracker::shared(&budget, k);
+            if single_proto {
+                // Partitioning the first pattern: the proto tuple's single
+                // bucket, sliced to the candidate range [lo, hi).
+                self.probe_into(tuples, 0, Some((lo, hi)), &mut out, &mut caps);
+            } else {
+                for t in lo..hi {
+                    if self.probe_into(tuples, t, None, &mut out, &mut caps) {
+                        break;
+                    }
+                }
+            }
+            budget.publish(k, out.len());
+            *partials[k].lock().expect("join partial") = out;
+        });
+
+        let partials: Vec<RefArena> = partials
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("join partial"))
+            .collect();
+        let total: usize = partials.iter().map(RefArena::len).sum();
+        let keep = total.min(max);
+        let mut merged = RefArena::new(tuples.npatterns, tuples.nvars);
+        merged.events.reserve_exact(keep * tuples.npatterns);
+        merged.vars.reserve_exact(keep * tuples.nvars);
+        for part in &partials {
+            let room = keep - merged.len();
+            merged.append_prefix(part, room);
+        }
+        // The serial loop flags truncation as soon as the frontier reaches
+        // `max_intermediate`. Early-stopped partitions only stop once the
+        // counts published before them plus their own output reach `max`,
+        // so `total` hits `max` exactly when the serial loop would have
+        // flagged — and the merged prefix is the serial prefix.
+        (merged, total >= max)
+    }
+}
+
+/// Temporal verification of the ref join, reading only the time columns.
+fn temporal_ok_refs(
+    a: &AnalyzedMultievent,
+    parts: &PartTable<'_>,
+    i: usize,
+    r: EventRef,
+    tuples: &RefArena,
+    t: usize,
+) -> bool {
+    let events = tuples.events_of(t);
+    for rel in &a.temporal {
+        let (l, rt, bound) = match &rel.op {
+            TemporalOp::Before(b) => (rel.left, rel.right, b),
+            // (after is before with sides swapped)
+            TemporalOp::After(b) => (rel.right, rel.left, b),
+        };
+        let (left_end, right_start) = if l == i && events[rt] != NO_REF {
+            (parts.end(r), parts.start(events[rt]))
+        } else if rt == i && events[l] != NO_REF {
+            (parts.end(events[l]), parts.start(r))
+        } else {
+            continue;
+        };
+        if left_end > right_start {
+            return false;
+        }
+        if let Some(b) = bound {
+            if (right_start - left_end) > *b {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The seed's materializing join (kept intact for the ablation benches):
+/// candidates are full events and the frontier clones them per tuple.
+fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, bool) {
+    let a = env.a;
+    let n = a.patterns.len();
+    let nvars = a.vars.len();
+    // Join order: smallest candidate list first.
+    let mut join_order: Vec<usize> = (0..n).collect();
+    join_order.sort_by_key(|&i| (candidates[i].len(), i));
+
+    let mut tuples: Vec<Tuple> = vec![Tuple {
+        events: vec![None; n],
+        vars: vec![None; nvars],
+    }];
+    let mut truncated = false;
+
+    for &i in &join_order {
+        let p = &a.patterns[i];
+        let events = &candidates[i];
+        // Vars of this pattern, deduped (subject may equal object).
+        let pattern_vars: Vec<usize> = if p.subject == p.object {
+            vec![p.subject]
+        } else {
+            vec![p.subject, p.object]
+        };
+        let mut next: Vec<Tuple> = Vec::new();
+        // Index events by the entity ids of vars that are already bound
+        // in at least one tuple. For simplicity (and since tuples at a
+        // given step share the same bound-var set), use the first tuple
+        // as the prototype.
+        let proto_bound: Vec<usize> = pattern_vars
+            .iter()
+            .copied()
+            .filter(|&v| tuples.first().map(|t| t.vars[v].is_some()).unwrap_or(false))
+            .collect();
+        let mut index: HashMap<Vec<EntityId>, Vec<&Event>> = HashMap::new();
+        for e in events {
+            if p.subject == p.object && e.subject != e.object {
+                continue;
+            }
+            let key: Vec<EntityId> = proto_bound
+                .iter()
+                .map(|&v| if v == p.subject { e.subject } else { e.object })
+                .collect();
+            index.entry(key).or_default().push(e);
+        }
+        'tuples: for t in &tuples {
+            let key: Vec<EntityId> = proto_bound
+                .iter()
+                .map(|&v| t.vars[v].expect("prototype bound var"))
+                .collect();
+            let Some(matches) = index.get(&key) else {
+                continue;
+            };
+            for e in matches {
+                if !temporal_ok(a, i, e, t) {
+                    continue;
+                }
+                let mut nt = t.clone();
+                nt.events[i] = Some(**e);
+                nt.vars[p.subject] = Some(e.subject);
+                nt.vars[p.object] = Some(e.object);
+                next.push(nt);
+                if next.len() >= env.config.max_intermediate {
+                    truncated = true;
+                    break 'tuples;
+                }
+            }
+        }
+        tuples = next;
+        if tuples.is_empty() {
+            return (tuples, truncated);
+        }
+    }
+    (tuples, truncated)
+}
+
+/// Verifies every temporal relationship between pattern `i`'s candidate
+/// event and the events already placed in the tuple.
+fn temporal_ok(a: &AnalyzedMultievent, i: usize, e: &Event, t: &Tuple) -> bool {
+    for rel in &a.temporal {
+        let (l, r, bound) = match &rel.op {
+            TemporalOp::Before(b) => (rel.left, rel.right, b),
+            // (after is before with sides swapped)
+            TemporalOp::After(b) => (rel.right, rel.left, b),
+        };
+        let (left_event, right_event) = if l == i && t.events[r].is_some() {
+            (*e, t.events[r].expect("checked"))
+        } else if r == i && t.events[l].is_some() {
+            (t.events[l].expect("checked"), *e)
+        } else {
+            continue;
+        };
+        if left_event.end_time > right_event.start_time {
+            return false;
+        }
+        if let Some(b) = bound {
+            if (right_event.start_time - left_event.end_time) > *b {
+                return false;
+            }
+        }
+    }
+    true
+}

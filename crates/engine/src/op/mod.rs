@@ -1,0 +1,418 @@
+//! The physical operator pipeline.
+//!
+//! A multievent query executes as an explicit operator tree instead of one
+//! fused scan-and-join loop:
+//!
+//! ```text
+//! Project / Aggregate
+//! └── TemporalJoin                     (multi-way hash join, parallel)
+//!     ├── PatternScan #1 ── SemiJoinNarrow #1
+//!     ├── PatternScan #2 ── SemiJoinNarrow #2
+//!     └── …one chain per pattern, in schedule order
+//! ```
+//!
+//! Every operator implements the uniform [`Operator`] interface over
+//! [`EventRef`] batches: it reads and writes the shared [`PipelineState`]
+//! (candidate batches, binding sets, time statistics, the tuple frontier)
+//! and reports its tuple in/out counts. The driver ([`crate::exec`])
+//! executes the tree post-order, timing each node into
+//! [`ExecStats::ops`]; `EXPLAIN` renders the same tree shape, so what is
+//! shown is what runs.
+//!
+//! Operator execution order is the dataflow order of the old fused loop —
+//! for each scheduled pattern, narrow then scan; then join; then project —
+//! so every result is byte-identical to the pre-operator pipeline. The
+//! seed's materializing path (`EngineConfig::late_materialization = false`)
+//! runs through the same tree with `Event` batches.
+
+pub mod join;
+pub mod project;
+pub mod scan;
+pub mod semi_join;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aiql_model::{EntityId, Event, Timestamp};
+use aiql_storage::{EventFilter, EventStore, IdSet, PartitionKey, Segment};
+
+use crate::analyze::AnalyzedMultievent;
+use crate::engine::EngineConfig;
+use crate::error::EngineError;
+use crate::pool::ScanPool;
+use crate::result::ResultTable;
+use crate::schedule::PlanCtx;
+
+pub use join::TemporalJoin;
+pub use project::Project;
+pub use scan::PatternScan;
+pub use semi_join::SemiJoinNarrow;
+
+/// One candidate match: an event per pattern plus the implied variable
+/// bindings.
+#[derive(Debug, Clone)]
+pub struct Tuple {
+    /// Event per pattern, in source order.
+    pub events: Vec<Option<Event>>,
+    /// Entity binding per variable.
+    pub vars: Vec<Option<EntityId>>,
+}
+
+/// A row reference: index into the query's partition table plus the row
+/// inside that partition's segment. 8 bytes instead of the 56-byte `Event`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventRef {
+    /// Index into [`PartTable::keys`].
+    pub part: u32,
+    /// Row inside the partition's segment.
+    pub row: u32,
+}
+
+/// Sentinel for "no event placed for this pattern yet".
+pub(crate) const NO_REF: EventRef = EventRef {
+    part: u32::MAX,
+    row: u32::MAX,
+};
+
+/// Sentinel for "variable unbound" in the arena's binding columns
+/// (entity ids are dense store indices, nowhere near `u32::MAX`).
+pub(crate) const NO_VAR: u32 = u32::MAX;
+
+/// Intermediate tuples of the late-materialization join, stored as two flat
+/// arrays with fixed strides (`npatterns` refs + `nvars` bindings per
+/// tuple). Growing the frontier copies plain `u32`/8-byte rows — no
+/// per-tuple heap allocation, unlike the materializing join's
+/// `Vec<Option<Event>>` clones.
+#[derive(Debug, Default)]
+pub struct RefArena {
+    pub(crate) npatterns: usize,
+    pub(crate) nvars: usize,
+    pub(crate) events: Vec<EventRef>,
+    pub(crate) vars: Vec<u32>,
+}
+
+impl RefArena {
+    pub(crate) fn new(npatterns: usize, nvars: usize) -> Self {
+        RefArena {
+            npatterns,
+            nvars,
+            events: Vec::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        // Queries always bind at least one variable, but keep the
+        // degenerate nvars == 0 case well-defined.
+        self.vars
+            .len()
+            .checked_div(self.nvars)
+            .unwrap_or_else(|| usize::from(!self.events.is_empty()))
+    }
+
+    pub(crate) fn events_of(&self, i: usize) -> &[EventRef] {
+        &self.events[i * self.npatterns..(i + 1) * self.npatterns]
+    }
+
+    pub(crate) fn vars_of(&self, i: usize) -> &[u32] {
+        &self.vars[i * self.nvars..(i + 1) * self.nvars]
+    }
+
+    /// Appends a copy of tuple `i` of `src`, returning the new tuple index.
+    pub(crate) fn push_from(&mut self, src: &RefArena, i: usize) -> usize {
+        self.events.extend_from_slice(src.events_of(i));
+        self.vars.extend_from_slice(src.vars_of(i));
+        self.len() - 1
+    }
+
+    /// Appends up to `limit` leading tuples of `src` (the deterministic
+    /// partial-frontier merge of the parallel join).
+    pub(crate) fn append_prefix(&mut self, src: &RefArena, limit: usize) {
+        let take = src.len().min(limit);
+        self.events
+            .extend_from_slice(&src.events[..take * self.npatterns]);
+        self.vars.extend_from_slice(&src.vars[..take * self.nvars]);
+    }
+
+    pub(crate) fn set_event(&mut self, i: usize, pattern: usize, r: EventRef) {
+        self.events[i * self.npatterns + pattern] = r;
+    }
+
+    pub(crate) fn set_var(&mut self, i: usize, var: usize, id: EntityId) {
+        self.vars[i * self.nvars + var] = id.raw();
+    }
+}
+
+/// Snapshot of the store's partitions for one query: the address space
+/// [`EventRef`]s resolve against. Keys are ascending (the store's partition
+/// order), so a sorted key lookup gives the partition index.
+pub struct PartTable<'a> {
+    pub(crate) keys: Vec<PartitionKey>,
+    pub(crate) segs: Vec<&'a Segment>,
+}
+
+impl<'a> PartTable<'a> {
+    pub(crate) fn build(store: &'a EventStore) -> Self {
+        let keys = store.partition_list();
+        let segs = keys
+            .iter()
+            .map(|&k| store.segment(k).expect("listed partition exists"))
+            .collect();
+        PartTable { keys, segs }
+    }
+
+    #[inline]
+    pub(crate) fn index_of(&self, key: PartitionKey) -> u32 {
+        self.keys
+            .binary_search(&key)
+            .expect("partition key in table") as u32
+    }
+
+    #[inline]
+    pub(crate) fn seg(&self, r: EventRef) -> &'a Segment {
+        self.segs[r.part as usize]
+    }
+
+    #[inline]
+    pub(crate) fn subject(&self, r: EventRef) -> EntityId {
+        self.seg(r).subject_at(r.row)
+    }
+
+    #[inline]
+    pub(crate) fn object(&self, r: EventRef) -> EntityId {
+        self.seg(r).object_at(r.row)
+    }
+
+    #[inline]
+    pub(crate) fn start(&self, r: EventRef) -> Timestamp {
+        self.seg(r).start_at(r.row)
+    }
+
+    #[inline]
+    pub(crate) fn end(&self, r: EventRef) -> Timestamp {
+        self.seg(r).end_at(r.row)
+    }
+
+    /// Materializes the referenced event (the single materialization point
+    /// of the late path).
+    #[inline]
+    pub(crate) fn event(&self, r: EventRef) -> Event {
+        self.seg(r)
+            .event_at(self.keys[r.part as usize].agent, r.row as usize)
+    }
+}
+
+/// A per-pattern candidate batch, in the representation of the active data
+/// path: row references (late materialization) or copied events (the
+/// seed's path, kept for ablation).
+#[derive(Debug)]
+pub enum Batch {
+    /// ⟨partition, row⟩ references (resolved against the [`PartTable`]).
+    Refs(Vec<EventRef>),
+    /// Materialized events.
+    Events(Vec<Event>),
+}
+
+impl Batch {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Batch::Refs(v) => v.len(),
+            Batch::Events(v) => v.len(),
+        }
+    }
+}
+
+/// The joined tuple frontier, in the active data-path representation.
+#[derive(Debug)]
+pub enum Frontier {
+    /// Flat ref arena (late materialization).
+    Refs(RefArena),
+    /// Materialized tuples.
+    Events(Vec<Tuple>),
+}
+
+impl Frontier {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Frontier::Refs(a) => a.len(),
+            Frontier::Events(t) => t.len(),
+        }
+    }
+}
+
+/// Read-only execution environment of one query: everything the operators
+/// share and never mutate.
+pub struct ExecEnv<'a> {
+    pub store: &'a EventStore,
+    pub a: &'a AnalyzedMultievent,
+    pub config: &'a EngineConfig,
+    /// Persistent scan executor (None = scoped-thread fan-out, the
+    /// ablation baseline).
+    pub pool: Option<Arc<ScanPool>>,
+    /// The compiled shared phase: resolved vars, base filters, schedule.
+    pub ctx: PlanCtx,
+    /// The partition address space of this execution.
+    pub parts: PartTable<'a>,
+}
+
+/// Mutable dataflow state threaded through the operator tree.
+pub struct PipelineState {
+    /// Candidate batch per pattern (source order), filled by the scans.
+    pub candidates: Vec<Option<Batch>>,
+    /// Bound entity-id sets per variable (semi-join pushdown).
+    pub bound: HashMap<usize, IdSet>,
+    /// (min_start, max_start, min_end, max_end) per executed pattern.
+    pub time_stats: Vec<Option<(i64, i64, i64, i64)>>,
+    /// The narrowed filter staged by [`SemiJoinNarrow`] for its parent
+    /// [`PatternScan`].
+    pub narrowed: Option<EventFilter>,
+    /// The joined tuple frontier (written by [`TemporalJoin`]).
+    pub frontier: Frontier,
+    /// Whether the join hit `max_intermediate`.
+    pub truncated: bool,
+    /// Short-circuit: a pattern produced no candidates (or was proven
+    /// unsatisfiable), so every later operator no-ops.
+    pub done: bool,
+    /// Execution statistics, accumulated per operator by the driver.
+    pub stats: ExecStats,
+    /// The final result table (written by [`Project`]).
+    pub table: Option<ResultTable>,
+}
+
+impl PipelineState {
+    pub(crate) fn new(a: &AnalyzedMultievent, order: &[usize], late: bool) -> Self {
+        let n = a.patterns.len();
+        PipelineState {
+            candidates: (0..n).map(|_| None).collect(),
+            bound: HashMap::new(),
+            time_stats: vec![None; n],
+            narrowed: None,
+            frontier: if late {
+                Frontier::Refs(RefArena::new(n, a.vars.len()))
+            } else {
+                Frontier::Events(Vec::new())
+            },
+            truncated: false,
+            done: false,
+            stats: ExecStats {
+                fetched: vec![0; n],
+                order: order.to_vec(),
+                tuples: 0,
+                ops: Vec::new(),
+            },
+            table: None,
+        }
+    }
+}
+
+/// Statistics of one execution, surfaced for benches and ablations.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Events fetched per pattern (source order).
+    pub fetched: Vec<usize>,
+    /// Pattern execution order used.
+    pub order: Vec<usize>,
+    /// Final joined tuple count.
+    pub tuples: usize,
+    /// Per-operator timings and tuple in/out counts, in execution order.
+    pub ops: Vec<OpStat>,
+}
+
+/// One operator's contribution to [`ExecStats`].
+#[derive(Debug, Clone)]
+pub struct OpStat {
+    /// Operator kind label (`PatternScan`, `SemiJoinNarrow`,
+    /// `TemporalJoin`, `Project`, `Aggregate`).
+    pub kind: &'static str,
+    /// Pattern index (source order) for per-pattern operators.
+    pub pattern: Option<usize>,
+    /// Wall time spent inside the operator (at least 1ns once it ran).
+    pub nanos: u64,
+    /// Tuples the operator consumed.
+    pub rows_in: usize,
+    /// Tuples the operator produced.
+    pub rows_out: usize,
+    /// Parallel fan-out used (1 = serial).
+    pub fanout: usize,
+}
+
+/// Tuple in/out accounting returned by each operator run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpIo {
+    pub rows_in: usize,
+    pub rows_out: usize,
+    pub fanout: usize,
+}
+
+/// The uniform physical-operator interface: one batch-oriented `run` over
+/// the shared pipeline state.
+pub trait Operator: std::fmt::Debug + Send + Sync {
+    /// Operator kind label (matches [`OpStat::kind`] and `EXPLAIN`).
+    fn kind(&self) -> &'static str;
+
+    /// Pattern index for per-pattern operators.
+    fn pattern(&self) -> Option<usize> {
+        None
+    }
+
+    /// Executes the operator, reading and writing the pipeline state.
+    fn run(&self, env: &ExecEnv<'_>, st: &mut PipelineState) -> Result<OpIo, EngineError>;
+}
+
+/// A node of the physical plan tree.
+pub struct PlanNode {
+    pub op: Box<dyn Operator>,
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Executes the subtree post-order (children feed parents), timing
+    /// every operator into [`ExecStats::ops`].
+    pub fn execute(&self, env: &ExecEnv<'_>, st: &mut PipelineState) -> Result<(), EngineError> {
+        for child in &self.children {
+            child.execute(env, st)?;
+        }
+        let t0 = Instant::now();
+        let io = self.op.run(env, st)?;
+        st.stats.ops.push(OpStat {
+            kind: self.op.kind(),
+            pattern: self.op.pattern(),
+            // Clamp to 1ns: "ran, under the clock's resolution" must stay
+            // distinguishable from "never ran".
+            nanos: (t0.elapsed().as_nanos() as u64).max(1),
+            rows_in: io.rows_in,
+            rows_out: io.rows_out,
+            fanout: io.fanout.max(1),
+        });
+        Ok(())
+    }
+}
+
+/// Builds the join subtree: one `SemiJoinNarrow → PatternScan` chain per
+/// pattern in schedule order, feeding the `TemporalJoin`.
+pub fn join_tree(order: &[usize]) -> PlanNode {
+    let scans = order
+        .iter()
+        .map(|&i| PlanNode {
+            op: Box::new(PatternScan::new(i)),
+            children: vec![PlanNode {
+                op: Box::new(SemiJoinNarrow::new(i)),
+                children: Vec::new(),
+            }],
+        })
+        .collect();
+    PlanNode {
+        op: Box::new(TemporalJoin::new()),
+        children: scans,
+    }
+}
+
+/// Builds the full query tree: `Project`/`Aggregate` over the join subtree.
+pub fn query_tree(a: &AnalyzedMultievent, order: &[usize]) -> PlanNode {
+    let aggregated = !project::collect_aggs(a).is_empty() || !a.group_by.is_empty();
+    PlanNode {
+        op: Box::new(Project::new(aggregated)),
+        children: vec![join_tree(order)],
+    }
+}

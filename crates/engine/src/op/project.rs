@@ -1,0 +1,596 @@
+//! `Project` / `Aggregate`: the projection operator closing the pipeline.
+//!
+//! Consumes the joined tuple frontier and produces the final result table:
+//! return items, grouping + aggregation, having, distinct, order by,
+//! limit. Two evaluation paths, selected by
+//! `EngineConfig::compiled_projection`:
+//!
+//! * **slot-compiled** (default): every name is resolved to a dense slot
+//!   index before the tuple loop, the row context is a flat [`SlotRow`],
+//!   and only the event slots the projection reads are materialized;
+//! * **dynamic**: the [`RowCtx`] hash-map path, kept for ablation and as
+//!   the fallback when an expression resists compilation.
+//!
+//! On the late-materialization path the frontier is a ref arena and the
+//! surviving tuples' events are materialized here, exactly once.
+
+use std::collections::HashMap;
+
+use aiql_lang::{Expr, SortDir};
+use aiql_model::{EntityId, Value};
+use aiql_storage::EventStore;
+
+use crate::analyze::AnalyzedMultievent;
+use crate::error::EngineError;
+use crate::eval::{self, agg_key, RowCtx, SlotEnv, SlotExpr, SlotRow};
+use crate::op::{
+    ExecEnv, Frontier, OpIo, Operator, PartTable, PipelineState, RefArena, Tuple, NO_REF, NO_VAR,
+};
+use crate::result::ResultTable;
+
+/// The projection operator.
+#[derive(Debug, Clone, Copy)]
+pub struct Project {
+    /// Whether the query aggregates (labels the operator `Aggregate`).
+    aggregated: bool,
+}
+
+impl Project {
+    pub(crate) fn new(aggregated: bool) -> Self {
+        Project { aggregated }
+    }
+}
+
+impl Operator for Project {
+    fn kind(&self) -> &'static str {
+        if self.aggregated {
+            "Aggregate"
+        } else {
+            "Project"
+        }
+    }
+
+    fn run(&self, env: &ExecEnv<'_>, st: &mut PipelineState) -> Result<OpIo, EngineError> {
+        let rows_in = st.frontier.len();
+        let mut table = match &st.frontier {
+            Frontier::Refs(arena) => {
+                let compiled = env
+                    .config
+                    .compiled_projection
+                    .then(|| compile_projection(env.store, env.a))
+                    .flatten();
+                match &compiled {
+                    Some(cp) => project_compiled(env.store, env.a, cp, arena.len(), |i, row| {
+                        fill_slots_arena(arena, &env.parts, cp, i, row);
+                    })?,
+                    None => project_with(env.store, env.a, arena.len(), |i, ctx| {
+                        fill_ctx_arena(env.a, arena, &env.parts, i, ctx);
+                    })?,
+                }
+            }
+            Frontier::Events(tuples) => project(env.store, env.a, tuples)?,
+        };
+        table.truncated = st.truncated;
+        let rows_out = table.rows.len();
+        st.table = Some(table);
+        Ok(OpIo {
+            rows_in,
+            rows_out,
+            fanout: 1,
+        })
+    }
+}
+
+/// Resets a reused row context (keeping map capacity across tuples).
+fn clear_ctx(ctx: &mut RowCtx<'_>) {
+    ctx.var_entity.clear();
+    ctx.events.clear();
+    ctx.aliases.clear();
+    ctx.agg_values.clear();
+}
+
+/// Populates the row context from a materialized tuple.
+fn fill_ctx_tuple<'a>(a: &'a AnalyzedMultievent, t: &Tuple, ctx: &mut RowCtx<'a>) {
+    clear_ctx(ctx);
+    for (vi, var) in a.vars.iter().enumerate() {
+        if let Some(id) = t.vars[vi] {
+            ctx.var_entity.insert(var.name.as_str(), id);
+        }
+    }
+    for (pi, p) in a.patterns.iter().enumerate() {
+        if let Some(e) = t.events[pi] {
+            ctx.events.insert(p.name.as_str(), e);
+        }
+    }
+}
+
+/// Populates the row context straight from the ref arena, materializing the
+/// tuple's events on the fly.
+fn fill_ctx_arena<'a>(
+    a: &'a AnalyzedMultievent,
+    arena: &RefArena,
+    parts: &PartTable<'_>,
+    i: usize,
+    ctx: &mut RowCtx<'a>,
+) {
+    clear_ctx(ctx);
+    for (vi, var) in a.vars.iter().enumerate() {
+        let id = arena.vars_of(i)[vi];
+        if id != NO_VAR {
+            ctx.var_entity.insert(var.name.as_str(), EntityId(id));
+        }
+    }
+    for (pi, p) in a.patterns.iter().enumerate() {
+        let r = arena.events_of(i)[pi];
+        if r != NO_REF {
+            ctx.events.insert(p.name.as_str(), parts.event(r));
+        }
+    }
+}
+
+/// Aggregate accumulator.
+#[derive(Debug, Clone, Default)]
+struct AggAcc {
+    count: u64,
+    sum: f64,
+    all_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggAcc {
+    fn new() -> Self {
+        AggAcc {
+            all_int: true,
+            ..Default::default()
+        }
+    }
+
+    fn add(&mut self, v: Value) {
+        if v.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(x) = v.as_f64() {
+            self.sum += x;
+        }
+        if !matches!(v, Value::Int(_)) {
+            self.all_int = false;
+        }
+        self.min = Some(match self.min {
+            Some(m) if eval::cmp_values(&m, &v).is_le() => m,
+            _ => v,
+        });
+        self.max = Some(match self.max {
+            Some(m) if eval::cmp_values(&m, &v).is_ge() => m,
+            _ => v,
+        });
+    }
+
+    fn finalize(&self, func: aiql_lang::AggFunc) -> Value {
+        use aiql_lang::AggFunc::*;
+        match func {
+            Count => Value::Int(self.count as i64),
+            Sum => {
+                if self.all_int {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
+            Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            Min => self.min.unwrap_or(Value::Null),
+            Max => self.max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Collects every aggregate node appearing in the return items and having
+/// clause.
+pub(crate) fn collect_aggs(a: &AnalyzedMultievent) -> Vec<(String, aiql_lang::AggFunc, Expr)> {
+    let mut out: Vec<(String, aiql_lang::AggFunc, Expr)> = Vec::new();
+    let mut visit = |e: &Expr| {
+        e.visit(&mut |node| {
+            if let Expr::Agg { func, arg } = node {
+                let key = agg_key(node);
+                if !out.iter().any(|(k, _, _)| k == &key) {
+                    out.push((key, *func, (**arg).clone()));
+                }
+            }
+        });
+    };
+    for item in &a.ret.items {
+        visit(&item.expr);
+    }
+    if let Some(h) = &a.having {
+        visit(h);
+    }
+    out
+}
+
+/// Column header for a return item.
+fn column_name(item: &aiql_lang::ReturnItem) -> String {
+    item.alias
+        .clone()
+        .unwrap_or_else(|| aiql_lang::pretty::print_expr(&item.expr))
+}
+
+/// A fully slot-compiled projection: return items, grouping keys, having
+/// filter, and aggregate arguments with every name resolved to a dense
+/// slot, plus the sets of event/variable slots the projection actually
+/// reads. Tuples bind into a reused [`SlotRow`] — no per-tuple hash maps —
+/// and events outside `used_events` are never materialized.
+struct CompiledProjection {
+    /// Compiled return items, in column order.
+    items: Vec<SlotExpr>,
+    /// Alias slot written after evaluating each item (aggregated path).
+    alias_slot: Vec<Option<usize>>,
+    /// Number of alias slots.
+    naliases: usize,
+    /// Compiled grouping keys.
+    group_by: Vec<SlotExpr>,
+    /// Compiled having filter.
+    having: Option<SlotExpr>,
+    /// Aggregates: function + compiled argument, in [`collect_aggs`] order
+    /// (the dense index [`SlotExpr::Agg`] nodes refer to).
+    aggs: Vec<(aiql_lang::AggFunc, SlotExpr)>,
+    /// Event slots referenced anywhere in the projection.
+    used_events: Vec<usize>,
+    /// Variable slots referenced anywhere in the projection.
+    used_vars: Vec<usize>,
+}
+
+/// Compiles a query's projection to slots. `None` when any expression
+/// resists compilation (unknown name, historical access) — the caller then
+/// keeps the dynamic [`RowCtx`] path, which reproduces legacy behavior
+/// bit for bit, errors included.
+fn compile_projection(store: &EventStore, a: &AnalyzedMultievent) -> Option<CompiledProjection> {
+    let aggs_src = collect_aggs(a);
+    let mut env = SlotEnv {
+        vars: a
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.as_str(), i))
+            .collect(),
+        events: a
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.as_str(), i))
+            .collect(),
+        aliases: HashMap::new(),
+        aggs: aggs_src
+            .iter()
+            .enumerate()
+            .map(|(i, (k, _, _))| (k.clone(), i))
+            .collect(),
+    };
+    // Compile items in order; each alias becomes visible to later items,
+    // the grouping keys, the having clause, and the aggregate arguments —
+    // the same progressive scope the analyzer validated against.
+    let mut items = Vec::with_capacity(a.ret.items.len());
+    let mut alias_slot = Vec::with_capacity(a.ret.items.len());
+    let mut naliases = 0usize;
+    for item in &a.ret.items {
+        items.push(eval::compile_slots(&item.expr, store, &env)?);
+        alias_slot.push(item.alias.as_ref().map(|alias| {
+            let slot = naliases;
+            naliases += 1;
+            env.aliases.insert(alias.as_str(), slot);
+            slot
+        }));
+    }
+    let group_by: Vec<SlotExpr> = a
+        .group_by
+        .iter()
+        .map(|g| eval::compile_slots(g, store, &env))
+        .collect::<Option<_>>()?;
+    let having = match &a.having {
+        Some(h) => Some(eval::compile_slots(h, store, &env)?),
+        None => None,
+    };
+    let aggs: Vec<(aiql_lang::AggFunc, SlotExpr)> = aggs_src
+        .iter()
+        .map(|(_, func, arg)| Some((*func, eval::compile_slots(arg, store, &env)?)))
+        .collect::<Option<_>>()?;
+
+    let mut used_events: Vec<usize> = Vec::new();
+    let mut used_vars: Vec<usize> = Vec::new();
+    {
+        let mut mark = |e: &SlotExpr| {
+            e.visit(&mut |node| match node {
+                SlotExpr::Event { slot, .. } if !used_events.contains(slot) => {
+                    used_events.push(*slot);
+                }
+                SlotExpr::Entity { slot, .. } if !used_vars.contains(slot) => {
+                    used_vars.push(*slot);
+                }
+                _ => {}
+            });
+        };
+        for e in items.iter().chain(&group_by).chain(having.iter()) {
+            mark(e);
+        }
+        for (_, arg) in &aggs {
+            mark(arg);
+        }
+    }
+    Some(CompiledProjection {
+        items,
+        alias_slot,
+        naliases,
+        group_by,
+        having,
+        aggs,
+        used_events,
+        used_vars,
+    })
+}
+
+/// Populates a slot row from the ref arena, materializing only the event
+/// slots the compiled projection reads.
+fn fill_slots_arena(
+    arena: &RefArena,
+    parts: &PartTable<'_>,
+    cp: &CompiledProjection,
+    i: usize,
+    row: &mut SlotRow,
+) {
+    for &v in &cp.used_vars {
+        let id = arena.vars_of(i)[v];
+        row.entities[v] = (id != NO_VAR).then_some(EntityId(id));
+    }
+    for &pi in &cp.used_events {
+        let r = arena.events_of(i)[pi];
+        row.events[pi] = (r != NO_REF).then(|| parts.event(r));
+    }
+}
+
+/// Projection over slot rows: the same traversal as [`project_with`]
+/// (grouping by first occurrence, per-item alias scope, having-after-items)
+/// so the output is byte-identical — but every name lookup is an indexed
+/// array access and the row context is filled without hashing.
+fn project_compiled(
+    store: &EventStore,
+    a: &AnalyzedMultievent,
+    cp: &CompiledProjection,
+    ntuples: usize,
+    mut fill: impl FnMut(usize, &mut SlotRow),
+) -> Result<ResultTable, EngineError> {
+    let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
+    let mut table = ResultTable::new(columns);
+    let aggregated = !cp.aggs.is_empty() || !a.group_by.is_empty();
+    let mut ctx = SlotRow::new(a.vars.len(), a.patterns.len(), cp.naliases, cp.aggs.len());
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    if !aggregated {
+        for i in 0..ntuples {
+            fill(i, &mut ctx);
+            let mut row = Vec::with_capacity(cp.items.len());
+            for item in &cp.items {
+                row.push(item.eval(store, &ctx)?);
+            }
+            if let Some(h) = &cp.having {
+                // having without aggregation degenerates to a row filter.
+                if !h.eval(store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    } else {
+        struct Group {
+            rep: usize,
+            accs: Vec<AggAcc>,
+        }
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        let mut group_order: Vec<String> = Vec::new();
+        for ti in 0..ntuples {
+            fill(ti, &mut ctx);
+            let mut key_vals = Vec::with_capacity(cp.group_by.len());
+            for g in &cp.group_by {
+                key_vals.push(g.eval(store, &ctx)?);
+            }
+            let key = ResultTable::row_key(&key_vals);
+            let group = match groups.get_mut(&key) {
+                Some(g) => g,
+                None => {
+                    group_order.push(key.clone());
+                    groups.entry(key).or_insert(Group {
+                        rep: ti,
+                        accs: cp.aggs.iter().map(|_| AggAcc::new()).collect(),
+                    })
+                }
+            };
+            for ((_, arg), acc) in cp.aggs.iter().zip(group.accs.iter_mut()) {
+                acc.add(arg.eval(store, &ctx)?);
+            }
+        }
+        for key in &group_order {
+            let group = &groups[key];
+            fill(group.rep, &mut ctx);
+            for (slot, ((func, _), acc)) in cp.aggs.iter().zip(group.accs.iter()).enumerate() {
+                ctx.aggs[slot] = acc.finalize(*func);
+            }
+            ctx.aliases.iter_mut().for_each(|v| *v = None);
+            let mut row = Vec::with_capacity(cp.items.len());
+            for (item, alias) in cp.items.iter().zip(&cp.alias_slot) {
+                let v = item.eval(store, &ctx)?;
+                if let Some(slot) = alias {
+                    ctx.aliases[*slot] = Some(v);
+                }
+                row.push(v);
+            }
+            if let Some(h) = &cp.having {
+                if !h.eval(store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    finish_rows(a, &mut rows)?;
+    table.rows = rows;
+    Ok(table)
+}
+
+/// Projects joined tuples into the final result table (aggregation,
+/// having, distinct, order by, limit).
+pub fn project(
+    store: &EventStore,
+    a: &AnalyzedMultievent,
+    tuples: &[Tuple],
+) -> Result<ResultTable, EngineError> {
+    project_with(store, a, tuples.len(), |i, ctx| {
+        fill_ctx_tuple(a, &tuples[i], ctx);
+    })
+}
+
+/// Core projection over any tuple source: `fill(i, ctx)` populates the
+/// (reused) row context for tuple `i`. The late-materialization path feeds
+/// its ref arena through this, building each surviving tuple's events
+/// exactly once and never allocating an intermediate tuple vector.
+fn project_with<'a>(
+    store: &EventStore,
+    a: &'a AnalyzedMultievent,
+    ntuples: usize,
+    fill: impl Fn(usize, &mut RowCtx<'a>),
+) -> Result<ResultTable, EngineError> {
+    let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
+    let mut table = ResultTable::new(columns);
+    let aggs = collect_aggs(a);
+    let aggregated = !aggs.is_empty() || !a.group_by.is_empty();
+    let mut ctx = RowCtx::default();
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    if !aggregated {
+        for i in 0..ntuples {
+            fill(i, &mut ctx);
+            let mut row = Vec::with_capacity(a.ret.items.len());
+            for item in &a.ret.items {
+                row.push(eval::eval(&item.expr, store, &ctx)?);
+            }
+            if let Some(h) = &a.having {
+                // having without aggregation degenerates to a row filter.
+                if !eval::eval(h, store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    } else {
+        // Group tuples.
+        struct Group {
+            rep: usize,
+            accs: Vec<AggAcc>,
+        }
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        let mut group_order: Vec<String> = Vec::new();
+        for ti in 0..ntuples {
+            fill(ti, &mut ctx);
+            let mut key_vals = Vec::with_capacity(a.group_by.len());
+            for g in &a.group_by {
+                key_vals.push(eval::eval(g, store, &ctx)?);
+            }
+            let key = ResultTable::row_key(&key_vals);
+            let group = match groups.get_mut(&key) {
+                Some(g) => g,
+                None => {
+                    group_order.push(key.clone());
+                    groups.entry(key).or_insert(Group {
+                        rep: ti,
+                        accs: aggs.iter().map(|_| AggAcc::new()).collect(),
+                    })
+                }
+            };
+            for ((_, _, arg), acc) in aggs.iter().zip(group.accs.iter_mut()) {
+                acc.add(eval::eval(arg, store, &ctx)?);
+            }
+        }
+        for key in &group_order {
+            let group = &groups[key];
+            fill(group.rep, &mut ctx);
+            for ((k, func, _), acc) in aggs.iter().zip(group.accs.iter()) {
+                ctx.agg_values.insert(k.clone(), acc.finalize(*func));
+            }
+            // Alias environment (items may be referenced by alias in having).
+            let mut row = Vec::with_capacity(a.ret.items.len());
+            for item in &a.ret.items {
+                let v = eval::eval(&item.expr, store, &ctx)?;
+                if let Some(alias) = &item.alias {
+                    ctx.aliases.insert(alias.clone(), v);
+                }
+                row.push(v);
+            }
+            if let Some(h) = &a.having {
+                if !eval::eval(h, store, &ctx)?.truthy() {
+                    continue;
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    finish_rows(a, &mut rows)?;
+    table.rows = rows;
+    Ok(table)
+}
+
+/// The projection tail shared by the dynamic and slot-compiled paths:
+/// distinct, order by, limit.
+fn finish_rows(a: &AnalyzedMultievent, rows: &mut Vec<Vec<Value>>) -> Result<(), EngineError> {
+    if a.ret.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| seen.insert(ResultTable::row_key(r)));
+    }
+
+    if !a.order_by.is_empty() {
+        // Each order key must correspond to an output column.
+        let mut key_cols = Vec::with_capacity(a.order_by.len());
+        for o in &a.order_by {
+            let idx = a
+                .ret
+                .items
+                .iter()
+                .position(|item| {
+                    item.expr == o.expr
+                        || matches!(
+                            (&o.expr, &item.alias),
+                            (Expr::Ref { var, attr: None }, Some(alias)) if var == alias
+                        )
+                })
+                .ok_or_else(|| {
+                    EngineError::Analysis(
+                        "order by must reference a returned column or alias".into(),
+                    )
+                })?;
+            key_cols.push((idx, o.dir));
+        }
+        rows.sort_by(|x, y| {
+            for (idx, dir) in &key_cols {
+                let ord = eval::cmp_values(&x[*idx], &y[*idx]);
+                let ord = match dir {
+                    SortDir::Asc => ord,
+                    SortDir::Desc => ord.reverse(),
+                };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = a.limit {
+        rows.truncate(limit as usize);
+    }
+    Ok(())
+}

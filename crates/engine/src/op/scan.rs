@@ -1,0 +1,317 @@
+//! `PatternScan`: one pattern's data query against the partitioned store.
+//!
+//! Consumes the narrowed filter staged by
+//! [`SemiJoinNarrow`](crate::op::SemiJoinNarrow), scans the matching
+//! hypertable partitions (in parallel on the shared scan executor when the
+//! scan is big enough), verifies entity kinds / residual predicates, and
+//! publishes the candidate batch plus the binding sets and time statistics
+//! later operators narrow with.
+//!
+//! Two data paths, selected by `EngineConfig::late_materialization`:
+//! selection vectors become [`EventRef`] batches (default), or events are
+//! copied out of the segments (the seed's path, kept for ablation).
+
+use aiql_lang::CmpOp;
+use aiql_model::{Event, Value};
+use aiql_storage::{EventFilter, IdSet, PartitionKey};
+
+use crate::error::EngineError;
+use crate::eval;
+use crate::op::{Batch, EventRef, ExecEnv, OpIo, Operator, PipelineState};
+
+/// The scan operator of one pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct PatternScan {
+    pattern: usize,
+}
+
+impl PatternScan {
+    pub(crate) fn new(pattern: usize) -> Self {
+        PatternScan { pattern }
+    }
+}
+
+impl Operator for PatternScan {
+    fn kind(&self) -> &'static str {
+        "PatternScan"
+    }
+
+    fn pattern(&self) -> Option<usize> {
+        Some(self.pattern)
+    }
+
+    fn run(&self, env: &ExecEnv<'_>, st: &mut PipelineState) -> Result<OpIo, EngineError> {
+        if st.done {
+            return Ok(OpIo::default());
+        }
+        let a = env.a;
+        let i = self.pattern;
+        let p = &a.patterns[i];
+        let filter = st.narrowed.take().expect("SemiJoinNarrow staged a filter");
+        let estimate = env.ctx.plan.estimates[i];
+        let parts = env.store.partitions_for(&filter);
+        let fanout = if parallel_scan(env, &filter, parts.len(), estimate) {
+            env.config.parallelism.max(1)
+        } else {
+            1
+        };
+
+        let (sub_kind, obj_kind) = (a.vars[p.subject].kind, a.vars[p.object].kind);
+        let same_var = p.subject == p.object;
+        let entities = env.store.entities();
+        // Enforce the declared entity kinds and (without entity pushdown)
+        // the per-variable attribute constraints.
+        let keep = |subj: aiql_model::EntityId, obj: aiql_model::EntityId| -> bool {
+            if entities.get(subj).kind() != sub_kind
+                || entities.get(obj).kind() != obj_kind
+                || (same_var && subj != obj)
+            {
+                return false;
+            }
+            if !env.config.entity_pushdown {
+                for (var_idx, id) in [(p.subject, subj), (p.object, obj)] {
+                    let entity = entities.get(id);
+                    for c in &a.vars[var_idx].constraints {
+                        if !entities.eval(entity, c) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        };
+
+        let fetched;
+        if env.config.late_materialization {
+            let mut refs = scan_refs(env, &parts, &filter, fanout > 1);
+            refs.retain(|&r| keep(env.parts.subject(r), env.parts.object(r)));
+            fetched = refs.len();
+            if refs.is_empty() {
+                st.stats.fetched[i] = 0;
+                st.done = true;
+                return Ok(OpIo {
+                    rows_in: estimate,
+                    rows_out: 0,
+                    fanout,
+                });
+            }
+            if env.config.semi_join_pushdown {
+                st.bound.insert(
+                    p.subject,
+                    IdSet::from_iter(refs.iter().map(|&r| env.parts.subject(r))),
+                );
+                st.bound.insert(
+                    p.object,
+                    IdSet::from_iter(refs.iter().map(|&r| env.parts.object(r))),
+                );
+            }
+            let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
+            for &r in &refs {
+                let (start, end) = (env.parts.start(r).micros(), env.parts.end(r).micros());
+                ts.0 = ts.0.min(start);
+                ts.1 = ts.1.max(start);
+                ts.2 = ts.2.min(end);
+                ts.3 = ts.3.max(end);
+            }
+            st.time_stats[i] = Some(ts);
+            st.candidates[i] = Some(Batch::Refs(refs));
+        } else {
+            let mut events = scan_events(env, &parts, &filter, fanout > 1);
+            events.retain(|e| keep(e.subject, e.object));
+            fetched = events.len();
+            if events.is_empty() {
+                st.stats.fetched[i] = 0;
+                st.done = true;
+                return Ok(OpIo {
+                    rows_in: estimate,
+                    rows_out: 0,
+                    fanout,
+                });
+            }
+            if env.config.semi_join_pushdown {
+                st.bound.insert(
+                    p.subject,
+                    IdSet::from_iter(events.iter().map(|e| e.subject)),
+                );
+                st.bound
+                    .insert(p.object, IdSet::from_iter(events.iter().map(|e| e.object)));
+            }
+            let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
+            for e in &events {
+                ts.0 = ts.0.min(e.start_time.micros());
+                ts.1 = ts.1.max(e.start_time.micros());
+                ts.2 = ts.2.min(e.end_time.micros());
+                ts.3 = ts.3.max(e.end_time.micros());
+            }
+            st.time_stats[i] = Some(ts);
+            st.candidates[i] = Some(Batch::Events(events));
+        }
+        st.stats.fetched[i] = fetched;
+        Ok(OpIo {
+            rows_in: estimate,
+            rows_out: fetched,
+            fanout,
+        })
+    }
+}
+
+/// Whether a scan over `parts` partitions should fan out.
+/// `base_estimate` is the pattern's planned match estimate — an upper
+/// bound for the (possibly narrowed) `filter` actually scanned — so the
+/// common small-scan case skips the per-scan partition-statistics walk
+/// entirely. Only when the base estimate clears the threshold is the
+/// narrowed filter re-estimated, preventing fan-out for a scan that
+/// binding propagation has already shrunk to near-nothing.
+fn parallel_scan(
+    env: &ExecEnv<'_>,
+    filter: &EventFilter,
+    parts: usize,
+    base_estimate: usize,
+) -> bool {
+    let threads = env.config.parallelism.max(1);
+    if !(env.config.partition_parallel && threads > 1 && parts > 1) {
+        return false;
+    }
+    if env.config.parallel_threshold == 0 {
+        return true;
+    }
+    base_estimate >= env.config.parallel_threshold
+        && env.store.estimate(filter) >= env.config.parallel_threshold
+}
+
+/// Runs `work(chunk_index, output_slot)` for every chunk of `keys`,
+/// fanning out on the persistent pool when attached (or scoped threads
+/// otherwise — the seed's per-scan spawn, kept for ablation). Outputs
+/// land in chunk order, so parallel scans stay deterministic.
+fn scan_chunked<T: Send>(
+    env: &ExecEnv<'_>,
+    keys: &[PartitionKey],
+    work: impl Fn(&[PartitionKey], &mut Vec<T>) + Sync + Send,
+) -> Vec<T> {
+    let threads = env.config.parallelism.max(1);
+    // Chunks finer than the thread count let the pool's self-scheduling
+    // balance skewed partitions.
+    let chunk = keys.len().div_ceil(threads * 4).max(1);
+    let groups: Vec<&[PartitionKey]> = keys.chunks(chunk).collect();
+    let slots: Vec<std::sync::Mutex<Vec<T>>> = groups
+        .iter()
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+    match &env.pool {
+        Some(pool) => {
+            // Fan-out stays capped at the engine's parallelism even when
+            // the process-wide shared pool has more workers.
+            pool.run_chunks_capped(groups.len(), threads, &|i| {
+                let mut out = Vec::new();
+                work(groups[i], &mut out);
+                *slots[i].lock().expect("scan slot") = out;
+            });
+        }
+        None => {
+            let work = &work;
+            std::thread::scope(|s| {
+                let per = groups.len().div_ceil(threads).max(1);
+                for (slot_group, group_group) in slots.chunks(per).zip(groups.chunks(per)) {
+                    s.spawn(move || {
+                        for (slot, group) in slot_group.iter().zip(group_group) {
+                            let mut out = Vec::new();
+                            work(group, &mut out);
+                            *slot.lock().expect("scan slot") = out;
+                        }
+                    });
+                }
+            });
+        }
+    }
+    let mut out = Vec::new();
+    for slot in slots {
+        out.append(&mut slot.into_inner().expect("scan slot"));
+    }
+    out
+}
+
+/// Materializing scan: events are copied out of the segments, residual
+/// global predicates applied per event.
+fn scan_events(
+    env: &ExecEnv<'_>,
+    parts: &[PartitionKey],
+    filter: &EventFilter,
+    parallel: bool,
+) -> Vec<Event> {
+    let residual = &env.a.globals.residual;
+    if !parallel {
+        let mut out = Vec::new();
+        for &key in parts {
+            env.store.scan_partition(key, filter, &mut |e| {
+                if residual_ok(e, residual) {
+                    out.push(*e);
+                }
+            });
+        }
+        return out;
+    }
+    let store = env.store;
+    scan_chunked(env, parts, |group, out| {
+        for &key in group {
+            store.scan_partition(key, filter, &mut |e| {
+                if residual_ok(e, residual) {
+                    out.push(*e);
+                }
+            });
+        }
+    })
+}
+
+/// Late-materialization scan: selection vectors per partition become
+/// [`EventRef`]s; residual global predicates are verified against the
+/// columns without building events.
+fn scan_refs(
+    env: &ExecEnv<'_>,
+    parts: &[PartitionKey],
+    filter: &EventFilter,
+    parallel: bool,
+) -> Vec<EventRef> {
+    let residual = &env.a.globals.residual;
+    let table = &env.parts;
+    let collect_part = |key: PartitionKey, out: &mut Vec<EventRef>| {
+        let part = table.index_of(key);
+        let seg = table.segs[part as usize];
+        for row in env.store.select_partition(key, filter) {
+            let r = EventRef { part, row };
+            if residual.is_empty() || residual_ok(&seg.event_at(key.agent, row as usize), residual)
+            {
+                out.push(r);
+            }
+        }
+    };
+    if !parallel {
+        let mut out = Vec::new();
+        for &key in parts {
+            collect_part(key, &mut out);
+        }
+        return out;
+    }
+    scan_chunked(env, parts, |group, out| {
+        for &key in group {
+            collect_part(key, out);
+        }
+    })
+}
+
+/// Checks the residual global predicates against one event.
+pub fn residual_ok(e: &Event, residual: &[(String, CmpOp, Value)]) -> bool {
+    residual.iter().all(|(attr, op, value)| {
+        let Ok(actual) = e.get(attr) else {
+            return false;
+        };
+        let bin = match op {
+            CmpOp::Eq => aiql_lang::BinOp::Eq,
+            CmpOp::Ne => aiql_lang::BinOp::Ne,
+            CmpOp::Lt => aiql_lang::BinOp::Lt,
+            CmpOp::Le => aiql_lang::BinOp::Le,
+            CmpOp::Gt => aiql_lang::BinOp::Gt,
+            CmpOp::Ge => aiql_lang::BinOp::Ge,
+        };
+        eval::apply_binop(bin, actual, *value).truthy()
+    })
+}

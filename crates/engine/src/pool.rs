@@ -11,10 +11,29 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide shared scan executor, spawned once on first use and
+/// sized by the machine (`std::thread::available_parallelism`). Engines use
+/// it by default (`EngineConfig::shared_scan_pool`), so concurrent engine
+/// instances stop spawning private worker sets; per-query fan-out is still
+/// capped by each engine's `parallelism` via [`ScanPool::run_chunks_capped`].
+static SHARED: OnceLock<Arc<ScanPool>> = OnceLock::new();
+
+/// The process-wide shared pool handle.
+pub fn shared() -> Arc<ScanPool> {
+    SHARED
+        .get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4);
+            Arc::new(ScanPool::new(threads))
+        })
+        .clone()
+}
 
 /// Completion barrier for one batch of pool tasks.
 struct WaitGroup {
@@ -169,12 +188,19 @@ impl ScanPool {
     /// Convenience: runs `f(chunk_index)` for every chunk index in
     /// `0..chunks`, using up to `threads` concurrent self-scheduling tasks.
     pub fn run_chunks(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        self.run_chunks_capped(chunks, self.threads, f);
+    }
+
+    /// [`ScanPool::run_chunks`] with the concurrent-task fan-out capped at
+    /// `max_workers`: a query configured for `parallelism = 2` keeps that
+    /// degree even on a machine-wide shared pool with more workers.
+    pub fn run_chunks_capped(&self, chunks: usize, max_workers: usize, f: &(dyn Fn(usize) + Sync)) {
         if chunks == 0 {
             return;
         }
         let cursor = std::sync::atomic::AtomicUsize::new(0);
         let cursor = &cursor;
-        let workers = self.threads.min(chunks);
+        let workers = self.threads.min(chunks).min(max_workers.max(1));
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
         for _ in 0..workers {
             tasks.push(Box::new(move || loop {

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 
 use aiql_model::EntityId;
-use aiql_storage::{EventFilter, EventStore, IdSet};
+use aiql_storage::{EventFilter, EventStore, IdSet, PartitionKey};
 
 use crate::analyze::AnalyzedMultievent;
 
@@ -152,7 +152,9 @@ pub fn prepare(
         .iter()
         .enumerate()
         .map(|(i, filter)| match cache {
-            Some(c) => c.estimate(store, &estimate_key(a, i), || store.estimate(filter)),
+            Some(c) => c.estimate(store, &estimate_key(a, i, &resolved), filter, || {
+                store.estimate(filter)
+            }),
             None => store.estimate(filter),
         })
         .collect();
@@ -175,19 +177,18 @@ fn var_key(a: &AnalyzedMultievent, v: &crate::analyze::VarInfo) -> String {
     k
 }
 
-/// Cache key of one pattern's base-filter estimate: window, agents, op set,
-/// and the resolution keys of its subject/object variables (the resolved id
-/// sets are functions of those under a fixed store epoch).
-fn estimate_key(a: &AnalyzedMultievent, pattern_idx: usize) -> String {
+/// Cache key of one pattern's base-filter estimate: window, agents, op
+/// set, and a fingerprint of the *resolved* subject/object id sets. Keying
+/// on the resolution output (not the constraint text) makes the entry
+/// content-addressed: a dictionary change that leaves this pattern's
+/// resolution untouched keeps the key — and therefore the cached estimate —
+/// valid, so only the partition dependencies remain to be checked.
+fn estimate_key(a: &AnalyzedMultievent, pattern_idx: usize, resolved: &ResolvedVars) -> String {
     let p = &a.patterns[pattern_idx];
     let part = |vi: usize| -> String {
-        let v = &a.vars[vi];
-        if v.unsatisfiable {
-            "!".to_string()
-        } else if v.constraints.is_empty() {
-            "*".to_string()
-        } else {
-            var_key(a, v)
+        match &resolved[vi] {
+            None => "*".to_string(),
+            Some(ids) => format!("{}:{:016x}", ids.len(), ids_fingerprint(ids)),
         }
     };
     format!(
@@ -200,26 +201,58 @@ fn estimate_key(a: &AnalyzedMultievent, pattern_idx: usize) -> String {
     )
 }
 
+/// FNV-1a over a resolved id list (order-sensitive; resolutions are
+/// produced in dictionary order, so equal sets hash equal).
+fn ids_fingerprint(ids: &[EntityId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in ids {
+        h ^= u64::from(id.raw());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A cross-query plan-resolution cache: memoizes dictionary constraint
-/// resolutions and base-filter estimates, keyed by their textual signature
-/// and guarded by the owning store's ⟨id, epoch⟩ — any store mutation
-/// (ingest, commit, snapshot load, mutable dictionary access) invalidates
-/// the whole cache on the next lookup. Bounded LRU (least-recently-used
-/// entry evicted beyond [`PlanCache::CAPACITY`]).
+/// resolutions and base-filter estimates, keyed by their textual signature.
+/// Invalidation is **partition-scoped** rather than wholesale:
+///
+/// * variable resolutions read only the entity dictionary, so they are
+///   guarded by the store's ⟨id, dictionary epoch⟩ — committing events
+///   never evicts them;
+/// * estimates are content-addressed (their key embeds the resolved id
+///   sets) and each entry records the ⟨partition, epoch⟩ dependency list
+///   its computation read. An ingest invalidates only the entries whose
+///   time buckets actually changed; when a *new* partition appears
+///   (tracked by the store's partition-set epoch), the entry's dependency
+///   list is recomputed from its filter and compared before reuse.
+///
+/// Bounded LRU (least-recently-used entry evicted beyond
+/// [`PlanCache::CAPACITY`]).
 #[derive(Debug, Default)]
 pub struct PlanCache {
     inner: Mutex<PlanCacheInner>,
 }
 
+/// One cached base-filter estimate with its partition dependencies.
+#[derive(Debug)]
+struct EstEntry {
+    value: usize,
+    /// Partition-set epoch the dependency list was computed (or last
+    /// revalidated) against.
+    pset_epoch: u64,
+    /// Every partition the estimate read, with its epoch at compute time.
+    deps: Vec<(PartitionKey, u64)>,
+}
+
 #[derive(Debug, Default)]
 struct PlanCacheInner {
     store_id: u64,
-    epoch: u64,
+    dict_epoch: u64,
     tick: u64,
     hits: u64,
     misses: u64,
     vars: HashMap<String, (Vec<EntityId>, u64)>,
-    estimates: HashMap<String, (usize, u64)>,
+    estimates: HashMap<String, (EstEntry, u64)>,
 }
 
 impl PlanCache {
@@ -254,30 +287,64 @@ impl PlanCache {
         ids
     }
 
-    /// A cached (or freshly computed) base-filter estimate.
+    /// A cached (or freshly computed) base-filter estimate. `filter` is
+    /// the estimated filter itself: it defines the entry's partition
+    /// dependencies, and lets a surviving entry re-derive them after the
+    /// partition set grows.
     pub fn estimate(
         &self,
         store: &EventStore,
         key: &str,
+        filter: &EventFilter,
         compute: impl FnOnce() -> usize,
     ) -> usize {
         let mut g = self.lock_valid(store);
         let inner = &mut *g;
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some((est, stamp)) = inner.estimates.get_mut(key) {
-            *stamp = tick;
-            inner.hits += 1;
-            return *est;
+        if let Some((entry, stamp)) = inner.estimates.get_mut(key) {
+            let valid = if entry.pset_epoch == store.partition_set_epoch() {
+                // No partition appeared since the entry was (re)validated:
+                // the recorded dependencies are exhaustive, so checking
+                // their epochs is the whole story.
+                entry
+                    .deps
+                    .iter()
+                    .all(|&(k, epoch)| store.partition_epoch(k) == Some(epoch))
+            } else {
+                // A partition appeared somewhere in the store; it is only
+                // fatal if it falls inside this filter's range (or an
+                // existing dependency also moved).
+                let now = store.partition_deps(filter);
+                if now == entry.deps {
+                    entry.pset_epoch = store.partition_set_epoch();
+                    true
+                } else {
+                    false
+                }
+            };
+            if valid {
+                *stamp = tick;
+                inner.hits += 1;
+                return entry.value;
+            }
+            inner.estimates.remove(key);
         }
         drop(g);
-        let est = compute();
+        let value = compute();
+        // `store` is borrowed shared across compute, so the dependency
+        // snapshot cannot race the estimate it guards.
+        let entry = EstEntry {
+            value,
+            pset_epoch: store.partition_set_epoch(),
+            deps: store.partition_deps(filter),
+        };
         let mut g = self.lock_valid(store);
         g.misses += 1;
         let tick = g.tick;
-        g.estimates.insert(key.to_string(), (est, tick));
+        g.estimates.insert(key.to_string(), (entry, tick));
         evict_lru(&mut g.estimates);
-        est
+        value
     }
 
     /// `(hits, misses)` counters, for tests and diagnostics.
@@ -286,15 +353,21 @@ impl PlanCache {
         (g.hits, g.misses)
     }
 
-    /// Locks the cache, clearing it first if it was built against a
-    /// different store or an older epoch of the same store.
+    /// Locks the cache, scoping invalidation to what actually changed: a
+    /// different store clears everything; a dictionary change clears only
+    /// the variable resolutions (estimates are content-addressed and carry
+    /// their own partition dependencies, so event-side changes never evict
+    /// them here).
     fn lock_valid(&self, store: &EventStore) -> std::sync::MutexGuard<'_, PlanCacheInner> {
         let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        if g.store_id != store.store_id() || g.epoch != store.epoch() {
+        if g.store_id != store.store_id() {
             g.vars.clear();
             g.estimates.clear();
             g.store_id = store.store_id();
-            g.epoch = store.epoch();
+            g.dict_epoch = store.dict_epoch();
+        } else if g.dict_epoch != store.dict_epoch() {
+            g.vars.clear();
+            g.dict_epoch = store.dict_epoch();
         }
         g
     }
@@ -452,6 +525,83 @@ mod tests {
         let fresh = prepare(&a, &store, true, None);
         assert_eq!(after.resolved, fresh.resolved);
         assert_eq!(after.plan.estimates, fresh.plan.estimates);
+    }
+
+    #[test]
+    fn plan_cache_survives_ingest_into_untouched_partition() {
+        // All seed events live on day 01/01/1970 (bucket ~0); the query
+        // windows itself to that day.
+        let mut store = skewed_store();
+        let a = analyzed(
+            r#"(at "01/01/1970") proc p["%osql.exe"] start proc q as e return p"#,
+            &store,
+        );
+        let cache = PlanCache::default();
+        let first = prepare(&a, &store, true, Some(&cache));
+        let (h0, m0) = cache.counters();
+        assert!(m0 > 0);
+        let warm = prepare(&a, &store, true, Some(&cache));
+        let (h1, m1) = cache.counters();
+        assert!(h1 > h0, "repeat execution must hit");
+        assert_eq!(m1, m0);
+        // Ingest two days later, reusing existing entity specs: a new
+        // partition appears, but the dictionary and the day-0 buckets are
+        // untouched — the cached plan must survive.
+        store.ingest_all(&[RawEvent::instant(
+            AgentId(1),
+            Operation::Write,
+            EntitySpec::process(1, "sqlservr.exe", "mssql"),
+            EntitySpec::file("/data/f0", "mssql"),
+            Timestamp::from_secs(2 * 86_400),
+            100,
+        )]);
+        let after = prepare(&a, &store, true, Some(&cache));
+        let (h2, m2) = cache.counters();
+        assert!(h2 > h1, "ingest into an untouched partition must not evict");
+        assert_eq!(m2, m1, "no entry may be recomputed");
+        assert_eq!(after.plan.estimates, warm.plan.estimates);
+        assert_eq!(after.resolved, first.resolved);
+        // Ingest into the day the query reads: now the estimate must be
+        // recomputed (and match a cache-free run).
+        store.ingest_all(&[RawEvent::instant(
+            AgentId(1),
+            Operation::Start,
+            EntitySpec::process(2, "cmd.exe", "admin"),
+            EntitySpec::process(3, "osql.exe", "admin"),
+            Timestamp::from_secs(55),
+            0,
+        )]);
+        let touched = prepare(&a, &store, true, Some(&cache));
+        let (_, m3) = cache.counters();
+        assert!(m3 > m2, "ingest into a read partition must recompute");
+        let fresh = prepare(&a, &store, true, None);
+        assert_eq!(touched.plan.estimates, fresh.plan.estimates);
+    }
+
+    #[test]
+    fn estimate_cache_detects_new_partition_inside_range() {
+        // Unwindowed query: every partition is in range, so a new time
+        // bucket must invalidate the estimate even though no existing
+        // partition changed.
+        let mut store = skewed_store();
+        let a = analyzed(r#"proc p write file f as e return p"#, &store);
+        let cache = PlanCache::default();
+        let before = prepare(&a, &store, true, Some(&cache));
+        store.ingest_all(&[RawEvent::instant(
+            AgentId(1),
+            Operation::Write,
+            EntitySpec::process(1, "sqlservr.exe", "mssql"),
+            EntitySpec::file("/data/f0", "mssql"),
+            Timestamp::from_secs(2 * 86_400),
+            100,
+        )]);
+        let after = prepare(&a, &store, true, Some(&cache));
+        let fresh = prepare(&a, &store, true, None);
+        assert_eq!(after.plan.estimates, fresh.plan.estimates);
+        assert!(
+            after.plan.estimates[0] > before.plan.estimates[0],
+            "the new partition's rows must be counted"
+        );
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub struct Segment {
     obj_index: HashMap<EntityId, Vec<u32>>,
     min_time: i64,
     max_time: i64,
+    /// Mutation epoch of this partition: bumped on every appended event.
+    /// Plan caches scope their invalidation to the partitions a cached
+    /// estimate actually read, so ingest into one time bucket leaves
+    /// cached plans over other buckets hot.
+    epoch: u64,
 }
 
 impl Default for Segment {
@@ -74,7 +79,20 @@ impl Segment {
             obj_index: HashMap::new(),
             min_time: i64::MAX,
             max_time: i64::MIN,
+            epoch: 0,
         }
+    }
+
+    /// Mutation epoch of this partition (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Restores a persisted epoch (snapshot loading replays events through
+    /// [`Segment::push`], so the counter must be re-seeded afterwards to
+    /// keep the vector monotone across save/load cycles).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Number of events in the segment.
@@ -114,6 +132,7 @@ impl Segment {
         self.obj_index.entry(e.object).or_default().push(row);
         self.min_time = self.min_time.min(e.start_time.micros());
         self.max_time = self.max_time.max(e.start_time.micros());
+        self.epoch += 1;
     }
 
     /// Materializes the event at `row`.

@@ -17,10 +17,16 @@ use aiql_model::{
 };
 
 use crate::codec::{self, CodecError};
+use crate::segment::PartitionKey;
 use crate::store::{EventStore, StoreConfig};
 use crate::wal::WalError;
 
-const MAGIC: &[u8; 4] = b"AQS1";
+/// Legacy format: no epoch vector.
+const MAGIC_V1: &[u8; 4] = b"AQS1";
+/// Current format: v1 plus the store/dictionary epochs and the
+/// per-partition epoch vector, so partition-scoped plan-cache invalidation
+/// stays monotone across save/load cycles.
+const MAGIC: &[u8; 4] = b"AQS2";
 
 /// Writes a snapshot of `store` to `path`.
 pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
@@ -47,6 +53,17 @@ pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
     let total: u64 = store.event_count();
     codec::put_varint(&mut buf, total);
     store.for_each_event(&mut |e| encode_event(&mut buf, e));
+    // Epoch vector (v2): store + dictionary epochs, then per-partition
+    // epochs in partition order.
+    codec::put_varint(&mut buf, store.epoch());
+    codec::put_varint(&mut buf, store.dict_epoch());
+    let epochs = store.partition_epochs();
+    codec::put_varint(&mut buf, epochs.len() as u64);
+    for (key, epoch) in epochs {
+        buf.put_u32_le(key.agent.raw());
+        buf.put_i64_le(key.bucket);
+        codec::put_varint(&mut buf, epoch);
+    }
 
     let crc = codec::crc32(&buf);
     let mut file = BufWriter::new(File::create(path)?);
@@ -63,9 +80,11 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut header = [0u8; 16];
     reader.read_exact(&mut header)?;
-    if &header[0..4] != MAGIC {
-        return Err(WalError::BadHeader);
-    }
+    let has_epochs = match &header[0..4] {
+        m if m == MAGIC => true,
+        m if m == MAGIC_V1 => false,
+        _ => return Err(WalError::BadHeader),
+    };
     let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
     let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
     let mut body = vec![0u8; len];
@@ -109,6 +128,20 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
     for _ in 0..nevents {
         let event = decode_event(&mut buf)?;
         store.insert_committed(event);
+    }
+    // Epoch vector (absent in v1 snapshots: replay counters stand).
+    if has_epochs {
+        let epoch = codec::get_varint(&mut buf)?;
+        let dict_epoch = codec::get_varint(&mut buf)?;
+        let nparts = codec::get_varint(&mut buf)?;
+        let mut epochs = Vec::with_capacity(nparts as usize);
+        for _ in 0..nparts {
+            let agent = AgentId(codec::get_u32(&mut buf)?);
+            let bucket = codec::get_i64(&mut buf)?;
+            let part_epoch = codec::get_varint(&mut buf)?;
+            epochs.push((PartitionKey { agent, bucket }, part_epoch));
+        }
+        store.restore_epochs(epoch, dict_epoch, &epochs);
     }
     Ok(store)
 }
@@ -249,6 +282,27 @@ mod tests {
         for (a, b) in store.entities().iter().zip(loaded.entities().iter()) {
             assert_eq!(a, b);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_epoch_vector() {
+        let store = populated_store();
+        let path = tmpfile("epochs");
+        save(&store, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        // The loaded store's per-partition epochs must be at least the
+        // saved ones (replay may only push them further), and the vector
+        // must cover the same partitions.
+        let before = store.partition_epochs();
+        let after = loaded.partition_epochs();
+        assert_eq!(before.len(), after.len());
+        for ((ka, ea), (kb, eb)) in before.iter().zip(after.iter()) {
+            assert_eq!(ka, kb);
+            assert!(eb >= ea, "epoch of {ka:?} regressed: {ea} -> {eb}");
+        }
+        assert!(loaded.epoch() >= store.epoch());
+        assert!(loaded.dict_epoch() >= store.dict_epoch());
         std::fs::remove_file(&path).ok();
     }
 

@@ -86,6 +86,16 @@ pub struct EventStore {
     commits: u64,
     store_id: u64,
     epoch: u64,
+    /// Dictionary epoch: bumped only when the entity dictionary (or the
+    /// string interner behind it) may have changed. Variable resolutions
+    /// read nothing else, so plan caches key them on this alone.
+    dict_epoch: u64,
+    /// Partition-set epoch: bumped only when a partition is created. A
+    /// cached estimate whose dependency partitions are unchanged is still
+    /// invalid if a *new* partition appeared inside its scan range; this
+    /// counter lets caches detect that case without re-walking partitions
+    /// on every lookup.
+    partition_set_epoch: u64,
 }
 
 impl Default for EventStore {
@@ -108,6 +118,8 @@ impl EventStore {
             commits: 0,
             store_id: NEXT_STORE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             epoch: 0,
+            dict_epoch: 0,
+            partition_set_epoch: 0,
         }
     }
 
@@ -124,10 +136,49 @@ impl EventStore {
     }
 
     /// Mutation epoch: bumped on every write-side entry point (ingest,
-    /// commit, snapshot insertion, mutable dictionary access). Plan caches
-    /// treat any bump as full invalidation.
+    /// commit, snapshot insertion, mutable dictionary access). The coarse
+    /// whole-store change counter; partition-scoped consumers use
+    /// [`Self::partition_epoch`] / [`Self::dict_epoch`] instead.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Dictionary epoch: bumped only when the entity dictionary may have
+    /// changed (an ingest that interned a new entity, or mutable dictionary
+    /// access). Committing events into partitions does not bump this.
+    pub fn dict_epoch(&self) -> u64 {
+        self.dict_epoch
+    }
+
+    /// Partition-set epoch: bumped only when a new partition is created.
+    pub fn partition_set_epoch(&self) -> u64 {
+        self.partition_set_epoch
+    }
+
+    /// Mutation epoch of one partition (`None` for an unknown key).
+    pub fn partition_epoch(&self, key: PartitionKey) -> Option<u64> {
+        self.partitions.get(&key).map(Segment::epoch)
+    }
+
+    /// The per-partition epoch vector, in partition order. This is what
+    /// snapshots persist and partition-scoped plan caches validate against.
+    pub fn partition_epochs(&self) -> Vec<(PartitionKey, u64)> {
+        self.partitions
+            .iter()
+            .map(|(&k, seg)| (k, seg.epoch()))
+            .collect()
+    }
+
+    /// The ⟨partition, epoch⟩ dependency list of one filter: every
+    /// partition a scan or estimate for `filter` would read, with its
+    /// current epoch. A cached value computed from this filter stays valid
+    /// while every listed epoch is unchanged and no new partition appears
+    /// in the filter's range.
+    pub fn partition_deps(&self, filter: &EventFilter) -> Vec<(PartitionKey, u64)> {
+        self.partitions_for(filter)
+            .into_iter()
+            .map(|key| (key, self.partitions[&key].epoch()))
+            .collect()
     }
 
     /// The entity dictionary.
@@ -138,6 +189,7 @@ impl EventStore {
     /// Mutable entity dictionary (engines intern query literals here).
     pub fn entities_mut(&mut self) -> &mut EntityStore {
         self.epoch += 1;
+        self.dict_epoch += 1;
         &mut self.entities
     }
 
@@ -149,12 +201,19 @@ impl EventStore {
     /// Buffers one raw observation; commits automatically when the batch
     /// fills (the paper's batch-commit write-throughput optimization).
     pub fn ingest(&mut self, raw: &RawEvent) {
+        // The dictionary epoch must only move when the dictionary does:
+        // both it and the interner are append-only, so their sizes are a
+        // complete change fingerprint.
+        let dict_before = (self.entities.len(), self.entities.interner().len());
         let subject_attrs = raw.subject.resolve(&mut self.entities);
         let object_attrs = raw.object.resolve(&mut self.entities);
         let subject = self.entities.intern(raw.agent, subject_attrs);
         let object = self
             .entities
             .intern(raw.object_agent.unwrap_or(raw.agent), object_attrs);
+        if (self.entities.len(), self.entities.interner().len()) != dict_before {
+            self.dict_epoch += 1;
+        }
         self.buffer.push(PendingEvent {
             agent: raw.agent,
             op: raw.op,
@@ -238,12 +297,21 @@ impl EventStore {
                 amount: p.amount,
             };
             let key = PartitionKey::for_event(p.agent, p.start_time, bucket);
-            self.partitions
-                .entry(key)
-                .or_default()
-                .push(p.agent, &event);
+            self.segment_mut(key).push(p.agent, &event);
         }
         self.commits += 1;
+    }
+
+    /// The (created-on-demand) segment of one partition, tracking the
+    /// partition-set epoch when a new partition appears.
+    fn segment_mut(&mut self, key: PartitionKey) -> &mut Segment {
+        match self.partitions.entry(key) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                self.partition_set_epoch += 1;
+                v.insert(Segment::new())
+            }
+            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+        }
     }
 
     /// Total committed events.
@@ -436,12 +504,67 @@ impl EventStore {
             event.start_time,
             self.config.time_bucket.micros(),
         );
-        self.partitions
-            .entry(key)
-            .or_default()
-            .push(event.agent, &event);
+        self.segment_mut(key).push(event.agent, &event);
         self.next_event_id = self.next_event_id.max(event.id.raw() + 1);
         self.raw_events += 1;
+    }
+
+    /// Re-seeds the epoch counters from a persisted snapshot so the epoch
+    /// vector stays monotone across save/load cycles. Missing partitions
+    /// keep the counters they accumulated during replay.
+    pub(crate) fn restore_epochs(
+        &mut self,
+        epoch: u64,
+        dict_epoch: u64,
+        partition_epochs: &[(PartitionKey, u64)],
+    ) {
+        self.epoch = self.epoch.max(epoch);
+        self.dict_epoch = self.dict_epoch.max(dict_epoch);
+        for &(key, e) in partition_epochs {
+            if let Some(seg) = self.partitions.get_mut(&key) {
+                seg.set_epoch(seg.epoch().max(e));
+            }
+        }
+    }
+
+    /// The access path the selection-vector scan would favor for a filter,
+    /// summarized over the filter's partitions — what `EXPLAIN` reports as
+    /// the chosen path. Mirrors the per-segment choice in
+    /// [`Segment::select`]: entity posting lists when the filter carries
+    /// resolved id sets, operation postings when they prune (the op rows
+    /// cover less than half the candidate rows), otherwise a columnar scan
+    /// (vectorized mask pass or per-row verify, per the store config).
+    pub fn access_path(&self, filter: &EventFilter) -> &'static str {
+        let mut paths: Vec<&'static str> = Vec::new();
+        if filter.subjects.is_some() || filter.objects.is_some() {
+            paths.push("entity-postings");
+        }
+        if !filter.ops.is_all() {
+            let keys = self.partitions_for(filter);
+            let rows: usize = keys.iter().map(|k| self.partitions[k].len()).sum();
+            let op_rows: usize = keys
+                .iter()
+                .map(|k| {
+                    filter
+                        .ops
+                        .iter()
+                        .map(|op| self.partitions[k].op_count(op))
+                        .sum::<usize>()
+                })
+                .sum();
+            if op_rows * 2 < rows {
+                paths.push("op-postings");
+            }
+        }
+        match (paths.as_slice(), self.config.selection_vectors) {
+            (["entity-postings", "op-postings"], _) => "entity-postings∩op-postings",
+            (["entity-postings"], _) => "entity-postings",
+            (["op-postings"], _) => "op-postings",
+            ([], true) if self.config.vectorized_residual => "columnar-mask-scan",
+            ([], true) => "column-scan",
+            ([], false) => "row-scan",
+            _ => unreachable!("path list is built in a fixed order"),
+        }
     }
 }
 
