@@ -34,6 +34,9 @@ pub struct PatternPlan {
     pub object_candidates: Option<usize>,
     /// Hypertable partitions the data query will touch.
     pub partitions: usize,
+    /// Columnar segments across those partitions (== `partitions` when the
+    /// store is fully compacted; higher means fragmented layouts).
+    pub segments: usize,
 }
 
 /// One node of the physical operator tree, as `EXPLAIN` renders it:
@@ -104,13 +107,14 @@ impl QueryPlan {
             };
             let _ = writeln!(
                 out,
-                "  #{} {:<10} est {:>8} events | subjects {:>6} | objects {:>6} | {} partition(s)",
+                "  #{} {:<10} est {:>8} events | subjects {:>6} | objects {:>6} | {} partition(s) / {} segment(s)",
                 p.position + 1,
                 p.name,
                 p.estimate,
                 fmt_c(p.subject_candidates),
                 fmt_c(p.object_candidates),
                 p.partitions,
+                p.segments,
             );
         }
         let _ = writeln!(out, "physical operator tree:");
@@ -143,6 +147,7 @@ pub fn explain(
         .iter()
         .map(|p| {
             let filter = schedule::base_filter(&analyzed, p.index, &resolved);
+            let keys = store.partitions_for(&filter);
             PatternPlan {
                 index: p.index,
                 name: p.name.clone(),
@@ -154,7 +159,8 @@ pub fn explain(
                 estimate: plan.estimates[p.index],
                 subject_candidates: resolved[p.subject].as_ref().map(Vec::len),
                 object_candidates: resolved[p.object].as_ref().map(Vec::len),
-                partitions: store.partitions_for(&filter).len(),
+                segments: segment_count(store, &keys),
+                partitions: keys.len(),
             }
         })
         .collect();
@@ -168,6 +174,14 @@ pub fn explain(
         parallelism: config.parallelism,
         operators,
     })
+}
+
+/// Total columnar segments across a partition-key list — the layout
+/// density `EXPLAIN` reports next to the partition fan-out.
+fn segment_count(store: &EventStore, keys: &[aiql_storage::PartitionKey]) -> usize {
+    keys.iter()
+        .map(|&k| store.partition(k).map_or(0, |p| p.segment_count()))
+        .sum()
 }
 
 /// Builds the `EXPLAIN` rendering of the physical operator tree — the same
@@ -188,7 +202,9 @@ fn operator_tree(
         .map(|(position, &i)| {
             let p = &a.patterns[i];
             let filter = schedule::base_filter(a, i, resolved);
-            let partitions = store.partitions_for(&filter).len();
+            let keys = store.partitions_for(&filter);
+            let partitions = keys.len();
+            let segments = segment_count(store, &keys);
             let parallel = config.partition_parallel
                 && threads > 1
                 && partitions > 1
@@ -224,11 +240,12 @@ fn operator_tree(
             OpPlanNode {
                 kind: "PatternScan",
                 detail: format!(
-                    "{} est {} candidates | path {} | {} partition(s){}",
+                    "{} est {} candidates | path {} | {} partition(s) / {} segment(s){}",
                     p.name,
                     plan.estimates[i],
                     store.access_path(&filter),
                     partitions,
+                    segments,
                     if parallel {
                         format!(" | parallel ×{threads}")
                     } else {

@@ -17,6 +17,14 @@
 //! appends into a private arena; partials merge back **in partition
 //! order**, so the frontier is byte-identical to the serial traversal.
 //!
+//! For large candidate lists on steps with bound variables, the step's
+//! hash index is itself built in parallel: candidates scatter into
+//! key-hash shards on the executor, each shard's map is gathered in
+//! candidate order, and probes hash to their shard ([`StepIndex`]) — the
+//! index contents (and therefore the frontier) are byte-identical to the
+//! serial build. `OpStat` splits the join's time into `build_nanos` vs
+//! `probe_nanos` so the two parallelisms are separately visible.
+//!
 //! `max_intermediate` is enforced through a shared atomic budget: each
 //! finished partition publishes its tuple count, and a running partition
 //! stops once it has produced as many tuples as could still be kept given
@@ -30,6 +38,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use aiql_lang::TemporalOp;
 use aiql_model::{EntityId, Event};
@@ -45,6 +55,11 @@ use crate::op::{
 /// first pattern) before the join fans out in auto mode. Below this the
 /// fork/merge overhead outweighs the step.
 const PARALLEL_JOIN_MIN_WORK: usize = 1024;
+
+/// Minimum candidate-list size before a join step's hash-index *build*
+/// fans out into key-hash shards in auto mode. Below this the two-phase
+/// scatter/gather costs more than the serial insert loop.
+const PARALLEL_INDEX_MIN_BUILD: usize = 4096;
 
 /// How many appended tuples a join partition produces between refreshes of
 /// its shared-budget cap. Bounds how far a partition can overshoot the
@@ -79,7 +94,7 @@ impl Operator for TemporalJoin {
             .map(|c| c.as_ref().map(Batch::len).unwrap_or(0))
             .sum();
         let late = matches!(candidates.first(), Some(Some(Batch::Refs(_))));
-        let (frontier, truncated, fanout) = if late {
+        let (frontier, run) = if late {
             let lists: Vec<Vec<EventRef>> = candidates
                 .into_iter()
                 .map(|c| match c {
@@ -87,8 +102,8 @@ impl Operator for TemporalJoin {
                     _ => unreachable!("late path fetched refs for every pattern"),
                 })
                 .collect();
-            let (arena, truncated, fanout) = join_refs(env, lists);
-            (Frontier::Refs(arena), truncated, fanout)
+            let (arena, run) = join_refs(env, lists);
+            (Frontier::Refs(arena), run)
         } else {
             let lists: Vec<Vec<Event>> = candidates
                 .into_iter()
@@ -97,19 +112,32 @@ impl Operator for TemporalJoin {
                     _ => unreachable!("materializing path fetched events for every pattern"),
                 })
                 .collect();
-            let (tuples, truncated) = join_events(env, lists);
-            (Frontier::Events(tuples), truncated, 1)
+            let (tuples, run) = join_events(env, lists);
+            (Frontier::Events(tuples), run)
         };
-        st.truncated = truncated;
+        st.truncated = run.truncated;
         st.stats.tuples = frontier.len();
         let rows_out = frontier.len();
         st.frontier = frontier;
         Ok(OpIo {
             rows_in,
             rows_out,
-            fanout,
+            fanout: run.fanout,
+            build_nanos: run.build_nanos,
+            probe_nanos: run.probe_nanos,
         })
     }
+}
+
+/// Aggregate accounting of one join execution: truncation, widest
+/// partition/shard fan-out, and the per-phase timing split (index builds
+/// vs frontier probes, summed over join steps).
+#[derive(Debug, Clone, Copy, Default)]
+struct JoinRun {
+    truncated: bool,
+    fanout: usize,
+    build_nanos: u64,
+    probe_nanos: u64,
 }
 
 /// Join-step partition count for `work` probe items, or `None` for serial.
@@ -132,6 +160,143 @@ pub(crate) fn join_partitions(env: &ExecEnv<'_>, work: usize) -> Option<usize> {
 #[inline]
 fn pack(ids: [u32; 2]) -> u64 {
     (u64::from(ids[0]) << 32) | u64::from(ids[1])
+}
+
+/// SplitMix64 finalizer: spreads packed entity-id keys across shards (the
+/// raw keys are dense small integers — `key % shards` would pile them up).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// The shard owning `key` in an `n`-shard index.
+#[inline]
+fn shard_of(key: u64, n: usize) -> usize {
+    (mix(key) % n as u64) as usize
+}
+
+/// One scatter chunk's output: a (key, ref) bucket per shard.
+type ShardBuckets = Vec<Vec<(u64, EventRef)>>;
+
+/// One join step's candidate hash index: a single map (serial build) or
+/// key-hash shards built in parallel on the scan executor. Probes hash the
+/// key to its shard, so sharded and single indexes answer identically; the
+/// build preserves candidate order within every key's ref list (scatter
+/// chunks are contiguous candidate ranges gathered in chunk order), so the
+/// probe traversal — and therefore the joined frontier — is byte-identical
+/// to the serial build.
+enum StepIndex {
+    Single(HashMap<u64, Vec<EventRef>>),
+    Sharded(Vec<HashMap<u64, Vec<EventRef>>>),
+}
+
+impl StepIndex {
+    #[inline]
+    fn get(&self, key: u64) -> Option<&Vec<EventRef>> {
+        match self {
+            StepIndex::Single(m) => m.get(&key),
+            StepIndex::Sharded(shards) => shards[shard_of(key, shards.len())].get(&key),
+        }
+    }
+
+    /// Build fan-out used (1 = serial).
+    fn shards(&self) -> usize {
+        match self {
+            StepIndex::Single(_) => 1,
+            StepIndex::Sharded(s) => s.len(),
+        }
+    }
+}
+
+/// Shard count for building a step's index over `candidates` refs, or
+/// `None` for the serial build. Sharding only pays when the step has bound
+/// variables (`bound`): the first step's single proto bucket puts every
+/// candidate under one key, where sharding is pure overhead.
+fn index_shards(env: &ExecEnv<'_>, candidates: usize, bound: bool) -> Option<usize> {
+    if !bound || !env.config.parallel_join || env.pool.is_none() {
+        return None;
+    }
+    if env.config.join_partitions > 0 {
+        // Explicit partition count: force the sharded build (tests and
+        // ablations exercise tiny candidate lists through it).
+        (candidates >= 2).then_some(env.config.join_partitions.min(candidates))
+    } else {
+        let threads = env.config.parallelism.max(1);
+        (threads > 1 && candidates >= PARALLEL_INDEX_MIN_BUILD)
+            .then(|| (threads * 2).min(candidates))
+    }
+}
+
+/// Builds a step's candidate index, fanning the build out into key-hash
+/// shards when [`index_shards`] says it pays. The parallel build runs in
+/// two phases on the scan executor: *scatter* — contiguous candidate
+/// chunks bucket their (key, ref) pairs by shard — then *gather* — each
+/// shard inserts its buckets in chunk order. Both phases preserve
+/// candidate order per key.
+fn build_index(
+    env: &ExecEnv<'_>,
+    refs: &[EventRef],
+    same_var: bool,
+    key_of: &(dyn Fn(EventRef) -> u64 + Sync),
+    bound: bool,
+) -> StepIndex {
+    let parts = &env.parts;
+    let nshards = index_shards(env, refs.len(), bound).filter(|&s| s > 1);
+    let Some(nshards) = nshards else {
+        let mut index: HashMap<u64, Vec<EventRef>> = HashMap::new();
+        for &r in refs {
+            if same_var && parts.subject(r) != parts.object(r) {
+                continue;
+            }
+            index.entry(key_of(r)).or_default().push(r);
+        }
+        return StepIndex::Single(index);
+    };
+    let pool = env.pool.as_ref().expect("sharded build requires the pool");
+    let workers = env.config.parallelism.max(1);
+    let chunk = refs.len().div_ceil(nshards);
+    // Scatter: chunk c buckets its candidate range by shard.
+    let scattered: Vec<Mutex<ShardBuckets>> =
+        (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+    pool.run_chunks_capped(nshards, workers, &|c| {
+        let lo = (c * chunk).min(refs.len());
+        let hi = (lo + chunk).min(refs.len());
+        let mut buckets: ShardBuckets = (0..nshards).map(|_| Vec::new()).collect();
+        for &r in &refs[lo..hi] {
+            if same_var && parts.subject(r) != parts.object(r) {
+                continue;
+            }
+            let key = key_of(r);
+            buckets[shard_of(key, nshards)].push((key, r));
+        }
+        *scattered[c].lock().expect("scatter bucket") = buckets;
+    });
+    let scattered: Vec<ShardBuckets> = scattered
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("scatter bucket"))
+        .collect();
+    // Gather: shard s drains every chunk's bucket s, in chunk order.
+    let shards: Vec<Mutex<HashMap<u64, Vec<EventRef>>>> =
+        (0..nshards).map(|_| Mutex::new(HashMap::new())).collect();
+    pool.run_chunks_capped(nshards, workers, &|s| {
+        let mut map: HashMap<u64, Vec<EventRef>> = HashMap::new();
+        for chunk_buckets in &scattered {
+            for &(key, r) in &chunk_buckets[s] {
+                map.entry(key).or_default().push(r);
+            }
+        }
+        *shards[s].lock().expect("index shard") = map;
+    });
+    StepIndex::Sharded(
+        shards
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("index shard"))
+            .collect(),
+    )
 }
 
 /// Shared truncation budget of one parallel join step. `produced[k]` is a
@@ -220,9 +385,9 @@ impl<'b> CapTracker<'b> {
 
 /// Multi-way hash join over per-pattern *reference* lists: the tuple
 /// frontier lives in a flat [`RefArena`] (no per-tuple allocation). Returns
-/// the final frontier, the truncation flag, and the widest partition
-/// fan-out any step used.
-fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, bool, usize) {
+/// the final frontier plus the run accounting (truncation, widest fan-out,
+/// build/probe timing split).
+fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, JoinRun) {
     let a = env.a;
     let parts = &env.parts;
     let n = a.patterns.len();
@@ -234,8 +399,10 @@ fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, bo
     let mut tuples = RefArena::new(n, nvars);
     tuples.events.resize(n, NO_REF);
     tuples.vars.resize(nvars, NO_VAR);
-    let mut truncated = false;
-    let mut max_fanout = 1;
+    let mut run = JoinRun {
+        fanout: 1,
+        ..JoinRun::default()
+    };
 
     for &i in &join_order {
         let p = &a.patterns[i];
@@ -262,13 +429,10 @@ fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, bo
             }
             pack(ids)
         };
-        let mut index: HashMap<u64, Vec<EventRef>> = HashMap::new();
-        for &r in refs {
-            if same_var && parts.subject(r) != parts.object(r) {
-                continue;
-            }
-            index.entry(key_of_ref(r)).or_default().push(r);
-        }
+        let t_build = Instant::now();
+        let index = build_index(env, refs, same_var, &key_of_ref, !bound_vars.is_empty());
+        run.build_nanos += t_build.elapsed().as_nanos() as u64;
+        run.fanout = run.fanout.max(index.shards());
 
         let step = JoinStep {
             env,
@@ -286,24 +450,26 @@ fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, bo
         // partition order, since candidates are collected that way).
         let single_proto = tuples.len() == 1 && bound_vars.is_empty();
         let work = if single_proto {
-            index.get(&pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
+            step.index.get(pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
         } else {
             tuples.len()
         };
+        let t_probe = Instant::now();
         let (next, step_truncated) = match join_partitions(env, work) {
             Some(nparts) => {
-                max_fanout = max_fanout.max(nparts);
+                run.fanout = run.fanout.max(nparts);
                 step.parallel(&tuples, nparts, single_proto)
             }
             None => step.serial(&tuples),
         };
-        truncated |= step_truncated;
+        run.probe_nanos += t_probe.elapsed().as_nanos() as u64;
+        run.truncated |= step_truncated;
         tuples = next;
         if tuples.len() == 0 {
-            return (tuples, truncated, max_fanout);
+            return (tuples, run);
         }
     }
-    (tuples, truncated, max_fanout)
+    (tuples, run)
 }
 
 /// One ref-join step: everything shared by its serial and parallel drives.
@@ -311,7 +477,7 @@ struct JoinStep<'s, 'a> {
     env: &'s ExecEnv<'a>,
     parts: &'s PartTable<'a>,
     a: &'s AnalyzedMultievent,
-    index: &'s HashMap<u64, Vec<EventRef>>,
+    index: &'s StepIndex,
     bound_vars: &'s [usize],
     pattern: usize,
     subject: usize,
@@ -338,7 +504,7 @@ impl JoinStep<'_, '_> {
         for (slot, &v) in ids.iter_mut().zip(self.bound_vars) {
             *slot = tvars[v];
         }
-        let Some(matches) = self.index.get(&pack(ids)) else {
+        let Some(matches) = self.index.get(pack(ids)) else {
             return false;
         };
         let (mlo, mhi) = range.unwrap_or((0, matches.len()));
@@ -379,10 +545,7 @@ impl JoinStep<'_, '_> {
         let max = env.config.max_intermediate;
         let pool = env.pool.as_ref().expect("parallel join requires the pool");
         let work = if single_proto {
-            self.index
-                .get(&pack([NO_VAR; 2]))
-                .map(Vec::len)
-                .unwrap_or(0)
+            self.index.get(pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
         } else {
             tuples.len()
         };
@@ -474,7 +637,7 @@ fn temporal_ok_refs(
 
 /// The seed's materializing join (kept intact for the ablation benches):
 /// candidates are full events and the frontier clones them per tuple.
-fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, bool) {
+fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, JoinRun) {
     let a = env.a;
     let n = a.patterns.len();
     let nvars = a.vars.len();
@@ -486,7 +649,10 @@ fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, b
         events: vec![None; n],
         vars: vec![None; nvars],
     }];
-    let mut truncated = false;
+    let mut run = JoinRun {
+        fanout: 1,
+        ..JoinRun::default()
+    };
 
     for &i in &join_order {
         let p = &a.patterns[i];
@@ -507,6 +673,7 @@ fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, b
             .copied()
             .filter(|&v| tuples.first().map(|t| t.vars[v].is_some()).unwrap_or(false))
             .collect();
+        let t_build = Instant::now();
         let mut index: HashMap<Vec<EntityId>, Vec<&Event>> = HashMap::new();
         for e in events {
             if p.subject == p.object && e.subject != e.object {
@@ -518,6 +685,8 @@ fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, b
                 .collect();
             index.entry(key).or_default().push(e);
         }
+        run.build_nanos += t_build.elapsed().as_nanos() as u64;
+        let t_probe = Instant::now();
         'tuples: for t in &tuples {
             let key: Vec<EntityId> = proto_bound
                 .iter()
@@ -536,17 +705,18 @@ fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, b
                 nt.vars[p.object] = Some(e.object);
                 next.push(nt);
                 if next.len() >= env.config.max_intermediate {
-                    truncated = true;
+                    run.truncated = true;
                     break 'tuples;
                 }
             }
         }
+        run.probe_nanos += t_probe.elapsed().as_nanos() as u64;
         tuples = next;
         if tuples.is_empty() {
-            return (tuples, truncated);
+            return (tuples, run);
         }
     }
-    (tuples, truncated)
+    (tuples, run)
 }
 
 /// Verifies every temporal relationship between pattern `i`'s candidate

@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use aiql_model::{EntityId, Event, Timestamp};
-use aiql_storage::{EventFilter, EventStore, IdSet, PartitionKey, Segment};
+use aiql_storage::{EventFilter, EventStore, IdSet, Partition, PartitionKey};
 
 use crate::analyze::AnalyzedMultievent;
 use crate::engine::EngineConfig;
@@ -59,13 +59,15 @@ pub struct Tuple {
     pub vars: Vec<Option<EntityId>>,
 }
 
-/// A row reference: index into the query's partition table plus the row
-/// inside that partition's segment. 8 bytes instead of the 56-byte `Event`.
+/// A row reference: index into the query's partition table plus the flat
+/// row inside that partition's segment run. 8 bytes instead of the 56-byte
+/// `Event`. Segment compaction preserves flat row addresses, so refs stay
+/// valid across layout rewrites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventRef {
     /// Index into [`PartTable::keys`].
     pub part: u32,
-    /// Row inside the partition's segment.
+    /// Flat row inside the partition.
     pub row: u32,
 }
 
@@ -149,17 +151,17 @@ impl RefArena {
 /// order), so a sorted key lookup gives the partition index.
 pub struct PartTable<'a> {
     pub(crate) keys: Vec<PartitionKey>,
-    pub(crate) segs: Vec<&'a Segment>,
+    pub(crate) parts: Vec<&'a Partition>,
 }
 
 impl<'a> PartTable<'a> {
     pub(crate) fn build(store: &'a EventStore) -> Self {
         let keys = store.partition_list();
-        let segs = keys
+        let parts = keys
             .iter()
-            .map(|&k| store.segment(k).expect("listed partition exists"))
+            .map(|&k| store.partition(k).expect("listed partition exists"))
             .collect();
-        PartTable { keys, segs }
+        PartTable { keys, parts }
     }
 
     #[inline]
@@ -170,35 +172,35 @@ impl<'a> PartTable<'a> {
     }
 
     #[inline]
-    pub(crate) fn seg(&self, r: EventRef) -> &'a Segment {
-        self.segs[r.part as usize]
+    pub(crate) fn part(&self, r: EventRef) -> &'a Partition {
+        self.parts[r.part as usize]
     }
 
     #[inline]
     pub(crate) fn subject(&self, r: EventRef) -> EntityId {
-        self.seg(r).subject_at(r.row)
+        self.part(r).subject_at(r.row)
     }
 
     #[inline]
     pub(crate) fn object(&self, r: EventRef) -> EntityId {
-        self.seg(r).object_at(r.row)
+        self.part(r).object_at(r.row)
     }
 
     #[inline]
     pub(crate) fn start(&self, r: EventRef) -> Timestamp {
-        self.seg(r).start_at(r.row)
+        self.part(r).start_at(r.row)
     }
 
     #[inline]
     pub(crate) fn end(&self, r: EventRef) -> Timestamp {
-        self.seg(r).end_at(r.row)
+        self.part(r).end_at(r.row)
     }
 
     /// Materializes the referenced event (the single materialization point
     /// of the late path).
     #[inline]
     pub(crate) fn event(&self, r: EventRef) -> Event {
-        self.seg(r)
+        self.part(r)
             .event_at(self.keys[r.part as usize].agent, r.row as usize)
     }
 }
@@ -335,6 +337,12 @@ pub struct OpStat {
     pub rows_out: usize,
     /// Parallel fan-out used (1 = serial).
     pub fanout: usize,
+    /// Hash-index build time (joins only, 0 elsewhere): nanoseconds spent
+    /// building the per-step candidate indexes, summed over join steps.
+    pub build_nanos: u64,
+    /// Probe time (joins only, 0 elsewhere): nanoseconds spent driving the
+    /// frontier through the indexes, summed over join steps.
+    pub probe_nanos: u64,
 }
 
 /// Tuple in/out accounting returned by each operator run.
@@ -343,6 +351,9 @@ pub struct OpIo {
     pub rows_in: usize,
     pub rows_out: usize,
     pub fanout: usize,
+    /// Join-only build/probe timing split (see [`OpStat`]).
+    pub build_nanos: u64,
+    pub probe_nanos: u64,
 }
 
 /// The uniform physical-operator interface: one batch-oriented `run` over
@@ -384,6 +395,8 @@ impl PlanNode {
             rows_in: io.rows_in,
             rows_out: io.rows_out,
             fanout: io.fanout.max(1),
+            build_nanos: io.build_nanos,
+            probe_nanos: io.probe_nanos,
         });
         Ok(())
     }

@@ -77,6 +77,7 @@ impl Operator for Project {
             rows_in,
             rows_out,
             fanout: 1,
+            ..OpIo::default()
         })
     }
 }

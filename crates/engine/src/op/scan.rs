@@ -93,6 +93,7 @@ impl Operator for PatternScan {
                     rows_in: estimate,
                     rows_out: 0,
                     fanout,
+                    ..OpIo::default()
                 });
             }
             if env.config.semi_join_pushdown {
@@ -126,6 +127,7 @@ impl Operator for PatternScan {
                     rows_in: estimate,
                     rows_out: 0,
                     fanout,
+                    ..OpIo::default()
                 });
             }
             if env.config.semi_join_pushdown {
@@ -151,6 +153,7 @@ impl Operator for PatternScan {
             rows_in: estimate,
             rows_out: fetched,
             fanout,
+            ..OpIo::default()
         })
     }
 }
@@ -275,10 +278,11 @@ fn scan_refs(
     let table = &env.parts;
     let collect_part = |key: PartitionKey, out: &mut Vec<EventRef>| {
         let part = table.index_of(key);
-        let seg = table.segs[part as usize];
+        let partition = table.parts[part as usize];
         for row in env.store.select_partition(key, filter) {
             let r = EventRef { part, row };
-            if residual.is_empty() || residual_ok(&seg.event_at(key.agent, row as usize), residual)
+            if residual.is_empty()
+                || residual_ok(&partition.event_at(key.agent, row as usize), residual)
             {
                 out.push(r);
             }

@@ -89,6 +89,7 @@ impl Operator for SemiJoinNarrow {
             rows_in: bound_in,
             rows_out: pushed,
             fanout: 1,
+            ..OpIo::default()
         })
     }
 }

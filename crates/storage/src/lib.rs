@@ -16,9 +16,15 @@
 //!   ([`IdSet`]), and callers read fields through cheap column accessors
 //!   instead of materialized events.
 //! * **Time and space partitioning / hypertable** — events live in
-//!   [`Segment`]s keyed by ⟨agent id, time bucket⟩ ([`PartitionKey`]); the
-//!   engine enumerates only the partitions a query's global constraints
-//!   allow and executes them in parallel.
+//!   [`Partition`]s keyed by ⟨agent id, time bucket⟩ ([`PartitionKey`]),
+//!   each an ordered run of columnar [`Segment`]s (one sealed per batch
+//!   commit); the engine enumerates only the partitions a query's global
+//!   constraints allow and executes them in parallel.
+//! * **Segment compaction** — many small commits fragment a partition into
+//!   many small segments; a size-tiered merge
+//!   ([`EventStore::compact`], automatic per commit by default) rewrites
+//!   adjacent small segments into dense runs while preserving the flat row
+//!   addresses the engine's `EventRef`s carry.
 //! * **Persistence** — a write-ahead log ([`wal`]) with CRC-protected
 //!   framing, and full binary [`snapshot`]s of a store.
 //!
@@ -33,6 +39,7 @@ pub mod codec;
 pub mod entities;
 pub mod filter;
 pub mod ingest;
+pub mod partition;
 pub mod segment;
 pub mod snapshot;
 pub mod stats;
@@ -42,7 +49,8 @@ pub mod wal;
 pub use entities::{AttrCmp, EntityConstraint, EntityStore};
 pub use filter::{EventFilter, IdSet, OpSet};
 pub use ingest::{EntitySpec, RawEvent};
+pub use partition::Partition;
 pub use segment::{PartitionKey, Segment};
 pub use stats::{SegmentStats, StoreStats};
-pub use store::{EventStore, SharedStore, StoreConfig};
+pub use store::{CompactionReport, EventStore, SharedStore, StoreConfig};
 pub use wal::{Wal, WalError};

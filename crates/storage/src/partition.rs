@@ -1,0 +1,497 @@
+//! A hypertable partition: an ordered run of columnar [`Segment`]s.
+//!
+//! Batch-commit ingest (the paper's write-throughput optimization) seals
+//! one new segment per commit, so a partition receiving many small commits
+//! fragments into many small segments — every scan then pays per-segment
+//! setup, posting-list unions across tiny lists, and sparse selection
+//! vectors. [`Partition::compact`] merges adjacent small segments back into
+//! dense runs under a size-tiered policy.
+//!
+//! The partition exposes a **flat row address space**: row `r` is the
+//! `r`-th event of the concatenation of its segments in commit order.
+//! Compaction rewrites the physical segments but concatenates them in the
+//! same order, so flat row indices — the `row` half of the engine's
+//! `EventRef` — are *invariant* under compaction: candidate lists, join
+//! keys, and selection vectors built before a compaction stay valid after
+//! it.
+
+use aiql_model::{AgentId, Event, EventId, Operation, Timestamp};
+
+use crate::filter::EventFilter;
+use crate::segment::Segment;
+use crate::stats::SegmentStats;
+
+/// One partition's segment run plus its mutation epoch.
+#[derive(Debug, Default)]
+pub struct Partition {
+    /// Sealed segments in commit order (the last one is the open tail for
+    /// row-at-a-time insertion paths such as snapshot replay).
+    segments: Vec<Segment>,
+    /// Flat-row base of each segment: `bases[i]` is the partition-global
+    /// row index of segment `i`'s first row. Ascending; `bases[0] == 0`.
+    bases: Vec<u32>,
+    /// Total rows across segments (== `bases.last() + segments.last().len()`).
+    rows: usize,
+    /// Mutation epoch of this partition: bumped on every appended event and
+    /// on every layout rewrite (compaction). Plan caches scope their
+    /// invalidation to the partitions a cached estimate actually read, so
+    /// ingest into — or compaction of — one time bucket leaves cached plans
+    /// over other buckets hot.
+    epoch: u64,
+}
+
+impl Partition {
+    /// Creates an empty partition.
+    pub fn new() -> Self {
+        Partition::default()
+    }
+
+    /// Mutation epoch of this partition (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Restores a persisted epoch (snapshot loading replays events through
+    /// the insertion paths, so the counter must be re-seeded afterwards to
+    /// keep the vector monotone across save/load cycles).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Total events across all segments.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the partition holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of segments (the fragmentation measure: 1 = fully dense).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments in commit order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Earliest event start time (None when empty).
+    pub fn min_time(&self) -> Option<Timestamp> {
+        self.segments.iter().filter_map(Segment::min_time).min()
+    }
+
+    /// Latest event start time (None when empty).
+    pub fn max_time(&self) -> Option<Timestamp> {
+        self.segments.iter().filter_map(Segment::max_time).max()
+    }
+
+    /// Appends one batch commit as a freshly sealed segment (empty batches
+    /// seal nothing). Bumps the epoch once per appended event, matching the
+    /// per-event granularity row-at-a-time insertion has.
+    pub(crate) fn append_commit(&mut self, agent: AgentId, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        let mut seg = Segment::new();
+        for e in events {
+            seg.push(agent, e);
+        }
+        self.bases.push(self.rows as u32);
+        self.rows += seg.len();
+        self.epoch += events.len() as u64;
+        self.segments.push(seg);
+    }
+
+    /// Appends one event to the open tail segment (creating it when the
+    /// partition is empty). Snapshot replay uses this so a loaded partition
+    /// starts as one dense run; [`Partition::apply_layout`] re-splits it
+    /// when the snapshot recorded a fragmented layout.
+    pub(crate) fn push_tail(&mut self, agent: AgentId, event: &Event) {
+        if self.segments.is_empty() {
+            self.segments.push(Segment::new());
+            self.bases.push(0);
+        }
+        self.segments
+            .last_mut()
+            .expect("tail exists")
+            .push(agent, event);
+        self.rows += 1;
+        self.epoch += 1;
+    }
+
+    /// Locates the segment owning flat row `row`: ⟨segment index, local
+    /// row⟩. Single-segment partitions (the compacted steady state) resolve
+    /// without the search.
+    #[inline]
+    fn locate(&self, row: u32) -> (usize, u32) {
+        if self.segments.len() == 1 {
+            return (0, row);
+        }
+        let i = match self.bases.binary_search(&row) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (i, row - self.bases[i])
+    }
+
+    /// Materializes the event at flat row `row`.
+    #[inline]
+    pub fn event_at(&self, agent: AgentId, row: usize) -> Event {
+        let (seg, local) = self.locate(row as u32);
+        self.segments[seg].event_at(agent, local as usize)
+    }
+
+    /// Event id column accessor (flat row).
+    #[inline]
+    pub fn id_at(&self, row: u32) -> EventId {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].id_at(local)
+    }
+
+    /// Operation column accessor (flat row).
+    #[inline]
+    pub fn op_at(&self, row: u32) -> Operation {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].op_at(local)
+    }
+
+    /// Subject entity column accessor (flat row).
+    #[inline]
+    pub fn subject_at(&self, row: u32) -> aiql_model::EntityId {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].subject_at(local)
+    }
+
+    /// Object entity column accessor (flat row).
+    #[inline]
+    pub fn object_at(&self, row: u32) -> aiql_model::EntityId {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].object_at(local)
+    }
+
+    /// Start-time column accessor (flat row).
+    #[inline]
+    pub fn start_at(&self, row: u32) -> Timestamp {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].start_at(local)
+    }
+
+    /// End-time column accessor (flat row).
+    #[inline]
+    pub fn end_at(&self, row: u32) -> Timestamp {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].end_at(local)
+    }
+
+    /// Amount column accessor (flat row).
+    #[inline]
+    pub fn amount_at(&self, row: u32) -> u64 {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].amount_at(local)
+    }
+
+    /// Events with the given operation, summed across segments.
+    pub fn op_count(&self, op: Operation) -> usize {
+        self.segments.iter().map(|s| s.op_count(op)).sum()
+    }
+
+    /// Whether any segment can contain matches for the filter's window.
+    pub fn overlaps_window(&self, filter: &EventFilter) -> bool {
+        self.segments.iter().any(|s| s.overlaps_window(filter))
+    }
+
+    /// Selection-vector scan over every segment: per-segment sorted row ids
+    /// are offset by the segment base and concatenated, which keeps the
+    /// partition-global output sorted (bases ascend in commit order).
+    pub fn select(
+        &self,
+        agent: AgentId,
+        filter: &EventFilter,
+        cost_based: bool,
+        vectorized: bool,
+    ) -> Vec<u32> {
+        match self.segments.as_slice() {
+            [] => Vec::new(),
+            [seg] => seg.select(agent, filter, cost_based, vectorized),
+            segs => {
+                let mut out = Vec::new();
+                for (seg, &base) in segs.iter().zip(&self.bases) {
+                    let rows = seg.select(agent, filter, cost_based, vectorized);
+                    out.extend(rows.into_iter().map(|r| r + base));
+                }
+                out
+            }
+        }
+    }
+
+    /// Index-assisted scan across segments in commit order.
+    pub fn scan(&self, agent: AgentId, filter: &EventFilter, f: &mut dyn FnMut(&Event)) {
+        for seg in &self.segments {
+            seg.scan(agent, filter, f);
+        }
+    }
+
+    /// Unconditional per-row scan across segments in commit order (the
+    /// unoptimized access path).
+    pub fn scan_full(&self, agent: AgentId, filter: &EventFilter, f: &mut dyn FnMut(&Event)) {
+        for seg in &self.segments {
+            seg.scan_full(agent, filter, f);
+        }
+    }
+
+    /// Estimated match count for a filter, summed across segments.
+    pub fn estimate(&self, filter: &EventFilter) -> usize {
+        self.segments.iter().map(|s| s.estimate(filter)).sum()
+    }
+
+    /// Partition-level statistics: per-segment stats summed. Distinct
+    /// subject/object counts are summed too — an upper bound when entities
+    /// repeat across segments (exact again once compacted to one segment).
+    pub fn stats(&self) -> SegmentStats {
+        let mut agg = SegmentStats {
+            events: 0,
+            per_op: [0; aiql_model::OPERATION_COUNT],
+            distinct_subjects: 0,
+            distinct_objects: 0,
+            min_time: self.min_time().unwrap_or(Timestamp(0)),
+            max_time: self.max_time().unwrap_or(Timestamp(0)),
+        };
+        for seg in &self.segments {
+            let s = seg.stats();
+            agg.events += s.events;
+            for (a, b) in agg.per_op.iter_mut().zip(s.per_op) {
+                *a += b;
+            }
+            agg.distinct_subjects += s.distinct_subjects;
+            agg.distinct_objects += s.distinct_objects;
+        }
+        agg
+    }
+
+    /// Size-tiered compaction: greedily merges adjacent runs of segments
+    /// whose combined rows fit `max_rows` into one dense segment, left to
+    /// right. Returns whether the layout changed; a change bumps the epoch
+    /// once (the rewrite invalidates plan-cache entries over this partition
+    /// only — the compaction guarantee the engine's partition-scoped
+    /// invalidation relies on). Flat row indices are preserved (see the
+    /// module docs), so no reader-visible state changes besides density.
+    pub(crate) fn compact(&mut self, max_rows: usize) -> bool {
+        if self.segments.len() < 2 {
+            return false;
+        }
+        let mut out: Vec<Segment> = Vec::new();
+        let mut run: Vec<Segment> = Vec::new();
+        let mut run_rows = 0usize;
+        let mut changed = false;
+        let flush =
+            |run: &mut Vec<Segment>, changed: &mut bool, out: &mut Vec<Segment>| match run.len() {
+                0 => {}
+                1 => out.push(run.pop().expect("single-segment run")),
+                _ => {
+                    out.push(Segment::merge(run));
+                    run.clear();
+                    *changed = true;
+                }
+            };
+        for seg in std::mem::take(&mut self.segments) {
+            if !run.is_empty() && run_rows + seg.len() > max_rows {
+                flush(&mut run, &mut changed, &mut out);
+                run_rows = 0;
+            }
+            run_rows += seg.len();
+            run.push(seg);
+        }
+        flush(&mut run, &mut changed, &mut out);
+        self.segments = out;
+        self.rebuild_bases();
+        if changed {
+            self.epoch += 1;
+        }
+        changed
+    }
+
+    /// Re-splits the partition's flat rows into segments of the given
+    /// lengths (snapshot loading restores the persisted physical layout
+    /// with this — replay first lands everything in one tail segment).
+    /// Lengths must sum to the current row count; a mismatched layout is
+    /// ignored (the dense single-segment replay layout stands).
+    pub(crate) fn apply_layout(&mut self, agent: AgentId, lens: &[u32]) {
+        let total: u64 = lens.iter().map(|&l| u64::from(l)).sum();
+        if total != self.rows as u64 || lens.contains(&0) || lens.len() <= 1 {
+            return;
+        }
+        let mut segments = Vec::with_capacity(lens.len());
+        let mut row = 0usize;
+        for &len in lens {
+            let mut seg = Segment::new();
+            for _ in 0..len {
+                seg.push(agent, &self.event_at(agent, row));
+                row += 1;
+            }
+            segments.push(seg);
+        }
+        self.segments = segments;
+        self.rebuild_bases();
+    }
+
+    fn rebuild_bases(&mut self) {
+        self.bases.clear();
+        let mut base = 0u32;
+        for seg in &self.segments {
+            self.bases.push(base);
+            base += seg.len() as u32;
+        }
+        self.rows = base as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{EventFilter, OpSet};
+    use aiql_model::{EntityId, TimeWindow};
+
+    fn mk_event(id: u64, op: Operation, subj: u32, obj: u32, t: i64) -> Event {
+        Event {
+            id: EventId(id),
+            agent: AgentId(1),
+            op,
+            subject: EntityId(subj),
+            object: EntityId(obj),
+            start_time: Timestamp(t),
+            end_time: Timestamp(t + 10),
+            amount: id * 3,
+        }
+    }
+
+    fn fragmented(commits: usize, per_commit: usize) -> Partition {
+        let mut p = Partition::new();
+        let mut id = 0u64;
+        for _ in 0..commits {
+            let events: Vec<Event> = (0..per_commit)
+                .map(|_| {
+                    let e = mk_event(
+                        id,
+                        match id % 3 {
+                            0 => Operation::Read,
+                            1 => Operation::Write,
+                            _ => Operation::Connect,
+                        },
+                        (id % 5) as u32,
+                        10 + (id % 4) as u32,
+                        id as i64 * 7,
+                    );
+                    id += 1;
+                    e
+                })
+                .collect();
+            p.append_commit(AgentId(1), &events);
+        }
+        p
+    }
+
+    #[test]
+    fn commits_seal_segments_and_flat_rows_concatenate() {
+        let p = fragmented(5, 4);
+        assert_eq!(p.segment_count(), 5);
+        assert_eq!(p.len(), 20);
+        for row in 0..20u32 {
+            assert_eq!(p.id_at(row), EventId(u64::from(row)), "row {row}");
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_flat_rows_and_scans() {
+        let mut p = fragmented(7, 3);
+        let filter = EventFilter::all().with_ops(OpSet::from_ops(&[Operation::Read]));
+        let before_select = p.select(AgentId(1), &filter, true, true);
+        let before: Vec<Event> = (0..p.len()).map(|r| p.event_at(AgentId(1), r)).collect();
+        let epoch_before = p.epoch();
+        assert!(p.compact(usize::MAX));
+        assert_eq!(p.segment_count(), 1);
+        assert_eq!(p.epoch(), epoch_before + 1, "layout rewrite bumps once");
+        let after: Vec<Event> = (0..p.len()).map(|r| p.event_at(AgentId(1), r)).collect();
+        assert_eq!(before, after, "flat rows invariant under compaction");
+        assert_eq!(before_select, p.select(AgentId(1), &filter, true, true));
+        assert!(!p.compact(usize::MAX), "already dense: no-op");
+    }
+
+    #[test]
+    fn tiered_compaction_respects_max_rows() {
+        let mut p = fragmented(6, 10); // 60 rows in 6 segments
+        assert!(p.compact(25));
+        // Greedy runs of ≤25 rows: 2+2+2 segments → 3 merged runs of 20.
+        assert_eq!(p.segment_count(), 3);
+        assert!(p.segments().iter().all(|s| s.len() <= 25));
+        assert_eq!(p.len(), 60);
+    }
+
+    #[test]
+    fn oversized_segment_survives_compaction_alone() {
+        let mut p = Partition::new();
+        let big: Vec<Event> = (0..30)
+            .map(|i| mk_event(i, Operation::Read, 1, 2, i as i64))
+            .collect();
+        p.append_commit(AgentId(1), &big);
+        let small: Vec<Event> = (30..34)
+            .map(|i| mk_event(i, Operation::Write, 1, 2, i as i64))
+            .collect();
+        p.append_commit(AgentId(1), &small);
+        p.append_commit(
+            AgentId(1),
+            &small
+                .iter()
+                .map(|e| {
+                    let mut e = *e;
+                    e.id = EventId(e.id.raw() + 4);
+                    e
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert!(p.compact(10));
+        // The 30-row segment exceeds the tier but must stand; the two small
+        // commits merge.
+        assert_eq!(p.segment_count(), 2);
+        assert_eq!(p.segments()[0].len(), 30);
+        assert_eq!(p.segments()[1].len(), 8);
+    }
+
+    #[test]
+    fn select_matches_scan_full_across_fragmentation() {
+        let p = fragmented(9, 5);
+        let filters = [
+            EventFilter::all(),
+            EventFilter::all().with_ops(OpSet::from_ops(&[Operation::Write])),
+            EventFilter::all().with_window(TimeWindow::new(Timestamp(30), Timestamp(200))),
+        ];
+        for filter in filters {
+            let rows = p.select(AgentId(1), &filter, true, true);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted flat rows");
+            let got: Vec<EventId> = rows.iter().map(|&r| p.id_at(r)).collect();
+            let mut want = Vec::new();
+            p.scan_full(AgentId(1), &filter, &mut |e| want.push(e.id));
+            assert_eq!(got, want, "filter {filter:?}");
+        }
+    }
+
+    #[test]
+    fn apply_layout_resplits_tail() {
+        let mut replay = Partition::new();
+        let frag = fragmented(4, 3);
+        for r in 0..frag.len() {
+            replay.push_tail(AgentId(1), &frag.event_at(AgentId(1), r));
+        }
+        assert_eq!(replay.segment_count(), 1);
+        replay.apply_layout(AgentId(1), &[3, 3, 3, 3]);
+        assert_eq!(replay.segment_count(), 4);
+        for r in 0..frag.len() as u32 {
+            assert_eq!(replay.id_at(r), frag.id_at(r));
+        }
+        // Mismatched layouts are ignored.
+        replay.apply_layout(AgentId(1), &[5, 5]);
+        assert_eq!(replay.segment_count(), 4);
+    }
+}

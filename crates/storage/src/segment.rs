@@ -50,11 +50,6 @@ pub struct Segment {
     obj_index: HashMap<EntityId, Vec<u32>>,
     min_time: i64,
     max_time: i64,
-    /// Mutation epoch of this partition: bumped on every appended event.
-    /// Plan caches scope their invalidation to the partitions a cached
-    /// estimate actually read, so ingest into one time bucket leaves
-    /// cached plans over other buckets hot.
-    epoch: u64,
 }
 
 impl Default for Segment {
@@ -79,20 +74,7 @@ impl Segment {
             obj_index: HashMap::new(),
             min_time: i64::MAX,
             max_time: i64::MIN,
-            epoch: 0,
         }
-    }
-
-    /// Mutation epoch of this partition (see the field docs).
-    pub fn epoch(&self) -> u64 {
-        self.epoch
-    }
-
-    /// Restores a persisted epoch (snapshot loading replays events through
-    /// [`Segment::push`], so the counter must be re-seeded afterwards to
-    /// keep the vector monotone across save/load cycles).
-    pub(crate) fn set_epoch(&mut self, epoch: u64) {
-        self.epoch = epoch;
     }
 
     /// Number of events in the segment.
@@ -132,7 +114,54 @@ impl Segment {
         self.obj_index.entry(e.object).or_default().push(row);
         self.min_time = self.min_time.min(e.start_time.micros());
         self.max_time = self.max_time.max(e.start_time.micros());
-        self.epoch += 1;
+    }
+
+    /// Merges adjacent segments of one partition into a single dense
+    /// segment. Columns are rewritten in commit order (the concatenation of
+    /// the inputs), so an event's partition-global row index — its position
+    /// in the concatenation — is unchanged: `EventRef` candidate lists and
+    /// join keys built before the merge stay valid. Posting lists and the
+    /// subject/object hash indexes are rebuilt by offsetting each input's
+    /// (already sorted) row lists, which keeps every merged list sorted
+    /// without a comparison pass.
+    pub(crate) fn merge(parts: &[Segment]) -> Segment {
+        let total: usize = parts.iter().map(Segment::len).sum();
+        let mut out = Segment::new();
+        out.ids.reserve_exact(total);
+        out.ops.reserve_exact(total);
+        out.subjects.reserve_exact(total);
+        out.objects.reserve_exact(total);
+        out.start_times.reserve_exact(total);
+        out.end_times.reserve_exact(total);
+        out.amounts.reserve_exact(total);
+        let mut base = 0u32;
+        for p in parts {
+            out.ids.extend_from_slice(&p.ids);
+            out.ops.extend_from_slice(&p.ops);
+            out.subjects.extend_from_slice(&p.subjects);
+            out.objects.extend_from_slice(&p.objects);
+            out.start_times.extend_from_slice(&p.start_times);
+            out.end_times.extend_from_slice(&p.end_times);
+            out.amounts.extend_from_slice(&p.amounts);
+            for (op, rows) in p.op_postings.iter().enumerate() {
+                out.op_postings[op].extend(rows.iter().map(|&r| r + base));
+            }
+            for (index, src) in [
+                (&mut out.subj_index, &p.subj_index),
+                (&mut out.obj_index, &p.obj_index),
+            ] {
+                for (&id, rows) in src {
+                    index
+                        .entry(id)
+                        .or_default()
+                        .extend(rows.iter().map(|&r| r + base));
+                }
+            }
+            out.min_time = out.min_time.min(p.min_time);
+            out.max_time = out.max_time.max(p.max_time);
+            base += p.len() as u32;
+        }
+        out
     }
 
     /// Materializes the event at `row`.
@@ -577,26 +606,38 @@ impl Segment {
 /// K-way sort-merge union of sorted, pairwise-disjoint row lists (posting
 /// lists for distinct entities or operations never share a row, so no dedup
 /// pass is needed — only ordering).
+///
+/// The ≥3-list case is a single-pass k-way merge over a min-heap of list
+/// cursors: one output buffer sized to the total, one heap of at most `k`
+/// entries. The pairwise-merge tournament this replaces allocated (and then
+/// threw away) a fresh `Vec` per pairwise merge — O(k) intermediate buffers
+/// re-copying every element O(log k) times.
 pub(crate) fn merge_sorted(lists: &[&[u32]]) -> Vec<u32> {
     match lists.len() {
         0 => Vec::new(),
         1 => lists[0].to_vec(),
         2 => merge_two(lists[0], lists[1]),
         _ => {
-            // Tournament of pairwise merges: O(total · log k).
-            let mut round: Vec<Vec<u32>> = lists.iter().map(|l| l.to_vec()).collect();
-            while round.len() > 1 {
-                let mut next = Vec::with_capacity(round.len().div_ceil(2));
-                let mut it = round.chunks_exact(2);
-                for pair in &mut it {
-                    next.push(merge_two(&pair[0], &pair[1]));
+            let total: usize = lists.iter().map(|l| l.len()).sum();
+            let mut out = Vec::with_capacity(total);
+            // Heap entries are ⟨head value, list index⟩; `Reverse` turns the
+            // max-heap into the min-heap a merge needs. Cursors track each
+            // list's next unconsumed position.
+            let mut cursors = vec![0usize; lists.len()];
+            let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, usize)>> = lists
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.is_empty())
+                .map(|(i, l)| std::cmp::Reverse((l[0], i)))
+                .collect();
+            while let Some(std::cmp::Reverse((v, i))) = heap.pop() {
+                out.push(v);
+                cursors[i] += 1;
+                if let Some(&next) = lists[i].get(cursors[i]) {
+                    heap.push(std::cmp::Reverse((next, i)));
                 }
-                if let [odd] = it.remainder() {
-                    next.push(odd.clone());
-                }
-                round = next;
             }
-            round.pop().unwrap_or_default()
+            out
         }
     }
 }

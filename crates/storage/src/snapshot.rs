@@ -23,10 +23,15 @@ use crate::wal::WalError;
 
 /// Legacy format: no epoch vector.
 const MAGIC_V1: &[u8; 4] = b"AQS1";
-/// Current format: v1 plus the store/dictionary epochs and the
-/// per-partition epoch vector, so partition-scoped plan-cache invalidation
-/// stays monotone across save/load cycles.
-const MAGIC: &[u8; 4] = b"AQS2";
+/// v1 plus the store/dictionary epochs and the per-partition epoch vector,
+/// so partition-scoped plan-cache invalidation stays monotone across
+/// save/load cycles.
+const MAGIC_V2: &[u8; 4] = b"AQS2";
+/// Current format: v2 plus the per-partition segment layout (row counts per
+/// sealed segment), so a reloaded store reproduces the exact physical
+/// fragmentation/compaction state. Loading still accepts v1 (no epochs, no
+/// layout) and v2 (epochs, dense single-segment layout).
+const MAGIC: &[u8; 4] = b"AQS3";
 
 /// Writes a snapshot of `store` to `path`.
 pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
@@ -37,6 +42,11 @@ pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
     buf.put_u8(u8::from(cfg.dedup));
     buf.put_i64_le(cfg.dedup_window.micros());
     codec::put_varint(&mut buf, cfg.batch_size as u64);
+    // Compaction policy (v3): persisted so a reloaded store keeps the
+    // ingest-time layout behavior.
+    buf.put_u8(u8::from(cfg.compaction));
+    codec::put_varint(&mut buf, cfg.compaction_min_segments as u64);
+    codec::put_varint(&mut buf, cfg.compaction_max_rows as u64);
     // String dictionary, in symbol order.
     let interner = store.interner();
     codec::put_varint(&mut buf, interner.len() as u64);
@@ -64,6 +74,18 @@ pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
         buf.put_i64_le(key.bucket);
         codec::put_varint(&mut buf, epoch);
     }
+    // Segment layout (v3): per partition, the row count of each sealed
+    // segment in commit order.
+    let layouts = store.segment_layouts();
+    codec::put_varint(&mut buf, layouts.len() as u64);
+    for (key, lens) in layouts {
+        buf.put_u32_le(key.agent.raw());
+        buf.put_i64_le(key.bucket);
+        codec::put_varint(&mut buf, lens.len() as u64);
+        for len in lens {
+            codec::put_varint(&mut buf, u64::from(len));
+        }
+    }
 
     let crc = codec::crc32(&buf);
     let mut file = BufWriter::new(File::create(path)?);
@@ -80,9 +102,10 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
     let mut reader = BufReader::new(File::open(path)?);
     let mut header = [0u8; 16];
     reader.read_exact(&mut header)?;
-    let has_epochs = match &header[0..4] {
-        m if m == MAGIC => true,
-        m if m == MAGIC_V1 => false,
+    let (has_epochs, has_layout) = match &header[0..4] {
+        m if m == MAGIC => (true, true),
+        m if m == MAGIC_V2 => (true, false),
+        m if m == MAGIC_V1 => (false, false),
         _ => return Err(WalError::BadHeader),
     };
     let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
@@ -99,14 +122,31 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
     let dedup = codec::get_u8(&mut buf)? != 0;
     let dedup_window = aiql_model::Duration(codec::get_i64(&mut buf)?);
     let batch_size = codec::get_varint(&mut buf)? as usize;
+    let defaults = StoreConfig::default();
+    let (compaction, compaction_min_segments, compaction_max_rows) = if has_layout {
+        (
+            codec::get_u8(&mut buf)? != 0,
+            codec::get_varint(&mut buf)? as usize,
+            codec::get_varint(&mut buf)? as usize,
+        )
+    } else {
+        (
+            defaults.compaction,
+            defaults.compaction_min_segments,
+            defaults.compaction_max_rows,
+        )
+    };
     let mut store = EventStore::new(StoreConfig {
         time_bucket,
         dedup,
         dedup_window,
         batch_size,
+        compaction,
+        compaction_min_segments,
+        compaction_max_rows,
         // Scan-path tunables are not persisted — a reloaded store runs with
         // the current defaults.
-        ..StoreConfig::default()
+        ..defaults
     });
 
     // Dictionary: intern in order so symbols keep their ids.
@@ -142,6 +182,23 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
             epochs.push((PartitionKey { agent, bucket }, part_epoch));
         }
         store.restore_epochs(epoch, dict_epoch, &epochs);
+    }
+    // Segment layout (absent in v1/v2 snapshots: replay's dense
+    // single-segment-per-partition layout stands).
+    if has_layout {
+        let nparts = codec::get_varint(&mut buf)?;
+        let mut layouts = Vec::with_capacity(nparts as usize);
+        for _ in 0..nparts {
+            let agent = AgentId(codec::get_u32(&mut buf)?);
+            let bucket = codec::get_i64(&mut buf)?;
+            let nsegs = codec::get_varint(&mut buf)?;
+            let mut lens = Vec::with_capacity(nsegs as usize);
+            for _ in 0..nsegs {
+                lens.push(codec::get_varint(&mut buf)? as u32);
+            }
+            layouts.push((PartitionKey { agent, bucket }, lens));
+        }
+        store.restore_layout(&layouts);
     }
     Ok(store)
 }
@@ -303,6 +360,127 @@ mod tests {
         }
         assert!(loaded.epoch() >= store.epoch());
         assert!(loaded.dict_epoch() >= store.dict_epoch());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrips_fragmented_and_compacted_layouts() {
+        let mk = |compact: bool| {
+            let mut store = EventStore::new(StoreConfig {
+                batch_size: 8,
+                compaction: false,
+                dedup: false,
+                ..StoreConfig::default()
+            });
+            let raws: Vec<RawEvent> = (0..64)
+                .map(|i| {
+                    RawEvent::instant(
+                        AgentId((i % 2) as u32),
+                        Operation::Write,
+                        EntitySpec::process(1, "w.exe", "u"),
+                        EntitySpec::file(&format!("/f{}", i % 5), "u"),
+                        Timestamp::from_secs(i * 120),
+                        1,
+                    )
+                })
+                .collect();
+            store.ingest_all(&raws);
+            if compact {
+                store.compact();
+            }
+            store
+        };
+        for compact in [false, true] {
+            let store = mk(compact);
+            let path = tmpfile(if compact {
+                "layout-dense"
+            } else {
+                "layout-frag"
+            });
+            save(&store, &path).unwrap();
+            let loaded = load(&path).unwrap();
+            assert_eq!(
+                store.segment_layouts(),
+                loaded.segment_layouts(),
+                "compact={compact}: physical layout must round-trip"
+            );
+            assert_eq!(store.config().compaction, loaded.config().compaction);
+            assert_eq!(
+                store.scan_collect(&EventFilter::all()),
+                loaded.scan_collect(&EventFilter::all())
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn v2_snapshot_without_layout_still_loads() {
+        // Hand-build an AQS2 body (no compaction config, no layout
+        // section): the loader must accept it and land every partition in
+        // one dense segment.
+        let store = populated_store();
+        let path = tmpfile("v2-compat");
+        save(&store, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Rewrite the v3 body into a v2 body: drop the 1-byte compaction
+        // flag + two varints right after batch_size, and the trailing
+        // layout section; then re-stamp magic, length, and CRC.
+        let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let body = bytes[16..16 + len].to_vec();
+        let mut cursor = body.as_slice();
+        codec::get_i64(&mut cursor).unwrap(); // time_bucket
+        codec::get_u8(&mut cursor).unwrap(); // dedup
+        codec::get_i64(&mut cursor).unwrap(); // dedup_window
+        codec::get_varint(&mut cursor).unwrap(); // batch_size
+        let keep_prefix = body.len() - cursor.len();
+        let mut after_cfg = cursor;
+        codec::get_u8(&mut after_cfg).unwrap(); // compaction flag
+        codec::get_varint(&mut after_cfg).unwrap(); // min segments
+        codec::get_varint(&mut after_cfg).unwrap(); // max rows
+                                                    // The layout section is everything after the epoch vector; walk the
+                                                    // remaining fields forward to find where it starts.
+        let mut rest = after_cfg;
+        let nstrings = codec::get_varint(&mut rest).unwrap();
+        for _ in 0..nstrings {
+            codec::get_str(&mut rest).unwrap();
+        }
+        let nentities = codec::get_varint(&mut rest).unwrap();
+        for _ in 0..nentities {
+            codec::get_u32(&mut rest).unwrap();
+            decode_attrs(&mut rest).unwrap();
+        }
+        let nevents = codec::get_varint(&mut rest).unwrap();
+        for _ in 0..nevents {
+            decode_event(&mut rest).unwrap();
+        }
+        codec::get_varint(&mut rest).unwrap(); // epoch
+        codec::get_varint(&mut rest).unwrap(); // dict epoch
+        let nparts = codec::get_varint(&mut rest).unwrap();
+        for _ in 0..nparts {
+            codec::get_u32(&mut rest).unwrap();
+            codec::get_i64(&mut rest).unwrap();
+            codec::get_varint(&mut rest).unwrap();
+        }
+        let layout_len = rest.len();
+        let v2_body: Vec<u8> = body[..keep_prefix]
+            .iter()
+            .chain(&body[keep_prefix + (cursor.len() - after_cfg.len())..body.len() - layout_len])
+            .copied()
+            .collect();
+        let crc = codec::crc32(&v2_body);
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(MAGIC_V2);
+        v2.extend_from_slice(&crc.to_le_bytes());
+        v2.extend_from_slice(&(v2_body.len() as u64).to_le_bytes());
+        v2.extend_from_slice(&v2_body);
+        std::fs::write(&path, &v2).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(
+            store.scan_collect(&EventFilter::all()),
+            loaded.scan_collect(&EventFilter::all())
+        );
+        let stats = loaded.stats();
+        assert_eq!(stats.segments, stats.partitions, "v2 replay lands dense");
         std::fs::remove_file(&path).ok();
     }
 

@@ -43,13 +43,22 @@ pub struct StoreStats {
     pub event_bytes: u64,
     /// Approximate resident bytes of the string dictionary.
     pub dict_bytes: u64,
+    /// Total segments across partitions (== `partitions` when every
+    /// partition is fully compacted; higher means fragmentation).
+    pub segments: u64,
+    /// Largest segments-per-partition count (the worst fragmented one).
+    pub max_partition_segments: u64,
+    /// Smallest segment row count (0 when the store is empty).
+    pub min_segment_rows: u64,
+    /// Mean segment row count (`events / segments`, 0 when empty).
+    pub avg_segment_rows: u64,
 }
 
 impl StoreStats {
     /// Human-readable one-line summary for benchmark headers.
     pub fn summary(&self) -> String {
         format!(
-            "{} events ({} raw, {} merged) | {} entities ({} dedup hits) | {} partitions on {} hosts | ~{:.1} MB columns",
+            "{} events ({} raw, {} merged) | {} entities ({} dedup hits) | {} partitions on {} hosts | {} segments (max {}/partition, min {} / avg {} rows) | ~{:.1} MB columns",
             self.events,
             self.raw_events,
             self.merged_events,
@@ -57,6 +66,10 @@ impl StoreStats {
             self.entity_dedup_hits,
             self.partitions,
             self.agents,
+            self.segments,
+            self.max_partition_segments,
+            self.min_segment_rows,
+            self.avg_segment_rows,
             self.event_bytes as f64 / 1_048_576.0,
         )
     }
@@ -79,10 +92,15 @@ mod tests {
             commits: 2,
             event_bytes: 2 * 1_048_576,
             dict_bytes: 1024,
+            segments: 16,
+            max_partition_segments: 3,
+            min_segment_rows: 40,
+            avg_segment_rows: 62,
         };
         let text = s.summary();
         assert!(text.contains("1000 events"));
         assert!(text.contains("8 partitions"));
         assert!(text.contains("4 hosts"));
+        assert!(text.contains("16 segments (max 3/partition, min 40 / avg 62 rows)"));
     }
 }

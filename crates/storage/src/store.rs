@@ -9,7 +9,8 @@ use aiql_model::{AgentId, Duration, EntityId, Event, EventId, Operation, Timesta
 use crate::entities::EntityStore;
 use crate::filter::EventFilter;
 use crate::ingest::RawEvent;
-use crate::segment::{PartitionKey, Segment};
+use crate::partition::Partition;
+use crate::segment::PartitionKey;
 use crate::stats::StoreStats;
 
 /// Tunables of the storage layer. Every optimization can be disabled so the
@@ -41,6 +42,19 @@ pub struct StoreConfig {
     /// compacting); disabled, a branchy per-row closure runs (the PR 1
     /// behavior, kept for ablation).
     pub vectorized_residual: bool,
+    /// Size-tiered segment compaction runs automatically after each commit
+    /// on the partitions the commit touched (explicit
+    /// [`EventStore::compact`] is available either way). Disabled, every
+    /// batch commit leaves its own sealed segment — the fragmented layout
+    /// the compaction ablation measures.
+    pub compaction: bool,
+    /// Minimum segments a partition must accumulate before automatic
+    /// compaction considers it (explicit compaction ignores this floor).
+    pub compaction_min_segments: usize,
+    /// Target tier: adjacent segments merge while their combined rows stay
+    /// within this bound. Segments already larger than the tier are left
+    /// standing.
+    pub compaction_max_rows: usize,
 }
 
 impl Default for StoreConfig {
@@ -54,6 +68,9 @@ impl Default for StoreConfig {
             cost_based_access: true,
             ngram_index: true,
             vectorized_residual: true,
+            compaction: true,
+            compaction_min_segments: 4,
+            compaction_max_rows: 1 << 20,
         }
     }
 }
@@ -70,6 +87,17 @@ struct PendingEvent {
     amount: u64,
 }
 
+/// What one [`EventStore::compact`] pass did, for benches and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Partitions whose segment layout changed.
+    pub partitions_compacted: usize,
+    /// Total segments before the pass.
+    pub segments_before: usize,
+    /// Total segments after the pass.
+    pub segments_after: usize,
+}
+
 /// Source of unique store identities (see [`EventStore::store_id`]).
 static NEXT_STORE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
@@ -78,7 +106,7 @@ static NEXT_STORE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU6
 pub struct EventStore {
     config: StoreConfig,
     entities: EntityStore,
-    partitions: BTreeMap<PartitionKey, Segment>,
+    partitions: BTreeMap<PartitionKey, Partition>,
     buffer: Vec<PendingEvent>,
     next_event_id: u64,
     raw_events: u64,
@@ -157,7 +185,7 @@ impl EventStore {
 
     /// Mutation epoch of one partition (`None` for an unknown key).
     pub fn partition_epoch(&self, key: PartitionKey) -> Option<u64> {
-        self.partitions.get(&key).map(Segment::epoch)
+        self.partitions.get(&key).map(Partition::epoch)
     }
 
     /// The per-partition epoch vector, in partition order. This is what
@@ -165,7 +193,17 @@ impl EventStore {
     pub fn partition_epochs(&self) -> Vec<(PartitionKey, u64)> {
         self.partitions
             .iter()
-            .map(|(&k, seg)| (k, seg.epoch()))
+            .map(|(&k, part)| (k, part.epoch()))
+            .collect()
+    }
+
+    /// The per-partition physical layout (segment row counts in commit
+    /// order), in partition order — what snapshots persist so a reloaded
+    /// store reproduces the exact fragmentation (or compaction) state.
+    pub fn segment_layouts(&self) -> Vec<(PartitionKey, Vec<u32>)> {
+        self.partitions
+            .iter()
+            .map(|(&k, part)| (k, part.segments().iter().map(|s| s.len() as u32).collect()))
             .collect()
     }
 
@@ -283,6 +321,10 @@ impl EventStore {
             batch.sort_by_key(|e| e.start_time);
         }
         let bucket = self.config.time_bucket.micros();
+        // Assign ids in batch order (so ids stay roughly time-monotone as
+        // before), grouping the commit's events per partition: each touched
+        // partition seals the group as one new segment.
+        let mut groups: BTreeMap<PartitionKey, Vec<Event>> = BTreeMap::new();
         for p in batch {
             let id = EventId(self.next_event_id);
             self.next_event_id += 1;
@@ -297,21 +339,67 @@ impl EventStore {
                 amount: p.amount,
             };
             let key = PartitionKey::for_event(p.agent, p.start_time, bucket);
-            self.segment_mut(key).push(p.agent, &event);
+            groups.entry(key).or_default().push(event);
+        }
+        let (auto, min_segments, max_rows) = (
+            self.config.compaction,
+            self.config.compaction_min_segments,
+            self.config.compaction_max_rows,
+        );
+        for (key, events) in groups {
+            let part = self.partition_mut(key);
+            part.append_commit(key.agent, &events);
+            if auto && part.segment_count() >= min_segments.max(2) {
+                part.compact(max_rows);
+            }
         }
         self.commits += 1;
     }
 
-    /// The (created-on-demand) segment of one partition, tracking the
-    /// partition-set epoch when a new partition appears.
-    fn segment_mut(&mut self, key: PartitionKey) -> &mut Segment {
+    /// The (created-on-demand) partition, tracking the partition-set epoch
+    /// when a new one appears.
+    fn partition_mut(&mut self, key: PartitionKey) -> &mut Partition {
         match self.partitions.entry(key) {
             std::collections::btree_map::Entry::Vacant(v) => {
                 self.partition_set_epoch += 1;
-                v.insert(Segment::new())
+                v.insert(Partition::new())
             }
             std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
         }
+    }
+
+    /// Explicitly compacts every fragmented partition to the configured
+    /// tier (`compaction_max_rows`), regardless of the automatic policy.
+    /// Only the partitions whose layout actually changed have their epochs
+    /// bumped — plan-cache entries over untouched partitions survive.
+    pub fn compact(&mut self) -> CompactionReport {
+        let max_rows = self.config.compaction_max_rows;
+        let mut report = CompactionReport::default();
+        for part in self.partitions.values_mut() {
+            report.segments_before += part.segment_count();
+            if part.compact(max_rows) {
+                report.partitions_compacted += 1;
+            }
+            report.segments_after += part.segment_count();
+        }
+        if report.partitions_compacted > 0 {
+            self.epoch += 1;
+        }
+        report
+    }
+
+    /// Compacts one partition to the configured tier. Returns whether its
+    /// layout changed (and therefore its epoch was bumped).
+    pub fn compact_partition(&mut self, key: PartitionKey) -> bool {
+        let max_rows = self.config.compaction_max_rows;
+        let Some(part) = self.partitions.get_mut(&key) else {
+            return false;
+        };
+        let changed = part.compact(max_rows);
+        if changed {
+            self.epoch += 1;
+        }
+        changed
     }
 
     /// Total committed events.
@@ -343,9 +431,9 @@ impl EventStore {
             .collect()
     }
 
-    /// Direct access to one partition's segment (columnar readers resolve
-    /// row references through this).
-    pub fn segment(&self, key: PartitionKey) -> Option<&Segment> {
+    /// Direct access to one partition (columnar readers resolve flat row
+    /// references through this).
+    pub fn partition(&self, key: PartitionKey) -> Option<&Partition> {
         self.partitions.get(&key)
     }
 
@@ -363,23 +451,23 @@ impl EventStore {
     /// the predicate against it — so the ablation benches can isolate what
     /// evaluating predicates directly on the columns is worth.
     pub fn select_partition(&self, key: PartitionKey, filter: &EventFilter) -> Vec<u32> {
-        let Some(seg) = self.partitions.get(&key) else {
+        let Some(part) = self.partitions.get(&key) else {
             return Vec::new();
         };
         if self.config.selection_vectors {
-            return seg.select(
+            return part.select(
                 key.agent,
                 filter,
                 self.config.cost_based_access,
                 self.config.vectorized_residual,
             );
         }
-        if !seg.overlaps_window(filter) {
+        if !part.overlaps_window(filter) {
             return Vec::new();
         }
         let mut rows = Vec::new();
-        for row in 0..seg.len() {
-            if filter.matches(&seg.event_at(key.agent, row)) {
+        for row in 0..part.len() {
+            if filter.matches(&part.event_at(key.agent, row)) {
                 rows.push(row as u32);
             }
         }
@@ -402,8 +490,8 @@ impl EventStore {
         filter: &EventFilter,
         f: &mut dyn FnMut(&Event),
     ) {
-        if let Some(seg) = self.partitions.get(&key) {
-            seg.scan(key.agent, filter, f);
+        if let Some(part) = self.partitions.get(&key) {
+            part.scan(key.agent, filter, f);
         }
     }
 
@@ -425,8 +513,8 @@ impl EventStore {
     /// every predicate verified per row. This models querying the raw data
     /// without the paper's storage optimizations (Figure 5 baselines).
     pub fn scan_unoptimized(&self, filter: &EventFilter, f: &mut dyn FnMut(&Event)) {
-        for (key, seg) in &self.partitions {
-            seg.scan_full(key.agent, filter, f);
+        for (key, part) in &self.partitions {
+            part.scan_full(key.agent, filter, f);
         }
     }
 
@@ -451,8 +539,8 @@ impl EventStore {
         candidate_filter.window = aiql_model::TimeWindow::ALL;
         candidate_filter.subjects = None;
         candidate_filter.objects = None;
-        for (key, seg) in &self.partitions {
-            seg.scan(key.agent, &candidate_filter, &mut |e| {
+        for (key, part) in &self.partitions {
+            part.scan(key.agent, &candidate_filter, &mut |e| {
                 if filter.matches(e) {
                     f(e);
                 }
@@ -481,6 +569,18 @@ impl EventStore {
         agents.dedup();
         agents.sort_unstable();
         agents.dedup();
+        // Fragmentation: segments per partition and segment row sizes.
+        let mut segments = 0u64;
+        let mut max_partition_segments = 0u64;
+        let mut min_segment_rows = u64::MAX;
+        for part in self.partitions.values() {
+            let n = part.segment_count() as u64;
+            segments += n;
+            max_partition_segments = max_partition_segments.max(n);
+            for seg in part.segments() {
+                min_segment_rows = min_segment_rows.min(seg.len() as u64);
+            }
+        }
         StoreStats {
             events,
             raw_events: self.raw_events,
@@ -492,6 +592,10 @@ impl EventStore {
             commits: self.commits,
             event_bytes: events * 41, // id+op+subj+obj+2×time+amount per row
             dict_bytes: self.interner().heap_bytes() as u64,
+            segments,
+            max_partition_segments,
+            min_segment_rows: if segments == 0 { 0 } else { min_segment_rows },
+            avg_segment_rows: events.checked_div(segments).unwrap_or(0),
         }
     }
 
@@ -504,9 +608,21 @@ impl EventStore {
             event.start_time,
             self.config.time_bucket.micros(),
         );
-        self.segment_mut(key).push(event.agent, &event);
+        self.partition_mut(key).push_tail(event.agent, &event);
         self.next_event_id = self.next_event_id.max(event.id.raw() + 1);
         self.raw_events += 1;
+    }
+
+    /// Re-applies a persisted physical layout (per-partition segment row
+    /// counts): snapshot replay lands every partition in one dense tail
+    /// segment, and this re-splits them so the loaded store reproduces the
+    /// saved fragmentation state exactly.
+    pub(crate) fn restore_layout(&mut self, layouts: &[(PartitionKey, Vec<u32>)]) {
+        for (key, lens) in layouts {
+            if let Some(part) = self.partitions.get_mut(key) {
+                part.apply_layout(key.agent, lens);
+            }
+        }
     }
 
     /// Re-seeds the epoch counters from a persisted snapshot so the epoch
@@ -521,8 +637,8 @@ impl EventStore {
         self.epoch = self.epoch.max(epoch);
         self.dict_epoch = self.dict_epoch.max(dict_epoch);
         for &(key, e) in partition_epochs {
-            if let Some(seg) = self.partitions.get_mut(&key) {
-                seg.set_epoch(seg.epoch().max(e));
+            if let Some(part) = self.partitions.get_mut(&key) {
+                part.set_epoch(part.epoch().max(e));
             }
         }
     }
@@ -819,6 +935,173 @@ mod tests {
             indexed.sort_unstable();
             reference.sort_unstable();
             assert_eq!(indexed, reference);
+        }
+    }
+
+    #[test]
+    fn tiny_batch_ingest_fragments_and_compaction_densifies() {
+        let cfg = StoreConfig {
+            batch_size: 8,
+            compaction: false,
+            dedup: false,
+            ..StoreConfig::default()
+        };
+        let mut store = EventStore::new(cfg);
+        let raws: Vec<RawEvent> = (0..100)
+            .map(|i| raw(1, Operation::Read, "cat", &format!("/f{}", i % 9), i, 1))
+            .collect();
+        store.ingest_all(&raws);
+        let frag = store.stats();
+        assert!(
+            frag.segments > frag.partitions,
+            "tiny-batch commits must fragment: {} segments over {} partitions",
+            frag.segments,
+            frag.partitions
+        );
+        let before = store.scan_collect(&EventFilter::all());
+        let report = store.compact();
+        assert!(report.partitions_compacted > 0);
+        assert!(report.segments_after < report.segments_before);
+        let dense = store.stats();
+        assert_eq!(dense.segments, dense.partitions, "one dense run each");
+        assert_eq!(dense.max_partition_segments, 1);
+        let after = store.scan_collect(&EventFilter::all());
+        assert_eq!(before, after, "compaction must not change scan results");
+        // A second pass is a no-op.
+        assert_eq!(
+            store.compact(),
+            CompactionReport {
+                partitions_compacted: 0,
+                segments_before: dense.segments as usize,
+                segments_after: dense.segments as usize,
+            }
+        );
+    }
+
+    #[test]
+    fn automatic_compaction_keeps_partitions_dense() {
+        let cfg = StoreConfig {
+            batch_size: 8,
+            compaction_min_segments: 4,
+            dedup: false,
+            ..StoreConfig::default()
+        };
+        let mut store = EventStore::new(cfg);
+        for i in 0..200 {
+            store.ingest(&raw(
+                1,
+                Operation::Read,
+                "cat",
+                &format!("/f{}", i % 9),
+                i,
+                1,
+            ));
+        }
+        store.commit();
+        let stats = store.stats();
+        assert!(
+            stats.max_partition_segments < 4,
+            "auto policy must hold segments below the trigger: {}",
+            stats.max_partition_segments
+        );
+    }
+
+    #[test]
+    fn compaction_bumps_only_merged_partition_epochs() {
+        let cfg = StoreConfig {
+            compaction: false,
+            dedup: false,
+            ..StoreConfig::default()
+        };
+        let mut store = EventStore::new(cfg);
+        // Day 0: one commit → one dense segment.
+        store.ingest_all(&[raw(1, Operation::Read, "cat", "/dense", 10, 1)]);
+        // Day 2: five commits into one partition → five segments.
+        for i in 0..5 {
+            store.ingest_all(&[raw(1, Operation::Read, "cat", "/frag", 2 * 86_400 + i, 1)]);
+        }
+        let epochs_before: std::collections::BTreeMap<_, _> =
+            store.partition_epochs().into_iter().collect();
+        let frag_key = *epochs_before
+            .keys()
+            .max_by_key(|k| k.bucket)
+            .expect("two partitions");
+        let dense_key = *epochs_before
+            .keys()
+            .min_by_key(|k| k.bucket)
+            .expect("two partitions");
+        assert!(store.partition(frag_key).unwrap().segment_count() > 1);
+        assert_eq!(store.partition(dense_key).unwrap().segment_count(), 1);
+        let report = store.compact();
+        assert_eq!(report.partitions_compacted, 1);
+        let epochs_after: std::collections::BTreeMap<_, _> =
+            store.partition_epochs().into_iter().collect();
+        assert_eq!(
+            epochs_after[&dense_key], epochs_before[&dense_key],
+            "untouched partition keeps its epoch"
+        );
+        assert!(
+            epochs_after[&frag_key] > epochs_before[&frag_key],
+            "merged partition's epoch must move"
+        );
+        // Targeted compaction of an already-dense partition is a no-op.
+        assert!(!store.compact_partition(dense_key));
+    }
+
+    #[test]
+    fn fragmented_and_compacted_scans_agree() {
+        let mk = || {
+            let mut store = EventStore::new(StoreConfig {
+                batch_size: 16,
+                compaction: false,
+                ..StoreConfig::default()
+            });
+            let raws: Vec<RawEvent> = (0..300)
+                .map(|i| {
+                    raw(
+                        (i % 3) as u32,
+                        if i % 2 == 0 {
+                            Operation::Read
+                        } else {
+                            Operation::Write
+                        },
+                        &format!("exe{}", i % 7),
+                        &format!("/f{}", i % 11),
+                        i * 30,
+                        i as u64,
+                    )
+                })
+                .collect();
+            store.ingest_all(&raws);
+            store
+        };
+        let fragmented = mk();
+        let mut compacted = mk();
+        compacted.compact();
+        let filters = [
+            EventFilter::all(),
+            EventFilter::all().with_ops(OpSet::single(Operation::Read)),
+            EventFilter::all().with_agents(vec![AgentId(2)]),
+            EventFilter::all().with_window(TimeWindow::new(
+                Timestamp::from_secs(500),
+                Timestamp::from_secs(5_000),
+            )),
+        ];
+        for f in filters {
+            assert_eq!(
+                fragmented.scan_collect(&f),
+                compacted.scan_collect(&f),
+                "filter {f:?}"
+            );
+            assert_eq!(fragmented.count(&f), compacted.count(&f));
+            // Selection vectors carry flat rows: identical per partition.
+            for key in fragmented.partitions_for(&f) {
+                assert_eq!(
+                    fragmented.select_partition(key, &f),
+                    compacted.select_partition(key, &f),
+                    "flat selection vectors invariant under compaction"
+                );
+            }
         }
     }
 
