@@ -1,0 +1,243 @@
+//! PR 6 robustness trajectory: query-governor overhead and cancel latency.
+//!
+//! The governor threads deadline/cancel/memory checks through every hot
+//! loop of the engine (scan batches, join probes, projection). Two numbers
+//! justify it:
+//!
+//! * **Overhead**: a governed query whose budget never trips must cost
+//!   within 3% of the ungoverned run — the fast path is one amortized
+//!   branch per `GOV_CHECK_INTERVAL` tuples plus per-batch byte
+//!   accounting. Measured on the PR 4 query set (a5-5, a2-3 catalog
+//!   investigations + the 4-pattern chain).
+//! * **Cancel latency**: cancelling the chain query mid-flight must
+//!   surface `EngineError::Cancelled` in under 10 ms — enforcement is
+//!   bounded by `GOV_CHECK_INTERVAL` cheap iterations, not by query size.
+//!
+//! Emits `BENCH_PR6.json` (path via argv[1], default `BENCH_PR6.json`).
+//! Pass `--check` for CI's single-iteration correctness mode: governed
+//! results must be byte-identical to ungoverned ones on every family, the
+//! overhead gate uses a small absolute epsilon to stay robust at smoke
+//! scale, and the cancel-latency gate must hold.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use aiql_bench::{bench_scale, time_best_of};
+use aiql_engine::{CancelToken, Engine, EngineConfig, EngineError, ExecBudget};
+use aiql_sim::{build_store, demo_queries, scenario_demo};
+use aiql_storage::{EventStore, StoreConfig};
+
+/// The join-dominated chain family (same shape as the PR 2/3/4 chains).
+const CHAIN_QUERY: &str = r#"proc p1 write file f as e1
+proc p2 read file f as e2
+proc p2 write file f2 as e3
+proc p3 read file f2 as e4
+with e1 before e2, e2 before e3, e3 before e4
+return count(e4.amount)"#;
+
+/// Overhead gate: governed must stay within 3% of ungoverned, with a small
+/// absolute floor so micro-runs at smoke scale don't fail on timer noise.
+const MAX_OVERHEAD_RATIO: f64 = 1.03;
+const OVERHEAD_EPSILON_S: f64 = 0.0005;
+
+/// Cancel-latency gate on the chain query.
+const MAX_CANCEL_LATENCY: Duration = Duration::from_millis(10);
+
+fn catalog_query(id: &str) -> String {
+    demo_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("catalog query {id} exists"))
+        .aiql
+}
+
+/// A budget with every limit set but none remotely reachable: the full
+/// governed fast path (deadline poll + byte accounting) with zero trips.
+fn untrippable_budget() -> ExecBudget {
+    ExecBudget::unlimited()
+        .with_deadline(Duration::from_secs(3_600))
+        .with_memory_bytes(1 << 40)
+        .with_cancel(CancelToken::new())
+}
+
+/// Runs the chain query while another thread cancels it, returning the
+/// observed cancel→return latency. If the query finishes before the cancel
+/// lands, latency is trivially zero (enforcement never had to act).
+fn measure_cancel_latency(engine: &Engine, store: &EventStore) -> Duration {
+    let token = CancelToken::new();
+    let budget = ExecBudget::unlimited().with_cancel(token.clone());
+    let cancel_at = std::sync::Arc::new(std::sync::Mutex::new(None::<Instant>));
+    let canceller = {
+        let token = token.clone();
+        let cancel_at = cancel_at.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_micros(500));
+            *cancel_at.lock().expect("cancel stamp") = Some(Instant::now());
+            token.cancel();
+        })
+    };
+    let outcome = engine.execute_text_with_budget(store, CHAIN_QUERY, &budget);
+    let returned = Instant::now();
+    canceller.join().expect("canceller thread");
+    match outcome {
+        Err(EngineError::Cancelled) => {
+            let stamp = cancel_at.lock().expect("cancel stamp").expect("cancelled");
+            returned.duration_since(stamp)
+        }
+        Err(e) => panic!("cancelled chain query failed unexpectedly: {e}"),
+        // Finished before the cancel was observed: latency is bounded by
+        // the (already sub-threshold) query runtime.
+        Ok(_) => Duration::ZERO,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let check_mode = arg.as_deref() == Some("--check");
+    let out_path = if check_mode {
+        String::new()
+    } else {
+        arg.unwrap_or_else(|| "BENCH_PR6.json".to_string())
+    };
+    let reps: usize = if check_mode {
+        3
+    } else {
+        std::env::var("AIQL_BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7)
+    };
+
+    let scenario = scenario_demo(bench_scale());
+    eprintln!("building store ({} raw events)...", scenario.raws.len());
+    let store: EventStore = build_store(&scenario, StoreConfig::default());
+
+    let families: Vec<(&str, String)> = vec![
+        ("a5/catalog-a5-5", catalog_query("a5-5")),
+        ("a2/catalog-a2-3", catalog_query("a2-3")),
+        ("multievent/4pattern-chain", CHAIN_QUERY.to_string()),
+    ];
+
+    // Correctness gate (both modes): an untrippable budget must not change
+    // a single byte of any result.
+    let engine = Engine::new(EngineConfig::default());
+    let budget = untrippable_budget();
+    for (name, aiql) in &families {
+        let want = engine.execute_text(&store, aiql).expect("ungoverned");
+        assert!(!want.rows.is_empty(), "{name}: query must find evidence");
+        let got = engine
+            .execute_text_with_budget(&store, aiql, &budget)
+            .expect("governed");
+        assert_eq!(
+            (&want.rows, want.truncated),
+            (&got.rows, got.truncated),
+            "{name}: governed result diverged from ungoverned"
+        );
+        assert!(got.warnings.is_empty(), "{name}: spurious governor warning");
+    }
+
+    // Overhead: best-of timing, ungoverned vs governed-but-untripped.
+    struct Row {
+        name: &'static str,
+        ungoverned_ms: f64,
+        governed_ms: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, aiql) in &families {
+        // Warm pools and plan caches identically for both measurements.
+        engine.execute_text(&store, aiql).expect("warm");
+        let base_s = time_best_of(reps, || engine.execute_text(&store, aiql).expect("q").len());
+        let gov_s = time_best_of(reps, || {
+            engine
+                .execute_text_with_budget(&store, aiql, &budget)
+                .expect("q")
+                .len()
+        });
+        let ratio = gov_s / base_s.max(1e-9);
+        eprintln!(
+            "{name}: ungoverned {:.3} ms, governed {:.3} ms ({:.3}×)",
+            base_s * 1e3,
+            gov_s * 1e3,
+            ratio
+        );
+        assert!(
+            ratio < MAX_OVERHEAD_RATIO || gov_s - base_s < OVERHEAD_EPSILON_S,
+            "{name}: governor overhead {:.1}% exceeds the {:.0}% gate \
+             (ungoverned {:.3} ms, governed {:.3} ms)",
+            (ratio - 1.0) * 100.0,
+            (MAX_OVERHEAD_RATIO - 1.0) * 100.0,
+            base_s * 1e3,
+            gov_s * 1e3,
+        );
+        rows.push(Row {
+            name,
+            ungoverned_ms: base_s * 1e3,
+            governed_ms: gov_s * 1e3,
+        });
+    }
+
+    // Cancel latency on the chain query: worst of a few attempts, so one
+    // lucky early finish can't mask slow enforcement.
+    let mut worst_latency = Duration::ZERO;
+    for _ in 0..5 {
+        worst_latency = worst_latency.max(measure_cancel_latency(&engine, &store));
+    }
+    eprintln!("cancel latency (worst of 5): {worst_latency:?}");
+    assert!(
+        worst_latency < MAX_CANCEL_LATENCY,
+        "cancel latency {worst_latency:?} exceeds the {MAX_CANCEL_LATENCY:?} gate"
+    );
+
+    if check_mode {
+        println!(
+            "pr6_governor --check OK: governed results byte-identical on {} families, \
+             overhead within {:.0}% (or {:.1} ms epsilon), cancel latency {worst_latency:?} < {MAX_CANCEL_LATENCY:?}",
+            families.len(),
+            (MAX_OVERHEAD_RATIO - 1.0) * 100.0,
+            OVERHEAD_EPSILON_S * 1e3,
+        );
+        return;
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(
+        json,
+        "  \"title\": \"query governor: overhead of an untrippable budget and cancel latency\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"events\": {}}},",
+        store.stats().events
+    );
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"gates\": {{\"max_overhead_ratio\": {MAX_OVERHEAD_RATIO}, \"max_cancel_latency_ms\": {}}},",
+        MAX_CANCEL_LATENCY.as_millis()
+    );
+    let _ = writeln!(
+        json,
+        "  \"cancel_latency_ms\": {:.3},",
+        worst_latency.as_secs_f64() * 1e3
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let ratio = r.governed_ms / r.ungoverned_ms.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"ungoverned_ms\": {:.3}, \"governed_ms\": {:.3}, \"overhead_ratio\": {:.4}}}",
+            r.name, r.ungoverned_ms, r.governed_ms, ratio
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR6.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

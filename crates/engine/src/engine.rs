@@ -7,6 +7,7 @@ use crate::analyze;
 use crate::anomaly;
 use crate::error::EngineError;
 use crate::exec::{ExecStats, MultieventExec};
+use crate::governor::{ExecBudget, Governor};
 use crate::result::ResultTable;
 
 /// Engine tunables. Every domain-specific optimization can be switched off
@@ -70,6 +71,22 @@ pub struct EngineConfig {
     pub parallel_threshold: usize,
     /// Cap on intermediate join tuples (guard against pattern explosion).
     pub max_intermediate: usize,
+    /// Wall-clock deadline per query in milliseconds; 0 disables. Tripping
+    /// the deadline yields [`EngineError::DeadlineExceeded`] unless
+    /// `partial_results` is on.
+    pub deadline_ms: u64,
+    /// Byte budget for in-flight intermediate state (candidate lists plus
+    /// the join frontier); 0 disables. Tripping yields
+    /// [`EngineError::MemoryBudget`] unless `partial_results` is on.
+    pub memory_budget_bytes: u64,
+    /// On a governor trip, return the prefix of results produced so far
+    /// (flagged `truncated` with a [`crate::governor::Warning`]) instead
+    /// of an error.
+    pub partial_results: bool,
+    /// Fault injection: panic inside a pooled scan worker. Exercises the
+    /// panic-isolation path ([`EngineError::WorkerPanic`]) in tests; never
+    /// set in production configs.
+    pub inject_scan_panic: bool,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +109,10 @@ impl Default for EngineConfig {
             compiled_projection: true,
             parallel_threshold: 8_192,
             max_intermediate: 4_000_000,
+            deadline_ms: 0,
+            memory_budget_bytes: 0,
+            partial_results: false,
+            inject_scan_panic: false,
         }
     }
 }
@@ -117,7 +138,26 @@ impl EngineConfig {
             compiled_projection: false,
             parallel_threshold: usize::MAX,
             max_intermediate: 4_000_000,
+            deadline_ms: 0,
+            memory_budget_bytes: 0,
+            partial_results: false,
+            inject_scan_panic: false,
         }
+    }
+
+    /// The execution budget implied by the configuration's governor
+    /// tunables (`deadline_ms`, `memory_budget_bytes`, `partial_results`).
+    /// Unlimited when none are set.
+    pub fn budget(&self) -> crate::governor::ExecBudget {
+        let mut b =
+            crate::governor::ExecBudget::unlimited().with_partial_results(self.partial_results);
+        if self.deadline_ms > 0 {
+            b = b.with_deadline(std::time::Duration::from_millis(self.deadline_ms));
+        }
+        if self.memory_budget_bytes > 0 {
+            b = b.with_memory_bytes(self.memory_budget_bytes);
+        }
+        b
     }
 }
 
@@ -180,6 +220,15 @@ impl Engine {
         self.plan_cache.counters()
     }
 
+    /// The governor for a budget: `Some` only when the budget actually
+    /// limits something, so unbudgeted queries keep the zero-overhead
+    /// ungoverned path.
+    fn governor(&self, budget: &ExecBudget) -> Option<std::sync::Arc<Governor>> {
+        budget
+            .is_limited()
+            .then(|| std::sync::Arc::new(Governor::new(budget)))
+    }
+
     /// Parses and executes AIQL query text against a store.
     pub fn execute_text(
         &self,
@@ -190,14 +239,48 @@ impl Engine {
         self.execute(store, &query)
     }
 
-    /// Executes a parsed query.
+    /// Parses and executes AIQL query text under an explicit execution
+    /// budget (see [`Engine::execute_with_budget`]).
+    pub fn execute_text_with_budget(
+        &self,
+        store: &EventStore,
+        source: &str,
+        budget: &ExecBudget,
+    ) -> Result<ResultTable, EngineError> {
+        let query = parse_query(source)?;
+        self.execute_with_budget(store, &query, budget)
+    }
+
+    /// Executes a parsed query under the configuration's implied budget
+    /// (`deadline_ms` / `memory_budget_bytes` / `partial_results`; all off
+    /// by default, i.e. ungoverned).
     pub fn execute(&self, store: &EventStore, query: &Query) -> Result<ResultTable, EngineError> {
+        self.execute_with_budget(store, query, &self.config.budget())
+    }
+
+    /// Executes a parsed query under an explicit execution budget: a
+    /// wall-clock deadline, a cooperative [`crate::governor::CancelToken`],
+    /// and/or a byte budget on intermediate state, checked cooperatively
+    /// at batch boundaries throughout the pipeline. With
+    /// `partial_results`, a tripped budget returns the prefix of results
+    /// produced so far (flagged with a warning) instead of an error.
+    ///
+    /// Anomaly queries run their aggregation loop ungoverned for now: their
+    /// per-partition pass has no intermediate frontier to budget, so only
+    /// multievent and dependency queries consult the governor.
+    pub fn execute_with_budget(
+        &self,
+        store: &EventStore,
+        query: &Query,
+        budget: &ExecBudget,
+    ) -> Result<ResultTable, EngineError> {
         match query {
             Query::Multievent(m) => {
                 let a = analyze::analyze_multievent(m, store)?;
                 MultieventExec::new(store, &a, &self.config)
                     .with_pool(self.pool())
                     .with_plan_cache(self.cache())
+                    .with_governor(self.governor(budget))
                     .run()
             }
             Query::Dependency(d) => {
@@ -207,6 +290,7 @@ impl Engine {
                 MultieventExec::new(store, &a, &self.config)
                     .with_pool(self.pool())
                     .with_plan_cache(self.cache())
+                    .with_governor(self.governor(budget))
                     .run()
             }
             Query::Anomaly(anom) => {
@@ -227,6 +311,7 @@ impl Engine {
         MultieventExec::new(store, &a, &self.config)
             .with_pool(self.pool())
             .with_plan_cache(self.cache())
+            .with_governor(self.governor(&self.config.budget()))
             .run_with_stats()
     }
 }

@@ -25,6 +25,7 @@ use std::sync::Arc;
 use crate::analyze::AnalyzedMultievent;
 use crate::engine::EngineConfig;
 use crate::error::EngineError;
+use crate::governor::Governor;
 use crate::op::{self, ExecEnv, Frontier, PartTable, PipelineState, NO_REF, NO_VAR};
 use crate::pool::ScanPool;
 use crate::result::ResultTable;
@@ -47,6 +48,7 @@ pub struct MultieventExec<'a> {
     config: &'a EngineConfig,
     pool: Option<Arc<ScanPool>>,
     plan_cache: Option<Arc<PlanCache>>,
+    governor: Option<Arc<Governor>>,
 }
 
 impl<'a> MultieventExec<'a> {
@@ -58,6 +60,7 @@ impl<'a> MultieventExec<'a> {
             config,
             pool: None,
             plan_cache: None,
+            governor: None,
         }
     }
 
@@ -77,6 +80,14 @@ impl<'a> MultieventExec<'a> {
         self
     }
 
+    /// Attaches a query governor ([`crate::governor`]). `None` — the
+    /// default — executes ungoverned with zero budget-checking overhead.
+    #[must_use]
+    pub fn with_governor(mut self, governor: Option<Arc<Governor>>) -> Self {
+        self.governor = governor;
+        self
+    }
+
     /// Builds the execution environment: the compiled shared phase
     /// (resolved vars, base filters, schedule — memoized across queries
     /// when a plan cache is attached) plus the partition address space.
@@ -93,6 +104,7 @@ impl<'a> MultieventExec<'a> {
             pool: self.pool.clone(),
             ctx: schedule::prepare(self.a, self.store, self.config.prioritize_pruning, cache),
             parts: PartTable::build(self.store),
+            governor: self.governor.clone(),
         }
     }
 
@@ -111,7 +123,16 @@ impl<'a> MultieventExec<'a> {
             self.config.late_materialization,
         );
         tree.execute(&env, &mut st)?;
-        let table = st.table.take().expect("Project closed the pipeline");
+        let mut table = st.table.take().expect("Project closed the pipeline");
+        // A sticky governor trip in partial mode means the pipeline stopped
+        // early somewhere: surface it as a truncation plus a warning so the
+        // caller can tell a budgeted prefix from a complete result.
+        if let Some(g) = &self.governor {
+            if let Some(t) = g.trip() {
+                table.truncated = true;
+                table.warnings.push(g.warning(t));
+            }
+        }
         Ok((table, st.stats))
     }
 
@@ -147,6 +168,7 @@ impl<'a> MultieventExec<'a> {
                 })
                 .collect(),
         };
-        Ok((tuples, st.truncated, st.stats))
+        let tripped = self.governor.as_ref().is_some_and(|g| g.trip().is_some());
+        Ok((tuples, st.truncated || tripped, st.stats))
     }
 }

@@ -77,6 +77,9 @@ pub struct QueryPlan {
     pub pruning_priority: bool,
     /// Scan parallelism.
     pub parallelism: usize,
+    /// Governor limits in effect (`None` when the query runs ungoverned):
+    /// rendered summary of deadline / memory budget / partial-results mode.
+    pub governor: Option<String>,
     /// The physical operator tree the executor will run.
     pub operators: OpPlanNode,
 }
@@ -116,6 +119,9 @@ impl QueryPlan {
                 p.partitions,
                 p.segments,
             );
+        }
+        if let Some(gov) = &self.governor {
+            let _ = writeln!(out, "governor: {gov}");
         }
         let _ = writeln!(out, "physical operator tree:");
         self.operators.render_into(&mut out, 0);
@@ -172,8 +178,30 @@ pub fn explain(
         temporal_relations: analyzed.temporal.len(),
         pruning_priority: config.prioritize_pruning,
         parallelism: config.parallelism,
+        governor: governor_summary(config),
         operators,
     })
+}
+
+/// Renders the configuration's governor tunables for `EXPLAIN`, or `None`
+/// when no limit is set (the zero-overhead ungoverned path).
+fn governor_summary(config: &EngineConfig) -> Option<String> {
+    if config.deadline_ms == 0 && config.memory_budget_bytes == 0 {
+        return None;
+    }
+    let mut parts = Vec::new();
+    if config.deadline_ms > 0 {
+        parts.push(format!("deadline {}ms", config.deadline_ms));
+    }
+    if config.memory_budget_bytes > 0 {
+        parts.push(format!("memory {} bytes", config.memory_budget_bytes));
+    }
+    parts.push(if config.partial_results {
+        "on trip: partial results".to_string()
+    } else {
+        "on trip: error".to_string()
+    });
+    Some(parts.join(" | "))
 }
 
 /// Total columnar segments across a partition-key list — the layout

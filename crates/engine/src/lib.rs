@@ -36,6 +36,15 @@
 //! per-group aggregate history so `having` clauses can reference previous
 //! windows (`amt[1]`).
 //!
+//! Execution is fault-contained: an optional per-query governor
+//! ([`governor`]) enforces wall-clock deadlines, cooperative cancellation,
+//! and byte budgets on intermediate state at batch boundaries, either
+//! erroring with a structured [`EngineError`] or — under
+//! `partial_results` — returning a prefix of the full answer with a
+//! warning. Worker panics are caught at the pool boundary ([`pool`]) and
+//! delivered to the owning query as [`EngineError::WorkerPanic`] while the
+//! shared executor keeps serving other queries.
+//!
 //! Every optimization is individually toggleable through [`EngineConfig`]
 //! for the ablation benchmarks. The [`mod@reference`] module provides a tiny,
 //! obviously-correct executor used as the property-testing oracle.
@@ -47,6 +56,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod governor;
 pub mod op;
 pub mod pool;
 pub mod reference;
@@ -57,4 +67,6 @@ pub use analyze::{analyze_multievent, AnalyzedGlobals, AnalyzedMultievent, Analy
 pub use engine::{Engine, EngineConfig};
 pub use error::EngineError;
 pub use explain::{explain, QueryPlan};
+pub use governor::{CancelToken, ExecBudget, Governor, Warning};
+pub use pool::PoolPanic;
 pub use result::ResultTable;

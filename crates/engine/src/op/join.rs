@@ -46,9 +46,10 @@ use aiql_model::{EntityId, Event};
 
 use crate::analyze::AnalyzedMultievent;
 use crate::error::EngineError;
+use crate::governor::{GovGate, Governor, Trip};
 use crate::op::{
-    Batch, EventRef, ExecEnv, Frontier, OpIo, Operator, PartTable, PipelineState, RefArena, Tuple,
-    NO_REF, NO_VAR,
+    worker_panic, Batch, EventRef, ExecEnv, Frontier, OpIo, Operator, PartTable, PipelineState,
+    RefArena, Tuple, NO_REF, NO_VAR,
 };
 
 /// Minimum per-step probe work (frontier tuples, or candidates for the
@@ -94,6 +95,12 @@ impl Operator for TemporalJoin {
             .map(|c| c.as_ref().map(Batch::len).unwrap_or(0))
             .sum();
         let late = matches!(candidates.first(), Some(Some(Batch::Refs(_))));
+        let cand_bytes = rows_in as u64
+            * if late {
+                std::mem::size_of::<EventRef>() as u64
+            } else {
+                std::mem::size_of::<Event>() as u64
+            };
         let (frontier, run) = if late {
             let lists: Vec<Vec<EventRef>> = candidates
                 .into_iter()
@@ -102,7 +109,7 @@ impl Operator for TemporalJoin {
                     _ => unreachable!("late path fetched refs for every pattern"),
                 })
                 .collect();
-            let (arena, run) = join_refs(env, lists);
+            let (arena, run) = join_refs(env, lists)?;
             (Frontier::Refs(arena), run)
         } else {
             let lists: Vec<Vec<Event>> = candidates
@@ -112,9 +119,14 @@ impl Operator for TemporalJoin {
                     _ => unreachable!("materializing path fetched events for every pattern"),
                 })
                 .collect();
-            let (tuples, run) = join_events(env, lists);
+            let (tuples, run) = join_events(env, lists)?;
             (Frontier::Events(tuples), run)
         };
+        // The candidate batches the scans charged are consumed now; only
+        // the frontier (charged per step inside the join) remains live.
+        if let Some(g) = env.gov() {
+            g.uncharge(cand_bytes);
+        }
         st.truncated = run.truncated;
         st.stats.tuples = frontier.len();
         let rows_out = frontier.len();
@@ -243,7 +255,7 @@ fn build_index(
     same_var: bool,
     key_of: &(dyn Fn(EventRef) -> u64 + Sync),
     bound: bool,
-) -> StepIndex {
+) -> Result<StepIndex, EngineError> {
     let parts = &env.parts;
     let nshards = index_shards(env, refs.len(), bound).filter(|&s| s > 1);
     let Some(nshards) = nshards else {
@@ -254,7 +266,7 @@ fn build_index(
             }
             index.entry(key_of(r)).or_default().push(r);
         }
-        return StepIndex::Single(index);
+        return Ok(StepIndex::Single(index));
     };
     let pool = env.pool.as_ref().expect("sharded build requires the pool");
     let workers = env.config.parallelism.max(1);
@@ -274,7 +286,8 @@ fn build_index(
             buckets[shard_of(key, nshards)].push((key, r));
         }
         *scattered[c].lock().expect("scatter bucket") = buckets;
-    });
+    })
+    .map_err(worker_panic)?;
     let scattered: Vec<ShardBuckets> = scattered
         .into_iter()
         .map(|slot| slot.into_inner().expect("scatter bucket"))
@@ -290,13 +303,14 @@ fn build_index(
             }
         }
         *shards[s].lock().expect("index shard") = map;
-    });
-    StepIndex::Sharded(
+    })
+    .map_err(worker_panic)?;
+    Ok(StepIndex::Sharded(
         shards
             .into_iter()
             .map(|slot| slot.into_inner().expect("index shard"))
             .collect(),
-    )
+    ))
 }
 
 /// Shared truncation budget of one parallel join step. `produced[k]` is a
@@ -345,31 +359,45 @@ impl JoinBudget {
 struct CapTracker<'b> {
     cap: usize,
     shared: Option<(&'b JoinBudget, usize)>,
+    /// Governor polled at each refresh (dense append runs — the single
+    /// proto bucket — reach it through `exhausted` even without per-tuple
+    /// gate ticks).
+    gov: Option<&'b Governor>,
+    /// Set when a governor trip (not budget exhaustion) stopped the drive.
+    gov_stop: bool,
     next_refresh: usize,
 }
 
 impl<'b> CapTracker<'b> {
-    fn fixed(cap: usize) -> Self {
+    fn fixed(cap: usize, gov: Option<&'b Governor>) -> Self {
         CapTracker {
             cap,
             shared: None,
-            next_refresh: usize::MAX,
+            gov,
+            gov_stop: false,
+            next_refresh: if gov.is_some() {
+                BUDGET_REFRESH
+            } else {
+                usize::MAX
+            },
         }
     }
 
-    fn shared(budget: &'b JoinBudget, k: usize) -> Self {
+    fn shared(budget: &'b JoinBudget, k: usize, gov: Option<&'b Governor>) -> Self {
         CapTracker {
             cap: budget.cap(k),
             shared: Some((budget, k)),
+            gov,
+            gov_stop: false,
             next_refresh: BUDGET_REFRESH,
         }
     }
 
     /// Called after each append with the drive's output length; `true`
-    /// means stop (the budget is exhausted). The cap only ever shrinks,
-    /// so stopping is final. On each refresh the drive's own progress is
-    /// published, tightening the caps of later partitions while this one
-    /// is still running.
+    /// means stop (the budget is exhausted, or the governor tripped — see
+    /// `gov_stop`). The cap only ever shrinks, so stopping is final. On
+    /// each refresh the drive's own progress is published, tightening the
+    /// caps of later partitions while this one is still running.
     #[inline]
     fn exhausted(&mut self, len: usize) -> bool {
         if len >= self.next_refresh {
@@ -377,21 +405,51 @@ impl<'b> CapTracker<'b> {
                 budget.publish(k, len);
                 self.cap = self.cap.min(budget.cap(k));
             }
+            if self.gov.is_some_and(|g| g.check().is_err()) {
+                self.gov_stop = true;
+                return true;
+            }
             self.next_refresh = len + BUDGET_REFRESH;
         }
         len >= self.cap
     }
 }
 
+/// One join-step drive's output: the extended frontier, whether the row
+/// cap truncated it, and whether it ran to completion (`complete = false`
+/// means a governor trip stopped the drive early; the output is a prefix
+/// of the untripped step output).
+struct StepOut {
+    arena: RefArena,
+    truncated: bool,
+    complete: bool,
+}
+
 /// Multi-way hash join over per-pattern *reference* lists: the tuple
 /// frontier lives in a flat [`RefArena`] (no per-tuple allocation). Returns
 /// the final frontier plus the run accounting (truncation, widest fan-out,
 /// build/probe timing split).
-fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, JoinRun) {
+///
+/// Governor integration: the memory budget converts to a deterministic row
+/// cap at each step start (`remaining_bytes / tuple_bytes`, min'd into
+/// `max_intermediate`), so serial and parallel execution truncate at the
+/// same tuple. Deadline/cancel trips stop the running drive at its next
+/// poll; in partial mode the remaining steps then run ungoverned so the
+/// preserved prefix completes (a prefix of any step's input extends to a
+/// prefix of the final frontier), in error mode the trip unwinds here.
+fn join_refs(
+    env: &ExecEnv<'_>,
+    candidates: Vec<Vec<EventRef>>,
+) -> Result<(RefArena, JoinRun), EngineError> {
     let a = env.a;
     let parts = &env.parts;
     let n = a.patterns.len();
     let nvars = a.vars.len();
+    let tuple_bytes =
+        (n * std::mem::size_of::<EventRef>() + nvars * std::mem::size_of::<u32>()) as u64;
+    // Cleared after a partial-mode trip: the remaining steps complete the
+    // preserved prefix without further governance.
+    let mut gov = env.gov();
     // Join order: smallest candidate list first.
     let mut join_order: Vec<usize> = (0..n).collect();
     join_order.sort_by_key(|&i| (candidates[i].len(), i));
@@ -430,9 +488,26 @@ fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, Jo
             pack(ids)
         };
         let t_build = Instant::now();
-        let index = build_index(env, refs, same_var, &key_of_ref, !bound_vars.is_empty());
+        let index = build_index(env, refs, same_var, &key_of_ref, !bound_vars.is_empty())?;
         run.build_nanos += t_build.elapsed().as_nanos() as u64;
         run.fanout = run.fanout.max(index.shards());
+
+        // Effective row cap of this step: `max_intermediate`, tightened by
+        // the memory budget converted to rows. Reading `remaining_bytes`
+        // happens on the query thread between steps, so the cap — and
+        // therefore the truncation point — is identical for the serial and
+        // parallel drives.
+        let mut cap = env.config.max_intermediate;
+        let mut mem_capped = false;
+        if let Some(g) = gov {
+            if g.has_memory_budget() {
+                let rows = (g.remaining_bytes() / tuple_bytes) as usize;
+                if rows < cap {
+                    cap = rows;
+                    mem_capped = true;
+                }
+            }
+        }
 
         let step = JoinStep {
             env,
@@ -455,21 +530,58 @@ fn join_refs(env: &ExecEnv<'_>, candidates: Vec<Vec<EventRef>>) -> (RefArena, Jo
             tuples.len()
         };
         let t_probe = Instant::now();
-        let (next, step_truncated) = match join_partitions(env, work) {
-            Some(nparts) => {
-                run.fanout = run.fanout.max(nparts);
-                step.parallel(&tuples, nparts, single_proto)
+        let out = if cap == 0 {
+            // The budget is already spent: drives would overshoot a zero
+            // cap by one in the serial case, so short-circuit to the empty
+            // (still valid) prefix on both drives.
+            StepOut {
+                arena: RefArena::new(n, nvars),
+                truncated: true,
+                complete: true,
             }
-            None => step.serial(&tuples),
+        } else {
+            match join_partitions(env, work) {
+                Some(nparts) => {
+                    run.fanout = run.fanout.max(nparts);
+                    step.parallel(&tuples, nparts, single_proto, cap, gov)?
+                }
+                None => step.serial(&tuples, cap, gov),
+            }
         };
         run.probe_nanos += t_probe.elapsed().as_nanos() as u64;
-        run.truncated |= step_truncated;
-        tuples = next;
+        let prev_bytes = tuples.len() as u64 * tuple_bytes;
+        let step_truncated = out.truncated;
+        let step_complete = out.complete;
+        tuples = out.arena;
+        if let Some(g) = gov {
+            // A drive only stops early after observing (and recording) a
+            // trip, so the sticky trip below is the single source of truth.
+            debug_assert!(step_complete || g.trip().is_some());
+            // Swap the frontier's accounted bytes: the old frontier is
+            // dropped, the new one is live.
+            g.uncharge(prev_bytes);
+            let _ = g.charge(tuples.len() as u64 * tuple_bytes);
+            if mem_capped && step_truncated {
+                // Hitting the memory-derived cap is a Memory trip, not the
+                // `TooManyMatches` truncation.
+                g.record(Trip::Memory);
+            }
+            if let Some(t) = g.trip() {
+                if !g.partial() {
+                    return Err(g.error(t));
+                }
+                gov = None;
+            } else {
+                run.truncated |= step_truncated;
+            }
+        } else {
+            run.truncated |= step_truncated;
+        }
         if tuples.len() == 0 {
-            return (tuples, run);
+            return Ok((tuples, run));
         }
     }
-    (tuples, run)
+    Ok((tuples, run))
 }
 
 /// One ref-join step: everything shared by its serial and parallel drives.
@@ -524,25 +636,46 @@ impl JoinStep<'_, '_> {
     }
 
     /// The serial drive: identical traversal to the pre-operator fused
-    /// loop.
-    fn serial(&self, tuples: &RefArena) -> (RefArena, bool) {
-        let mut caps = CapTracker::fixed(self.env.config.max_intermediate);
+    /// loop. `cap` is the step's effective row cap; `gov` is polled every
+    /// [`crate::governor::GOV_CHECK_INTERVAL`] tuples (and inside dense
+    /// append runs via the tracker).
+    fn serial(&self, tuples: &RefArena, cap: usize, gov: Option<&Governor>) -> StepOut {
+        let mut caps = CapTracker::fixed(cap, gov);
         let mut next = RefArena::new(tuples.npatterns, tuples.nvars);
         let mut truncated = false;
+        let mut gate = GovGate::new(gov);
         for t in 0..tuples.len() {
+            if gate.tick().is_some() {
+                caps.gov_stop = true;
+                break;
+            }
             if self.probe_into(tuples, t, None, &mut next, &mut caps) {
-                truncated = true;
+                truncated = !caps.gov_stop;
                 break;
             }
         }
-        (next, truncated)
+        StepOut {
+            complete: !caps.gov_stop,
+            arena: next,
+            truncated,
+        }
     }
 
     /// The parallel drive: contiguous probe-range partitions on the scan
-    /// executor, merged in partition order.
-    fn parallel(&self, tuples: &RefArena, nparts: usize, single_proto: bool) -> (RefArena, bool) {
+    /// executor, merged in partition order. A governor trip is observed by
+    /// every partition (the trip is sticky and shared), each stops at its
+    /// next poll, and the merge keeps complete partials in partition order
+    /// up to the first incomplete one plus that partition's prefix — a
+    /// prefix of the serial traversal.
+    fn parallel(
+        &self,
+        tuples: &RefArena,
+        nparts: usize,
+        single_proto: bool,
+        cap: usize,
+        gov: Option<&Governor>,
+    ) -> Result<StepOut, EngineError> {
         let env = self.env;
-        let max = env.config.max_intermediate;
         let pool = env.pool.as_ref().expect("parallel join requires the pool");
         let work = if single_proto {
             self.index.get(pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
@@ -551,9 +684,9 @@ impl JoinStep<'_, '_> {
         };
         let nparts = nparts.min(work).max(1);
         let per = work.div_ceil(nparts);
-        let budget = JoinBudget::new(max, nparts);
-        let partials: Vec<std::sync::Mutex<RefArena>> = (0..nparts)
-            .map(|_| std::sync::Mutex::new(RefArena::default()))
+        let budget = JoinBudget::new(cap, nparts);
+        let partials: Vec<std::sync::Mutex<(RefArena, bool)>> = (0..nparts)
+            .map(|_| std::sync::Mutex::new((RefArena::default(), true)))
             .collect();
 
         pool.run_chunks_capped(nparts, env.config.parallelism.max(1), &|k| {
@@ -562,41 +695,59 @@ impl JoinStep<'_, '_> {
             let lo = (k * per).min(work);
             let hi = (lo + per).min(work);
             let mut out = RefArena::new(tuples.npatterns, tuples.nvars);
-            let mut caps = CapTracker::shared(&budget, k);
+            let mut caps = CapTracker::shared(&budget, k, gov);
             if single_proto {
                 // Partitioning the first pattern: the proto tuple's single
                 // bucket, sliced to the candidate range [lo, hi).
                 self.probe_into(tuples, 0, Some((lo, hi)), &mut out, &mut caps);
             } else {
+                let mut gate = GovGate::new(gov);
                 for t in lo..hi {
+                    if gate.tick().is_some() {
+                        caps.gov_stop = true;
+                        break;
+                    }
                     if self.probe_into(tuples, t, None, &mut out, &mut caps) {
                         break;
                     }
                 }
             }
             budget.publish(k, out.len());
-            *partials[k].lock().expect("join partial") = out;
-        });
+            *partials[k].lock().expect("join partial") = (out, !caps.gov_stop);
+        })
+        .map_err(worker_panic)?;
 
-        let partials: Vec<RefArena> = partials
+        let partials: Vec<(RefArena, bool)> = partials
             .into_iter()
             .map(|slot| slot.into_inner().expect("join partial"))
             .collect();
-        let total: usize = partials.iter().map(RefArena::len).sum();
-        let keep = total.min(max);
+        let total: usize = partials.iter().map(|(a, _)| a.len()).sum();
+        let keep = total.min(cap);
         let mut merged = RefArena::new(tuples.npatterns, tuples.nvars);
         merged.events.reserve_exact(keep * tuples.npatterns);
         merged.vars.reserve_exact(keep * tuples.nvars);
-        for part in &partials {
+        let mut complete = true;
+        for (part, part_complete) in &partials {
             let room = keep - merged.len();
             merged.append_prefix(part, room);
+            if !part_complete {
+                // Later partitions' tuples would follow tuples this
+                // partition never produced; dropping them keeps the merge
+                // a prefix of the serial traversal.
+                complete = false;
+                break;
+            }
         }
         // The serial loop flags truncation as soon as the frontier reaches
-        // `max_intermediate`. Early-stopped partitions only stop once the
-        // counts published before them plus their own output reach `max`,
-        // so `total` hits `max` exactly when the serial loop would have
-        // flagged — and the merged prefix is the serial prefix.
-        (merged, total >= max)
+        // the cap. Early-stopped partitions only stop once the counts
+        // published before them plus their own output reach the cap, so
+        // `total` hits it exactly when the serial loop would have flagged —
+        // and the merged prefix is the serial prefix.
+        Ok(StepOut {
+            truncated: complete && total >= cap,
+            complete,
+            arena: merged,
+        })
     }
 }
 
@@ -636,11 +787,23 @@ fn temporal_ok_refs(
 }
 
 /// The seed's materializing join (kept intact for the ablation benches):
-/// candidates are full events and the frontier clones them per tuple.
-fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, JoinRun) {
+/// candidates are full events and the frontier clones them per tuple. The
+/// governor integrates the same way as [`join_refs`] — deterministic row
+/// caps from the memory budget, per-tuple deadline/cancel polls, partial
+/// mode completing the preserved prefix ungoverned.
+fn join_events(
+    env: &ExecEnv<'_>,
+    candidates: Vec<Vec<Event>>,
+) -> Result<(Vec<Tuple>, JoinRun), EngineError> {
     let a = env.a;
     let n = a.patterns.len();
     let nvars = a.vars.len();
+    // Frontier footprint estimate per tuple: the inline options (each
+    // tuple also owns two Vec headers, which this deliberately ignores —
+    // the accounting tracks the dominant payload).
+    let tuple_bytes = (n * std::mem::size_of::<Option<Event>>()
+        + nvars * std::mem::size_of::<Option<EntityId>>()) as u64;
+    let mut gov = env.gov();
     // Join order: smallest candidate list first.
     let mut join_order: Vec<usize> = (0..n).collect();
     join_order.sort_by_key(|&i| (candidates[i].len(), i));
@@ -686,37 +849,76 @@ fn join_events(env: &ExecEnv<'_>, candidates: Vec<Vec<Event>>) -> (Vec<Tuple>, J
             index.entry(key).or_default().push(e);
         }
         run.build_nanos += t_build.elapsed().as_nanos() as u64;
-        let t_probe = Instant::now();
-        'tuples: for t in &tuples {
-            let key: Vec<EntityId> = proto_bound
-                .iter()
-                .map(|&v| t.vars[v].expect("prototype bound var"))
-                .collect();
-            let Some(matches) = index.get(&key) else {
-                continue;
-            };
-            for e in matches {
-                if !temporal_ok(a, i, e, t) {
-                    continue;
+        // Effective row cap (see `join_refs`).
+        let mut cap = env.config.max_intermediate;
+        let mut mem_capped = false;
+        if let Some(g) = gov {
+            if g.has_memory_budget() {
+                let rows = (g.remaining_bytes() / tuple_bytes) as usize;
+                if rows < cap {
+                    cap = rows;
+                    mem_capped = true;
                 }
-                let mut nt = t.clone();
-                nt.events[i] = Some(**e);
-                nt.vars[p.subject] = Some(e.subject);
-                nt.vars[p.object] = Some(e.object);
-                next.push(nt);
-                if next.len() >= env.config.max_intermediate {
-                    run.truncated = true;
+            }
+        }
+        let mut step_truncated = false;
+        let mut gate = GovGate::new(gov);
+        let t_probe = Instant::now();
+        if cap == 0 {
+            step_truncated = true;
+        } else {
+            'tuples: for t in &tuples {
+                if gate.tick().is_some() {
                     break 'tuples;
+                }
+                let key: Vec<EntityId> = proto_bound
+                    .iter()
+                    .map(|&v| t.vars[v].expect("prototype bound var"))
+                    .collect();
+                let Some(matches) = index.get(&key) else {
+                    continue;
+                };
+                for e in matches {
+                    if !temporal_ok(a, i, e, t) {
+                        continue;
+                    }
+                    let mut nt = t.clone();
+                    nt.events[i] = Some(**e);
+                    nt.vars[p.subject] = Some(e.subject);
+                    nt.vars[p.object] = Some(e.object);
+                    next.push(nt);
+                    if next.len() >= cap {
+                        step_truncated = true;
+                        break 'tuples;
+                    }
                 }
             }
         }
         run.probe_nanos += t_probe.elapsed().as_nanos() as u64;
+        let prev_bytes = tuples.len() as u64 * tuple_bytes;
         tuples = next;
+        if let Some(g) = gov {
+            g.uncharge(prev_bytes);
+            let _ = g.charge(tuples.len() as u64 * tuple_bytes);
+            if mem_capped && step_truncated {
+                g.record(Trip::Memory);
+            }
+            if let Some(t) = g.trip() {
+                if !g.partial() {
+                    return Err(g.error(t));
+                }
+                gov = None;
+            } else {
+                run.truncated |= step_truncated;
+            }
+        } else {
+            run.truncated |= step_truncated;
+        }
         if tuples.is_empty() {
-            return (tuples, run);
+            return Ok((tuples, run));
         }
     }
-    (tuples, run)
+    Ok((tuples, run))
 }
 
 /// Verifies every temporal relationship between pattern `i`'s candidate

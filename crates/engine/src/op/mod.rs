@@ -40,7 +40,8 @@ use aiql_storage::{EventFilter, EventStore, IdSet, Partition, PartitionKey};
 use crate::analyze::AnalyzedMultievent;
 use crate::engine::EngineConfig;
 use crate::error::EngineError;
-use crate::pool::ScanPool;
+use crate::governor::Governor;
+use crate::pool::{PoolPanic, ScanPool};
 use crate::result::ResultTable;
 use crate::schedule::PlanCtx;
 
@@ -256,6 +257,24 @@ pub struct ExecEnv<'a> {
     pub ctx: PlanCtx,
     /// The partition address space of this execution.
     pub parts: PartTable<'a>,
+    /// The query governor (deadline, cancellation, memory budget), shared
+    /// by every thread working on this query. `None` = ungoverned: every
+    /// check compiles to a no-op branch.
+    pub governor: Option<Arc<Governor>>,
+}
+
+impl ExecEnv<'_> {
+    /// The governor, borrowed for the hot loops.
+    #[inline]
+    pub(crate) fn gov(&self) -> Option<&Governor> {
+        self.governor.as_deref()
+    }
+}
+
+/// A caught worker panic, surfaced to the owning query as a structured
+/// error (the pool and its workers stay healthy).
+pub(crate) fn worker_panic(p: PoolPanic) -> EngineError {
+    EngineError::WorkerPanic { message: p.message }
 }
 
 /// Mutable dataflow state threaded through the operator tree.

@@ -23,6 +23,7 @@ use aiql_storage::EventStore;
 use crate::analyze::AnalyzedMultievent;
 use crate::error::EngineError;
 use crate::eval::{self, agg_key, RowCtx, SlotEnv, SlotExpr, SlotRow};
+use crate::governor::{GovGate, Governor};
 use crate::op::{
     ExecEnv, Frontier, OpIo, Operator, PartTable, PipelineState, RefArena, Tuple, NO_REF, NO_VAR,
 };
@@ -60,15 +61,21 @@ impl Operator for Project {
                     .then(|| compile_projection(env.store, env.a))
                     .flatten();
                 match &compiled {
-                    Some(cp) => project_compiled(env.store, env.a, cp, arena.len(), |i, row| {
-                        fill_slots_arena(arena, &env.parts, cp, i, row);
-                    })?,
-                    None => project_with(env.store, env.a, arena.len(), |i, ctx| {
+                    Some(cp) => {
+                        project_compiled(env.store, env.a, cp, arena.len(), env.gov(), |i, row| {
+                            fill_slots_arena(arena, &env.parts, cp, i, row);
+                        })?
+                    }
+                    None => project_with(env.store, env.a, arena.len(), env.gov(), |i, ctx| {
                         fill_ctx_arena(env.a, arena, &env.parts, i, ctx);
                     })?,
                 }
             }
-            Frontier::Events(tuples) => project(env.store, env.a, tuples)?,
+            Frontier::Events(tuples) => {
+                project_with(env.store, env.a, tuples.len(), env.gov(), |i, ctx| {
+                    fill_ctx_tuple(env.a, &tuples[i], ctx);
+                })?
+            }
         };
         table.truncated = st.truncated;
         let rows_out = table.rows.len();
@@ -363,16 +370,27 @@ fn project_compiled(
     a: &AnalyzedMultievent,
     cp: &CompiledProjection,
     ntuples: usize,
+    gov: Option<&Governor>,
     mut fill: impl FnMut(usize, &mut SlotRow),
 ) -> Result<ResultTable, EngineError> {
     let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
     let mut table = ResultTable::new(columns);
     let aggregated = !cp.aggs.is_empty() || !a.group_by.is_empty();
     let mut ctx = SlotRow::new(a.vars.len(), a.patterns.len(), cp.naliases, cp.aggs.len());
+    let mut gate = GovGate::new(gov);
 
     let mut rows: Vec<Vec<Value>> = Vec::new();
     if !aggregated {
         for i in 0..ntuples {
+            // A trip here either unwinds (error mode) or keeps the rows
+            // produced so far — a prefix of the full projection (partial
+            // mode; the sticky trip surfaces as a warning on the table).
+            if let (Some(t), Some(g)) = (gate.tick(), gov) {
+                if !g.partial() {
+                    return Err(g.error(t));
+                }
+                break;
+            }
             fill(i, &mut ctx);
             let mut row = Vec::with_capacity(cp.items.len());
             for item in &cp.items {
@@ -394,6 +412,14 @@ fn project_compiled(
         let mut groups: HashMap<String, Group> = HashMap::new();
         let mut group_order: Vec<String> = Vec::new();
         for ti in 0..ntuples {
+            // Partial mode: aggregates reflect the tuple prefix consumed
+            // before the trip (the table carries the warning).
+            if let (Some(t), Some(g)) = (gate.tick(), gov) {
+                if !g.partial() {
+                    return Err(g.error(t));
+                }
+                break;
+            }
             fill(ti, &mut ctx);
             let mut key_vals = Vec::with_capacity(cp.group_by.len());
             for g in &cp.group_by {
@@ -450,7 +476,7 @@ pub fn project(
     a: &AnalyzedMultievent,
     tuples: &[Tuple],
 ) -> Result<ResultTable, EngineError> {
-    project_with(store, a, tuples.len(), |i, ctx| {
+    project_with(store, a, tuples.len(), None, |i, ctx| {
         fill_ctx_tuple(a, &tuples[i], ctx);
     })
 }
@@ -463,6 +489,7 @@ fn project_with<'a>(
     store: &EventStore,
     a: &'a AnalyzedMultievent,
     ntuples: usize,
+    gov: Option<&Governor>,
     fill: impl Fn(usize, &mut RowCtx<'a>),
 ) -> Result<ResultTable, EngineError> {
     let columns: Vec<String> = a.ret.items.iter().map(column_name).collect();
@@ -470,10 +497,17 @@ fn project_with<'a>(
     let aggs = collect_aggs(a);
     let aggregated = !aggs.is_empty() || !a.group_by.is_empty();
     let mut ctx = RowCtx::default();
+    let mut gate = GovGate::new(gov);
 
     let mut rows: Vec<Vec<Value>> = Vec::new();
     if !aggregated {
         for i in 0..ntuples {
+            if let (Some(t), Some(g)) = (gate.tick(), gov) {
+                if !g.partial() {
+                    return Err(g.error(t));
+                }
+                break;
+            }
             fill(i, &mut ctx);
             let mut row = Vec::with_capacity(a.ret.items.len());
             for item in &a.ret.items {
@@ -496,6 +530,12 @@ fn project_with<'a>(
         let mut groups: HashMap<String, Group> = HashMap::new();
         let mut group_order: Vec<String> = Vec::new();
         for ti in 0..ntuples {
+            if let (Some(t), Some(g)) = (gate.tick(), gov) {
+                if !g.partial() {
+                    return Err(g.error(t));
+                }
+                break;
+            }
             fill(ti, &mut ctx);
             let mut key_vals = Vec::with_capacity(a.group_by.len());
             for g in &a.group_by {

@@ -83,9 +83,14 @@ impl Operator for PatternScan {
 
         let fetched;
         if env.config.late_materialization {
-            let mut refs = scan_refs(env, &parts, &filter, fanout > 1);
+            let mut refs = scan_refs(env, &parts, &filter, fanout > 1)?;
             refs.retain(|&r| keep(env.parts.subject(r), env.parts.object(r)));
             fetched = refs.len();
+            let batch_bytes = (fetched * std::mem::size_of::<EventRef>()) as u64;
+            if let Some(io) = governed_scan_stop(env, st, batch_bytes, estimate, fanout)? {
+                st.stats.fetched[i] = fetched;
+                return Ok(io);
+            }
             if refs.is_empty() {
                 st.stats.fetched[i] = 0;
                 st.done = true;
@@ -117,9 +122,14 @@ impl Operator for PatternScan {
             st.time_stats[i] = Some(ts);
             st.candidates[i] = Some(Batch::Refs(refs));
         } else {
-            let mut events = scan_events(env, &parts, &filter, fanout > 1);
+            let mut events = scan_events(env, &parts, &filter, fanout > 1)?;
             events.retain(|e| keep(e.subject, e.object));
             fetched = events.len();
+            let batch_bytes = (fetched * std::mem::size_of::<Event>()) as u64;
+            if let Some(io) = governed_scan_stop(env, st, batch_bytes, estimate, fanout)? {
+                st.stats.fetched[i] = fetched;
+                return Ok(io);
+            }
             if events.is_empty() {
                 st.stats.fetched[i] = 0;
                 st.done = true;
@@ -158,6 +168,40 @@ impl Operator for PatternScan {
     }
 }
 
+/// Post-scan governor step: charges the candidate batch against the memory
+/// budget and resolves any sticky trip (a limit that fired before or during
+/// the scan leaves the candidate list incomplete, so the operator must not
+/// publish it). In error mode the trip unwinds as its `EngineError`; in
+/// partial mode the pipeline short-circuits (`st.done`) — the empty table
+/// is a valid prefix of the full result. `Ok(Some(io))` means stop here.
+fn governed_scan_stop(
+    env: &ExecEnv<'_>,
+    st: &mut PipelineState,
+    batch_bytes: u64,
+    estimate: usize,
+    fanout: usize,
+) -> Result<Option<OpIo>, EngineError> {
+    let Some(g) = env.gov() else {
+        return Ok(None);
+    };
+    // Charging records a Memory trip when the budget is exceeded; the
+    // single trip() read below then resolves whichever limit fired first.
+    let _ = g.charge(batch_bytes);
+    let Some(t) = g.trip() else {
+        return Ok(None);
+    };
+    if !g.partial() {
+        return Err(g.error(t));
+    }
+    st.done = true;
+    Ok(Some(OpIo {
+        rows_in: estimate,
+        rows_out: 0,
+        fanout,
+        ..OpIo::default()
+    }))
+}
+
 /// Whether a scan over `parts` partitions should fan out.
 /// `base_estimate` is the pattern's planned match estimate — an upper
 /// bound for the (possibly narrowed) `filter` actually scanned — so the
@@ -190,7 +234,7 @@ fn scan_chunked<T: Send>(
     env: &ExecEnv<'_>,
     keys: &[PartitionKey],
     work: impl Fn(&[PartitionKey], &mut Vec<T>) + Sync + Send,
-) -> Vec<T> {
+) -> Result<Vec<T>, EngineError> {
     let threads = env.config.parallelism.max(1);
     // Chunks finer than the thread count let the pool's self-scheduling
     // balance skewed partitions.
@@ -202,13 +246,20 @@ fn scan_chunked<T: Send>(
         .collect();
     match &env.pool {
         Some(pool) => {
+            let inject = env.config.inject_scan_panic;
             // Fan-out stays capped at the engine's parallelism even when
-            // the process-wide shared pool has more workers.
+            // the process-wide shared pool has more workers. A panicking
+            // task (including the injected chaos panic) is caught on its
+            // worker and surfaces as `WorkerPanic` for this query only.
             pool.run_chunks_capped(groups.len(), threads, &|i| {
+                if inject {
+                    panic!("injected scan panic (EngineConfig::inject_scan_panic)");
+                }
                 let mut out = Vec::new();
                 work(groups[i], &mut out);
                 *slots[i].lock().expect("scan slot") = out;
-            });
+            })
+            .map_err(crate::op::worker_panic)?;
         }
         None => {
             let work = &work;
@@ -230,7 +281,7 @@ fn scan_chunked<T: Send>(
     for slot in slots {
         out.append(&mut slot.into_inner().expect("scan slot"));
     }
-    out
+    Ok(out)
 }
 
 /// Materializing scan: events are copied out of the segments, residual
@@ -240,22 +291,29 @@ fn scan_events(
     parts: &[PartitionKey],
     filter: &EventFilter,
     parallel: bool,
-) -> Vec<Event> {
+) -> Result<Vec<Event>, EngineError> {
     let residual = &env.a.globals.residual;
+    let gov = env.gov();
     if !parallel {
         let mut out = Vec::new();
         for &key in parts {
+            if gov.is_some_and(|g| g.check().is_err()) {
+                break;
+            }
             env.store.scan_partition(key, filter, &mut |e| {
                 if residual_ok(e, residual) {
                     out.push(*e);
                 }
             });
         }
-        return out;
+        return Ok(out);
     }
     let store = env.store;
     scan_chunked(env, parts, |group, out| {
         for &key in group {
+            if gov.is_some_and(|g| g.check().is_err()) {
+                return;
+            }
             store.scan_partition(key, filter, &mut |e| {
                 if residual_ok(e, residual) {
                     out.push(*e);
@@ -273,10 +331,17 @@ fn scan_refs(
     parts: &[PartitionKey],
     filter: &EventFilter,
     parallel: bool,
-) -> Vec<EventRef> {
+) -> Result<Vec<EventRef>, EngineError> {
     let residual = &env.a.globals.residual;
     let table = &env.parts;
+    let gov = env.gov();
+    // Governor granularity here is one partition: a tripped query skips
+    // the partitions it has not started (PatternScan::run observes the
+    // sticky trip right after the scan and unwinds or truncates).
     let collect_part = |key: PartitionKey, out: &mut Vec<EventRef>| {
+        if gov.is_some_and(|g| g.check().is_err()) {
+            return;
+        }
         let part = table.index_of(key);
         let partition = table.parts[part as usize];
         for row in env.store.select_partition(key, filter) {
@@ -293,7 +358,7 @@ fn scan_refs(
         for &key in parts {
             collect_part(key, &mut out);
         }
-        return out;
+        return Ok(out);
     }
     scan_chunked(env, parts, |group, out| {
         for &key in group {

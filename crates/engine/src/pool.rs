@@ -7,14 +7,46 @@
 //! self-schedule over fine-grained partition chunks (each worker pulls the
 //! next chunk index from a shared atomic cursor), which balances skewed
 //! partitions the way work-stealing would.
+//!
+//! Panics are *contained*, not propagated: a panicking task is caught on
+//! its worker (the worker survives and keeps pulling jobs), the payload
+//! message is captured, and the whole batch reports a [`PoolPanic`] to the
+//! submitting query — which surfaces it as
+//! `EngineError::WorkerPanic` while every other query keeps using the pool.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A panic caught on a pool worker, with the payload message when the
+/// payload was a string (the overwhelmingly common case).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPanic {
+    /// The panic payload, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PoolPanic {}
+
+/// Extracts a readable message from a panic payload.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The process-wide shared scan executor, spawned once on first use and
 /// sized by the machine (`std::thread::available_parallelism`). Engines use
@@ -39,7 +71,8 @@ pub fn shared() -> Arc<ScanPool> {
 struct WaitGroup {
     remaining: Mutex<usize>,
     zero: Condvar,
-    panicked: AtomicBool,
+    /// First caught panic message of the batch, if any.
+    panic_msg: Mutex<Option<String>>,
 }
 
 impl WaitGroup {
@@ -47,8 +80,21 @@ impl WaitGroup {
         Arc::new(WaitGroup {
             remaining: Mutex::new(count),
             zero: Condvar::new(),
-            panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
         })
+    }
+
+    fn record_panic(&self, message: String) {
+        let mut slot = self.panic_msg.lock().expect("waitgroup panic slot");
+        slot.get_or_insert(message);
+    }
+
+    fn take_panic(&self) -> Option<PoolPanic> {
+        self.panic_msg
+            .lock()
+            .expect("waitgroup panic slot")
+            .take()
+            .map(|message| PoolPanic { message })
     }
 
     fn done(&self) {
@@ -121,9 +167,16 @@ impl ScanPool {
     /// Runs every task to completion on the pool, blocking the caller until
     /// all have finished. Tasks may borrow from the caller's stack: the
     /// blocking wait is what makes the lifetime extension below sound.
-    pub fn scope<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    ///
+    /// A panicking task does not kill its worker or the batch: every task
+    /// still runs, and the first caught panic comes back as `Err` so the
+    /// owning query can surface it while the pool keeps serving others.
+    pub fn scope<'env>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) -> Result<(), PoolPanic> {
         if tasks.is_empty() {
-            return;
+            return Ok(());
         }
         /// Waits for every *submitted* task on drop — including when the
         /// submit loop unwinds — so queued closures can never outlive the
@@ -160,8 +213,8 @@ impl ScanPool {
             let wg_job = Arc::clone(&wg);
             let sent = sender
                 .send(Box::new(move || {
-                    if catch_unwind(AssertUnwindSafe(task)).is_err() {
-                        wg_job.panicked.store(true, Ordering::SeqCst);
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        wg_job.record_panic(payload_message(payload.as_ref()));
                     }
                     wg_job.done();
                 }))
@@ -178,25 +231,33 @@ impl ScanPool {
         }
         drop(guard); // blocks until all submitted tasks finished
         if workers_gone {
-            panic!("scan pool workers exited while tasks were pending");
+            return Err(PoolPanic {
+                message: "scan pool workers exited while tasks were pending".into(),
+            });
         }
-        if wg.panicked.load(Ordering::SeqCst) {
-            panic!("scan pool task panicked");
+        match wg.take_panic() {
+            Some(p) => Err(p),
+            None => Ok(()),
         }
     }
 
     /// Convenience: runs `f(chunk_index)` for every chunk index in
     /// `0..chunks`, using up to `threads` concurrent self-scheduling tasks.
-    pub fn run_chunks(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
-        self.run_chunks_capped(chunks, self.threads, f);
+    pub fn run_chunks(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), PoolPanic> {
+        self.run_chunks_capped(chunks, self.threads, f)
     }
 
     /// [`ScanPool::run_chunks`] with the concurrent-task fan-out capped at
     /// `max_workers`: a query configured for `parallelism = 2` keeps that
     /// degree even on a machine-wide shared pool with more workers.
-    pub fn run_chunks_capped(&self, chunks: usize, max_workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    pub fn run_chunks_capped(
+        &self,
+        chunks: usize,
+        max_workers: usize,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), PoolPanic> {
         if chunks == 0 {
-            return;
+            return Ok(());
         }
         let cursor = std::sync::atomic::AtomicUsize::new(0);
         let cursor = &cursor;
@@ -204,14 +265,14 @@ impl ScanPool {
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
         for _ in 0..workers {
             tasks.push(Box::new(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= chunks {
                     break;
                 }
                 f(i);
             }));
         }
-        self.scope(tasks);
+        self.scope(tasks)
     }
 }
 
@@ -228,7 +289,7 @@ impl Drop for ScanPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn runs_all_tasks_with_borrows() {
@@ -242,7 +303,7 @@ mod tests {
                 }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        pool.scope(tasks);
+        pool.scope(tasks).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 64);
     }
 
@@ -252,7 +313,8 @@ mod tests {
         let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
         pool.run_chunks(100, &|i| {
             hits[i].fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
     }
 
@@ -263,22 +325,45 @@ mod tests {
             let counter = AtomicUsize::new(0);
             pool.run_chunks(8, &|_| {
                 counter.fetch_add(1, Ordering::SeqCst);
-            });
+            })
+            .unwrap();
             assert_eq!(counter.load(Ordering::SeqCst), 8);
         }
     }
 
     #[test]
-    fn task_panic_propagates_without_killing_workers() {
+    fn task_panic_is_contained_with_its_message() {
         let pool = ScanPool::new(2);
         let boom: Vec<Box<dyn FnOnce() + Send + '_>> =
             vec![Box::new(|| panic!("intentional test panic"))];
-        assert!(catch_unwind(AssertUnwindSafe(|| pool.scope(boom))).is_err());
+        let err = pool.scope(boom).unwrap_err();
+        assert!(err.message.contains("intentional test panic"));
         // Workers must still be serviceable afterwards.
         let counter = AtomicUsize::new(0);
         pool.run_chunks(4, &|_| {
             counter.fetch_add(1, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_batch_still_runs_every_other_task() {
+        let pool = ScanPool::new(2);
+        let counter = AtomicUsize::new(0);
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for i in 0..16 {
+            let c = &counter;
+            if i == 3 {
+                tasks.push(Box::new(|| panic!("task 3 died")));
+            } else {
+                tasks.push(Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        let err = pool.scope(tasks).unwrap_err();
+        assert!(err.message.contains("task 3 died"));
+        assert_eq!(counter.load(Ordering::SeqCst), 15);
     }
 }

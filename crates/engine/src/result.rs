@@ -1,5 +1,7 @@
 //! Query result tables.
 
+use crate::governor::Warning;
+
 use aiql_model::{Interner, Value};
 
 /// A materialized query result: named columns and rows of dynamic values.
@@ -11,6 +13,9 @@ pub struct ResultTable {
     pub rows: Vec<Vec<Value>>,
     /// True when the engine truncated intermediate results at its cap.
     pub truncated: bool,
+    /// Governor warnings: set when `partial_results` execution hit a
+    /// budget and the table holds a prefix of the full answer.
+    pub warnings: Vec<Warning>,
 }
 
 impl ResultTable {
@@ -20,6 +25,7 @@ impl ResultTable {
             columns,
             rows: Vec::new(),
             truncated: false,
+            warnings: Vec::new(),
         }
     }
 
@@ -65,6 +71,9 @@ impl ResultTable {
         }
         if self.truncated {
             out.push_str("(truncated)\n");
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("(warning: {w})\n"));
         }
         out
     }

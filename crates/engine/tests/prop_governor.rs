@@ -1,0 +1,400 @@
+//! Governor semantics (PR 6): deadlines, cancellation, and memory budgets
+//! tripping at arbitrary points of a 4-pattern join chain.
+//!
+//! The contract under test:
+//!
+//! * **Error mode** (default): a tripped budget unwinds cleanly with the
+//!   matching structured error — `DeadlineExceeded`, `Cancelled`, or
+//!   `MemoryBudget` — and the engine (store, plan cache, shared pool)
+//!   remains fully usable afterwards.
+//! * **Partial mode** (`partial_results`): the query returns a
+//!   *prefix-preserving* truncated table — its rows are a prefix of the
+//!   ungoverned result — flagged `truncated` and carrying a [`Warning`].
+//! * **Determinism**: memory-budget truncation converts the byte budget
+//!   into a row cap on the query thread, so serial and parallel joins
+//!   truncate at the same tuple and return byte-identical tables.
+//! * **Panic containment**: a worker panic mid-scan surfaces as
+//!   `WorkerPanic` for the owning query only; the process-wide pool keeps
+//!   serving subsequent queries.
+
+use std::time::Duration;
+
+use aiql_engine::{CancelToken, Engine, EngineConfig, EngineError, ExecBudget, Warning};
+use aiql_lang::parse_query;
+use aiql_model::{AgentId, Operation, Timestamp};
+use aiql_storage::{EntitySpec, EventStore, RawEvent, StoreConfig};
+use proptest::prelude::*;
+
+/// The 4-pattern chain from the operator-pipeline differential suite: a
+/// join deep enough that budgets can trip in any of its steps.
+const CHAIN_QUERY: &str = r#"proc p1 write file f as e1
+   proc p2 read file f as e2
+   proc p2 write file f2 as e3
+   proc p3 read file f2 as e4
+   with e1 before e2, e2 before e3, e3 before e4
+   return p1, p3, f, f2"#;
+
+fn arb_raw() -> impl Strategy<Value = RawEvent> {
+    (
+        0u32..3,
+        prop_oneof![Just(Operation::Read), Just(Operation::Write)],
+        0u32..4,
+        0u32..3,
+        0i64..5_000,
+        0u64..2_000,
+    )
+        .prop_map(|(agent, op, subj, obj, secs, amount)| {
+            RawEvent::instant(
+                AgentId(agent),
+                op,
+                EntitySpec::process(100 + subj, &format!("exe{subj}.bin"), "user"),
+                EntitySpec::file(&format!("/data/file{obj}"), "user"),
+                Timestamp::from_secs(secs),
+                amount,
+            )
+        })
+}
+
+fn build_store(raws: &[RawEvent]) -> EventStore {
+    let mut store = EventStore::new(StoreConfig {
+        time_bucket: aiql_model::Duration::from_mins(10),
+        dedup: false,
+        ..StoreConfig::default()
+    });
+    store.ingest_all(raws);
+    store
+}
+
+/// A governed config: `parallel` toggles both the frontier-partitioned
+/// join and the pooled parallel scans that the governor must coordinate
+/// with.
+fn config(parallel: bool, late_mat: bool) -> EngineConfig {
+    EngineConfig {
+        parallelism: if parallel { 4 } else { 1 },
+        parallel_join: parallel,
+        join_partitions: if parallel { 3 } else { 0 },
+        parallel_threshold: 0,
+        late_materialization: late_mat,
+        ..EngineConfig::default()
+    }
+}
+
+/// Asserts `partial` is a row-prefix of `full` (the partial-mode contract
+/// for non-aggregated queries).
+fn assert_prefix(partial: &aiql_engine::ResultTable, full: &aiql_engine::ResultTable) {
+    assert!(
+        partial.rows.len() <= full.rows.len(),
+        "partial result larger than the full one: {} > {}",
+        partial.rows.len(),
+        full.rows.len()
+    );
+    assert_eq!(
+        partial.rows[..],
+        full.rows[..partial.rows.len()],
+        "partial rows are not a prefix of the full result"
+    );
+}
+
+#[test]
+fn precancelled_query_errors_cleanly_and_engine_survives() {
+    let raws: Vec<RawEvent> = (0..200)
+        .map(|i| {
+            RawEvent::instant(
+                AgentId((i % 3) as u32),
+                if i % 2 == 0 {
+                    Operation::Write
+                } else {
+                    Operation::Read
+                },
+                EntitySpec::process(100 + (i % 4) as u32, &format!("exe{}.bin", i % 4), "user"),
+                EntitySpec::file(&format!("/data/file{}", i % 3), "user"),
+                Timestamp::from_secs(i),
+                i as u64,
+            )
+        })
+        .collect();
+    let store = build_store(&raws);
+    let engine = Engine::new(config(true, true));
+
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = ExecBudget::unlimited().with_cancel(token);
+    let query = parse_query(CHAIN_QUERY).unwrap();
+    let err = engine
+        .execute_with_budget(&store, &query, &budget)
+        .unwrap_err();
+    assert_eq!(err, EngineError::Cancelled);
+
+    // The engine (plan cache, pool) is untouched: the same query runs
+    // ungoverned to completion afterwards.
+    engine.execute(&store, &query).unwrap();
+}
+
+#[test]
+fn precancelled_partial_mode_returns_empty_prefix_with_warning() {
+    let raws: Vec<RawEvent> = (0..100)
+        .map(|i| {
+            RawEvent::instant(
+                AgentId(1),
+                Operation::Write,
+                EntitySpec::process(100, "exe0.bin", "user"),
+                EntitySpec::file(&format!("/data/file{}", i % 3), "user"),
+                Timestamp::from_secs(i),
+                i as u64,
+            )
+        })
+        .collect();
+    let store = build_store(&raws);
+    let engine = Engine::new(config(false, true));
+
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = ExecBudget::unlimited()
+        .with_cancel(token)
+        .with_partial_results(true);
+    let table = engine
+        .execute_text_with_budget(&store, "proc p write file f as e return p, f", &budget)
+        .unwrap();
+    assert!(table.truncated);
+    assert_eq!(table.warnings, vec![Warning::Cancelled]);
+    assert!(table.rows.is_empty(), "pre-cancelled query produced rows");
+}
+
+#[test]
+fn expired_deadline_maps_to_structured_error() {
+    let store = build_store(&[RawEvent::instant(
+        AgentId(1),
+        Operation::Write,
+        EntitySpec::process(100, "exe0.bin", "user"),
+        EntitySpec::file("/data/file0", "user"),
+        Timestamp::from_secs(1),
+        10,
+    )]);
+    let engine = Engine::new(config(false, true));
+    let budget = ExecBudget::unlimited().with_deadline(Duration::ZERO);
+    let err = engine
+        .execute_text_with_budget(&store, "proc p write file f as e return p", &budget)
+        .unwrap_err();
+    assert_eq!(err, EngineError::DeadlineExceeded { deadline_ms: 0 });
+}
+
+#[test]
+fn config_level_governor_tunables_apply() {
+    let store = build_store(&[RawEvent::instant(
+        AgentId(1),
+        Operation::Write,
+        EntitySpec::process(100, "exe0.bin", "user"),
+        EntitySpec::file("/data/file0", "user"),
+        Timestamp::from_secs(1),
+        10,
+    )]);
+    // memory_budget_bytes: 1 cannot hold a single scanned batch: error mode
+    // surfaces MemoryBudget, partial mode a truncated (empty) prefix.
+    let strict = Engine::new(EngineConfig {
+        memory_budget_bytes: 1,
+        ..config(false, true)
+    });
+    let err = strict
+        .execute_text(&store, "proc p write file f as e return p")
+        .unwrap_err();
+    assert_eq!(err, EngineError::MemoryBudget { budget_bytes: 1 });
+
+    let lenient = Engine::new(EngineConfig {
+        memory_budget_bytes: 1,
+        partial_results: true,
+        ..config(false, true)
+    });
+    let table = lenient
+        .execute_text(&store, "proc p write file f as e return p")
+        .unwrap();
+    assert!(table.truncated);
+    assert_eq!(
+        table.warnings,
+        vec![Warning::MemoryBudget { budget_bytes: 1 }]
+    );
+}
+
+#[test]
+fn mid_query_cancel_from_another_thread_is_clean_and_sticky() {
+    let raws: Vec<RawEvent> = (0..3_000)
+        .map(|i| {
+            RawEvent::instant(
+                AgentId((i % 3) as u32),
+                if i % 2 == 0 {
+                    Operation::Write
+                } else {
+                    Operation::Read
+                },
+                EntitySpec::process(100 + (i % 4) as u32, &format!("exe{}.bin", i % 4), "user"),
+                EntitySpec::file(&format!("/data/file{}", i % 3), "user"),
+                Timestamp::from_secs(i % 4_000),
+                i as u64,
+            )
+        })
+        .collect();
+    let store = build_store(&raws);
+    let engine = Engine::new(config(true, true));
+    let query = parse_query(CHAIN_QUERY).unwrap();
+
+    let token = CancelToken::new();
+    let budget = ExecBudget::unlimited().with_cancel(token.clone());
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(1));
+            token.cancel();
+        })
+    };
+    // Depending on timing the query finishes first or observes the cancel;
+    // both are clean outcomes, anything else is a containment bug.
+    match engine.execute_with_budget(&store, &query, &budget) {
+        Ok(_) => {}
+        Err(e) => assert_eq!(e, EngineError::Cancelled),
+    }
+    canceller.join().unwrap();
+
+    // The trip is sticky on the token, not the engine: a fresh run under
+    // the now-cancelled token trips immediately, an unbudgeted run works.
+    let err = engine
+        .execute_with_budget(&store, &query, &budget)
+        .unwrap_err();
+    assert_eq!(err, EngineError::Cancelled);
+    engine.execute(&store, &query).unwrap();
+}
+
+#[test]
+fn worker_panic_is_contained_and_pool_stays_healthy() {
+    let raws: Vec<RawEvent> = (0..400)
+        .map(|i| {
+            RawEvent::instant(
+                AgentId((i % 3) as u32),
+                Operation::Write,
+                EntitySpec::process(100 + (i % 4) as u32, &format!("exe{}.bin", i % 4), "user"),
+                EntitySpec::file(&format!("/data/file{}", i % 3), "user"),
+                Timestamp::from_secs(i),
+                i as u64,
+            )
+        })
+        .collect();
+    let store = build_store(&raws);
+    let query = parse_query("proc p write file f as e return p, f").unwrap();
+
+    // Chaos engine: every pooled scan task panics. The panic must surface
+    // as a structured WorkerPanic for this query, not abort the process or
+    // poison the shared executor.
+    let chaos = Engine::new(EngineConfig {
+        inject_scan_panic: true,
+        ..config(true, true)
+    });
+    let err = chaos.execute(&store, &query).unwrap_err();
+    match &err {
+        EngineError::WorkerPanic { message } => {
+            assert!(message.contains("injected scan panic"), "{message}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+
+    // The same process-wide pool keeps serving: a healthy engine returns
+    // the exact serial-reference result after the panic...
+    let healthy = Engine::new(config(true, true));
+    let expected = Engine::new(config(false, true))
+        .execute(&store, &query)
+        .unwrap();
+    let got = healthy.execute(&store, &query).unwrap();
+    assert_eq!(got, expected);
+
+    // ...and the chaos engine keeps failing cleanly, run after run.
+    let err2 = chaos.execute(&store, &query).unwrap_err();
+    assert!(matches!(err2, EngineError::WorkerPanic { .. }));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// A memory budget tripping at a random point of the chain either
+    /// errors with `MemoryBudget` (error mode) or returns a prefix of the
+    /// ungoverned result (partial mode) — byte-identical across the serial
+    /// and parallel joins.
+    #[test]
+    fn memory_budget_prefix_is_deterministic_across_join_modes(
+        raws in proptest::collection::vec(arb_raw(), 20..150),
+        budget_bytes in 1u64..40_000,
+        late_mat in any::<bool>(),
+    ) {
+        let store = build_store(&raws);
+        let query = parse_query(CHAIN_QUERY).unwrap();
+        let full = Engine::new(config(false, late_mat))
+            .execute(&store, &query)
+            .unwrap();
+
+        // Error mode: a trip is the matching structured error; no trip
+        // must reproduce the ungoverned result exactly.
+        let strict = ExecBudget::unlimited().with_memory_bytes(budget_bytes);
+        let serial = Engine::new(config(false, late_mat))
+            .execute_with_budget(&store, &query, &strict);
+        match &serial {
+            Ok(t) => prop_assert_eq!(&t.rows, &full.rows),
+            Err(e) => prop_assert_eq!(
+                e,
+                &EngineError::MemoryBudget { budget_bytes }
+            ),
+        }
+
+        // Partial mode: always Ok, rows a prefix of the full result, and
+        // the serial/parallel joins agree byte-for-byte.
+        let partial = ExecBudget::unlimited()
+            .with_memory_bytes(budget_bytes)
+            .with_partial_results(true);
+        let p_serial = Engine::new(config(false, late_mat))
+            .execute_with_budget(&store, &query, &partial)
+            .unwrap();
+        assert_prefix(&p_serial, &full);
+        if !p_serial.warnings.is_empty() {
+            prop_assert!(p_serial.truncated);
+        }
+        let p_parallel = Engine::new(config(true, late_mat))
+            .execute_with_budget(&store, &query, &partial)
+            .unwrap();
+        prop_assert_eq!(&p_parallel.rows, &p_serial.rows);
+        prop_assert_eq!(p_parallel.truncated, p_serial.truncated);
+        prop_assert_eq!(&p_parallel.warnings, &p_serial.warnings);
+    }
+
+    /// Cancellation raised at a random point (simulated by a pre-tripped
+    /// token vs. an untripped one) never corrupts later runs: after any
+    /// governed outcome, the ungoverned result is unchanged.
+    #[test]
+    fn governed_runs_never_perturb_ungoverned_results(
+        raws in proptest::collection::vec(arb_raw(), 20..120),
+        budget_bytes in 1u64..20_000,
+        parallel in any::<bool>(),
+    ) {
+        let store = build_store(&raws);
+        let query = parse_query(CHAIN_QUERY).unwrap();
+        let engine = Engine::new(config(parallel, true));
+        let before = engine.execute(&store, &query).unwrap();
+
+        let token = CancelToken::new();
+        token.cancel();
+        let _ = engine.execute_with_budget(
+            &store,
+            &query,
+            &ExecBudget::unlimited().with_cancel(token),
+        );
+        let _ = engine.execute_with_budget(
+            &store,
+            &query,
+            &ExecBudget::unlimited().with_memory_bytes(budget_bytes),
+        );
+        let _ = engine.execute_with_budget(
+            &store,
+            &query,
+            &ExecBudget::unlimited()
+                .with_memory_bytes(budget_bytes)
+                .with_partial_results(true),
+        );
+
+        let after = engine.execute(&store, &query).unwrap();
+        prop_assert_eq!(before.rows, after.rows);
+    }
+}

@@ -37,9 +37,11 @@
 
 pub mod codec;
 pub mod entities;
+pub mod fault;
 pub mod filter;
 pub mod ingest;
 pub mod partition;
+pub mod recovery;
 pub mod segment;
 pub mod snapshot;
 pub mod stats;
@@ -47,10 +49,12 @@ pub mod store;
 pub mod wal;
 
 pub use entities::{AttrCmp, EntityConstraint, EntityStore};
+pub use fault::{FaultWriter, IoFault};
 pub use filter::{EventFilter, IdSet, OpSet};
 pub use ingest::{EntitySpec, RawEvent};
 pub use partition::Partition;
+pub use recovery::{load_or_recover, recover, RecoverySource};
 pub use segment::{PartitionKey, Segment};
 pub use stats::{SegmentStats, StoreStats};
 pub use store::{CompactionReport, EventStore, SharedStore, StoreConfig};
-pub use wal::{Wal, WalError};
+pub use wal::{ReplayReport, Wal, WalError};

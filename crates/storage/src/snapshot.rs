@@ -98,20 +98,42 @@ pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
 }
 
 /// Loads a snapshot into a fresh store.
+///
+/// Every corruption mode is an error, never an abort: a short header or
+/// body, a length field larger than the file, a CRC mismatch, and any
+/// decode failure inside a CRC-valid body all come back as
+/// [`WalError`]/[`CodecError`] values. Callers that also keep a WAL can
+/// recover through [`crate::recovery::load_or_recover`] instead of failing.
 pub fn load(path: &Path) -> Result<EventStore, WalError> {
-    let mut reader = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
     let mut header = [0u8; 16];
-    reader.read_exact(&mut header)?;
+    if reader.read_exact(&mut header).is_err() {
+        // Too short to even hold the header: not a snapshot.
+        return Err(WalError::BadHeader);
+    }
     let (has_epochs, has_layout) = match &header[0..4] {
         m if m == MAGIC => (true, true),
         m if m == MAGIC_V2 => (true, false),
         m if m == MAGIC_V1 => (false, false),
         _ => return Err(WalError::BadHeader),
     };
-    let stored_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+    let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let len64 = u64::from_le_bytes([
+        header[8], header[9], header[10], header[11], header[12], header[13], header[14],
+        header[15],
+    ]);
+    // A truncated file whose length field survived would otherwise drive a
+    // huge allocation before the read even fails — bound it by the file.
+    if len64 > file_len.saturating_sub(16) {
+        return Err(WalError::Codec(CodecError::UnexpectedEof));
+    }
+    let len = len64 as usize;
     let mut body = vec![0u8; len];
-    reader.read_exact(&mut body)?;
+    if reader.read_exact(&mut body).is_err() {
+        return Err(WalError::Codec(CodecError::UnexpectedEof));
+    }
     let crc = codec::crc32(&body);
     if crc != stored_crc {
         return Err(WalError::Codec(CodecError::CrcMismatch(stored_crc, crc)));
@@ -174,7 +196,10 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
         let epoch = codec::get_varint(&mut buf)?;
         let dict_epoch = codec::get_varint(&mut buf)?;
         let nparts = codec::get_varint(&mut buf)?;
-        let mut epochs = Vec::with_capacity(nparts as usize);
+        // Capacity clamps: a corrupt count that slipped past the CRC must
+        // not drive the allocation — each entry needs at least one byte, so
+        // the remaining body length bounds any honest count.
+        let mut epochs = Vec::with_capacity((nparts as usize).min(buf.len()));
         for _ in 0..nparts {
             let agent = AgentId(codec::get_u32(&mut buf)?);
             let bucket = codec::get_i64(&mut buf)?;
@@ -187,12 +212,12 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
     // single-segment-per-partition layout stands).
     if has_layout {
         let nparts = codec::get_varint(&mut buf)?;
-        let mut layouts = Vec::with_capacity(nparts as usize);
+        let mut layouts = Vec::with_capacity((nparts as usize).min(buf.len()));
         for _ in 0..nparts {
             let agent = AgentId(codec::get_u32(&mut buf)?);
             let bucket = codec::get_i64(&mut buf)?;
             let nsegs = codec::get_varint(&mut buf)?;
-            let mut lens = Vec::with_capacity(nsegs as usize);
+            let mut lens = Vec::with_capacity((nsegs as usize).min(buf.len()));
             for _ in 0..nsegs {
                 lens.push(codec::get_varint(&mut buf)? as u32);
             }
