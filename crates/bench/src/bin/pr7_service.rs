@@ -1,0 +1,266 @@
+//! PR 7 robustness trajectory: the multi-tenant query service under
+//! concurrent load.
+//!
+//! Many analyst sessions submit a Zipf-skewed mix of the Figure-4
+//! investigation catalog in bursts against a deliberately small service:
+//! bounded per-session queues (overflow **sheds** with a `retry_after_ms`
+//! hint) and a memory pool that fits one full grant plus floor grants
+//! (overlap **degrades** queries to `partial_results` instead of failing).
+//! The numbers that justify the layer:
+//!
+//! * admitted / shed / degraded counts — overload is handled *explicitly*,
+//!   never by unbounded queueing or tenant-visible crashes;
+//! * p50/p99 client latency (queue wait + execution) under the burst;
+//! * tenant isolation — every undegraded response is byte-identical to a
+//!   serial single-tenant reference run of the same query.
+//!
+//! Emits `BENCH_PR7.json` (path via argv[1], default `BENCH_PR7.json`).
+//! Pass `--check` for CI's smoke mode: smaller fleet, same gates.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aiql_bench::bench_scale;
+use aiql_engine::{Engine, EngineConfig, QueryService, ResultTable, ServiceConfig, ServiceError};
+use aiql_sim::{build_store, demo_queries, scenario_demo, zipf::Zipf};
+use aiql_storage::{SharedStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct ClientOutcome {
+    latencies_ms: Vec<f64>,
+    shed: u64,
+    degraded: u64,
+    /// (query index, degraded) for every completed response that must be
+    /// checked against the reference.
+    completed: Vec<(usize, bool, ResultTable)>,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let check_mode = arg.as_deref() == Some("--check");
+    let out_path = if check_mode {
+        String::new()
+    } else {
+        arg.unwrap_or_else(|| "BENCH_PR7.json".to_string())
+    };
+    let (n_sessions, per_session) = if check_mode { (24, 8) } else { (64, 10) };
+
+    let scenario = scenario_demo(bench_scale());
+    eprintln!("building store ({} raw events)...", scenario.raws.len());
+    let shared = SharedStore::new(build_store(&scenario, StoreConfig::default()));
+    let events = shared.read(|s| s.stats().events);
+
+    // Serial single-tenant reference: what every undegraded multi-tenant
+    // response must reproduce byte for byte.
+    let catalog = demo_queries();
+    let reference: Vec<ResultTable> = {
+        let engine = Engine::new(EngineConfig::default());
+        catalog
+            .iter()
+            .map(|q| {
+                let t = shared
+                    .read(|s| engine.execute_text(s, &q.aiql))
+                    .unwrap_or_else(|e| panic!("reference run failed on {}: {e}", q.id));
+                assert!(!t.rows.is_empty(), "{}: query must find evidence", q.id);
+                t
+            })
+            .collect()
+    };
+
+    // A service small enough that the burst exercises every overload path:
+    // queues overflow (shed) and memory grants overlap (degrade).
+    let service = Arc::new(QueryService::new(
+        shared,
+        ServiceConfig {
+            dispatchers: 4,
+            session_queue_cap: 2,
+            total_memory_bytes: 80 << 20,
+            per_query_memory_bytes: 64 << 20,
+            min_grant_bytes: 4 << 20,
+            ..ServiceConfig::default()
+        },
+    ));
+
+    // Zipf-skewed query assignment, drawn up-front from a fixed seed.
+    let zipf = Zipf::new(catalog.len(), 1.2);
+    let mut rng = StdRng::seed_from_u64(0x7EAA_5EED);
+    let assignments: Vec<Vec<usize>> = (0..n_sessions)
+        .map(|_| (0..per_session).map(|_| zipf.sample(&mut rng)).collect())
+        .collect();
+
+    let bench_started = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<ClientOutcome>> = assignments
+        .into_iter()
+        .map(|qs| {
+            let service = service.clone();
+            let texts: Vec<String> = qs.iter().map(|&i| catalog[i].aiql.clone()).collect();
+            std::thread::spawn(move || {
+                let sid = service.create_session().expect("session");
+                // Burst: submit everything, then wait — queue overflow is
+                // the point, and a shed request is simply dropped (the
+                // retry path is covered by the service test suite).
+                let mut tickets = Vec::new();
+                let mut shed = 0u64;
+                for (&qi, text) in qs.iter().zip(&texts) {
+                    match service.submit(sid, text) {
+                        Ok(ticket) => tickets.push((qi, Instant::now(), ticket)),
+                        Err(ServiceError::Overloaded { retry_after_ms }) => {
+                            assert!(retry_after_ms > 0, "shed without a retry hint");
+                            shed += 1;
+                        }
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+                let mut out = ClientOutcome {
+                    latencies_ms: Vec::new(),
+                    shed,
+                    degraded: 0,
+                    completed: Vec::new(),
+                };
+                for (qi, submitted, ticket) in tickets {
+                    let resp = ticket.wait().unwrap_or_else(|e| {
+                        panic!(
+                            "admitted query failed ({}) under pure overload: {e}",
+                            catalog_id(qi)
+                        )
+                    });
+                    out.latencies_ms
+                        .push(submitted.elapsed().as_secs_f64() * 1e3);
+                    if resp.degraded {
+                        out.degraded += 1;
+                    }
+                    out.completed.push((qi, resp.degraded, resp.table));
+                }
+                service.close_session(sid);
+                out
+            })
+        })
+        .collect();
+    let outcomes: Vec<ClientOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall_s = bench_started.elapsed().as_secs_f64();
+
+    // Gates.
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut client_shed = 0u64;
+    let mut client_degraded = 0u64;
+    for o in &outcomes {
+        latencies.extend_from_slice(&o.latencies_ms);
+        client_shed += o.shed;
+        client_degraded += o.degraded;
+        for (qi, degraded, table) in &o.completed {
+            if *degraded {
+                // Degraded queries run in partial mode: a trip truncates
+                // with a warning; no trip must still be the exact answer.
+                if table.truncated {
+                    assert!(
+                        !table.warnings.is_empty(),
+                        "{}: truncated without a warning",
+                        catalog_id(*qi)
+                    );
+                } else {
+                    assert_eq!(
+                        table.rows,
+                        reference[*qi].rows,
+                        "{}: untripped degraded run diverged",
+                        catalog_id(*qi)
+                    );
+                }
+            } else {
+                assert_eq!(
+                    (&table.rows, table.truncated),
+                    (&reference[*qi].rows, false),
+                    "{}: undegraded response diverged from the serial reference",
+                    catalog_id(*qi)
+                );
+            }
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    let stats = service.stats();
+    let submitted = (n_sessions * per_session) as u64;
+    assert_eq!(stats.submitted, submitted);
+    assert_eq!(
+        stats.shed, client_shed,
+        "shed counter diverged from clients"
+    );
+    assert_eq!(stats.admitted, submitted - client_shed);
+    assert_eq!(stats.degraded, client_degraded);
+    assert_eq!(stats.failed, 0, "pure overload must not fail any query");
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(
+        stats.completed, stats.admitted,
+        "every admitted query answers"
+    );
+    assert!(
+        stats.shed > 0,
+        "the burst never overflowed a 2-deep session queue: shedding untested"
+    );
+    assert!(
+        stats.degraded > 0,
+        "concurrent grants never overlapped the memory pool: degradation untested"
+    );
+    service.shutdown();
+
+    eprintln!(
+        "{} sessions × {} queries: admitted {}, shed {}, degraded {}, \
+         p50 {:.2} ms, p99 {:.2} ms, wall {:.2} s",
+        n_sessions, per_session, stats.admitted, stats.shed, stats.degraded, p50, p99, wall_s
+    );
+
+    if check_mode {
+        println!(
+            "pr7_service --check OK: {} admitted ({} shed with hints, {} degraded), \
+             undegraded results byte-identical to the serial reference, \
+             p50 {p50:.2} ms / p99 {p99:.2} ms",
+            stats.admitted, stats.shed, stats.degraded
+        );
+        return;
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(
+        json,
+        "  \"title\": \"multi-tenant service: admission, shedding, degradation under a session burst\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"events\": {events}, \"sessions\": {n_sessions}, \"queries_per_session\": {per_session}}},"
+    );
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
+    let _ = writeln!(
+        json,
+        "  \"counts\": {{\"submitted\": {}, \"admitted\": {}, \"shed\": {}, \"degraded\": {}, \"completed\": {}}},",
+        stats.submitted, stats.admitted, stats.shed, stats.degraded, stats.completed
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p99\": {p99:.3}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR7.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+fn catalog_id(qi: usize) -> &'static str {
+    demo_queries()[qi].id
+}

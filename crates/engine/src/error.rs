@@ -16,6 +16,7 @@
 //! | [`Cancelled`](EngineError::Cancelled) | resource governance | a caller-held [`CancelToken`](crate::governor::CancelToken) | yes — the query was killed on purpose |
 //! | [`MemoryBudget`](EngineError::MemoryBudget) | resource governance | the governor's byte accounting over arena + frontier | yes — raise `memory_budget_bytes` or refine |
 //! | [`WorkerPanic`](EngineError::WorkerPanic) | fault containment | a panic caught on a pool worker | maybe — indicates a bug; the pool stays healthy |
+//! | [`Internal`](EngineError::Internal) | fault containment | a broken engine invariant caught on a fallible path (missing pool/partition, unstaged scan filter) | no — indicates a bug; the query unwinds cleanly instead of panicking |
 //!
 //! Resource-governance errors are *clean* stops: they are raised at batch
 //! boundaries, the engine unwinds normally, and the shared scan pool and
@@ -64,6 +65,13 @@ pub enum EngineError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// An engine invariant broke mid-query (a bug, not a user error). The
+    /// query unwinds cleanly with this instead of panicking, so one broken
+    /// plan cannot take down the sessions sharing the process.
+    Internal {
+        /// Which invariant broke.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -90,6 +98,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::WorkerPanic { message } => {
                 write!(f, "worker panicked during query execution: {message}")
+            }
+            EngineError::Internal { message } => {
+                write!(f, "internal engine error: {message}")
             }
         }
     }
@@ -134,5 +145,10 @@ mod tests {
         }
         .to_string()
         .contains("index out of bounds"));
+        assert!(EngineError::Internal {
+            message: "scan executor missing".into()
+        }
+        .to_string()
+        .contains("scan executor missing"));
     }
 }

@@ -123,7 +123,10 @@ impl<'a> MultieventExec<'a> {
             self.config.late_materialization,
         );
         tree.execute(&env, &mut st)?;
-        let mut table = st.table.take().expect("Project closed the pipeline");
+        let mut table = st
+            .table
+            .take()
+            .ok_or_else(|| op::internal("projection operator left no result table"))?;
         // A sticky governor trip in partial mode means the pipeline stopped
         // early somewhere: surface it as a truncation plus a warning so the
         // caller can tell a budgeted prefix from a complete result.

@@ -26,11 +26,13 @@
 //! unchanged, so a deadline that fires mid-join reports as a deadline even
 //! if the caller also cancels during unwind.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::EngineError;
+
+pub use aiql_model::CancelToken;
 
 /// How many tuples an execution loop may process between governor polls.
 /// Matches the join budget's refresh stride: coarse enough to keep the
@@ -38,28 +40,58 @@ use crate::error::EngineError;
 /// well under a millisecond of work.
 pub const GOV_CHECK_INTERVAL: usize = 4096;
 
-/// A caller-held cancellation handle. Clone it, hand the query to a worker,
-/// and [`cancel`](CancelToken::cancel) from any thread; the running query
-/// observes the flag at its next batch boundary.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+/// The governor's notion of time. The default [`SystemClock`] reads the
+/// monotonic wall clock; tests inject a [`ManualClock`] so deadline and
+/// fairness assertions advance time explicitly instead of sleeping —
+/// deterministic on arbitrarily slow CI hosts.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current instant by this clock.
+    fn now(&self) -> Instant;
 }
 
-impl CancelToken {
-    /// A fresh, uncancelled token.
+/// The real monotonic clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: time stands still until
+/// [`advance`](ManualClock::advance) moves it. Clones share the same time.
+#[derive(Debug, Clone)]
+pub struct ManualClock {
+    anchor: Instant,
+    offset_nanos: Arc<AtomicU64>,
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ManualClock {
+    /// A clock frozen at its creation instant.
     pub fn new() -> Self {
-        Self::default()
+        ManualClock {
+            anchor: Instant::now(),
+            offset_nanos: Arc::new(AtomicU64::new(0)),
+        }
     }
 
-    /// Requests cancellation. Idempotent; never blocks.
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+    /// Moves time forward by `d` for every clone of this clock.
+    pub fn advance(&self, d: Duration) {
+        self.offset_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Release);
     }
+}
 
-    /// Whether cancellation has been requested.
-    pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+impl Clock for ManualClock {
+    fn now(&self) -> Instant {
+        self.anchor + Duration::from_nanos(self.offset_nanos.load(Ordering::Acquire))
     }
 }
 
@@ -75,6 +107,9 @@ pub struct ExecBudget {
     /// On a trip, return a prefix-preserving truncated table with
     /// [`Warning`]s instead of an error.
     pub partial_results: bool,
+    /// Deadline clock override (`None` = the monotonic wall clock). Tests
+    /// and the service's deterministic suites inject a [`ManualClock`].
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl ExecBudget {
@@ -104,6 +139,12 @@ impl ExecBudget {
     /// Enables partial-result mode.
     pub fn with_partial_results(mut self, on: bool) -> Self {
         self.partial_results = on;
+        self
+    }
+
+    /// Injects a deadline clock (tests use [`ManualClock`]).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
         self
     }
 
@@ -174,6 +215,9 @@ pub struct Governor {
     deadline_ms: u64,
     cancel: Option<CancelToken>,
     memory_bytes: Option<u64>,
+    /// Deadline clock; `None` reads the monotonic wall clock directly
+    /// (the common case pays no dynamic dispatch).
+    clock: Option<Arc<dyn Clock>>,
     /// Bytes of intermediate state currently charged.
     charged: AtomicU64,
     /// First trip, sticky (`TRIP_*` encoding).
@@ -185,16 +229,30 @@ impl Governor {
     /// Starts governing a query under `budget`; the deadline clock begins
     /// now.
     pub fn new(budget: &ExecBudget) -> Self {
-        let started = Instant::now();
+        let started = budget
+            .clock
+            .as_ref()
+            .map(|c| c.now())
+            .unwrap_or_else(Instant::now);
         Governor {
             started,
             deadline_at: budget.deadline.map(|d| started + d),
             deadline_ms: budget.deadline.map(|d| d.as_millis() as u64).unwrap_or(0),
             cancel: budget.cancel.clone(),
             memory_bytes: budget.memory_bytes,
+            clock: budget.clock.clone(),
             charged: AtomicU64::new(0),
             tripped: AtomicU8::new(TRIP_NONE),
             partial: budget.partial_results,
+        }
+    }
+
+    /// The current instant by the governor's clock.
+    #[inline]
+    fn now(&self) -> Instant {
+        match &self.clock {
+            Some(c) => c.now(),
+            None => Instant::now(),
         }
     }
 
@@ -203,9 +261,9 @@ impl Governor {
         self.partial
     }
 
-    /// Elapsed wall time since the query started.
+    /// Elapsed time since the query started, by the governor's clock.
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
+        self.now().saturating_duration_since(self.started)
     }
 
     /// Polls cancellation and the deadline. Cheap enough for every few
@@ -220,7 +278,7 @@ impl Governor {
             }
         }
         if let Some(at) = self.deadline_at {
-            if Instant::now() >= at {
+            if self.now() >= at {
                 return Err(self.record(Trip::Deadline));
             }
         }
@@ -421,6 +479,34 @@ mod tests {
         token.cancel();
         // The later cancel does not displace the memory trip.
         assert_eq!(gov.check(), Err(Trip::Memory));
+    }
+
+    #[test]
+    fn manual_clock_makes_deadlines_deterministic() {
+        let clock = ManualClock::new();
+        let gov = Governor::new(
+            &ExecBudget::unlimited()
+                .with_deadline(Duration::from_millis(100))
+                .with_clock(Arc::new(clock.clone())),
+        );
+        // No matter how much real time passes, the deadline holds until the
+        // manual clock crosses it.
+        gov.check().unwrap();
+        clock.advance(Duration::from_millis(99));
+        gov.check().unwrap();
+        assert_eq!(gov.elapsed(), Duration::from_millis(99));
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(gov.check(), Err(Trip::Deadline));
+        assert_eq!(gov.trip(), Some(Trip::Deadline));
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let clock = ManualClock::new();
+        let other = clock.clone();
+        let t0 = clock.now();
+        other.advance(Duration::from_secs(5));
+        assert_eq!(clock.now(), t0 + Duration::from_secs(5));
     }
 
     #[test]

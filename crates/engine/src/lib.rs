@@ -45,6 +45,13 @@
 //! delivered to the owning query as [`EngineError::WorkerPanic`] while the
 //! shared executor keeps serving other queries.
 //!
+//! Above single-query execution sits the multi-tenant query [`service`]:
+//! per-analyst sessions with private plan caches and variable bindings,
+//! admission control that carves a global memory pool into per-query
+//! governor budgets, deficit-round-robin fairness across sessions, and
+//! explicit overload shedding with client-side backoff — many concurrent
+//! investigations over one store without sharing their failures.
+//!
 //! Every optimization is individually toggleable through [`EngineConfig`]
 //! for the ablation benchmarks. The [`mod@reference`] module provides a tiny,
 //! obviously-correct executor used as the property-testing oracle.
@@ -62,11 +69,16 @@ pub mod pool;
 pub mod reference;
 pub mod result;
 pub mod schedule;
+pub mod service;
 
 pub use analyze::{analyze_multievent, AnalyzedGlobals, AnalyzedMultievent, AnalyzedPattern};
 pub use engine::{Engine, EngineConfig};
 pub use error::EngineError;
 pub use explain::{explain, QueryPlan};
-pub use governor::{CancelToken, ExecBudget, Governor, Warning};
+pub use governor::{CancelToken, Clock, ExecBudget, Governor, ManualClock, SystemClock, Warning};
 pub use pool::PoolPanic;
 pub use result::ResultTable;
+pub use service::{
+    BackoffPolicy, QueryResponse, QueryService, QueryTicket, ServiceConfig, ServiceError,
+    ServiceStats, SessionId,
+};

@@ -268,7 +268,11 @@ fn build_index(
         }
         return Ok(StepIndex::Single(index));
     };
-    let pool = env.pool.as_ref().expect("sharded build requires the pool");
+    let Some(pool) = env.pool.as_ref() else {
+        return Err(crate::op::internal(
+            "sharded index build scheduled without a scan executor",
+        ));
+    };
     let workers = env.config.parallelism.max(1);
     let chunk = refs.len().div_ceil(nshards);
     // Scatter: chunk c buckets its candidate range by shard.
@@ -285,13 +289,10 @@ fn build_index(
             let key = key_of(r);
             buckets[shard_of(key, nshards)].push((key, r));
         }
-        *scattered[c].lock().expect("scatter bucket") = buckets;
+        *crate::op::lock_clean(&scattered[c]) = buckets;
     })
     .map_err(worker_panic)?;
-    let scattered: Vec<ShardBuckets> = scattered
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("scatter bucket"))
-        .collect();
+    let scattered: Vec<ShardBuckets> = scattered.into_iter().map(crate::op::unwrap_clean).collect();
     // Gather: shard s drains every chunk's bucket s, in chunk order.
     let shards: Vec<Mutex<HashMap<u64, Vec<EventRef>>>> =
         (0..nshards).map(|_| Mutex::new(HashMap::new())).collect();
@@ -302,14 +303,11 @@ fn build_index(
                 map.entry(key).or_default().push(r);
             }
         }
-        *shards[s].lock().expect("index shard") = map;
+        *crate::op::lock_clean(&shards[s]) = map;
     })
     .map_err(worker_panic)?;
     Ok(StepIndex::Sharded(
-        shards
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("index shard"))
-            .collect(),
+        shards.into_iter().map(crate::op::unwrap_clean).collect(),
     ))
 }
 
@@ -676,7 +674,11 @@ impl JoinStep<'_, '_> {
         gov: Option<&Governor>,
     ) -> Result<StepOut, EngineError> {
         let env = self.env;
-        let pool = env.pool.as_ref().expect("parallel join requires the pool");
+        let Some(pool) = env.pool.as_ref() else {
+            return Err(crate::op::internal(
+                "parallel join scheduled without a scan executor",
+            ));
+        };
         let work = if single_proto {
             self.index.get(pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
         } else {
@@ -713,14 +715,12 @@ impl JoinStep<'_, '_> {
                 }
             }
             budget.publish(k, out.len());
-            *partials[k].lock().expect("join partial") = (out, !caps.gov_stop);
+            *crate::op::lock_clean(&partials[k]) = (out, !caps.gov_stop);
         })
         .map_err(worker_panic)?;
 
-        let partials: Vec<(RefArena, bool)> = partials
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("join partial"))
-            .collect();
+        let partials: Vec<(RefArena, bool)> =
+            partials.into_iter().map(crate::op::unwrap_clean).collect();
         let total: usize = partials.iter().map(|(a, _)| a.len()).sum();
         let keep = total.min(cap);
         let mut merged = RefArena::new(tuples.npatterns, tuples.nvars);
@@ -871,10 +871,17 @@ fn join_events(
                 if gate.tick().is_some() {
                     break 'tuples;
                 }
-                let key: Vec<EntityId> = proto_bound
-                    .iter()
-                    .map(|&v| t.vars[v].expect("prototype bound var"))
-                    .collect();
+                let mut key: Vec<EntityId> = Vec::with_capacity(proto_bound.len());
+                for &v in proto_bound.iter() {
+                    match t.vars[v] {
+                        Some(id) => key.push(id),
+                        None => {
+                            return Err(crate::op::internal(
+                                "prototype variable unbound during join probe",
+                            ))
+                        }
+                    }
+                }
                 let Some(matches) = index.get(&key) else {
                     continue;
                 };
@@ -930,10 +937,12 @@ fn temporal_ok(a: &AnalyzedMultievent, i: usize, e: &Event, t: &Tuple) -> bool {
             // (after is before with sides swapped)
             TemporalOp::After(b) => (rel.right, rel.left, b),
         };
-        let (left_event, right_event) = if l == i && t.events[r].is_some() {
-            (*e, t.events[r].expect("checked"))
-        } else if r == i && t.events[l].is_some() {
-            (t.events[l].expect("checked"), *e)
+        let (left_event, right_event) = if l == i {
+            let Some(right) = t.events[r] else { continue };
+            (*e, right)
+        } else if r == i {
+            let Some(left) = t.events[l] else { continue };
+            (left, *e)
         } else {
             continue;
         };

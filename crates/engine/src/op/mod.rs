@@ -277,6 +277,29 @@ pub(crate) fn worker_panic(p: PoolPanic) -> EngineError {
     EngineError::WorkerPanic { message: p.message }
 }
 
+/// A broken engine invariant, surfaced as a structured
+/// [`EngineError::Internal`] instead of a panic: the query unwinds cleanly
+/// and the sessions sharing the process keep running.
+pub(crate) fn internal(message: impl Into<String>) -> EngineError {
+    EngineError::Internal {
+        message: message.into(),
+    }
+}
+
+/// Locks a per-task result slot, recovering from poisoning. A pool task
+/// that panics is caught at the batch boundary and surfaced as
+/// `WorkerPanic` *before* any partial data behind the lock is consumed, so
+/// recovery here can never leak a half-written result — it only avoids a
+/// secondary panic while the query unwinds.
+pub(crate) fn lock_clean<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`lock_clean`] for consuming the slot after the batch completed.
+pub(crate) fn unwrap_clean<T>(m: std::sync::Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Mutable dataflow state threaded through the operator tree.
 pub struct PipelineState {
     /// Candidate batch per pattern (source order), filled by the scans.

@@ -47,7 +47,10 @@ impl Operator for PatternScan {
         let a = env.a;
         let i = self.pattern;
         let p = &a.patterns[i];
-        let filter = st.narrowed.take().expect("SemiJoinNarrow staged a filter");
+        let filter = st
+            .narrowed
+            .take()
+            .ok_or_else(|| crate::op::internal("pattern scan ran without a staged filter"))?;
         let estimate = env.ctx.plan.estimates[i];
         let parts = env.store.partitions_for(&filter);
         let fanout = if parallel_scan(env, &filter, parts.len(), estimate) {
@@ -257,7 +260,7 @@ fn scan_chunked<T: Send>(
                 }
                 let mut out = Vec::new();
                 work(groups[i], &mut out);
-                *slots[i].lock().expect("scan slot") = out;
+                *crate::op::lock_clean(&slots[i]) = out;
             })
             .map_err(crate::op::worker_panic)?;
         }
@@ -270,7 +273,7 @@ fn scan_chunked<T: Send>(
                         for (slot, group) in slot_group.iter().zip(group_group) {
                             let mut out = Vec::new();
                             work(group, &mut out);
-                            *slot.lock().expect("scan slot") = out;
+                            *crate::op::lock_clean(slot) = out;
                         }
                     });
                 }
@@ -279,7 +282,7 @@ fn scan_chunked<T: Send>(
     }
     let mut out = Vec::new();
     for slot in slots {
-        out.append(&mut slot.into_inner().expect("scan slot"));
+        out.append(&mut crate::op::unwrap_clean(slot));
     }
     Ok(out)
 }

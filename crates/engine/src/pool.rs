@@ -84,31 +84,37 @@ impl WaitGroup {
         })
     }
 
+    // The waitgroup's own locks recover from poisoning instead of
+    // propagating it: task panics are caught *before* `done()` runs, so a
+    // poisoned lock here can only mean a panic inside the accounting
+    // itself — recovering keeps the barrier sound and lets the batch
+    // surface its error instead of cascading a second panic.
+
     fn record_panic(&self, message: String) {
-        let mut slot = self.panic_msg.lock().expect("waitgroup panic slot");
+        let mut slot = self.panic_msg.lock().unwrap_or_else(|e| e.into_inner());
         slot.get_or_insert(message);
     }
 
     fn take_panic(&self) -> Option<PoolPanic> {
         self.panic_msg
             .lock()
-            .expect("waitgroup panic slot")
+            .unwrap_or_else(|e| e.into_inner())
             .take()
             .map(|message| PoolPanic { message })
     }
 
     fn done(&self) {
-        let mut left = self.remaining.lock().expect("waitgroup lock");
-        *left -= 1;
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *left = left.saturating_sub(1);
         if *left == 0 {
             self.zero.notify_all();
         }
     }
 
     fn wait(&self) {
-        let mut left = self.remaining.lock().expect("waitgroup lock");
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
         while *left > 0 {
-            left = self.zero.wait(left).expect("waitgroup wait");
+            left = self.zero.wait(left).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -141,7 +147,11 @@ impl ScanPool {
                     .name(format!("aiql-scan-{i}"))
                     .spawn(move || loop {
                         let job = {
-                            let guard = receiver.lock().expect("pool queue lock");
+                            // Recover a poisoned queue lock: jobs are
+                            // wrapped in catch_unwind, so poisoning can
+                            // only come from a panic between recv and job
+                            // dispatch — the queue itself stays valid.
+                            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
                             guard.recv()
                         };
                         match job {

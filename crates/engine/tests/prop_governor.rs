@@ -17,11 +17,14 @@
 //!   `WorkerPanic` for the owning query only; the process-wide pool keeps
 //!   serving subsequent queries.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use aiql_engine::{CancelToken, Engine, EngineConfig, EngineError, ExecBudget, Warning};
+use aiql_engine::{
+    CancelToken, Engine, EngineConfig, EngineError, ExecBudget, ManualClock, ResultTable, Warning,
+};
 use aiql_lang::parse_query;
-use aiql_model::{AgentId, Operation, Timestamp};
+use aiql_model::{AgentId, Operation, Timestamp, Value};
 use aiql_storage::{EntitySpec, EventStore, RawEvent, StoreConfig};
 use proptest::prelude::*;
 
@@ -397,4 +400,216 @@ proptest! {
         let after = engine.execute(&store, &query).unwrap();
         prop_assert_eq!(before.rows, after.rows);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Projection / aggregation coverage (PR 7 satellite): the suites above trip
+// budgets inside scans and the 4-pattern join; these flood a *single-pattern*
+// query with far more than `GOV_CHECK_INTERVAL` surviving tuples, so the
+// `Project`/`Aggregate` operators' own polling loop is what the governor
+// interrupts — and the aggregated partial-results contract gets pinned down:
+// groups are discovered in first-occurrence order over the consumed tuple
+// prefix, so a truncated table's group keys are a prefix of the full run's
+// and every aggregate bounds the full run's value from below.
+// ---------------------------------------------------------------------------
+
+/// One write event per tick; a fresh file every 1500 events so new groups
+/// keep appearing throughout the scan (truncation mid-stream must drop the
+/// late groups, not just shrink counts).
+fn flood_raws(n: usize) -> Vec<RawEvent> {
+    (0..n)
+        .map(|i| {
+            RawEvent::instant(
+                AgentId((i % 3) as u32),
+                Operation::Write,
+                EntitySpec::process(100 + (i % 5) as u32, &format!("exe{}.bin", i % 5), "user"),
+                EntitySpec::file(&format!("/data/file{}", i / 1500), "user"),
+                Timestamp::from_secs(i as i64),
+                (i % 97) as u64,
+            )
+        })
+        .collect()
+}
+
+const AGG_QUERY: &str = "proc p write file f as e \
+    return p, f, count(e.amount) as c, sum(e.amount) as s group by p, f";
+const FLAT_QUERY: &str = "proc p write file f as e return p, f";
+
+fn numeric(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        other => panic!("expected a numeric aggregate, got {other:?}"),
+    }
+}
+
+/// The aggregated partial-mode contract: group keys (the first `key_cols`
+/// columns) are a prefix of the full run's group keys, and every aggregate
+/// column is bounded by the full run's value for that group.
+fn assert_group_prefix(partial: &ResultTable, full: &ResultTable, key_cols: usize) {
+    assert!(
+        partial.rows.len() <= full.rows.len(),
+        "partial aggregation has more groups than the full one: {} > {}",
+        partial.rows.len(),
+        full.rows.len()
+    );
+    for (gi, (p, f)) in partial.rows.iter().zip(full.rows.iter()).enumerate() {
+        assert_eq!(
+            p[..key_cols],
+            f[..key_cols],
+            "group {gi}: key diverges from the full run's group order"
+        );
+        for (ci, (pv, fv)) in p[key_cols..].iter().zip(f[key_cols..].iter()).enumerate() {
+            assert!(
+                numeric(pv) <= numeric(fv),
+                "group {gi} aggregate {ci}: partial {pv:?} exceeds full {fv:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregated_memory_truncation_preserves_group_prefix() {
+    let store = build_store(&flood_raws(9000));
+    let query = parse_query(AGG_QUERY).unwrap();
+    let engine = Engine::new(config(false, true));
+    let full = engine.execute(&store, &query).unwrap();
+    // 5 processes × 6 file generations: enough groups that truncation has
+    // late groups to lose.
+    assert_eq!(full.rows.len(), 30);
+
+    let mut saw_nonempty_truncation = false;
+    for budget_bytes in [1u64 << 13, 1 << 16, 1 << 17, 1 << 18, 1 << 22] {
+        let partial = ExecBudget::unlimited()
+            .with_memory_bytes(budget_bytes)
+            .with_partial_results(true);
+        let t = engine
+            .execute_with_budget(&store, &query, &partial)
+            .unwrap();
+        if t.truncated {
+            assert_eq!(t.warnings, vec![Warning::MemoryBudget { budget_bytes }]);
+            assert_group_prefix(&t, &full, 2);
+            saw_nonempty_truncation |= !t.rows.is_empty();
+            // Byte-budget truncation is a deterministic row cap: the
+            // parallel-scan engine truncates at the same tuple.
+            let tp = Engine::new(config(true, true))
+                .execute_with_budget(&store, &query, &partial)
+                .unwrap();
+            assert_eq!(t.rows, tp.rows);
+            assert_eq!(t.warnings, tp.warnings);
+        } else {
+            assert_eq!(
+                t.rows, full.rows,
+                "untripped budget must not perturb results"
+            );
+        }
+
+        // Error mode at the same budget: either a clean structured error
+        // or the exact full result — never a silent truncation.
+        let strict = ExecBudget::unlimited().with_memory_bytes(budget_bytes);
+        match engine.execute_with_budget(&store, &query, &strict) {
+            Ok(t) => assert_eq!(t.rows, full.rows),
+            Err(e) => assert_eq!(e, EngineError::MemoryBudget { budget_bytes }),
+        }
+    }
+    assert!(
+        saw_nonempty_truncation,
+        "no budget in the sweep produced a nonempty truncated aggregation"
+    );
+}
+
+#[test]
+fn projection_memory_truncation_is_a_row_prefix() {
+    // Non-aggregated projection: one output row per tuple, so the prefix
+    // property is directly visible on the 9000-row table.
+    let store = build_store(&flood_raws(9000));
+    let query = parse_query(FLAT_QUERY).unwrap();
+    let engine = Engine::new(config(false, true));
+    let full = engine.execute(&store, &query).unwrap();
+    assert_eq!(full.rows.len(), 9000);
+
+    let mut saw_nonempty_truncation = false;
+    for budget_bytes in [1u64 << 14, 1 << 17, 1 << 18, 1 << 22] {
+        let partial = ExecBudget::unlimited()
+            .with_memory_bytes(budget_bytes)
+            .with_partial_results(true);
+        let t = engine
+            .execute_with_budget(&store, &query, &partial)
+            .unwrap();
+        if t.truncated {
+            assert_eq!(t.warnings, vec![Warning::MemoryBudget { budget_bytes }]);
+            assert_prefix(&t, &full);
+            saw_nonempty_truncation |= !t.rows.is_empty();
+            let tp = Engine::new(config(true, true))
+                .execute_with_budget(&store, &query, &partial)
+                .unwrap();
+            assert_eq!(t.rows, tp.rows);
+        } else {
+            assert_eq!(t.rows, full.rows);
+        }
+    }
+    assert!(
+        saw_nonempty_truncation,
+        "no budget in the sweep produced a nonempty truncated projection"
+    );
+}
+
+#[test]
+fn deadline_enforcement_follows_the_injected_clock() {
+    let store = build_store(&flood_raws(6000));
+    let query = parse_query(AGG_QUERY).unwrap();
+    let engine = Engine::new(config(false, true));
+    let full = engine.execute(&store, &query).unwrap();
+
+    // A 1 ns deadline would trip instantly on the wall clock; on a frozen
+    // ManualClock `now()` never reaches `started + deadline`, so the run
+    // completes in full — proof the injected clock (not wall time) drives
+    // enforcement, deterministic on arbitrarily slow hosts.
+    let clock = ManualClock::new();
+    let frozen = ExecBudget::unlimited()
+        .with_deadline(Duration::from_nanos(1))
+        .with_clock(Arc::new(clock.clone()));
+    let t = engine.execute_with_budget(&store, &query, &frozen).unwrap();
+    assert_eq!(t.rows, full.rows);
+    assert!(!t.truncated);
+
+    // A zero deadline reaches `deadline_at` even on the frozen clock: the
+    // trip fires at the governor's first poll, identically on every run.
+    let expired = ExecBudget::unlimited()
+        .with_deadline(Duration::ZERO)
+        .with_clock(Arc::new(clock.clone()));
+    let err = engine
+        .execute_with_budget(&store, &query, &expired)
+        .unwrap_err();
+    assert_eq!(err, EngineError::DeadlineExceeded { deadline_ms: 0 });
+
+    let expired_partial = ExecBudget::unlimited()
+        .with_deadline(Duration::ZERO)
+        .with_clock(Arc::new(clock.clone()))
+        .with_partial_results(true);
+    let p1 = engine
+        .execute_with_budget(&store, &query, &expired_partial)
+        .unwrap();
+    assert!(p1.truncated);
+    assert_eq!(
+        p1.warnings,
+        vec![Warning::DeadlineExceeded { deadline_ms: 0 }]
+    );
+    assert_group_prefix(&p1, &full, 2);
+    let p2 = engine
+        .execute_with_budget(&store, &query, &expired_partial)
+        .unwrap();
+    assert_eq!(
+        p1.rows, p2.rows,
+        "expired-deadline truncation must be deterministic"
+    );
+
+    // Advancing the shared clock is visible to budgets built later: a
+    // deadline that already passed at governor construction trips too.
+    clock.advance(Duration::from_millis(10));
+    let still_frozen = engine.execute_with_budget(&store, &query, &frozen).unwrap();
+    assert_eq!(
+        still_frozen.rows, full.rows,
+        "governors anchor at construction: advancing beforehand must not expire a fresh run"
+    );
 }

@@ -1,0 +1,52 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is the cross-layer kill switch: the query governor
+//! polls it at batch boundaries, and storage maintenance (segment
+//! compaction) checks it between merge steps, so a session drain or
+//! process shutdown can abort long-running work cleanly from any thread.
+//! It lives in the model crate because both the storage and engine layers
+//! honor it without depending on each other.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A caller-held cancellation handle. Clone it, hand the work to another
+/// thread, and [`cancel`](CancelToken::cancel) from anywhere; the running
+/// work observes the flag at its next check point.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+}

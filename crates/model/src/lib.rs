@@ -23,6 +23,7 @@
 //! Everything downstream (storage, language, engines, simulator) depends only
 //! on this crate for its data vocabulary.
 
+pub mod cancel;
 pub mod entity;
 pub mod error;
 pub mod event;
@@ -32,6 +33,7 @@ pub mod pattern;
 pub mod time;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use entity::{
     Entity, EntityAttrs, EntityKind, FileAttrs, NetConnAttrs, ProcessAttrs, Protocol,
 };

@@ -52,7 +52,7 @@ pub use entities::{AttrCmp, EntityConstraint, EntityStore};
 pub use fault::{FaultWriter, IoFault};
 pub use filter::{EventFilter, IdSet, OpSet};
 pub use ingest::{EntitySpec, RawEvent};
-pub use partition::Partition;
+pub use partition::{CompactionCancelled, Partition};
 pub use recovery::{load_or_recover, recover, RecoverySource};
 pub use segment::{PartitionKey, Segment};
 pub use stats::{SegmentStats, StoreStats};

@@ -15,11 +15,29 @@
 //! keys, and selection vectors built before a compaction stay valid after
 //! it.
 
-use aiql_model::{AgentId, Event, EventId, Operation, Timestamp};
+use aiql_model::{AgentId, CancelToken, Event, EventId, Operation, Timestamp};
 
 use crate::filter::EventFilter;
 use crate::segment::Segment;
 use crate::stats::SegmentStats;
+
+/// A [`CancelToken`] aborted a compaction pass before it committed.
+///
+/// The guarantee callers rely on: an aborted pass changed **nothing** —
+/// partial merges are discarded, never spliced in, and the affected
+/// partition's layout and epoch are exactly as they were. A shutdown or an
+/// admission-controller drain can therefore abort a long compaction at any
+/// point and retry it later from the same state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionCancelled;
+
+impl std::fmt::Display for CompactionCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compaction cancelled before commit; layout unchanged")
+    }
+}
+
+impl std::error::Error for CompactionCancelled {}
 
 /// One partition's segment run plus its mutation epoch.
 #[derive(Debug, Default)]
@@ -279,38 +297,74 @@ impl Partition {
     /// invalidation relies on). Flat row indices are preserved (see the
     /// module docs), so no reader-visible state changes besides density.
     pub(crate) fn compact(&mut self, max_rows: usize) -> bool {
+        // Without a token the pass can't be cancelled.
+        self.compact_cancellable(max_rows, None).unwrap_or(false)
+    }
+
+    /// [`Partition::compact`] with cooperative cancellation: the token is
+    /// polled before each run merge (the unit of real work). The pass is
+    /// **plan-then-merge** — run boundaries are planned read-only, merges
+    /// build into a side buffer, and the live layout is replaced only after
+    /// every merge completed — so a cancelled pass discards its partial
+    /// output and leaves segments, flat-row bases, and the epoch exactly as
+    /// they were.
+    pub(crate) fn compact_cancellable(
+        &mut self,
+        max_rows: usize,
+        cancel: Option<&CancelToken>,
+    ) -> Result<bool, CompactionCancelled> {
         if self.segments.len() < 2 {
-            return false;
+            return Ok(false);
         }
-        let mut out: Vec<Segment> = Vec::new();
-        let mut run: Vec<Segment> = Vec::new();
+        // Phase 1 — plan: greedy left-to-right run boundaries over the
+        // current layout (read-only; same tiering rule as the original
+        // in-place algorithm, so singleton oversized segments stand alone).
+        let mut runs: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut start = 0usize;
         let mut run_rows = 0usize;
-        let mut changed = false;
-        let flush =
-            |run: &mut Vec<Segment>, changed: &mut bool, out: &mut Vec<Segment>| match run.len() {
-                0 => {}
-                1 => out.push(run.pop().expect("single-segment run")),
-                _ => {
-                    out.push(Segment::merge(run));
-                    run.clear();
-                    *changed = true;
-                }
-            };
-        for seg in std::mem::take(&mut self.segments) {
-            if !run.is_empty() && run_rows + seg.len() > max_rows {
-                flush(&mut run, &mut changed, &mut out);
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > start && run_rows + seg.len() > max_rows {
+                runs.push(start..i);
+                start = i;
                 run_rows = 0;
             }
             run_rows += seg.len();
-            run.push(seg);
         }
-        flush(&mut run, &mut changed, &mut out);
+        runs.push(start..self.segments.len());
+        if runs.iter().all(|r| r.len() < 2) {
+            return Ok(false);
+        }
+        // Phase 2 — merge into a side buffer, polling the token before
+        // each run merge. Nothing in the live layout has moved yet, so a
+        // cancel here simply drops the partial buffer.
+        let mut merged: Vec<Option<Segment>> = Vec::with_capacity(runs.len());
+        for run in &runs {
+            if run.len() < 2 {
+                merged.push(None);
+                continue;
+            }
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(CompactionCancelled);
+            }
+            merged.push(Some(Segment::merge(&self.segments[run.clone()])));
+        }
+        // Phase 3 — commit: splice merged runs over the originals they
+        // replace, keeping singleton runs' segments as they are.
+        let mut old = std::mem::take(&mut self.segments).into_iter();
+        let mut out: Vec<Segment> = Vec::with_capacity(runs.len());
+        for (run, m) in runs.iter().zip(merged) {
+            match m {
+                Some(seg) => {
+                    old.by_ref().take(run.len()).for_each(drop);
+                    out.push(seg);
+                }
+                None => out.extend(old.by_ref().take(1)),
+            }
+        }
         self.segments = out;
         self.rebuild_bases();
-        if changed {
-            self.epoch += 1;
-        }
-        changed
+        self.epoch += 1;
+        Ok(true)
     }
 
     /// Re-splits the partition's flat rows into segments of the given
@@ -457,6 +511,46 @@ mod tests {
         assert_eq!(p.segment_count(), 2);
         assert_eq!(p.segments()[0].len(), 30);
         assert_eq!(p.segments()[1].len(), 8);
+    }
+
+    #[test]
+    fn cancelled_compaction_changes_nothing() {
+        let mut p = fragmented(7, 3);
+        let before: Vec<Event> = (0..p.len()).map(|r| p.event_at(AgentId(1), r)).collect();
+        let segs_before = p.segment_count();
+        let epoch_before = p.epoch();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert_eq!(
+            p.compact_cancellable(usize::MAX, Some(&cancel)),
+            Err(CompactionCancelled)
+        );
+        // The guarantee: an aborted pass is a no-op — layout, rows, epoch.
+        assert_eq!(p.segment_count(), segs_before);
+        assert_eq!(p.epoch(), epoch_before);
+        let after: Vec<Event> = (0..p.len()).map(|r| p.event_at(AgentId(1), r)).collect();
+        assert_eq!(before, after);
+        // The same pass retried with a live token completes normally.
+        assert_eq!(
+            p.compact_cancellable(usize::MAX, Some(&CancelToken::new())),
+            Ok(true)
+        );
+        assert_eq!(p.segment_count(), 1);
+        assert_eq!(p.epoch(), epoch_before + 1);
+        let merged: Vec<Event> = (0..p.len()).map(|r| p.event_at(AgentId(1), r)).collect();
+        assert_eq!(before, merged, "flat rows invariant after retry");
+    }
+
+    #[test]
+    fn uncancelled_token_matches_plain_compact() {
+        let mut a = fragmented(6, 10);
+        let mut b = fragmented(6, 10);
+        assert_eq!(
+            a.compact_cancellable(25, Some(&CancelToken::new())),
+            Ok(b.compact(25))
+        );
+        assert_eq!(a.segment_count(), b.segment_count());
+        assert_eq!(a.epoch(), b.epoch());
     }
 
     #[test]

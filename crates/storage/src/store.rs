@@ -4,12 +4,12 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
-use aiql_model::{AgentId, Duration, EntityId, Event, EventId, Operation, Timestamp};
+use aiql_model::{AgentId, CancelToken, Duration, EntityId, Event, EventId, Operation, Timestamp};
 
 use crate::entities::EntityStore;
 use crate::filter::EventFilter;
 use crate::ingest::RawEvent;
-use crate::partition::Partition;
+use crate::partition::{CompactionCancelled, Partition};
 use crate::segment::PartitionKey;
 use crate::stats::StoreStats;
 
@@ -373,33 +373,82 @@ impl EventStore {
     /// Only the partitions whose layout actually changed have their epochs
     /// bumped — plan-cache entries over untouched partitions survive.
     pub fn compact(&mut self) -> CompactionReport {
+        // Without a token the pass can't be cancelled.
+        self.compact_impl(None).unwrap_or_default()
+    }
+
+    /// [`EventStore::compact`] honoring a [`CancelToken`]: the token is
+    /// polled before each partition's run merges, so a shutdown or an
+    /// admission-controller drain can abort a long pass cleanly. Partition
+    /// atomicity holds throughout — a partition is either fully merged (its
+    /// epoch bumped) or untouched; the cancelled partition's partial merge
+    /// is discarded and its epoch never moves. Partitions completed before
+    /// the abort stay compacted, and the store epoch reflects them even on
+    /// the `Err` path.
+    pub fn compact_with_cancel(
+        &mut self,
+        cancel: &CancelToken,
+    ) -> Result<CompactionReport, CompactionCancelled> {
+        self.compact_impl(Some(cancel))
+    }
+
+    fn compact_impl(
+        &mut self,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompactionReport, CompactionCancelled> {
         let max_rows = self.config.compaction_max_rows;
         let mut report = CompactionReport::default();
         for part in self.partitions.values_mut() {
             report.segments_before += part.segment_count();
-            if part.compact(max_rows) {
-                report.partitions_compacted += 1;
+            match part.compact_cancellable(max_rows, cancel) {
+                Ok(true) => report.partitions_compacted += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    if report.partitions_compacted > 0 {
+                        self.epoch += 1;
+                    }
+                    return Err(e);
+                }
             }
             report.segments_after += part.segment_count();
         }
         if report.partitions_compacted > 0 {
             self.epoch += 1;
         }
-        report
+        Ok(report)
     }
 
     /// Compacts one partition to the configured tier. Returns whether its
     /// layout changed (and therefore its epoch was bumped).
     pub fn compact_partition(&mut self, key: PartitionKey) -> bool {
+        self.compact_partition_impl(key, None).unwrap_or(false)
+    }
+
+    /// [`EventStore::compact_partition`] honoring a [`CancelToken`]. A
+    /// cancelled pass discards its partial merges: the partition's layout,
+    /// its epoch, and the store epoch are exactly as they were.
+    pub fn compact_partition_with_cancel(
+        &mut self,
+        key: PartitionKey,
+        cancel: &CancelToken,
+    ) -> Result<bool, CompactionCancelled> {
+        self.compact_partition_impl(key, Some(cancel))
+    }
+
+    fn compact_partition_impl(
+        &mut self,
+        key: PartitionKey,
+        cancel: Option<&CancelToken>,
+    ) -> Result<bool, CompactionCancelled> {
         let max_rows = self.config.compaction_max_rows;
         let Some(part) = self.partitions.get_mut(&key) else {
-            return false;
+            return Ok(false);
         };
-        let changed = part.compact(max_rows);
+        let changed = part.compact_cancellable(max_rows, cancel)?;
         if changed {
             self.epoch += 1;
         }
-        changed
+        Ok(changed)
     }
 
     /// Total committed events.
@@ -976,6 +1025,70 @@ mod tests {
                 segments_after: dense.segments as usize,
             }
         );
+    }
+
+    #[test]
+    fn cancelled_store_compaction_discards_partial_merges() {
+        let cfg = StoreConfig {
+            batch_size: 8,
+            compaction: false,
+            dedup: false,
+            ..StoreConfig::default()
+        };
+        let mut store = EventStore::new(cfg);
+        let raws: Vec<RawEvent> = (0..100)
+            .map(|i| raw(1, Operation::Read, "cat", &format!("/f{}", i % 9), i, 1))
+            .collect();
+        store.ingest_all(&raws);
+        let before_scan = store.scan_collect(&EventFilter::all());
+        let before_stats = store.stats();
+        let epoch_before = store.epoch();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        // A drain that fires before the pass starts aborts it with nothing
+        // moved: same layout, same epochs, same scan results.
+        assert_eq!(store.compact_with_cancel(&cancel), Err(CompactionCancelled));
+        assert_eq!(store.epoch(), epoch_before, "no layout change, no bump");
+        assert_eq!(store.stats().segments, before_stats.segments);
+        assert_eq!(store.scan_collect(&EventFilter::all()), before_scan);
+        // Retrying with a live token completes the interrupted maintenance.
+        let report = store.compact_with_cancel(&CancelToken::new()).unwrap();
+        assert!(report.partitions_compacted > 0);
+        assert!(store.epoch() > epoch_before);
+        assert_eq!(store.scan_collect(&EventFilter::all()), before_scan);
+    }
+
+    #[test]
+    fn cancelled_partition_compaction_leaves_epochs_untouched() {
+        let cfg = StoreConfig {
+            batch_size: 4,
+            compaction: false,
+            dedup: false,
+            ..StoreConfig::default()
+        };
+        let mut store = EventStore::new(cfg);
+        let raws: Vec<RawEvent> = (0..40)
+            .map(|i| raw(1, Operation::Read, "cat", "/f0", i, 1))
+            .collect();
+        store.ingest_all(&raws);
+        let key = *store
+            .partition_list()
+            .first()
+            .expect("ingest created a partition");
+        let epoch_before = store.epoch();
+        let part_epoch_before = store.partition_epoch(key).expect("partition exists");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert_eq!(
+            store.compact_partition_with_cancel(key, &cancel),
+            Err(CompactionCancelled)
+        );
+        assert_eq!(store.epoch(), epoch_before);
+        assert_eq!(store.partition_epoch(key), Some(part_epoch_before));
+        assert!(store
+            .compact_partition_with_cancel(key, &CancelToken::new())
+            .unwrap());
+        assert_eq!(store.partition_epoch(key), Some(part_epoch_before + 1));
     }
 
     #[test]
