@@ -15,7 +15,7 @@
 
 use std::fmt::Write as _;
 
-use aiql_bench::{bench_scale, time_best_of};
+use aiql_bench::{bench_scale, push_host_meta, time_best_of};
 use aiql_engine::{Engine, EngineConfig};
 use aiql_sim::{build_store, demo_queries, scenario_demo};
 use aiql_storage::{EventFilter, EventStore, OpSet, StoreConfig};
@@ -194,6 +194,7 @@ fn main() {
         total_events
     );
     let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    push_host_meta(&mut json, EngineConfig::default().parallelism);
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = r.baseline_ms / r.optimized_ms.max(1e-9);

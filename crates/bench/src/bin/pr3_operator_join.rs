@@ -23,7 +23,7 @@
 
 use std::fmt::Write as _;
 
-use aiql_bench::time_best_of;
+use aiql_bench::{push_host_meta, time_best_of};
 use aiql_engine::{Engine, EngineConfig};
 use aiql_model::{AgentId, Operation, Timestamp};
 use aiql_storage::{EntitySpec, EventStore, RawEvent, StoreConfig};
@@ -290,9 +290,6 @@ fn main() {
         });
     }
 
-    let host_cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"pr\": 3,");
@@ -304,7 +301,7 @@ fn main() {
         json,
         "  \"workload\": {{\"kind\": \"4-stage pipeline chain\", \"hosts\": {hosts}, \"groups_per_host\": {groups}, \"events\": {total_events}, \"query\": \"4-pattern chain, 3 temporal relations\"}},"
     );
-    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    push_host_meta(&mut json, EngineConfig::default().parallelism);
     let _ = writeln!(json, "  \"reps_best_of\": {reps},");
     let _ = writeln!(
         json,

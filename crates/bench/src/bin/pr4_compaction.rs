@@ -22,7 +22,7 @@
 
 use std::fmt::Write as _;
 
-use aiql_bench::{bench_scale, time_best_of};
+use aiql_bench::{bench_scale, push_host_meta, time_best_of};
 use aiql_engine::{Engine, EngineConfig};
 use aiql_model::{AgentId, Operation, Timestamp};
 use aiql_sim::{build_store, demo_queries, scenario_demo};
@@ -263,9 +263,6 @@ fn main() {
         });
     }
 
-    let host_cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"pr\": 4,");
@@ -282,7 +279,7 @@ fn main() {
         frag_stats.partitions,
         frag_stats.max_partition_segments,
     );
-    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    push_host_meta(&mut json, EngineConfig::default().parallelism);
     let _ = writeln!(json, "  \"reps_best_of\": {reps},");
     let _ = writeln!(
         json,

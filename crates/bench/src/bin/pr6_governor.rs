@@ -22,7 +22,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use aiql_bench::{bench_scale, time_best_of};
+use aiql_bench::{bench_scale, push_host_meta, time_best_of};
 use aiql_engine::{CancelToken, Engine, EngineConfig, EngineError, ExecBudget};
 use aiql_sim::{build_store, demo_queries, scenario_demo};
 use aiql_storage::{EventStore, StoreConfig};
@@ -199,9 +199,6 @@ fn main() {
         return;
     }
 
-    let host_cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"pr\": 6,");
@@ -214,7 +211,7 @@ fn main() {
         "  \"workload\": {{\"events\": {}}},",
         store.stats().events
     );
-    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    push_host_meta(&mut json, EngineConfig::default().parallelism);
     let _ = writeln!(json, "  \"reps_best_of\": {reps},");
     let _ = writeln!(
         json,

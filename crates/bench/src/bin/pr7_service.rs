@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use aiql_bench::bench_scale;
+use aiql_bench::{bench_scale, push_host_meta};
 use aiql_engine::{Engine, EngineConfig, QueryService, ResultTable, ServiceConfig, ServiceError};
 use aiql_sim::{build_store, demo_queries, scenario_demo, zipf::Zipf};
 use aiql_storage::{SharedStore, StoreConfig};
@@ -230,9 +230,6 @@ fn main() {
         return;
     }
 
-    let host_cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"pr\": 7,");
@@ -244,7 +241,7 @@ fn main() {
         json,
         "  \"workload\": {{\"events\": {events}, \"sessions\": {n_sessions}, \"queries_per_session\": {per_session}}},"
     );
-    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    push_host_meta(&mut json, EngineConfig::default().parallelism);
     let _ = writeln!(json, "  \"wall_s\": {wall_s:.3},");
     let _ = writeln!(
         json,

@@ -1,0 +1,333 @@
+//! PR 8 perf trajectory: the temporal join's probe-reduction layers —
+//! time-bucketed join indexes, key-partitioned probing, and sideways
+//! filter pushdown — measured as a layer ablation on join-dominated
+//! chains.
+//!
+//! Two query families run over the demo-attack scenario:
+//!
+//! * `chain4` — the unbounded 4-pattern chain from the PR 2/3/4 benches
+//!   (end-to-end comparison point against `BENCH_PR4.json`);
+//! * `exfil3` — a bounded 3-pattern exfiltration chain whose
+//!   `before[30 min]` relations let the bucket grid skip whole posting
+//!   ranges instead of filtering tuple-by-tuple.
+//!
+//! Each family runs under every single layer, no layers, and all layers,
+//! with the join's operator counters (`probe_hits`, `bucket_skipped`,
+//! `filter_pruned`) and build/probe split recorded per variant. The two
+//! catalog guard queries (a5-5, a2-3) run under the full configuration so
+//! selective investigations are pinned against regression.
+//!
+//! Emits `BENCH_PR8.json` (path via argv[1], default `BENCH_PR8.json`).
+//! Pass `--check` for the single-iteration correctness mode used by CI:
+//! every point of the layer cube (time-bucket × partitioned × sideways ×
+//! serial/parallel) must return byte-identical tables, including under
+//! truncating `max_intermediate` and under strict / partial-results
+//! memory-governed execution.
+
+use std::fmt::Write as _;
+
+use aiql_bench::{bench_scale, push_host_meta, time_best_of};
+use aiql_engine::{Engine, EngineConfig, EngineError, ExecBudget};
+use aiql_sim::{build_store, demo_queries, scenario_demo};
+use aiql_storage::{EventStore, StoreConfig};
+
+/// The unbounded join-dominated chain (same shape as the PR 2/3/4 chains,
+/// so `BENCH_PR8.json` is directly comparable to `BENCH_PR4.json`).
+const CHAIN_QUERY: &str = r#"proc p1 write file f as e1
+proc p2 read file f as e2
+proc p2 write file f2 as e3
+proc p3 read file f2 as e4
+with e1 before e2, e2 before e3, e3 before e4
+return count(e4.amount)"#;
+
+/// Bounded 3-pattern exfiltration chain: staging write, relay read, and
+/// egress write tied together within 30-minute windows. The bounds make
+/// every non-seed step a `Timed` index, so bucket pruning carries the run.
+const EXFIL_QUERY: &str = r#"proc p1 write file f as e1
+proc p2 read file f as e2
+proc p2 write file f2 as e3
+with e1 before[30 min] e2, e2 before[30 min] e3
+return p1, p2, f2"#;
+
+fn catalog_query(id: &str) -> String {
+    demo_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("catalog query {id} exists"))
+        .aiql
+}
+
+/// Engine with the three probe-reduction layers toggled independently
+/// (everything else at the defaults, so the serial probe loop and the
+/// auto-sized executor stay identical across variants).
+fn layered(time_bucket: bool, partitioned: bool, sideways: bool) -> EngineConfig {
+    EngineConfig {
+        time_bucket_join: time_bucket,
+        partitioned_probe: partitioned,
+        sideways_filters: sideways,
+        ..EngineConfig::default()
+    }
+}
+
+/// Join-operator observables for one execution.
+#[derive(Default, Clone, Copy)]
+struct JoinObs {
+    build_ms: f64,
+    probe_ms: f64,
+    probe_hits: u64,
+    bucket_skipped: u64,
+    filter_pruned: u64,
+    buckets_max: u32,
+}
+
+fn join_obs(engine: &Engine, store: &EventStore, aiql: &str) -> JoinObs {
+    let Ok(aiql_lang::Query::Multievent(m)) = aiql_lang::parse_query(aiql) else {
+        return JoinObs::default();
+    };
+    let Ok((_, stats)) = engine.execute_multievent_with_stats(store, &m) else {
+        return JoinObs::default();
+    };
+    let Some(join) = stats.ops.iter().find(|o| o.kind == "TemporalJoin") else {
+        return JoinObs::default();
+    };
+    JoinObs {
+        build_ms: join.build_nanos as f64 / 1e6,
+        probe_ms: join.probe_nanos as f64 / 1e6,
+        probe_hits: join.probe_hits,
+        bucket_skipped: join.bucket_skipped,
+        filter_pruned: join.filter_pruned,
+        buckets_max: join.join_steps.iter().map(|s| s.buckets).max().unwrap_or(0),
+    }
+}
+
+/// The CI layer cube: every combination of the three layers crossed with
+/// the serial and frontier-partitioned drives must agree byte-for-byte
+/// with the layers-off serial reference, including the truncated flag,
+/// under full and truncating `max_intermediate`.
+fn check_layer_cube(store: &EventStore, families: &[(&str, String)]) {
+    let full_cap = EngineConfig::default().max_intermediate;
+    for &max_intermediate in &[full_cap, 1, 7, 100] {
+        for (name, aiql) in families {
+            let reference = Engine::new(EngineConfig {
+                parallel_join: false,
+                max_intermediate,
+                ..layered(false, false, false)
+            });
+            let want = reference.execute_text(store, aiql).expect("reference");
+            if max_intermediate == full_cap {
+                assert!(!want.rows.is_empty(), "{name}: query must find evidence");
+            }
+            for flags in 0u32..16 {
+                let parallel = flags & 8 != 0;
+                let engine = Engine::new(EngineConfig {
+                    parallel_join: parallel,
+                    parallelism: if parallel { 2 } else { 1 },
+                    join_partitions: if parallel { 3 } else { 0 },
+                    shared_scan_pool: false,
+                    parallel_threshold: 0,
+                    parallel_join_min_work: 0,
+                    parallel_index_min_build: 0,
+                    max_intermediate,
+                    ..layered(flags & 1 != 0, flags & 2 != 0, flags & 4 != 0)
+                });
+                let got = engine.execute_text(store, aiql).expect("variant");
+                assert_eq!(
+                    (&want.rows, want.truncated),
+                    (&got.rows, got.truncated),
+                    "{name}: layer cube point {flags:04b} (max_intermediate {max_intermediate}) diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The CI governed sweep (non-aggregated family only, so the row-prefix
+/// contract applies): under a strict memory budget every cube point either
+/// completes byte-identically or trips with the exact budget error; in
+/// partial-results mode it returns a row-prefix of its own full result.
+fn check_governed(store: &EventStore, aiql: &str) {
+    for &budget_bytes in &[4 << 10u64, 64 << 10, 1 << 20] {
+        for flags in 0u32..8 {
+            let engine = Engine::new(EngineConfig {
+                parallel_join: false,
+                ..layered(flags & 1 != 0, flags & 2 != 0, flags & 4 != 0)
+            });
+            let full = engine.execute_text(store, aiql).expect("ungoverned");
+            let strict = ExecBudget::unlimited().with_memory_bytes(budget_bytes);
+            match engine.execute_text_with_budget(store, aiql, &strict) {
+                Ok(t) => assert_eq!(t.rows, full.rows, "strict governed run diverged"),
+                Err(e) => assert_eq!(e, EngineError::MemoryBudget { budget_bytes }),
+            }
+            let partial = ExecBudget::unlimited()
+                .with_memory_bytes(budget_bytes)
+                .with_partial_results(true);
+            let p = engine
+                .execute_text_with_budget(store, aiql, &partial)
+                .expect("partial mode never errors on a memory trip");
+            assert!(
+                p.rows.len() <= full.rows.len() && p.rows[..] == full.rows[..p.rows.len()],
+                "layer point {flags:03b} budget {budget_bytes}: partial rows not a prefix"
+            );
+        }
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let check_mode = arg.as_deref() == Some("--check");
+    let out_path = if check_mode {
+        String::new()
+    } else {
+        arg.unwrap_or_else(|| "BENCH_PR8.json".to_string())
+    };
+    let reps: usize = if check_mode {
+        1
+    } else {
+        std::env::var("AIQL_BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5)
+    };
+
+    let scenario = scenario_demo(bench_scale());
+    eprintln!("building store ({} raw events)...", scenario.raws.len());
+    let store: EventStore = build_store(&scenario, StoreConfig::default());
+    let total_events = store.stats().events;
+
+    let families: Vec<(&str, String)> = vec![
+        ("chain4/4pattern-unbounded", CHAIN_QUERY.to_string()),
+        ("exfil3/3pattern-bounded-30min", EXFIL_QUERY.to_string()),
+    ];
+
+    check_layer_cube(&store, &families);
+    if check_mode {
+        check_governed(&store, EXFIL_QUERY);
+        println!(
+            "pr8_join --check OK: 16-point layer cube × 4 truncation levels byte-identical \
+             on {} families; strict + partial-results memory governance honoured the \
+             prefix contract at every layer point",
+            families.len()
+        );
+        return;
+    }
+
+    // Ablation: one layer at a time, none, and all. Fresh engine per
+    // variant so plan caches never leak across configurations.
+    let variants: [(&str, bool, bool, bool); 5] = [
+        ("all-off", false, false, false),
+        ("time-bucket", true, false, false),
+        ("partitioned", false, true, false),
+        ("sideways", false, false, true),
+        ("all-on", true, true, true),
+    ];
+    struct Row {
+        family: &'static str,
+        variant: &'static str,
+        total_ms: f64,
+        obs: JoinObs,
+        rows: usize,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for (family, aiql) in &families {
+        for &(variant, tb, pp, sw) in &variants {
+            let engine = Engine::new(layered(tb, pp, sw));
+            let nrows = engine.execute_text(&store, aiql).expect("q").len();
+            let secs = time_best_of(reps, || engine.execute_text(&store, aiql).expect("q").len());
+            let obs = join_obs(&engine, &store, aiql);
+            eprintln!(
+                "{family} [{variant}]: {:.3} ms total, build {:.3} ms, probe {:.3} ms, \
+                 {} hits, {} bucket-skips, {} filter-pruned, {nrows} row(s)",
+                secs * 1e3,
+                obs.build_ms,
+                obs.probe_ms,
+                obs.probe_hits,
+                obs.bucket_skipped,
+                obs.filter_pruned,
+            );
+            rows.push(Row {
+                family,
+                variant,
+                total_ms: secs * 1e3,
+                obs,
+                rows: nrows,
+            });
+        }
+    }
+
+    // Catalog guards under the full configuration: the selective
+    // investigations must stay flat while the chains get faster.
+    let guard_engine = Engine::new(EngineConfig::default());
+    let mut guards: Vec<(&str, f64)> = Vec::new();
+    for id in ["a5-5", "a2-3"] {
+        let aiql = catalog_query(id);
+        let n = guard_engine
+            .execute_text(&store, &aiql)
+            .expect("guard")
+            .len();
+        assert!(n > 0, "catalog guard {id} must find evidence");
+        let secs = time_best_of(reps, || {
+            guard_engine
+                .execute_text(&store, &aiql)
+                .expect("guard")
+                .len()
+        });
+        eprintln!("catalog guard {id}: {:.3} ms", secs * 1e3);
+        guards.push((id, secs * 1e3));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(
+        json,
+        "  \"title\": \"temporal-join probe reduction: time-bucket / partitioned / sideways layer ablation\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"scenario\": \"demo attack (fig4)\", \"hosts\": {}, \"events\": {total_events}}},",
+        bench_scale().hosts,
+    );
+    push_host_meta(&mut json, EngineConfig::default().parallelism);
+    let _ = writeln!(json, "  \"reps_best_of\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"every layer combination asserted byte-identical (incl. truncating max_intermediate) before timing; join counters from EXPLAIN ANALYZE stats\","
+    );
+    json.push_str("  \"catalog_guards\": {");
+    for (i, (id, ms)) in guards.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\"{id}_ms\": {ms:.3}",
+            if i > 0 { ", " } else { "" }
+        );
+    }
+    json.push_str("},\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let baseline = rows
+            .iter()
+            .find(|b| b.family == r.family && b.variant == "all-off")
+            .map(|b| b.total_ms)
+            .unwrap_or(r.total_ms);
+        let _ = write!(
+            json,
+            "    {{\"family\": \"{}\", \"variant\": \"{}\", \"total_ms\": {:.3}, \"speedup_vs_all_off\": {:.2}, \"join_build_ms\": {:.3}, \"join_probe_ms\": {:.3}, \"probe_hits\": {}, \"bucket_skipped\": {}, \"filter_pruned\": {}, \"buckets_max\": {}, \"result_rows\": {}}}",
+            r.family,
+            r.variant,
+            r.total_ms,
+            baseline / r.total_ms.max(1e-9),
+            r.obs.build_ms,
+            r.obs.probe_ms,
+            r.obs.probe_hits,
+            r.obs.bucket_skipped,
+            r.obs.filter_pruned,
+            r.obs.buckets_max,
+            r.rows,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR8.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -73,6 +73,19 @@ pub fn log10_secs(secs: f64) -> f64 {
     secs.max(1e-7).log10()
 }
 
+/// Appends the host-provenance fields every bench JSON carries: the
+/// machine's core count and the effective executor thread count
+/// (`EngineConfig::parallelism` defaults to the host size, so speedup
+/// numbers are only interpretable with both recorded).
+pub fn push_host_meta(json: &mut String, executor_threads: usize) {
+    use std::fmt::Write;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"executor_threads\": {executor_threads},");
+}
+
 /// Sanity guard used by the table binaries: results must be non-empty.
 pub fn assert_evidence(id: &str, table: &ResultTable) {
     assert!(

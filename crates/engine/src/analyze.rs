@@ -73,6 +73,22 @@ pub struct TemporalConstraint {
     pub right: usize,
 }
 
+/// One temporal relation of a join step, resolved against the set of
+/// already-placed patterns: `other` is the placed pattern on the far side,
+/// `cand_is_left` says which side the step's candidate occupies, and
+/// `bound` is the optional gap bound in microseconds. `before` and `after`
+/// normalize to the same left-ends-no-later-than-right-starts form the
+/// join verifies.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StepRel {
+    /// The already-placed pattern on the other side of the relation.
+    pub(crate) other: usize,
+    /// Whether the step's candidate is the *left* (earlier) event.
+    pub(crate) cand_is_left: bool,
+    /// Maximum gap between left end and right start, in microseconds.
+    pub(crate) bound: Option<i64>,
+}
+
 /// A fully analyzed multievent query, ready for scheduling and execution.
 #[derive(Debug, Clone)]
 pub struct AnalyzedMultievent {
@@ -94,6 +110,38 @@ pub struct AnalyzedMultievent {
     pub order_by: Vec<aiql_lang::OrderItem>,
     /// Row limit.
     pub limit: Option<u64>,
+}
+
+impl AnalyzedMultievent {
+    /// The temporal relations the join step placing pattern `i` must
+    /// verify, given which patterns are already placed — the statically
+    /// known subset the per-tuple probe checks (self-relations and
+    /// relations to unplaced patterns never fire at this step).
+    pub(crate) fn step_relations(&self, i: usize, placed: &[bool]) -> Vec<StepRel> {
+        let mut rels = Vec::new();
+        for rel in &self.temporal {
+            let (l, r, bound) = match &rel.op {
+                TemporalOp::Before(b) => (rel.left, rel.right, *b),
+                // (after is before with sides swapped)
+                TemporalOp::After(b) => (rel.right, rel.left, *b),
+            };
+            let bound = bound.map(|d| d.micros());
+            if l == i && r != i && placed[r] {
+                rels.push(StepRel {
+                    other: r,
+                    cand_is_left: true,
+                    bound,
+                });
+            } else if r == i && l != i && placed[l] {
+                rels.push(StepRel {
+                    other: l,
+                    cand_is_left: false,
+                    bound,
+                });
+            }
+        }
+        rels
+    }
 }
 
 /// An analyzed anomaly query.

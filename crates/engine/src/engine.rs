@@ -50,10 +50,43 @@ pub struct EngineConfig {
     /// runs on the query thread.
     pub parallel_join: bool,
     /// Join partition count. 0 = auto: `4 × parallelism` partitions once a
-    /// step's probe work clears an internal threshold. A non-zero value
-    /// forces exactly that many partitions on every step big enough to
-    /// split (ablation and differential tests pin this).
+    /// step's probe work clears [`EngineConfig::parallel_join_min_work`]. A
+    /// non-zero value forces exactly that many partitions on every step big
+    /// enough to split (ablation and differential tests pin this).
     pub join_partitions: usize,
+    /// Minimum per-step probe work (frontier tuples, or candidates for the
+    /// first pattern) before the join fans out in auto mode. Below this the
+    /// fork/merge overhead outweighs the step.
+    pub parallel_join_min_work: usize,
+    /// Minimum candidate-list size before a join step's hash-index *build*
+    /// fans out into key-hash shards in auto mode. Below this the two-phase
+    /// scatter/gather costs more than the serial insert loop.
+    pub parallel_index_min_build: usize,
+    /// Build join-step indexes with a time-bucket dimension: each key's
+    /// posting list carries dense start/end columns plus per-chunk bucket
+    /// zone maps (bucket width chosen from the candidate timestamp range at
+    /// build time, surfaced in EXPLAIN). Probes compute the admissible
+    /// start/end intervals from the tuple's already-placed events once, skip
+    /// whole chunks whose buckets cannot satisfy the temporal relations, and
+    /// verify survivors against the dense columns — instead of re-resolving
+    /// time columns per (tuple, candidate) pair. Results are byte-identical
+    /// either way.
+    pub time_bucket_join: bool,
+    /// Re-partition the parallel join probe by join key: each executor
+    /// shard probes only its locally built shard of the index (aligned with
+    /// the scatter/gather build), and shard outputs merge back in frontier
+    /// order, so results stay byte-identical to the serial traversal.
+    /// Applies to parallel steps with bound variables and a sharded index;
+    /// other steps keep the contiguous frontier-range partitioning.
+    pub partitioned_probe: bool,
+    /// Sideways filter pushdown: pattern scans publish bitmap filters over
+    /// their candidates' join-key domains, and the join uses them to (a)
+    /// drop build-side candidates no frontier tuple can probe, (b) skip
+    /// probes whose key is absent from the step's candidate domain, and (c)
+    /// shrink the seed frontier by the next pattern's domain before it is
+    /// ever joined. All three are output-invisible: results (including
+    /// truncation prefixes) are byte-identical with the flag off.
+    pub sideways_filters: bool,
     /// Memoize dictionary constraint resolutions and filter estimates in
     /// an LRU shared by every query this engine (and its clones) runs —
     /// repeated investigations skip the shared phase. Invalidation is
@@ -105,6 +138,11 @@ impl Default for EngineConfig {
             shared_scan_pool: true,
             parallel_join: true,
             join_partitions: 0,
+            parallel_join_min_work: 1024,
+            parallel_index_min_build: 4096,
+            time_bucket_join: true,
+            partitioned_probe: true,
+            sideways_filters: true,
             plan_cache: true,
             compiled_projection: true,
             parallel_threshold: 8_192,
@@ -134,6 +172,11 @@ impl EngineConfig {
             shared_scan_pool: false,
             parallel_join: false,
             join_partitions: 0,
+            parallel_join_min_work: 1024,
+            parallel_index_min_build: 4096,
+            time_bucket_join: false,
+            partitioned_probe: false,
+            sideways_filters: false,
             plan_cache: false,
             compiled_projection: false,
             parallel_threshold: usize::MAX,

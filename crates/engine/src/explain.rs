@@ -298,10 +298,23 @@ fn operator_tree(
         } else {
             1
         };
+    // The probe-reduction layers in effect (time buckets only matter when
+    // a temporal relation exists to prune by; the partitioned probe only
+    // when the drive can fan out).
+    let mut layers: Vec<&str> = Vec::new();
+    if config.time_bucket_join && !a.temporal.is_empty() {
+        layers.push("time-bucket");
+    }
+    if config.partitioned_probe && join_fanout > 1 {
+        layers.push("key-partitioned probe");
+    }
+    if config.sideways_filters {
+        layers.push("sideways filters");
+    }
     let join = OpPlanNode {
         kind: "TemporalJoin",
         detail: format!(
-            "{} pattern(s), {} temporal relation(s) | {} | max_intermediate {}",
+            "{} pattern(s), {} temporal relation(s) | {} | max_intermediate {}{}",
             a.patterns.len(),
             a.temporal.len(),
             if join_fanout > 1 {
@@ -310,6 +323,11 @@ fn operator_tree(
                 "serial".to_string()
             },
             config.max_intermediate,
+            if layers.is_empty() {
+                String::new()
+            } else {
+                format!(" | {}", layers.join(" + "))
+            },
         ),
         children: scans,
     };

@@ -33,6 +33,32 @@
 //! truncated to `max_intermediate`, which reproduces the serial
 //! truncation prefix exactly.
 //!
+//! ## Probe reduction layers
+//!
+//! Three composable layers cut probe work without changing results (every
+//! layer preserves the byte-identical-frontier invariant):
+//!
+//! 1. **Time-bucketed indexes** (`EngineConfig::time_bucket_join`): steps
+//!    with temporal relations to already-placed patterns build a
+//!    [`StepIndex::Timed`] — posting lists carry dense start/end time
+//!    columns plus per-chunk start-bucket zone maps over a [`BucketGrid`]
+//!    sized from the candidate time range. The probe hoists each tuple's
+//!    admissible start/end intervals out of the per-match loop (computed
+//!    once from the placed events), skips whole chunks whose bucket zone
+//!    cannot intersect, and verifies survivors against the dense time
+//!    columns — no per-match partition `locate` or time-column re-read.
+//! 2. **Key-partitioned probe** (`EngineConfig::partitioned_probe`): when
+//!    the index is sharded, the parallel drive re-partitions by join key —
+//!    shard `k` keeps only frontier tuples hashing to `k` and probes its
+//!    local index shard. Appends are recorded as per-tuple runs and merged
+//!    in ascending frontier order, which is exactly the serial traversal.
+//! 3. **Sideways filter pushdown** (`EngineConfig::sideways_filters`):
+//!    scans publish bitmap domains of their candidates' subject/object
+//!    ids; the join prunes each step's build with the placed partners'
+//!    domains, pre-filters probes against the step's own domains, and
+//!    prunes the seed frontier with the second step's domains before any
+//!    tuple exists. All pruned work counts into `filter_pruned`.
+//!
 //! The materializing path (`late_materialization = false`, the seed's
 //! pipeline) joins `Event` batches serially, kept for ablation.
 
@@ -43,29 +69,30 @@ use std::time::Instant;
 
 use aiql_lang::TemporalOp;
 use aiql_model::{EntityId, Event};
+use aiql_storage::IdSet;
 
-use crate::analyze::AnalyzedMultievent;
+use crate::analyze::{AnalyzedMultievent, StepRel};
 use crate::error::EngineError;
 use crate::governor::{GovGate, Governor, Trip};
 use crate::op::{
-    worker_panic, Batch, EventRef, ExecEnv, Frontier, OpIo, Operator, PartTable, PipelineState,
-    RefArena, Tuple, NO_REF, NO_VAR,
+    worker_panic, Batch, EventRef, ExecEnv, Frontier, JoinStepStat, OpIo, Operator, PartTable,
+    PipelineState, RefArena, Tuple, NO_REF, NO_VAR,
 };
-
-/// Minimum per-step probe work (frontier tuples, or candidates for the
-/// first pattern) before the join fans out in auto mode. Below this the
-/// fork/merge overhead outweighs the step.
-const PARALLEL_JOIN_MIN_WORK: usize = 1024;
-
-/// Minimum candidate-list size before a join step's hash-index *build*
-/// fans out into key-hash shards in auto mode. Below this the two-phase
-/// scatter/gather costs more than the serial insert loop.
-const PARALLEL_INDEX_MIN_BUILD: usize = 4096;
 
 /// How many appended tuples a join partition produces between refreshes of
 /// its shared-budget cap. Bounds how far a partition can overshoot the
 /// budget before it notices earlier partitions have already filled it.
 const BUDGET_REFRESH: usize = 4096;
+
+/// Target bucket count of a timed index's [`BucketGrid`]. The bucket width
+/// is the candidate start-time range divided by this (floored to ≥ 1 µs),
+/// so sparse steps get wide buckets and dense steps fine ones.
+const TIME_BUCKETS: i64 = 256;
+
+/// Posting-list refs covered by one zone-map entry of a timed index. The
+/// probe skips a whole chunk when its (min, max) start-bucket zone cannot
+/// intersect the tuple's admissible bucket range.
+const BUCKET_CHUNK: usize = 64;
 
 /// The multi-way join operator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -109,7 +136,7 @@ impl Operator for TemporalJoin {
                     _ => unreachable!("late path fetched refs for every pattern"),
                 })
                 .collect();
-            let (arena, run) = join_refs(env, lists)?;
+            let (arena, run) = join_refs(env, lists, &st.domains)?;
             (Frontier::Refs(arena), run)
         } else {
             let lists: Vec<Vec<Event>> = candidates
@@ -137,19 +164,28 @@ impl Operator for TemporalJoin {
             fanout: run.fanout,
             build_nanos: run.build_nanos,
             probe_nanos: run.probe_nanos,
+            probe_hits: run.probe_hits,
+            bucket_skipped: run.bucket_skipped,
+            filter_pruned: run.filter_pruned,
+            join_steps: run.steps,
         })
     }
 }
 
 /// Aggregate accounting of one join execution: truncation, widest
-/// partition/shard fan-out, and the per-phase timing split (index builds
-/// vs frontier probes, summed over join steps).
-#[derive(Debug, Clone, Copy, Default)]
+/// partition/shard fan-out, the per-phase timing split (index builds vs
+/// frontier probes, summed over join steps), the probe-reduction counters,
+/// and the per-step breakdown for EXPLAIN ANALYZE.
+#[derive(Debug, Clone, Default)]
 struct JoinRun {
     truncated: bool,
     fanout: usize,
     build_nanos: u64,
     probe_nanos: u64,
+    probe_hits: u64,
+    bucket_skipped: u64,
+    filter_pruned: u64,
+    steps: Vec<JoinStepStat>,
 }
 
 /// Join-step partition count for `work` probe items, or `None` for serial.
@@ -163,7 +199,7 @@ pub(crate) fn join_partitions(env: &ExecEnv<'_>, work: usize) -> Option<usize> {
         (work >= 2).then_some(env.config.join_partitions.min(work))
     } else {
         let threads = env.config.parallelism.max(1);
-        (threads > 1 && work >= PARALLEL_JOIN_MIN_WORK).then(|| (threads * 4).min(work))
+        (threads > 1 && work >= env.config.parallel_join_min_work).then(|| (threads * 4).min(work))
     }
 }
 
@@ -191,35 +227,214 @@ fn shard_of(key: u64, n: usize) -> usize {
     (mix(key) % n as u64) as usize
 }
 
+/// Like [`shard_of`], skipping the hash for single-shard indexes.
+#[inline]
+fn route(key: u64, n: usize) -> usize {
+    if n == 1 {
+        0
+    } else {
+        shard_of(key, n)
+    }
+}
+
 /// One scatter chunk's output: a (key, ref) bucket per shard.
 type ShardBuckets = Vec<Vec<(u64, EventRef)>>;
 
-/// One join step's candidate hash index: a single map (serial build) or
-/// key-hash shards built in parallel on the scan executor. Probes hash the
-/// key to its shard, so sharded and single indexes answer identically; the
-/// build preserves candidate order within every key's ref list (scatter
-/// chunks are contiguous candidate ranges gathered in chunk order), so the
-/// probe traversal — and therefore the joined frontier — is byte-identical
-/// to the serial build.
+/// One timed scatter row: key, ref, and its start/end times in micros.
+type TimedRow = (u64, EventRef, i64, i64);
+
+/// One timed scatter chunk's output: a [`TimedRow`] bucket per shard.
+type TimedShardBuckets = Vec<Vec<TimedRow>>;
+
+/// Start-time bucket grid of a timed step index, sized at build time from
+/// the candidate range ([`TIME_BUCKETS`] target buckets, width ≥ 1 µs).
+/// `max_dur`/`min_dur` are the extreme candidate durations, folding the
+/// probe's admissible *end* interval onto start buckets (a candidate with
+/// `end ≥ elo` must have `start ≥ elo − max_dur`, and with `end ≤ ehi`
+/// must have `start ≤ ehi − min_dur`).
+#[derive(Debug, Clone, Copy)]
+struct BucketGrid {
+    /// Start-time origin: the smallest candidate start.
+    base: i64,
+    /// Bucket width in microseconds (≥ 1).
+    width: i64,
+    /// Bucket count covering the candidate start range.
+    buckets: u32,
+    /// Largest candidate duration (`end − start`), ≥ 0.
+    max_dur: i64,
+    /// Smallest candidate duration (may be 0; negative only on malformed
+    /// events, which the fold then still covers soundly).
+    min_dur: i64,
+}
+
+impl BucketGrid {
+    /// Build-side bucket id of a candidate start in `[base, max_start]`.
+    #[inline]
+    fn bucket_of(&self, start: i64) -> u16 {
+        (start.saturating_sub(self.base) / self.width) as u16
+    }
+
+    /// Probe-side bucket id of an arbitrary instant, clamped to the grid.
+    #[inline]
+    fn clamp(&self, t: i64) -> u16 {
+        let b = t.saturating_sub(self.base) / self.width;
+        b.clamp(0, i64::from(self.buckets - 1)) as u16
+    }
+}
+
+/// Running start-time/duration aggregate of a timed index build, reduced
+/// across scatter chunks before the grid is fixed.
+#[derive(Debug, Clone, Copy)]
+struct TimeAgg {
+    min_start: i64,
+    max_start: i64,
+    max_dur: i64,
+    min_dur: i64,
+}
+
+impl Default for TimeAgg {
+    fn default() -> Self {
+        TimeAgg {
+            min_start: i64::MAX,
+            max_start: i64::MIN,
+            max_dur: 0,
+            min_dur: 0,
+        }
+    }
+}
+
+impl TimeAgg {
+    #[inline]
+    fn add(&mut self, s: i64, e: i64) {
+        self.min_start = self.min_start.min(s);
+        self.max_start = self.max_start.max(s);
+        let dur = e.saturating_sub(s);
+        self.max_dur = self.max_dur.max(dur);
+        self.min_dur = self.min_dur.min(dur);
+    }
+
+    fn merge(&mut self, o: &TimeAgg) {
+        self.min_start = self.min_start.min(o.min_start);
+        self.max_start = self.max_start.max(o.max_start);
+        self.max_dur = self.max_dur.max(o.max_dur);
+        self.min_dur = self.min_dur.min(o.min_dur);
+    }
+
+    /// The bucket grid covering the observed start range (a degenerate
+    /// one-bucket grid when no candidate survived the build filter).
+    fn grid(&self) -> BucketGrid {
+        if self.min_start > self.max_start {
+            return BucketGrid {
+                base: 0,
+                width: 1,
+                buckets: 1,
+                max_dur: 0,
+                min_dur: 0,
+            };
+        }
+        let range = self.max_start.saturating_sub(self.min_start);
+        let width = (range / TIME_BUCKETS + 1).max(1);
+        BucketGrid {
+            base: self.min_start,
+            width,
+            buckets: (range / width + 1) as u32,
+            max_dur: self.max_dur,
+            min_dur: self.min_dur,
+        }
+    }
+}
+
+/// One key's posting list in a timed index: refs in candidate order with
+/// their start/end times as dense columns (the probe's exact temporal
+/// check reads these instead of re-resolving partition rows), plus a
+/// (min, max) start-bucket zone per [`BUCKET_CHUNK`] refs for skipping.
+#[derive(Debug, Default)]
+struct Postings {
+    refs: Vec<EventRef>,
+    starts: Vec<i64>,
+    ends: Vec<i64>,
+    zones: Vec<(u16, u16)>,
+}
+
+impl Postings {
+    #[inline]
+    fn push(&mut self, r: EventRef, s: i64, e: i64, bucket: u16) {
+        if self.refs.len().is_multiple_of(BUCKET_CHUNK) {
+            self.zones.push((bucket, bucket));
+        } else {
+            let z = self.zones.last_mut().expect("zone entry exists");
+            z.0 = z.0.min(bucket);
+            z.1 = z.1.max(bucket);
+        }
+        self.refs.push(r);
+        self.starts.push(s);
+        self.ends.push(e);
+    }
+}
+
+/// One join step's candidate hash index: key-hash shards (1 = serial
+/// build) of plain ref lists, or — when the step has temporal relations
+/// to placed patterns and `time_bucket_join` is on — of time-bucketed
+/// [`Postings`]. Probes hash the key to its shard, so sharded and single
+/// indexes answer identically; the build preserves candidate order within
+/// every key's ref list (scatter chunks are contiguous candidate ranges
+/// gathered in chunk order), so the probe traversal — and therefore the
+/// joined frontier — is byte-identical to the serial build.
 enum StepIndex {
-    Single(HashMap<u64, Vec<EventRef>>),
-    Sharded(Vec<HashMap<u64, Vec<EventRef>>>),
+    Plain(Vec<HashMap<u64, Vec<EventRef>>>),
+    Timed {
+        shards: Vec<HashMap<u64, Postings>>,
+        grid: BucketGrid,
+    },
 }
 
 impl StepIndex {
-    #[inline]
-    fn get(&self, key: u64) -> Option<&Vec<EventRef>> {
+    /// Build fan-out used (1 = serial).
+    fn shard_count(&self) -> usize {
         match self {
-            StepIndex::Single(m) => m.get(&key),
-            StepIndex::Sharded(shards) => shards[shard_of(key, shards.len())].get(&key),
+            StepIndex::Plain(s) => s.len(),
+            StepIndex::Timed { shards, .. } => shards.len(),
         }
     }
 
-    /// Build fan-out used (1 = serial).
-    fn shards(&self) -> usize {
+    /// Posting-list length under `key` (sizes the first step's probe work).
+    fn posting_len(&self, key: u64) -> usize {
         match self {
-            StepIndex::Single(_) => 1,
-            StepIndex::Sharded(s) => s.len(),
+            StepIndex::Plain(shards) => shards[route(key, shards.len())]
+                .get(&key)
+                .map_or(0, Vec::len),
+            StepIndex::Timed { shards, .. } => shards[route(key, shards.len())]
+                .get(&key)
+                .map_or(0, |p| p.refs.len()),
+        }
+    }
+
+    /// Total refs across every posting (an upper bound on one frontier
+    /// tuple's emission, used to size the output reservation).
+    fn total_refs(&self) -> usize {
+        match self {
+            StepIndex::Plain(shards) => shards.iter().flat_map(HashMap::values).map(Vec::len).sum(),
+            StepIndex::Timed { shards, .. } => shards
+                .iter()
+                .flat_map(HashMap::values)
+                .map(|p| p.refs.len())
+                .sum(),
+        }
+    }
+
+    /// Time-bucket count (0 = untimed index).
+    fn buckets(&self) -> u32 {
+        match self {
+            StepIndex::Plain(_) => 0,
+            StepIndex::Timed { grid, .. } => grid.buckets,
+        }
+    }
+
+    /// Bucket width in micros (0 = untimed index).
+    fn bucket_width(&self) -> i64 {
+        match self {
+            StepIndex::Plain(_) => 0,
+            StepIndex::Timed { grid, .. } => grid.width,
         }
     }
 }
@@ -238,7 +453,7 @@ fn index_shards(env: &ExecEnv<'_>, candidates: usize, bound: bool) -> Option<usi
         (candidates >= 2).then_some(env.config.join_partitions.min(candidates))
     } else {
         let threads = env.config.parallelism.max(1);
-        (threads > 1 && candidates >= PARALLEL_INDEX_MIN_BUILD)
+        (threads > 1 && candidates >= env.config.parallel_index_min_build)
             .then(|| (threads * 2).min(candidates))
     }
 }
@@ -249,16 +464,45 @@ fn index_shards(env: &ExecEnv<'_>, candidates: usize, bound: bool) -> Option<usi
 /// chunks bucket their (key, ref) pairs by shard — then *gather* — each
 /// shard inserts its buckets in chunk order. Both phases preserve
 /// candidate order per key.
+/// When `timed`, the index resolves every candidate's start/end once at
+/// build time (one segment locate per candidate instead of one per probe
+/// match) and carries them as dense posting columns under a [`BucketGrid`]
+/// reduced from per-chunk time aggregates.
 fn build_index(
     env: &ExecEnv<'_>,
     refs: &[EventRef],
     same_var: bool,
     key_of: &(dyn Fn(EventRef) -> u64 + Sync),
     bound: bool,
+    timed: bool,
 ) -> Result<StepIndex, EngineError> {
     let parts = &env.parts;
     let nshards = index_shards(env, refs.len(), bound).filter(|&s| s > 1);
     let Some(nshards) = nshards else {
+        if timed {
+            let mut rows: Vec<TimedRow> = Vec::with_capacity(refs.len());
+            let mut agg = TimeAgg::default();
+            for &r in refs {
+                if same_var && parts.subject(r) != parts.object(r) {
+                    continue;
+                }
+                let (s, e) = parts.start_end(r);
+                agg.add(s, e);
+                rows.push((key_of(r), r, s, e));
+            }
+            let grid = agg.grid();
+            let mut index: HashMap<u64, Postings> = HashMap::new();
+            for (key, r, s, e) in rows {
+                index
+                    .entry(key)
+                    .or_default()
+                    .push(r, s, e, grid.bucket_of(s));
+            }
+            return Ok(StepIndex::Timed {
+                shards: vec![index],
+                grid,
+            });
+        }
         let mut index: HashMap<u64, Vec<EventRef>> = HashMap::new();
         for &r in refs {
             if same_var && parts.subject(r) != parts.object(r) {
@@ -266,7 +510,7 @@ fn build_index(
             }
             index.entry(key_of(r)).or_default().push(r);
         }
-        return Ok(StepIndex::Single(index));
+        return Ok(StepIndex::Plain(vec![index]));
     };
     let Some(pool) = env.pool.as_ref() else {
         return Err(crate::op::internal(
@@ -275,6 +519,58 @@ fn build_index(
     };
     let workers = env.config.parallelism.max(1);
     let chunk = refs.len().div_ceil(nshards);
+    if timed {
+        // Scatter: chunk c buckets its candidate range by shard, tracking
+        // the chunk's local time aggregate.
+        let scattered: Vec<Mutex<(TimedShardBuckets, TimeAgg)>> = (0..nshards)
+            .map(|_| Mutex::new((Vec::new(), TimeAgg::default())))
+            .collect();
+        pool.run_chunks_capped(nshards, workers, &|c| {
+            let lo = (c * chunk).min(refs.len());
+            let hi = (lo + chunk).min(refs.len());
+            let mut buckets: TimedShardBuckets = (0..nshards).map(|_| Vec::new()).collect();
+            let mut agg = TimeAgg::default();
+            for &r in &refs[lo..hi] {
+                if same_var && parts.subject(r) != parts.object(r) {
+                    continue;
+                }
+                let key = key_of(r);
+                let (s, e) = parts.start_end(r);
+                agg.add(s, e);
+                buckets[shard_of(key, nshards)].push((key, r, s, e));
+            }
+            *crate::op::lock_clean(&scattered[c]) = (buckets, agg);
+        })
+        .map_err(worker_panic)?;
+        let scattered: Vec<(TimedShardBuckets, TimeAgg)> =
+            scattered.into_iter().map(crate::op::unwrap_clean).collect();
+        // The grid reduces over chunk aggregates on the query thread, so
+        // every shard gathers against the same (deterministic) grid.
+        let mut agg = TimeAgg::default();
+        for (_, chunk_agg) in &scattered {
+            agg.merge(chunk_agg);
+        }
+        let grid = agg.grid();
+        // Gather: shard s drains every chunk's bucket s, in chunk order.
+        let shards: Vec<Mutex<HashMap<u64, Postings>>> =
+            (0..nshards).map(|_| Mutex::new(HashMap::new())).collect();
+        pool.run_chunks_capped(nshards, workers, &|s| {
+            let mut map: HashMap<u64, Postings> = HashMap::new();
+            for (chunk_buckets, _) in &scattered {
+                for &(key, r, start, end) in &chunk_buckets[s] {
+                    map.entry(key)
+                        .or_default()
+                        .push(r, start, end, grid.bucket_of(start));
+                }
+            }
+            *crate::op::lock_clean(&shards[s]) = map;
+        })
+        .map_err(worker_panic)?;
+        return Ok(StepIndex::Timed {
+            shards: shards.into_iter().map(crate::op::unwrap_clean).collect(),
+            grid,
+        });
+    }
     // Scatter: chunk c buckets its candidate range by shard.
     let scattered: Vec<Mutex<ShardBuckets>> =
         (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
@@ -306,7 +602,7 @@ fn build_index(
         *crate::op::lock_clean(&shards[s]) = map;
     })
     .map_err(worker_panic)?;
-    Ok(StepIndex::Sharded(
+    Ok(StepIndex::Plain(
         shards.into_iter().map(crate::op::unwrap_clean).collect(),
     ))
 }
@@ -423,6 +719,42 @@ struct StepOut {
     complete: bool,
 }
 
+/// Join order shared by the ref and materializing paths (they must emit
+/// identical tuple order): seed with the smallest candidate list, then
+/// greedily place the smallest-candidate pattern *connected* to the
+/// placed set — by a shared variable first, by a temporal relation
+/// second. A variable-sharing step probes by key and a related step
+/// prunes by time, but an unconnected pick cross-products the frontier
+/// straight into `max_intermediate` and every later step pays to probe
+/// the blow-up.
+fn plan_join_order(a: &AnalyzedMultievent, sizes: &[usize]) -> Vec<usize> {
+    let n = sizes.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut var_bound = vec![false; a.vars.len()];
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !placed[i])
+            .min_by_key(|&i| {
+                let p = &a.patterns[i];
+                let class = if order.is_empty() || var_bound[p.subject] || var_bound[p.object] {
+                    0
+                } else if !a.step_relations(i, &placed).is_empty() {
+                    1
+                } else {
+                    2
+                };
+                (class, sizes[i], i)
+            })
+            .expect("a pattern remains unplaced");
+        placed[next] = true;
+        var_bound[a.patterns[next].subject] = true;
+        var_bound[a.patterns[next].object] = true;
+        order.push(next);
+    }
+    order
+}
+
 /// Multi-way hash join over per-pattern *reference* lists: the tuple
 /// frontier lives in a flat [`RefArena`] (no per-tuple allocation). Returns
 /// the final frontier plus the run accounting (truncation, widest fan-out,
@@ -438,6 +770,7 @@ struct StepOut {
 fn join_refs(
     env: &ExecEnv<'_>,
     candidates: Vec<Vec<EventRef>>,
+    domains: &[Option<(IdSet, IdSet)>],
 ) -> Result<(RefArena, JoinRun), EngineError> {
     let a = env.a;
     let parts = &env.parts;
@@ -448,21 +781,73 @@ fn join_refs(
     // Cleared after a partial-mode trip: the remaining steps complete the
     // preserved prefix without further governance.
     let mut gov = env.gov();
-    // Join order: smallest candidate list first.
-    let mut join_order: Vec<usize> = (0..n).collect();
-    join_order.sort_by_key(|&i| (candidates[i].len(), i));
+    let sizes: Vec<usize> = candidates.iter().map(Vec::len).collect();
+    let join_order = plan_join_order(a, &sizes);
+
+    // Sideways seed pruning (layer 3): before the first step seeds the
+    // frontier, drop seed candidates whose shared-variable ids are absent
+    // from the *second* step's candidate domains — such tuples probe a
+    // missing key at step two and extend nothing. Restricting the filter
+    // to the second step keeps the frontier byte-identical to the
+    // unfiltered run even under a truncating `max_intermediate`: a dropped
+    // tuple appends zero tuples at step two, so every surviving append
+    // happens at the same position. Gated off under a memory budget (the
+    // per-step row cap derives from live frontier bytes, which pruning
+    // changes) and when the seed list itself could truncate.
+    let mut seed_pruned: Option<Vec<EventRef>> = None;
+    let mut seed_pruned_count: u64 = 0;
+    if env.config.sideways_filters
+        && n >= 2
+        && gov.is_none_or(|g| !g.has_memory_budget())
+        && candidates[join_order[0]].len() <= env.config.max_intermediate
+    {
+        let seed = join_order[0];
+        let second = join_order[1];
+        if let Some((subj, obj)) = &domains[second] {
+            let sp = &a.patterns[seed];
+            let qp = &a.patterns[second];
+            // For every variable the seed shares with the second pattern:
+            // (read the seed candidate's subject side?, partner domain).
+            let mut checks: Vec<(bool, &IdSet)> = Vec::new();
+            for (v, seed_is_subject) in [(sp.subject, true), (sp.object, false)] {
+                if qp.subject == v {
+                    checks.push((seed_is_subject, subj));
+                }
+                if qp.object == v && qp.object != qp.subject {
+                    checks.push((seed_is_subject, obj));
+                }
+            }
+            if !checks.is_empty() {
+                let kept: Vec<EventRef> = candidates[seed]
+                    .iter()
+                    .copied()
+                    .filter(|&r| {
+                        checks.iter().all(|&(is_subj, set)| {
+                            let id = if is_subj {
+                                parts.subject(r)
+                            } else {
+                                parts.object(r)
+                            };
+                            set.contains(id)
+                        })
+                    })
+                    .collect();
+                seed_pruned_count = (candidates[seed].len() - kept.len()) as u64;
+                seed_pruned = Some(kept);
+            }
+        }
+    }
 
     let mut tuples = RefArena::new(n, nvars);
-    tuples.events.resize(n, NO_REF);
-    tuples.vars.resize(nvars, NO_VAR);
+    tuples.resize_tuples(1);
     let mut run = JoinRun {
         fanout: 1,
         ..JoinRun::default()
     };
+    let mut placed = vec![false; n];
 
     for &i in &join_order {
         let p = &a.patterns[i];
-        let refs = &candidates[i];
         let same_var = p.subject == p.object;
         // A pattern binds at most two variables, so the bound-var key
         // packs into one u64.
@@ -474,6 +859,65 @@ fn join_refs(
             .copied()
             .filter(|&v| proto_vars[v] != NO_VAR)
             .collect();
+        let mut counters = StepCounters::default();
+        let seed_step = i == join_order[0];
+        if seed_step {
+            counters.filter_pruned += seed_pruned_count;
+        }
+        let base_refs: &[EventRef] = if seed_step {
+            seed_pruned.as_deref().unwrap_or(&candidates[i])
+        } else {
+            &candidates[i]
+        };
+        // Sideways build-side pruning (layer 3): drop candidates whose
+        // bound-variable ids are absent from some already-placed partner
+        // pattern's candidate domain. The frontier only ever carries ids
+        // drawn from every placed binder's domain, so a dropped candidate
+        // could never have been probed — the index (and the frontier) is
+        // unchanged.
+        let mut build_pruned: Option<Vec<EventRef>> = None;
+        if env.config.sideways_filters && !bound_vars.is_empty() {
+            let mut partner_sets: Vec<(usize, Vec<&IdSet>)> = Vec::new();
+            for &v in &bound_vars {
+                let mut sets: Vec<&IdSet> = Vec::new();
+                for (q, qp) in a.patterns.iter().enumerate() {
+                    if q == i || !placed[q] {
+                        continue;
+                    }
+                    let Some((subj, obj)) = &domains[q] else {
+                        continue;
+                    };
+                    if qp.subject == v {
+                        sets.push(subj);
+                    }
+                    if qp.object == v && qp.object != qp.subject {
+                        sets.push(obj);
+                    }
+                }
+                if !sets.is_empty() {
+                    partner_sets.push((v, sets));
+                }
+            }
+            if !partner_sets.is_empty() {
+                let kept: Vec<EventRef> = base_refs
+                    .iter()
+                    .copied()
+                    .filter(|&r| {
+                        partner_sets.iter().all(|(v, sets)| {
+                            let id = if *v == p.subject {
+                                parts.subject(r)
+                            } else {
+                                parts.object(r)
+                            };
+                            sets.iter().all(|s| s.contains(id))
+                        })
+                    })
+                    .collect();
+                counters.filter_pruned += (base_refs.len() - kept.len()) as u64;
+                build_pruned = Some(kept);
+            }
+        }
+        let refs: &[EventRef] = build_pruned.as_deref().unwrap_or(base_refs);
         let key_of_ref = |r: EventRef| {
             let mut ids = [NO_VAR; 2];
             for (slot, &v) in ids.iter_mut().zip(&bound_vars) {
@@ -485,10 +929,23 @@ fn join_refs(
             }
             pack(ids)
         };
+        // Temporal relations this step must verify (layer 1): with any
+        // present and `time_bucket_join` on, the index carries time
+        // columns and bucket zones for probe-side pruning.
+        let rels = a.step_relations(i, &placed);
+        let timed = env.config.time_bucket_join && !rels.is_empty();
         let t_build = Instant::now();
-        let index = build_index(env, refs, same_var, &key_of_ref, !bound_vars.is_empty())?;
-        run.build_nanos += t_build.elapsed().as_nanos() as u64;
-        run.fanout = run.fanout.max(index.shards());
+        let index = build_index(
+            env,
+            refs,
+            same_var,
+            &key_of_ref,
+            !bound_vars.is_empty(),
+            timed,
+        )?;
+        let step_build = t_build.elapsed().as_nanos() as u64;
+        run.build_nanos += step_build;
+        let mut step_fanout = index.shard_count();
 
         // Effective row cap of this step: `max_intermediate`, tightened by
         // the memory budget converted to rows. Reading `remaining_bytes`
@@ -513,6 +970,15 @@ fn join_refs(
             a,
             index: &index,
             bound_vars: &bound_vars,
+            rels: &rels,
+            // Probe-side pre-filter (layer 3): the step's own candidate
+            // domains reject keys that cannot be in the index without
+            // hashing (misses by construction, so results are unchanged).
+            domains: if env.config.sideways_filters {
+                domains[i].as_ref()
+            } else {
+                None
+            },
             pattern: i,
             subject: p.subject,
             object: p.object,
@@ -523,7 +989,7 @@ fn join_refs(
         // partition order, since candidates are collected that way).
         let single_proto = tuples.len() == 1 && bound_vars.is_empty();
         let work = if single_proto {
-            step.index.get(pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
+            step.index.posting_len(pack([NO_VAR; 2]))
         } else {
             tuples.len()
         };
@@ -539,14 +1005,28 @@ fn join_refs(
             }
         } else {
             match join_partitions(env, work) {
-                Some(nparts) => {
-                    run.fanout = run.fanout.max(nparts);
-                    step.parallel(&tuples, nparts, single_proto, cap, gov)?
+                Some(nparts)
+                    if env.config.partitioned_probe
+                        && !single_proto
+                        && !bound_vars.is_empty()
+                        && index.shard_count() > 1 =>
+                {
+                    // Key-partitioned drive (layer 2): probe partitioning
+                    // aligned with the sharded build.
+                    let _ = nparts;
+                    step_fanout = step_fanout.max(index.shard_count());
+                    step.partitioned(&tuples, cap, gov, &mut counters)?
                 }
-                None => step.serial(&tuples, cap, gov),
+                Some(nparts) => {
+                    step_fanout = step_fanout.max(nparts);
+                    step.parallel(&tuples, nparts, single_proto, cap, gov, &mut counters)?
+                }
+                None => step.serial(&tuples, cap, gov, &mut counters),
             }
         };
-        run.probe_nanos += t_probe.elapsed().as_nanos() as u64;
+        let step_probe = t_probe.elapsed().as_nanos() as u64;
+        run.probe_nanos += step_probe;
+        run.fanout = run.fanout.max(step_fanout);
         let prev_bytes = tuples.len() as u64 * tuple_bytes;
         let step_truncated = out.truncated;
         let step_complete = out.complete;
@@ -575,11 +1055,53 @@ fn join_refs(
         } else {
             run.truncated |= step_truncated;
         }
+        run.probe_hits += counters.probe_hits;
+        run.bucket_skipped += counters.bucket_skipped;
+        run.filter_pruned += counters.filter_pruned;
+        run.steps.push(JoinStepStat {
+            pattern: i,
+            candidates: refs.len(),
+            rows_out: tuples.len(),
+            probes: counters.probes,
+            probe_hits: counters.probe_hits,
+            bucket_skipped: counters.bucket_skipped,
+            filter_pruned: counters.filter_pruned,
+            buckets: index.buckets(),
+            bucket_width_micros: index.bucket_width(),
+            build_nanos: step_build,
+            probe_nanos: step_probe,
+            fanout: step_fanout,
+        });
+        placed[i] = true;
         if tuples.len() == 0 {
             return Ok((tuples, run));
         }
     }
     Ok((tuples, run))
+}
+
+/// Per-drive probe-reduction counters, merged across partitions/shards
+/// into the step's [`JoinStepStat`].
+#[derive(Debug, Clone, Copy, Default)]
+struct StepCounters {
+    /// Index lookups attempted (after the sideways pre-filter).
+    probes: u64,
+    /// Lookups that found a posting list.
+    probe_hits: u64,
+    /// Posting refs skipped by time-bucket pruning (never temporally
+    /// verified).
+    bucket_skipped: u64,
+    /// Candidates/probes rejected by sideways domain filters.
+    filter_pruned: u64,
+}
+
+impl StepCounters {
+    fn merge(&mut self, o: &StepCounters) {
+        self.probes += o.probes;
+        self.probe_hits += o.probe_hits;
+        self.bucket_skipped += o.bucket_skipped;
+        self.filter_pruned += o.filter_pruned;
+    }
 }
 
 /// One ref-join step: everything shared by its serial and parallel drives.
@@ -589,6 +1111,12 @@ struct JoinStep<'s, 'a> {
     a: &'s AnalyzedMultievent,
     index: &'s StepIndex,
     bound_vars: &'s [usize],
+    /// Temporal relations to already-placed patterns (layer 1's per-tuple
+    /// admissible intervals derive from these).
+    rels: &'s [StepRel],
+    /// This step's own candidate (subject, object) domains, when the
+    /// sideways pre-filter is on.
+    domains: Option<&'s (IdSet, IdSet)>,
     pattern: usize,
     subject: usize,
     object: usize,
@@ -597,49 +1125,165 @@ struct JoinStep<'s, 'a> {
 impl JoinStep<'_, '_> {
     /// Probes the index for tuple `t` (restricted to the match-slice range
     /// `[mlo, mhi)` when partitioning a single proto tuple; pass the full
-    /// range otherwise) and appends surviving extensions to `out`. Returns
+    /// range otherwise) and appends surviving extensions to `out`. `shard`
+    /// pins the lookup to one index shard (the key-partitioned drive,
+    /// which routed the tuple already); `None` routes by key hash. Returns
     /// `true` when the tracker's budget was exhausted — the caller must
     /// stop its drive.
+    #[allow(clippy::too_many_arguments)]
     #[inline]
     fn probe_into(
         &self,
         tuples: &RefArena,
         t: usize,
         range: Option<(usize, usize)>,
+        shard: Option<usize>,
         out: &mut RefArena,
         caps: &mut CapTracker<'_>,
+        ctr: &mut StepCounters,
     ) -> bool {
         let tvars = tuples.vars_of(t);
         let mut ids = [NO_VAR; 2];
         for (slot, &v) in ids.iter_mut().zip(self.bound_vars) {
             *slot = tvars[v];
         }
-        let Some(matches) = self.index.get(pack(ids)) else {
-            return false;
-        };
-        let (mlo, mhi) = range.unwrap_or((0, matches.len()));
-        for &r in &matches[mlo..mhi] {
-            if !temporal_ok_refs(self.a, self.parts, self.pattern, r, tuples, t) {
-                continue;
-            }
-            let ti = out.push_from(tuples, t);
-            out.set_event(ti, self.pattern, r);
-            out.set_var(ti, self.subject, self.parts.subject(r));
-            out.set_var(ti, self.object, self.parts.object(r));
-            if caps.exhausted(out.len()) {
-                return true;
+        // Sideways pre-filter: a bound id outside this step's candidate
+        // domain cannot be in the index — skip the hash lookup.
+        if let Some((subj, obj)) = self.domains {
+            for (&v, &id) in self.bound_vars.iter().zip(&ids) {
+                let set = if v == self.subject { subj } else { obj };
+                if !set.contains(EntityId(id)) {
+                    ctr.filter_pruned += 1;
+                    return false;
+                }
             }
         }
-        false
+        let key = pack(ids);
+        ctr.probes += 1;
+        match self.index {
+            StepIndex::Plain(shards) => {
+                let k = shard.unwrap_or_else(|| route(key, shards.len()));
+                let Some(matches) = shards[k].get(&key) else {
+                    return false;
+                };
+                ctr.probe_hits += 1;
+                let (mlo, mhi) = range.unwrap_or((0, matches.len()));
+                for &r in &matches[mlo..mhi] {
+                    if !temporal_ok_refs(self.a, self.parts, self.pattern, r, tuples, t) {
+                        continue;
+                    }
+                    let (subj, obj) = self.parts.subject_object(r);
+                    out.push_extended(
+                        tuples,
+                        t,
+                        self.pattern,
+                        r,
+                        (self.subject, subj),
+                        (self.object, obj),
+                    );
+                    if caps.exhausted(out.len()) {
+                        return true;
+                    }
+                }
+                false
+            }
+            StepIndex::Timed { shards, grid } => {
+                debug_assert!(range.is_none(), "timed index never slices a proto bucket");
+                let k = shard.unwrap_or_else(|| route(key, shards.len()));
+                let Some(p) = shards[k].get(&key) else {
+                    return false;
+                };
+                ctr.probe_hits += 1;
+                // Admissible start/end intervals of a joining candidate,
+                // derived once per tuple from the placed events — exactly
+                // the constraints `temporal_ok_refs` verifies per match.
+                let events = tuples.events_of(t);
+                let (mut slo, mut shi) = (i64::MIN, i64::MAX);
+                let (mut elo, mut ehi) = (i64::MIN, i64::MAX);
+                for rel in self.rels {
+                    let placed = events[rel.other];
+                    if rel.cand_is_left {
+                        // cand.end ≤ placed.start; a bound floors cand.end.
+                        let ps = self.parts.start(placed).micros();
+                        ehi = ehi.min(ps);
+                        if let Some(b) = rel.bound {
+                            elo = elo.max(ps.saturating_sub(b));
+                        }
+                    } else {
+                        // placed.end ≤ cand.start; a bound ceils cand.start.
+                        let pe = self.parts.end(placed).micros();
+                        slo = slo.max(pe);
+                        if let Some(b) = rel.bound {
+                            shi = shi.min(pe.saturating_add(b));
+                        }
+                    }
+                }
+                // Fold the end interval onto start buckets through the
+                // build-time duration extremes.
+                let lo_t = slo.max(elo.saturating_sub(grid.max_dur));
+                let hi_t = shi.min(ehi.saturating_sub(grid.min_dur));
+                if slo > shi || elo > ehi || lo_t > hi_t {
+                    ctr.bucket_skipped += p.refs.len() as u64;
+                    return false;
+                }
+                let blo = grid.clamp(lo_t);
+                let bhi = grid.clamp(hi_t);
+                for (c, &(zmin, zmax)) in p.zones.iter().enumerate() {
+                    let lo = c * BUCKET_CHUNK;
+                    let hi = (lo + BUCKET_CHUNK).min(p.refs.len());
+                    if zmax < blo || zmin > bhi {
+                        ctr.bucket_skipped += (hi - lo) as u64;
+                        continue;
+                    }
+                    for j in lo..hi {
+                        let s = p.starts[j];
+                        let e = p.ends[j];
+                        if s < slo || s > shi || e < elo || e > ehi {
+                            continue;
+                        }
+                        let r = p.refs[j];
+                        let (subj, obj) = self.parts.subject_object(r);
+                        out.push_extended(
+                            tuples,
+                            t,
+                            self.pattern,
+                            r,
+                            (self.subject, subj),
+                            (self.object, obj),
+                        );
+                        if caps.exhausted(out.len()) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
     }
 
     /// The serial drive: identical traversal to the pre-operator fused
     /// loop. `cap` is the step's effective row cap; `gov` is polled every
     /// [`crate::governor::GOV_CHECK_INTERVAL`] tuples (and inside dense
     /// append runs via the tracker).
-    fn serial(&self, tuples: &RefArena, cap: usize, gov: Option<&Governor>) -> StepOut {
+    fn serial(
+        &self,
+        tuples: &RefArena,
+        cap: usize,
+        gov: Option<&Governor>,
+        ctr: &mut StepCounters,
+    ) -> StepOut {
         let mut caps = CapTracker::fixed(cap, gov);
-        let mut next = RefArena::new(tuples.npatterns, tuples.nvars);
+        // Reserve for the worst-case emission — every frontier tuple hits
+        // every indexed ref — clamped by the row cap and a 4 Mi-tuple
+        // ceiling so a pathological `max_intermediate` cannot reserve the
+        // moon. Cap-bound steps fill the reservation exactly; small steps
+        // reserve small, keeping short queries allocation-light.
+        let bound = tuples
+            .len()
+            .saturating_mul(self.index.total_refs())
+            .min(cap)
+            .min(1 << 22);
+        let mut next = RefArena::with_capacity_tuples(tuples.npatterns, tuples.nvars, bound);
         let mut truncated = false;
         let mut gate = GovGate::new(gov);
         for t in 0..tuples.len() {
@@ -647,7 +1291,7 @@ impl JoinStep<'_, '_> {
                 caps.gov_stop = true;
                 break;
             }
-            if self.probe_into(tuples, t, None, &mut next, &mut caps) {
+            if self.probe_into(tuples, t, None, None, &mut next, &mut caps, ctr) {
                 truncated = !caps.gov_stop;
                 break;
             }
@@ -672,6 +1316,7 @@ impl JoinStep<'_, '_> {
         single_proto: bool,
         cap: usize,
         gov: Option<&Governor>,
+        ctr: &mut StepCounters,
     ) -> Result<StepOut, EngineError> {
         let env = self.env;
         let Some(pool) = env.pool.as_ref() else {
@@ -680,15 +1325,15 @@ impl JoinStep<'_, '_> {
             ));
         };
         let work = if single_proto {
-            self.index.get(pack([NO_VAR; 2])).map(Vec::len).unwrap_or(0)
+            self.index.posting_len(pack([NO_VAR; 2]))
         } else {
             tuples.len()
         };
         let nparts = nparts.min(work).max(1);
         let per = work.div_ceil(nparts);
         let budget = JoinBudget::new(cap, nparts);
-        let partials: Vec<std::sync::Mutex<(RefArena, bool)>> = (0..nparts)
-            .map(|_| std::sync::Mutex::new((RefArena::default(), true)))
+        let partials: Vec<std::sync::Mutex<(RefArena, bool, StepCounters)>> = (0..nparts)
+            .map(|_| std::sync::Mutex::new((RefArena::default(), true, StepCounters::default())))
             .collect();
 
         pool.run_chunks_capped(nparts, env.config.parallelism.max(1), &|k| {
@@ -698,10 +1343,19 @@ impl JoinStep<'_, '_> {
             let hi = (lo + per).min(work);
             let mut out = RefArena::new(tuples.npatterns, tuples.nvars);
             let mut caps = CapTracker::shared(&budget, k, gov);
+            let mut local = StepCounters::default();
             if single_proto {
                 // Partitioning the first pattern: the proto tuple's single
                 // bucket, sliced to the candidate range [lo, hi).
-                self.probe_into(tuples, 0, Some((lo, hi)), &mut out, &mut caps);
+                self.probe_into(
+                    tuples,
+                    0,
+                    Some((lo, hi)),
+                    None,
+                    &mut out,
+                    &mut caps,
+                    &mut local,
+                );
             } else {
                 let mut gate = GovGate::new(gov);
                 for t in lo..hi {
@@ -709,25 +1363,28 @@ impl JoinStep<'_, '_> {
                         caps.gov_stop = true;
                         break;
                     }
-                    if self.probe_into(tuples, t, None, &mut out, &mut caps) {
+                    if self.probe_into(tuples, t, None, None, &mut out, &mut caps, &mut local) {
                         break;
                     }
                 }
             }
             budget.publish(k, out.len());
-            *crate::op::lock_clean(&partials[k]) = (out, !caps.gov_stop);
+            *crate::op::lock_clean(&partials[k]) = (out, !caps.gov_stop, local);
         })
         .map_err(worker_panic)?;
 
-        let partials: Vec<(RefArena, bool)> =
+        let partials: Vec<(RefArena, bool, StepCounters)> =
             partials.into_iter().map(crate::op::unwrap_clean).collect();
-        let total: usize = partials.iter().map(|(a, _)| a.len()).sum();
+        for (_, _, local) in &partials {
+            ctr.merge(local);
+        }
+        let total: usize = partials.iter().map(|(a, _, _)| a.len()).sum();
         let keep = total.min(cap);
         let mut merged = RefArena::new(tuples.npatterns, tuples.nvars);
         merged.events.reserve_exact(keep * tuples.npatterns);
         merged.vars.reserve_exact(keep * tuples.nvars);
         let mut complete = true;
-        for (part, part_complete) in &partials {
+        for (part, part_complete, _) in &partials {
             let room = keep - merged.len();
             merged.append_prefix(part, room);
             if !part_complete {
@@ -746,6 +1403,150 @@ impl JoinStep<'_, '_> {
         Ok(StepOut {
             truncated: complete && total >= cap,
             complete,
+            arena: merged,
+        })
+    }
+
+    /// The key-partitioned parallel drive (layer 2): instead of contiguous
+    /// frontier ranges all probing the full shared index, shard `k` scans
+    /// the whole frontier, keeps only tuples whose join key hashes to `k`,
+    /// and probes its local index shard — probe partitioning aligned with
+    /// the scatter/gather build, so no shard touches another's hash map.
+    /// Appends are recorded as `(frontier tuple, count)` runs; every
+    /// frontier tuple is owned by exactly one shard, so merging runs in
+    /// ascending frontier order reproduces the serial traversal
+    /// byte-for-byte.
+    ///
+    /// Budgeting: each shard stops at the full row cap on its own (the
+    /// contiguous drive's shared prefix budget keys on *partition* order,
+    /// which is meaningless here), so a truncating step can transiently
+    /// hold up to `shards × cap` tuples; the merge truncates to the exact
+    /// serial prefix. A governor stop discards the shard's mid-tuple
+    /// partial run and the merge stops at the smallest stopped tuple,
+    /// keeping the output a prefix of the untripped traversal.
+    fn partitioned(
+        &self,
+        tuples: &RefArena,
+        cap: usize,
+        gov: Option<&Governor>,
+        ctr: &mut StepCounters,
+    ) -> Result<StepOut, EngineError> {
+        let env = self.env;
+        let Some(pool) = env.pool.as_ref() else {
+            return Err(crate::op::internal(
+                "partitioned join probe scheduled without a scan executor",
+            ));
+        };
+        let ns = self.index.shard_count();
+        let ntuples = tuples.len();
+        #[derive(Default)]
+        struct ShardRun {
+            arena: RefArena,
+            /// (frontier tuple, appended count) per probed tuple with
+            /// output, in frontier order.
+            runs: Vec<(u32, u32)>,
+            /// First frontier tuple this shard did *not* fully probe
+            /// (meaningful only with `gov_stop`).
+            cut: u32,
+            gov_stop: bool,
+            ctr: StepCounters,
+        }
+        let slots: Vec<Mutex<ShardRun>> =
+            (0..ns).map(|_| Mutex::new(ShardRun::default())).collect();
+        pool.run_chunks_capped(ns, env.config.parallelism.max(1), &|k| {
+            let mut out = RefArena::new(tuples.npatterns, tuples.nvars);
+            let mut runs: Vec<(u32, u32)> = Vec::new();
+            let mut caps = CapTracker::fixed(cap, gov);
+            let mut gate = GovGate::new(gov);
+            let mut local = StepCounters::default();
+            let mut cut = ntuples as u32;
+            let mut gov_stop = false;
+            for t in 0..ntuples {
+                if gate.tick().is_some() {
+                    gov_stop = true;
+                    cut = t as u32;
+                    break;
+                }
+                let tvars = tuples.vars_of(t);
+                let mut ids = [NO_VAR; 2];
+                for (slot, &v) in ids.iter_mut().zip(self.bound_vars) {
+                    *slot = tvars[v];
+                }
+                if route(pack(ids), ns) != k {
+                    continue;
+                }
+                let before = out.len();
+                let stop =
+                    self.probe_into(tuples, t, None, Some(k), &mut out, &mut caps, &mut local);
+                if stop && caps.gov_stop {
+                    // Discard the mid-tuple partial append run: the merge
+                    // then cuts at a clean tuple boundary.
+                    out.truncate(before);
+                    gov_stop = true;
+                    cut = t as u32;
+                    break;
+                }
+                if out.len() > before {
+                    runs.push((t as u32, (out.len() - before) as u32));
+                }
+                if stop {
+                    // Row cap reached: later runs of this shard are never
+                    // needed — by the time the merge would reach them, the
+                    // appends recorded before them already fill the cap.
+                    break;
+                }
+            }
+            *crate::op::lock_clean(&slots[k]) = ShardRun {
+                arena: out,
+                runs,
+                cut,
+                gov_stop,
+                ctr: local,
+            };
+        })
+        .map_err(worker_panic)?;
+        let shards: Vec<ShardRun> = slots.into_iter().map(crate::op::unwrap_clean).collect();
+        for s in &shards {
+            ctr.merge(&s.ctr);
+        }
+        let gov_stopped = shards.iter().any(|s| s.gov_stop);
+        let gov_cut: u32 = shards
+            .iter()
+            .filter(|s| s.gov_stop)
+            .map(|s| s.cut)
+            .min()
+            .unwrap_or(u32::MAX);
+        let mut merged = RefArena::new(tuples.npatterns, tuples.nvars);
+        let mut ridx = vec![0usize; ns];
+        let mut consumed = vec![0usize; ns];
+        loop {
+            // Next run in frontier order: each tuple is owned by one
+            // shard, so the smallest head across shards is the serial
+            // successor.
+            let mut best: Option<(u32, usize)> = None;
+            for (k, s) in shards.iter().enumerate() {
+                if let Some(&(t, _)) = s.runs.get(ridx[k]) {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, k));
+                    }
+                }
+            }
+            let Some((t, k)) = best else { break };
+            if t >= gov_cut {
+                break;
+            }
+            let count = shards[k].runs[ridx[k]].1 as usize;
+            let take = count.min(cap - merged.len());
+            merged.append_range(&shards[k].arena, consumed[k], take);
+            consumed[k] += count;
+            ridx[k] += 1;
+            if merged.len() >= cap {
+                break;
+            }
+        }
+        Ok(StepOut {
+            truncated: !gov_stopped && merged.len() >= cap,
+            complete: !gov_stopped,
             arena: merged,
         })
     }
@@ -804,9 +1605,8 @@ fn join_events(
     let tuple_bytes = (n * std::mem::size_of::<Option<Event>>()
         + nvars * std::mem::size_of::<Option<EntityId>>()) as u64;
     let mut gov = env.gov();
-    // Join order: smallest candidate list first.
-    let mut join_order: Vec<usize> = (0..n).collect();
-    join_order.sort_by_key(|&i| (candidates[i].len(), i));
+    let sizes: Vec<usize> = candidates.iter().map(Vec::len).collect();
+    let join_order = plan_join_order(a, &sizes);
 
     let mut tuples: Vec<Tuple> = vec![Tuple {
         events: vec![None; n],

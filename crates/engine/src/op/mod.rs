@@ -93,6 +93,10 @@ pub struct RefArena {
     pub(crate) nvars: usize,
     pub(crate) events: Vec<EventRef>,
     pub(crate) vars: Vec<u32>,
+    /// Tuple count, maintained by every mutator: `len()` sits on the join's
+    /// per-emission path, where a `vars.len() / nvars` division is
+    /// measurable across millions of appended tuples.
+    ntuples: usize,
 }
 
 impl RefArena {
@@ -102,16 +106,23 @@ impl RefArena {
             nvars,
             events: Vec::new(),
             vars: Vec::new(),
+            ntuples: 0,
         }
     }
 
+    /// An empty arena with room for `tuples` rows. Large reservations are
+    /// lazy virtual pages until touched, while skipping the doubling-growth
+    /// recopies that a cap-sized frontier pays for otherwise (~one extra
+    /// full-arena memcpy per join step).
+    pub(crate) fn with_capacity_tuples(npatterns: usize, nvars: usize, tuples: usize) -> Self {
+        let mut a = RefArena::new(npatterns, nvars);
+        a.events.reserve(tuples * npatterns);
+        a.vars.reserve(tuples * nvars);
+        a
+    }
+
     pub(crate) fn len(&self) -> usize {
-        // Queries always bind at least one variable, but keep the
-        // degenerate nvars == 0 case well-defined.
-        self.vars
-            .len()
-            .checked_div(self.nvars)
-            .unwrap_or_else(|| usize::from(!self.events.is_empty()))
+        self.ntuples
     }
 
     pub(crate) fn events_of(&self, i: usize) -> &[EventRef] {
@@ -122,11 +133,28 @@ impl RefArena {
         &self.vars[i * self.nvars..(i + 1) * self.nvars]
     }
 
-    /// Appends a copy of tuple `i` of `src`, returning the new tuple index.
-    pub(crate) fn push_from(&mut self, src: &RefArena, i: usize) -> usize {
+    /// Appends tuple `i` of `src` extended with one placed event: the new
+    /// pattern ref and both its variable bindings land in a single pass —
+    /// the join's per-match emission, fused so the copied row is patched
+    /// in place instead of re-indexed per field.
+    #[inline]
+    pub(crate) fn push_extended(
+        &mut self,
+        src: &RefArena,
+        i: usize,
+        pattern: usize,
+        r: EventRef,
+        subject: (usize, EntityId),
+        object: (usize, EntityId),
+    ) {
+        let e0 = self.events.len();
         self.events.extend_from_slice(src.events_of(i));
+        self.events[e0 + pattern] = r;
+        let v0 = self.vars.len();
         self.vars.extend_from_slice(src.vars_of(i));
-        self.len() - 1
+        self.vars[v0 + subject.0] = subject.1.raw();
+        self.vars[v0 + object.0] = object.1.raw();
+        self.ntuples += 1;
     }
 
     /// Appends up to `limit` leading tuples of `src` (the deterministic
@@ -136,14 +164,33 @@ impl RefArena {
         self.events
             .extend_from_slice(&src.events[..take * self.npatterns]);
         self.vars.extend_from_slice(&src.vars[..take * self.nvars]);
+        self.ntuples += take;
     }
 
-    pub(crate) fn set_event(&mut self, i: usize, pattern: usize, r: EventRef) {
-        self.events[i * self.npatterns + pattern] = r;
+    /// Appends `count` tuples of `src` starting at tuple `from` (the
+    /// run-at-a-time merge of the key-partitioned join drive).
+    pub(crate) fn append_range(&mut self, src: &RefArena, from: usize, count: usize) {
+        self.events
+            .extend_from_slice(&src.events[from * self.npatterns..(from + count) * self.npatterns]);
+        self.vars
+            .extend_from_slice(&src.vars[from * self.nvars..(from + count) * self.nvars]);
+        self.ntuples += count;
     }
 
-    pub(crate) fn set_var(&mut self, i: usize, var: usize, id: EntityId) {
-        self.vars[i * self.nvars + var] = id.raw();
+    /// Drops every tuple past the first `len` (discarding a mid-tuple
+    /// partial append run after a governor stop).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        self.events.truncate(len * self.npatterns);
+        self.vars.truncate(len * self.nvars);
+        self.ntuples = self.ntuples.min(len);
+    }
+
+    /// Resizes to exactly `len` tuples, filling new rows with unplaced
+    /// sentinels (the join's proto-tuple seed).
+    pub(crate) fn resize_tuples(&mut self, len: usize) {
+        self.events.resize(len * self.npatterns, NO_REF);
+        self.vars.resize(len * self.nvars, NO_VAR);
+        self.ntuples = len;
     }
 }
 
@@ -195,6 +242,21 @@ impl<'a> PartTable<'a> {
     #[inline]
     pub(crate) fn end(&self, r: EventRef) -> Timestamp {
         self.part(r).end_at(r.row)
+    }
+
+    /// Both time columns in micros, resolving the owning segment once (the
+    /// join-index build reads start and end for every candidate).
+    #[inline]
+    pub(crate) fn start_end(&self, r: EventRef) -> (i64, i64) {
+        let (s, e) = self.part(r).start_end_at(r.row);
+        (s.micros(), e.micros())
+    }
+
+    /// Both entity columns, resolving the owning segment once (the join
+    /// emission binds subject and object for every appended tuple).
+    #[inline]
+    pub(crate) fn subject_object(&self, r: EventRef) -> (EntityId, EntityId) {
+        self.part(r).subject_object_at(r.row)
     }
 
     /// Materializes the referenced event (the single materialization point
@@ -306,6 +368,13 @@ pub struct PipelineState {
     pub candidates: Vec<Option<Batch>>,
     /// Bound entity-id sets per variable (semi-join pushdown).
     pub bound: HashMap<usize, IdSet>,
+    /// Sideways join-key filters per pattern (source order): the
+    /// ⟨subject-domain, object-domain⟩ bitmap pair over the pattern's scan
+    /// candidates, published by [`PatternScan`] when
+    /// `EngineConfig::sideways_filters` is on (late path only) and consumed
+    /// by [`TemporalJoin`] to prune build sides, skip doomed probes, and
+    /// shrink the seed frontier.
+    pub domains: Vec<Option<(IdSet, IdSet)>>,
     /// (min_start, max_start, min_end, max_end) per executed pattern.
     pub time_stats: Vec<Option<(i64, i64, i64, i64)>>,
     /// The narrowed filter staged by [`SemiJoinNarrow`] for its parent
@@ -330,6 +399,7 @@ impl PipelineState {
         PipelineState {
             candidates: (0..n).map(|_| None).collect(),
             bound: HashMap::new(),
+            domains: vec![None; n],
             time_stats: vec![None; n],
             narrowed: None,
             frontier: if late {
@@ -363,6 +433,77 @@ pub struct ExecStats {
     pub ops: Vec<OpStat>,
 }
 
+impl ExecStats {
+    /// Renders the per-operator statistics as indented text — the
+    /// `EXPLAIN ANALYZE` companion of [`crate::explain`]'s static plan:
+    /// what each operator actually did (timings, row flow, fan-out, and the
+    /// join's per-step probe-reduction counters).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = |nanos: u64| nanos as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "executed operators ({} tuple(s) joined, order {:?}):",
+            self.tuples, self.order
+        );
+        for op in &self.ops {
+            let pattern = match op.pattern {
+                Some(p) => format!(" #{p}"),
+                None => String::new(),
+            };
+            let _ = write!(
+                out,
+                "  {}{} {:.3} ms | rows {} -> {} | fanout x{}",
+                op.kind,
+                pattern,
+                ms(op.nanos),
+                op.rows_in,
+                op.rows_out,
+                op.fanout,
+            );
+            if op.build_nanos > 0 || op.probe_nanos > 0 {
+                let _ = write!(
+                    out,
+                    " | build {:.3} ms probe {:.3} ms | probe hits {} | bucket skipped {} | filter pruned {}",
+                    ms(op.build_nanos),
+                    ms(op.probe_nanos),
+                    op.probe_hits,
+                    op.bucket_skipped,
+                    op.filter_pruned,
+                );
+            }
+            out.push('\n');
+            for s in &op.join_steps {
+                let _ = write!(
+                    out,
+                    "    step pattern #{}: {} candidate(s) -> {} tuple(s) | probes {} hits {} | build {:.3} ms probe {:.3} ms | fanout x{}",
+                    s.pattern,
+                    s.candidates,
+                    s.rows_out,
+                    s.probes,
+                    s.probe_hits,
+                    ms(s.build_nanos),
+                    ms(s.probe_nanos),
+                    s.fanout,
+                );
+                if s.buckets > 0 {
+                    let _ = write!(
+                        out,
+                        " | {} bucket(s) x {} us, {} ref(s) bucket-skipped",
+                        s.buckets, s.bucket_width_micros, s.bucket_skipped
+                    );
+                }
+                if s.filter_pruned > 0 {
+                    let _ = write!(out, " | {} filter-pruned", s.filter_pruned);
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
 /// One operator's contribution to [`ExecStats`].
 #[derive(Debug, Clone)]
 pub struct OpStat {
@@ -385,10 +526,54 @@ pub struct OpStat {
     /// Probe time (joins only, 0 elsewhere): nanoseconds spent driving the
     /// frontier through the indexes, summed over join steps.
     pub probe_nanos: u64,
+    /// Index probes that found a non-empty posting list (joins only),
+    /// summed over join steps.
+    pub probe_hits: u64,
+    /// Candidate refs skipped without an exact temporal check because their
+    /// time-bucket chunk (or whole posting list) cannot satisfy the probe
+    /// tuple's admissible interval (joins only, `time_bucket_join`).
+    pub bucket_skipped: u64,
+    /// Build candidates, seed tuples, and probes eliminated by sideways
+    /// bitmap filters (joins only, `sideways_filters`).
+    pub filter_pruned: u64,
+    /// Per-join-step detail (joins only, execution order of the steps).
+    pub join_steps: Vec<JoinStepStat>,
+}
+
+/// One join step's probe-reduction accounting inside [`OpStat`] — the
+/// EXPLAIN ANALYZE detail that makes probe regressions diagnosable without
+/// a profiler.
+#[derive(Debug, Clone, Default)]
+pub struct JoinStepStat {
+    /// Pattern index (source order) this step placed.
+    pub pattern: usize,
+    /// Candidate refs indexed (after sideways build pruning).
+    pub candidates: usize,
+    /// Frontier tuples after the step.
+    pub rows_out: usize,
+    /// Index probes attempted (after sideways probe skips).
+    pub probes: u64,
+    /// Probes that found a non-empty posting list.
+    pub probe_hits: u64,
+    /// Refs skipped by time-bucket pruning (no exact check run).
+    pub bucket_skipped: u64,
+    /// Candidates/seed tuples/probes eliminated by sideways filters.
+    pub filter_pruned: u64,
+    /// Time buckets of this step's index grid (0 = untimed index).
+    pub buckets: u32,
+    /// Bucket width in microseconds (0 = untimed index).
+    pub bucket_width_micros: i64,
+    /// Index build time of this step.
+    pub build_nanos: u64,
+    /// Probe time of this step.
+    pub probe_nanos: u64,
+    /// Probe fan-out of this step (1 = serial; key-partitioned drives fan
+    /// out one task per index shard).
+    pub fanout: usize,
 }
 
 /// Tuple in/out accounting returned by each operator run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OpIo {
     pub rows_in: usize,
     pub rows_out: usize,
@@ -396,6 +581,11 @@ pub struct OpIo {
     /// Join-only build/probe timing split (see [`OpStat`]).
     pub build_nanos: u64,
     pub probe_nanos: u64,
+    /// Join-only probe-reduction counters (see [`OpStat`]).
+    pub probe_hits: u64,
+    pub bucket_skipped: u64,
+    pub filter_pruned: u64,
+    pub join_steps: Vec<JoinStepStat>,
 }
 
 /// The uniform physical-operator interface: one batch-oriented `run` over
@@ -439,6 +629,10 @@ impl PlanNode {
             fanout: io.fanout.max(1),
             build_nanos: io.build_nanos,
             probe_nanos: io.probe_nanos,
+            probe_hits: io.probe_hits,
+            bucket_skipped: io.bucket_skipped,
+            filter_pruned: io.filter_pruned,
+            join_steps: io.join_steps,
         });
         Ok(())
     }

@@ -404,6 +404,50 @@ fn project_compiled(
             }
             rows.push(row);
         }
+    } else if cp.group_by.is_empty() {
+        // Single implicit group: skip the per-tuple group-key string and
+        // hash lookup entirely — bare aggregate chains feed millions of
+        // joined tuples through here and the key machinery would dominate
+        // the accumulation itself.
+        let mut accs: Vec<AggAcc> = cp.aggs.iter().map(|_| AggAcc::new()).collect();
+        let mut consumed = 0usize;
+        for ti in 0..ntuples {
+            if let (Some(t), Some(g)) = (gate.tick(), gov) {
+                if !g.partial() {
+                    return Err(g.error(t));
+                }
+                break;
+            }
+            fill(ti, &mut ctx);
+            for ((_, arg), acc) in cp.aggs.iter().zip(accs.iter_mut()) {
+                acc.add(arg.eval(store, &ctx)?);
+            }
+            consumed += 1;
+        }
+        // Same emission as the grouped path with the first consumed tuple
+        // as the representative; zero consumed tuples emit zero groups.
+        if consumed > 0 {
+            fill(0, &mut ctx);
+            for (slot, ((func, _), acc)) in cp.aggs.iter().zip(accs.iter()).enumerate() {
+                ctx.aggs[slot] = acc.finalize(*func);
+            }
+            ctx.aliases.iter_mut().for_each(|v| *v = None);
+            let mut row = Vec::with_capacity(cp.items.len());
+            for (item, alias) in cp.items.iter().zip(&cp.alias_slot) {
+                let v = item.eval(store, &ctx)?;
+                if let Some(slot) = alias {
+                    ctx.aliases[*slot] = Some(v);
+                }
+                row.push(v);
+            }
+            if cp
+                .having
+                .as_ref()
+                .map_or(Ok(true), |h| h.eval(store, &ctx).map(|v| v.truthy()))?
+            {
+                rows.push(row);
+            }
+        }
     } else {
         struct Group {
             rep: usize,

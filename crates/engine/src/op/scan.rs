@@ -104,15 +104,19 @@ impl Operator for PatternScan {
                     ..OpIo::default()
                 });
             }
-            if env.config.semi_join_pushdown {
-                st.bound.insert(
-                    p.subject,
-                    IdSet::from_iter(refs.iter().map(|&r| env.parts.subject(r))),
-                );
-                st.bound.insert(
-                    p.object,
-                    IdSet::from_iter(refs.iter().map(|&r| env.parts.object(r))),
-                );
+            if env.config.semi_join_pushdown || env.config.sideways_filters {
+                let subj = IdSet::from_iter(refs.iter().map(|&r| env.parts.subject(r)));
+                let obj = IdSet::from_iter(refs.iter().map(|&r| env.parts.object(r)));
+                if env.config.semi_join_pushdown {
+                    st.bound.insert(p.subject, subj.clone());
+                    st.bound.insert(p.object, obj.clone());
+                }
+                if env.config.sideways_filters {
+                    // Published sideways into the join (layer 3): the
+                    // candidates' id domains prune later steps' builds and
+                    // probes.
+                    st.domains[i] = Some((subj, obj));
+                }
             }
             let mut ts = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
             for &r in &refs {

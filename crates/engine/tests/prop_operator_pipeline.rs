@@ -203,6 +203,74 @@ proptest! {
         }
     }
 
+    /// The probe-reduction layers (PR 8) return tables byte-identical to
+    /// the layers-off serial join across the whole flag cube: time-bucket
+    /// × partitioned-probe × sideways-filter × serial/parallel drive ×
+    /// truncating `max_intermediate`. Bounded `before[...]` relations make
+    /// the bucket ranges finite on both sides.
+    #[test]
+    fn probe_layers_match_layers_off_exactly(
+        raws in proptest::collection::vec(arb_raw(), 1..150),
+        flags in 0u32..16,
+        max_intermediate in prop_oneof![
+            Just(1usize), Just(2), Just(7), Just(100), Just(4_000_000)
+        ],
+    ) {
+        let time_bucket_join = flags & 1 != 0;
+        let partitioned_probe = flags & 2 != 0;
+        let sideways_filters = flags & 4 != 0;
+        let parallel_join = flags & 8 != 0;
+        let store = build_store(&raws);
+        let reference = Engine::new(EngineConfig {
+            max_intermediate,
+            time_bucket_join: false,
+            partitioned_probe: false,
+            sideways_filters: false,
+            ..serial_config()
+        });
+        let variant = Engine::new(EngineConfig {
+            max_intermediate,
+            time_bucket_join,
+            partitioned_probe,
+            sideways_filters,
+            parallel_join,
+            join_partitions: 3,
+            parallelism: 4,
+            shared_scan_pool: false,
+            parallel_threshold: 0,
+            ..EngineConfig::default()
+        });
+        let mut catalog = query_catalog();
+        catalog.push(
+            r#"proc p1 write file f as e1
+               proc p2 read file f as e2
+               proc p2 write file f2 as e3
+               with e1 before[10 min] e2, e2 before[30 min] e3
+               return p1, p2, f, f2"#,
+        );
+        catalog.push(
+            r#"proc p1 write file f as e1
+               proc p2 read file f as e2
+               with e2 after[20 min] e1
+               return p1, p2, f"#,
+        );
+        for src in catalog {
+            let q = parse_query(src).unwrap();
+            let want = reference.execute(&store, &q).unwrap();
+            let got = variant.execute(&store, &q).unwrap();
+            prop_assert_eq!(
+                &want.rows, &got.rows,
+                "query {:?} flags {:04b} max {}: rows/order differ ({} vs {})",
+                src, flags, max_intermediate, want.rows.len(), got.rows.len()
+            );
+            prop_assert_eq!(
+                want.truncated, got.truncated,
+                "query {:?} flags {:04b} max {}: truncation flag differs",
+                src, flags, max_intermediate
+            );
+        }
+    }
+
     /// Plan-cached engines stay correct while the store is mutated between
     /// executions (partition-scoped invalidation must never serve stale
     /// estimates or resolutions).
@@ -358,4 +426,71 @@ fn plan_cache_hit_survives_ingest_into_untouched_partition() {
     let (_, m3) = engine.plan_cache_counters();
     assert!(m3 > m2, "ingest into a read partition must recompute");
     assert_eq!(touched.rows.len(), first.rows.len() + 1);
+}
+
+/// Time-bucket pruning is purely an acceleration: on clustered ("bursty")
+/// data with bounded temporal relations it must skip whole bucket ranges
+/// (visible in the join's operator stats) while never dropping a tuple the
+/// exact `temporal_ok_refs` check would admit.
+#[test]
+fn time_bucket_pruning_drops_no_admissible_tuple() {
+    // Six bursts of activity far apart in time on one host and one file;
+    // within a burst events are seconds apart, so a `before[10 min]`
+    // bound admits only same-burst pairs. Single-host ingest keeps
+    // candidate lists in time order, so posting chunks cover disjoint
+    // bursts and the bucket grid can skip the other bursts' chunks.
+    let raws: Vec<RawEvent> = (0..360)
+        .map(|i| {
+            let burst = i / 60;
+            let base = i64::from(burst) * 100_000;
+            RawEvent::instant(
+                AgentId(0),
+                if i % 2 == 0 {
+                    Operation::Write
+                } else {
+                    Operation::Read
+                },
+                EntitySpec::process(100 + (i % 5), &format!("exe{}.bin", i % 5), "user"),
+                EntitySpec::file("/data/file0", "user"),
+                Timestamp::from_secs(base + i64::from(i % 60) * 7),
+                u64::from(i),
+            )
+        })
+        .collect();
+    let store = build_store(&raws);
+    let q = parse_query(
+        r#"proc p1 write file f as e1
+           proc p2 read file f as e2
+           proc p2 write file f2 as e3
+           with e1 before[10 min] e2, e2 before[10 min] e3
+           return p1, p2, f, f2"#,
+    )
+    .unwrap();
+    let aiql_lang::Query::Multievent(m) = q else {
+        panic!()
+    };
+
+    let timed = Engine::new(serial_config());
+    let untimed = Engine::new(EngineConfig {
+        time_bucket_join: false,
+        ..serial_config()
+    });
+    let (rows_timed, stats) = timed.execute_multievent_with_stats(&store, &m).unwrap();
+    let (rows_untimed, _) = untimed.execute_multievent_with_stats(&store, &m).unwrap();
+    assert!(!rows_timed.rows.is_empty(), "query must match something");
+    assert_eq!(
+        rows_timed.rows, rows_untimed.rows,
+        "bucket pruning must not change results"
+    );
+
+    let join = stats.ops.iter().find(|o| o.kind == "TemporalJoin").unwrap();
+    assert!(
+        join.bucket_skipped > 0,
+        "bursty data with bounded relations must skip bucket ranges"
+    );
+    assert!(
+        join.join_steps.iter().any(|s| s.buckets > 1),
+        "a bounded step must build a multi-bucket index"
+    );
+    assert!(join.probe_hits > 0, "joined rows imply probe hits");
 }

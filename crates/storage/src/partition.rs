@@ -190,6 +190,15 @@ impl Partition {
         self.segments[seg].object_at(local)
     }
 
+    /// Both entity columns, resolving the owning segment once (the join
+    /// emits both bindings for every appended tuple).
+    #[inline]
+    pub fn subject_object_at(&self, row: u32) -> (aiql_model::EntityId, aiql_model::EntityId) {
+        let (seg, local) = self.locate(row);
+        let seg = &self.segments[seg];
+        (seg.subject_at(local), seg.object_at(local))
+    }
+
     /// Start-time column accessor (flat row).
     #[inline]
     pub fn start_at(&self, row: u32) -> Timestamp {
@@ -202,6 +211,23 @@ impl Partition {
     pub fn end_at(&self, row: u32) -> Timestamp {
         let (seg, local) = self.locate(row);
         self.segments[seg].end_at(local)
+    }
+
+    /// Both time columns of one flat row, resolving the owning segment
+    /// once. The engine's join-index build reads start and end for every
+    /// candidate; on fragmented partitions this halves the per-row
+    /// segment-search cost of separate `start_at`/`end_at` calls.
+    #[inline]
+    pub fn start_end_at(&self, row: u32) -> (Timestamp, Timestamp) {
+        let (seg, local) = self.locate(row);
+        self.segments[seg].start_end_at(local)
+    }
+
+    /// Min/max event start time across segments (None when empty): the
+    /// partition-level zone map time-bucketed join indexes seed their grid
+    /// candidates from.
+    pub fn time_bounds(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.min_time()?, self.max_time()?))
     }
 
     /// Amount column accessor (flat row).

@@ -215,6 +215,16 @@ impl Segment {
         Timestamp(self.end_times[row as usize])
     }
 
+    /// Both time columns of one row in a single call (one bounds check per
+    /// column, no repeated row resolution at the partition layer).
+    #[inline]
+    pub fn start_end_at(&self, row: u32) -> (Timestamp, Timestamp) {
+        (
+            Timestamp(self.start_times[row as usize]),
+            Timestamp(self.end_times[row as usize]),
+        )
+    }
+
     /// Amount column accessor.
     #[inline]
     pub fn amount_at(&self, row: u32) -> u64 {
