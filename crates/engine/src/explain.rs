@@ -80,6 +80,11 @@ pub struct QueryPlan {
     /// Governor limits in effect (`None` when the query runs ungoverned):
     /// rendered summary of deadline / memory budget / partial-results mode.
     pub governor: Option<String>,
+    /// Novelty-overlay state of the store snapshot being planned against
+    /// (`None` when every partition is fully sealed): recently-ingested
+    /// rows the scans will read from open overlays, and how many overlay
+    /// flushes the store has absorbed.
+    pub overlay: Option<String>,
     /// The physical operator tree the executor will run.
     pub operators: OpPlanNode,
 }
@@ -122,6 +127,9 @@ impl QueryPlan {
         }
         if let Some(gov) = &self.governor {
             let _ = writeln!(out, "governor: {gov}");
+        }
+        if let Some(overlay) = &self.overlay {
+            let _ = writeln!(out, "novelty overlay: {overlay}");
         }
         let _ = writeln!(out, "physical operator tree:");
         self.operators.render_into(&mut out, 0);
@@ -179,8 +187,22 @@ pub fn explain(
         pruning_priority: config.prioritize_pruning,
         parallelism: config.parallelism,
         governor: governor_summary(config),
+        overlay: overlay_summary(store),
         operators,
     })
+}
+
+/// Renders the store's novelty-overlay state for `EXPLAIN`, or `None` when
+/// every partition is fully sealed (the overlay-off steady state).
+fn overlay_summary(store: &EventStore) -> Option<String> {
+    let stats = store.stats();
+    if stats.novelty_events == 0 {
+        return None;
+    }
+    Some(format!(
+        "{} unsealed row(s) across open overlays | {} flush(es) absorbed",
+        stats.novelty_events, stats.novelty_flushes
+    ))
 }
 
 /// Renders the configuration's governor tunables for `EXPLAIN`, or `None`
@@ -469,6 +491,41 @@ mod tests {
         let text = plan.render();
         assert!(text.contains("physical operator tree:"));
         assert!(text.contains("TemporalJoin"));
+    }
+
+    #[test]
+    fn overlay_state_is_surfaced_and_sealed_stores_stay_quiet() {
+        // Fully sealed store: no overlay line.
+        let sealed = store();
+        let q = parse_query(r#"proc p write file f as e return p, f"#).unwrap();
+        let plan = explain(&sealed, &q, &EngineConfig::default()).unwrap();
+        assert!(plan.overlay.is_none());
+        assert!(!plan.render().contains("novelty overlay"));
+        // A store with unsealed overlay rows names them in the plan.
+        let mut live = EventStore::new(aiql_storage::StoreConfig {
+            batch_size: 4,
+            dedup: false,
+            novelty_flush_rows: 1 << 20,
+            ..aiql_storage::StoreConfig::default()
+        });
+        let raws: Vec<RawEvent> = (0..8)
+            .map(|i| {
+                RawEvent::instant(
+                    AgentId(1),
+                    Operation::Write,
+                    EntitySpec::process(1, "w.exe", "u"),
+                    EntitySpec::file(&format!("/f{i}"), "u"),
+                    Timestamp::from_secs(i),
+                    1,
+                )
+            })
+            .collect();
+        live.ingest_all(&raws);
+        assert!(live.stats().novelty_events > 0);
+        let plan = explain(&live, &q, &EngineConfig::default()).unwrap();
+        let overlay = plan.overlay.as_deref().expect("overlay line present");
+        assert!(overlay.contains("unsealed row(s)"));
+        assert!(plan.render().contains("novelty overlay:"));
     }
 
     #[test]

@@ -251,6 +251,22 @@ impl ScanPool {
         }
     }
 
+    /// Fire-and-forget submission of one owned job — the caller does NOT
+    /// block (background store maintenance rides on this; scan batches use
+    /// [`ScanPool::scope`]). A panicking job is contained exactly like a
+    /// scoped task's, it just has no batch to report to. Returns `false`
+    /// when the pool is shutting down and the job was dropped unrun.
+    pub fn submit(&self, job: Box<dyn FnOnce() + Send + 'static>) -> bool {
+        match self.sender.as_ref() {
+            Some(sender) => sender
+                .send(Box::new(move || {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }))
+                .is_ok(),
+            None => false,
+        }
+    }
+
     /// Convenience: runs `f(chunk_index)` for every chunk index in
     /// `0..chunks`, using up to `threads` concurrent self-scheduling tasks.
     pub fn run_chunks(&self, chunks: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), PoolPanic> {
@@ -283,6 +299,18 @@ impl ScanPool {
             }));
         }
         self.scope(tasks)
+    }
+}
+
+/// The scan pool doubles as the store's background-maintenance executor:
+/// deferred compaction and novelty flushes run as ordinary pool jobs, so
+/// maintenance shares the machine with scans instead of spawning its own
+/// threads. A job submitted while the pool is shutting down is dropped
+/// unrun — safe, because maintenance jobs are re-queued by the next commit
+/// and guard themselves with a drain token anyway.
+impl aiql_storage::MaintenanceExecutor for ScanPool {
+    fn spawn(&self, job: Box<dyn FnOnce() + Send>) {
+        self.submit(job);
     }
 }
 

@@ -375,6 +375,13 @@ impl QueryService {
             store,
             config,
         });
+        // Deferred store maintenance (background compaction behind
+        // `background_compaction`) runs on the process-wide scan pool and
+        // aborts on the service drain token, so shutdown never waits behind
+        // a merge.
+        inner
+            .store
+            .set_maintenance(crate::pool::shared(), inner.drain.clone());
         let workers = (0..dispatchers)
             .map(|i| {
                 let inner = inner.clone();
@@ -493,7 +500,10 @@ impl QueryService {
 
     /// Runs a cancellable storage compaction pass as service maintenance:
     /// a shutdown drain aborts it cleanly with partial merges discarded
-    /// and epochs untouched (mapped to `ShuttingDown`).
+    /// and epochs untouched (mapped to `ShuttingDown`). Queries are never
+    /// blocked behind the merge — they keep reading the last published
+    /// snapshot while the pass rewrites the writer store, and only see the
+    /// compacted layout once it publishes.
     pub fn compact_store(&self) -> Result<CompactionReport, ServiceError> {
         self.inner
             .store

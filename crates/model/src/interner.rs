@@ -34,7 +34,7 @@ impl fmt::Display for Symbol {
 /// Interning is idempotent: the same string always maps to the same symbol.
 /// The empty string is pre-interned as symbol 0 so that "absent" attributes
 /// have a canonical cheap representation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Interner {
     strings: Vec<Box<str>>,
     lookup: HashMap<Box<str>, Symbol>,

@@ -68,7 +68,7 @@ enum DictCandidates {
 /// lists (then verifying the survivors) instead of matching the pattern
 /// against every distinct string; `prefix%` and wildcard-free patterns
 /// resolve definitively from the sorted rendering map.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct DictIndex {
     /// Lowercased rendering → keys sharing it (distinct original casings of
     /// one name are distinct symbols). Sorted, so prefix lookups are range
@@ -252,7 +252,61 @@ pub struct EntityStore {
     /// fast path: a restriction covering every host is a no-op).
     agents_seen: Vec<AgentId>,
     /// Count of observations that hit an existing entity (dedup savings).
-    dedup_hits: u64,
+    /// Atomic so the copy-on-write ingest fast path ([`Self::lookup`]) can
+    /// record hits through a shared reference without cloning the
+    /// dictionary.
+    dedup_hits: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for EntityStore {
+    fn clone(&self) -> Self {
+        EntityStore {
+            interner: self.interner.clone(),
+            entities: self.entities.clone(),
+            dedup: self.dedup.clone(),
+            by_kind: self.by_kind.clone(),
+            proc_by_name: self.proc_by_name.clone(),
+            file_by_name: self.file_by_name.clone(),
+            conn_by_dst: self.conn_by_dst.clone(),
+            proc_dict: self.proc_dict.clone(),
+            file_dict: self.file_dict.clone(),
+            conn_dict: self.conn_dict.clone(),
+            ngram_index: self.ngram_index,
+            agents_seen: self.agents_seen.clone(),
+            dedup_hits: std::sync::atomic::AtomicU64::new(
+                self.dedup_hits.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+impl EntityStore {
+    /// Clone for publication into a read-only snapshot: identical
+    /// query-visible state (entities, interner, name and n-gram indexes),
+    /// but the dedup map — consulted only by the ingest path, which never
+    /// runs against a snapshot — stays empty. Skipping it roughly halves
+    /// the copy a dictionary-changing publish pays, and the copy itself is
+    /// what keeps the writer's dictionary `Arc` unique so commits never
+    /// hit `Arc::make_mut`'s copy-on-write slow path.
+    pub(crate) fn clone_for_read(&self) -> Self {
+        EntityStore {
+            interner: self.interner.clone(),
+            entities: self.entities.clone(),
+            dedup: HashMap::new(),
+            by_kind: self.by_kind.clone(),
+            proc_by_name: self.proc_by_name.clone(),
+            file_by_name: self.file_by_name.clone(),
+            conn_by_dst: self.conn_by_dst.clone(),
+            proc_dict: self.proc_dict.clone(),
+            file_dict: self.file_dict.clone(),
+            conn_dict: self.conn_dict.clone(),
+            ngram_index: self.ngram_index,
+            agents_seen: self.agents_seen.clone(),
+            dedup_hits: std::sync::atomic::AtomicU64::new(
+                self.dedup_hits.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl Default for EntityStore {
@@ -304,7 +358,7 @@ impl EntityStore {
             conn_dict: DictIndex::default(),
             ngram_index,
             agents_seen: Vec::new(),
-            dedup_hits: 0,
+            dedup_hits: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -324,7 +378,7 @@ impl EntityStore {
     /// same id.
     pub fn intern(&mut self, agent: AgentId, attrs: EntityAttrs) -> EntityId {
         if let Some(&id) = self.dedup.get(&(agent, attrs)) {
-            self.dedup_hits += 1;
+            self.note_dedup_hit();
             return id;
         }
         let id = EntityId(self.entities.len() as u32);
@@ -389,9 +443,24 @@ impl EntityStore {
         self.by_kind[kind_slot(kind)].len()
     }
 
+    /// Read-only dedup probe: the id of an already-interned ⟨agent, attrs⟩
+    /// combination, or `None` when the observation is genuinely new. The
+    /// copy-on-write ingest fast path probes this through the shared
+    /// dictionary `Arc` — an all-hits batch never clones the dictionary.
+    pub fn lookup(&self, agent: AgentId, attrs: EntityAttrs) -> Option<EntityId> {
+        self.dedup.get(&(agent, attrs)).copied()
+    }
+
+    /// Records a dedup hit observed through [`Self::lookup`] (interning
+    /// through `intern` records its own hits).
+    pub fn note_dedup_hit(&self) {
+        self.dedup_hits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Observations that were absorbed by deduplication.
     pub fn dedup_hits(&self) -> u64 {
-        self.dedup_hits
+        self.dedup_hits.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// All entities of a kind, in id order.

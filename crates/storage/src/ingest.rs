@@ -78,6 +78,44 @@ impl EntitySpec {
         }
     }
 
+    /// Read-only counterpart of [`EntitySpec::resolve`]: produces storable
+    /// attributes when every string is already interned, `None` otherwise.
+    /// The copy-on-write ingest fast path uses this so batches made of
+    /// already-seen entities never clone the shared dictionary.
+    pub fn try_resolve(&self, entities: &EntityStore) -> Option<EntityAttrs> {
+        let interner = entities.interner();
+        match self {
+            EntitySpec::Process {
+                pid,
+                exe_name,
+                user,
+                cmdline,
+            } => Some(EntityAttrs::Process(ProcessAttrs {
+                pid: *pid,
+                exe_name: interner.get(exe_name)?,
+                user: interner.get(user)?,
+                cmdline: interner.get(cmdline)?,
+            })),
+            EntitySpec::File { name, owner } => Some(EntityAttrs::File(FileAttrs {
+                name: interner.get(name)?,
+                owner: interner.get(owner)?,
+            })),
+            EntitySpec::NetConn {
+                src_ip,
+                src_port,
+                dst_ip,
+                dst_port,
+                protocol,
+            } => Some(EntityAttrs::NetConn(NetConnAttrs {
+                src_ip: *src_ip,
+                src_port: *src_port,
+                dst_ip: *dst_ip,
+                dst_port: *dst_port,
+                protocol: *protocol,
+            })),
+        }
+    }
+
     /// Interns the spec's strings and produces storable attributes.
     pub fn resolve(&self, entities: &mut EntityStore) -> EntityAttrs {
         match self {

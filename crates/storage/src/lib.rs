@@ -56,5 +56,5 @@ pub use partition::{CompactionCancelled, Partition};
 pub use recovery::{load_or_recover, recover, RecoverySource};
 pub use segment::{PartitionKey, Segment};
 pub use stats::{SegmentStats, StoreStats};
-pub use store::{CompactionReport, EventStore, SharedStore, StoreConfig};
+pub use store::{CompactionReport, EventStore, MaintenanceExecutor, SharedStore, StoreConfig};
 pub use wal::{ReplayReport, Wal, WalError};

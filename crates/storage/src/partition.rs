@@ -15,6 +15,8 @@
 //! keys, and selection vectors built before a compaction stay valid after
 //! it.
 
+use std::sync::Arc;
+
 use aiql_model::{AgentId, CancelToken, Event, EventId, Operation, Timestamp};
 
 use crate::filter::EventFilter;
@@ -40,17 +42,31 @@ impl std::fmt::Display for CompactionCancelled {
 impl std::error::Error for CompactionCancelled {}
 
 /// One partition's segment run plus its mutation epoch.
-#[derive(Debug, Default)]
+///
+/// Segments come in two flavors: **sealed** segments are immutable and
+/// shared (`Arc`), so cloning a partition — the snapshot-publish path —
+/// costs one pointer clone per segment; the **novelty overlay** is the
+/// single open tail segment absorbing recent batch commits. Novelty rows
+/// occupy the end of the flat row space, so sealing the overlay into the
+/// sealed run (an `Arc` move) never renumbers a row.
+#[derive(Debug, Default, Clone)]
 pub struct Partition {
-    /// Sealed segments in commit order (the last one is the open tail for
-    /// row-at-a-time insertion paths such as snapshot replay).
-    segments: Vec<Segment>,
-    /// Flat-row base of each segment: `bases[i]` is the partition-global
-    /// row index of segment `i`'s first row. Ascending; `bases[0] == 0`.
+    /// Sealed (immutable) segments in commit order.
+    segments: Vec<Arc<Segment>>,
+    /// Flat-row base of each sealed segment: `bases[i]` is the
+    /// partition-global row index of segment `i`'s first row. Ascending;
+    /// `bases[0] == 0`.
     bases: Vec<u32>,
-    /// Total rows across segments (== `bases.last() + segments.last().len()`).
+    /// The novelty overlay: one open tail segment holding events committed
+    /// since the last flush. Mutated through `Arc::make_mut`, so a clone
+    /// held by a published snapshot keeps reading the pre-mutation overlay
+    /// while the writer appends — the copy cost is bounded by the flush
+    /// threshold. Empty when the overlay is disabled (flush threshold 0
+    /// seals every commit immediately).
+    novelty: Arc<Segment>,
+    /// Total rows across sealed segments *and* the novelty overlay.
     rows: usize,
-    /// Mutation epoch of this partition: bumped on every appended event and
+    /// Mutation epoch of this partition: bumped once per batch commit and
     /// on every layout rewrite (compaction). Plan caches scope their
     /// invalidation to the partitions a cached estimate actually read, so
     /// ingest into — or compaction of — one time bucket leaves cached plans
@@ -86,108 +102,174 @@ impl Partition {
         self.rows == 0
     }
 
-    /// Number of segments (the fragmentation measure: 1 = fully dense).
+    /// Number of segments (the fragmentation measure: 1 = fully dense). A
+    /// non-empty novelty overlay counts as one segment — scans pay its
+    /// per-segment setup like any other.
     pub fn segment_count(&self) -> usize {
+        self.segments.len() + usize::from(!self.novelty.is_empty())
+    }
+
+    /// Number of *sealed* segments — what the automatic compaction trigger
+    /// watches (the overlay is flushed by its own threshold, not merged).
+    pub fn sealed_segment_count(&self) -> usize {
         self.segments.len()
     }
 
-    /// The segments in commit order.
-    pub fn segments(&self) -> &[Segment] {
+    /// The sealed segments in commit order (excludes the novelty overlay;
+    /// see [`Partition::novelty_len`]).
+    pub fn segments(&self) -> &[Arc<Segment>] {
         &self.segments
+    }
+
+    /// Events currently in the novelty overlay (0 = fully sealed).
+    pub fn novelty_len(&self) -> usize {
+        self.novelty.len()
+    }
+
+    /// Rows in sealed segments (the flat-row base of the novelty overlay).
+    #[inline]
+    fn sealed_rows(&self) -> usize {
+        self.rows - self.novelty.len()
     }
 
     /// Earliest event start time (None when empty).
     pub fn min_time(&self) -> Option<Timestamp> {
-        self.segments.iter().filter_map(Segment::min_time).min()
+        self.segments
+            .iter()
+            .filter_map(|s| s.min_time())
+            .chain(self.novelty.min_time())
+            .min()
     }
 
     /// Latest event start time (None when empty).
     pub fn max_time(&self) -> Option<Timestamp> {
-        self.segments.iter().filter_map(Segment::max_time).max()
+        self.segments
+            .iter()
+            .filter_map(|s| s.max_time())
+            .chain(self.novelty.max_time())
+            .max()
     }
 
     /// Appends one batch commit as a freshly sealed segment (empty batches
-    /// seal nothing). Bumps the epoch once per appended event, matching the
-    /// per-event granularity row-at-a-time insertion has.
+    /// seal nothing). Bumps the epoch once per batch — the granularity plan
+    /// caches invalidate at.
     pub(crate) fn append_commit(&mut self, agent: AgentId, events: &[Event]) {
         if events.is_empty() {
             return;
         }
+        debug_assert!(
+            self.novelty.is_empty(),
+            "sealed commits and the novelty overlay do not interleave"
+        );
         let mut seg = Segment::new();
         for e in events {
             seg.push(agent, e);
         }
-        self.bases.push(self.rows as u32);
+        self.bases.push(self.sealed_rows() as u32);
         self.rows += seg.len();
-        self.epoch += events.len() as u64;
-        self.segments.push(seg);
+        self.epoch += 1;
+        self.segments.push(Arc::new(seg));
     }
 
-    /// Appends one event to the open tail segment (creating it when the
-    /// partition is empty). Snapshot replay uses this so a loaded partition
-    /// starts as one dense run; [`Partition::apply_layout`] re-splits it
-    /// when the snapshot recorded a fragmented layout.
-    pub(crate) fn push_tail(&mut self, agent: AgentId, event: &Event) {
-        if self.segments.is_empty() {
-            self.segments.push(Segment::new());
-            self.bases.push(0);
+    /// Appends one batch commit into the novelty overlay, sealing the
+    /// overlay into the sealed run once it reaches `flush_rows`. Returns
+    /// whether a flush happened. Bumps the epoch once per batch.
+    pub(crate) fn append_novelty(
+        &mut self,
+        agent: AgentId,
+        events: &[Event],
+        flush_rows: usize,
+    ) -> bool {
+        if events.is_empty() {
+            return false;
         }
-        self.segments
-            .last_mut()
-            .expect("tail exists")
-            .push(agent, event);
+        let novelty = Arc::make_mut(&mut self.novelty);
+        for e in events {
+            novelty.push(agent, e);
+        }
+        self.rows += events.len();
+        self.epoch += 1;
+        if self.novelty.len() >= flush_rows {
+            self.flush_novelty()
+        } else {
+            false
+        }
+    }
+
+    /// Seals the novelty overlay into the sealed run (an `Arc` move — no
+    /// rows are copied or renumbered). Returns whether anything flushed.
+    pub(crate) fn flush_novelty(&mut self) -> bool {
+        if self.novelty.is_empty() {
+            return false;
+        }
+        self.bases.push(self.sealed_rows() as u32);
+        let sealed = std::mem::replace(&mut self.novelty, Arc::new(Segment::new()));
+        self.segments.push(sealed);
+        true
+    }
+
+    /// Appends one event to the novelty overlay. Snapshot replay uses this
+    /// so a loaded partition starts as one dense run;
+    /// [`Partition::apply_layout`] re-splits it into the persisted sealed
+    /// layout (and residual overlay) afterwards.
+    pub(crate) fn push_tail(&mut self, agent: AgentId, event: &Event) {
+        Arc::make_mut(&mut self.novelty).push(agent, event);
         self.rows += 1;
         self.epoch += 1;
     }
 
-    /// Locates the segment owning flat row `row`: ⟨segment index, local
-    /// row⟩. Single-segment partitions (the compacted steady state) resolve
-    /// without the search.
+    /// Locates the segment owning flat row `row`: ⟨segment, local row⟩.
+    /// Novelty rows sit past every sealed base; single-sealed-segment
+    /// partitions (the compacted steady state) resolve without the search.
     #[inline]
-    fn locate(&self, row: u32) -> (usize, u32) {
+    fn locate(&self, row: u32) -> (&Segment, u32) {
+        let sealed = self.sealed_rows() as u32;
+        if row >= sealed {
+            return (&self.novelty, row - sealed);
+        }
         if self.segments.len() == 1 {
-            return (0, row);
+            return (&self.segments[0], row);
         }
         let i = match self.bases.binary_search(&row) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        (i, row - self.bases[i])
+        (&self.segments[i], row - self.bases[i])
     }
 
     /// Materializes the event at flat row `row`.
     #[inline]
     pub fn event_at(&self, agent: AgentId, row: usize) -> Event {
         let (seg, local) = self.locate(row as u32);
-        self.segments[seg].event_at(agent, local as usize)
+        seg.event_at(agent, local as usize)
     }
 
     /// Event id column accessor (flat row).
     #[inline]
     pub fn id_at(&self, row: u32) -> EventId {
         let (seg, local) = self.locate(row);
-        self.segments[seg].id_at(local)
+        seg.id_at(local)
     }
 
     /// Operation column accessor (flat row).
     #[inline]
     pub fn op_at(&self, row: u32) -> Operation {
         let (seg, local) = self.locate(row);
-        self.segments[seg].op_at(local)
+        seg.op_at(local)
     }
 
     /// Subject entity column accessor (flat row).
     #[inline]
     pub fn subject_at(&self, row: u32) -> aiql_model::EntityId {
         let (seg, local) = self.locate(row);
-        self.segments[seg].subject_at(local)
+        seg.subject_at(local)
     }
 
     /// Object entity column accessor (flat row).
     #[inline]
     pub fn object_at(&self, row: u32) -> aiql_model::EntityId {
         let (seg, local) = self.locate(row);
-        self.segments[seg].object_at(local)
+        seg.object_at(local)
     }
 
     /// Both entity columns, resolving the owning segment once (the join
@@ -195,7 +277,6 @@ impl Partition {
     #[inline]
     pub fn subject_object_at(&self, row: u32) -> (aiql_model::EntityId, aiql_model::EntityId) {
         let (seg, local) = self.locate(row);
-        let seg = &self.segments[seg];
         (seg.subject_at(local), seg.object_at(local))
     }
 
@@ -203,14 +284,14 @@ impl Partition {
     #[inline]
     pub fn start_at(&self, row: u32) -> Timestamp {
         let (seg, local) = self.locate(row);
-        self.segments[seg].start_at(local)
+        seg.start_at(local)
     }
 
     /// End-time column accessor (flat row).
     #[inline]
     pub fn end_at(&self, row: u32) -> Timestamp {
         let (seg, local) = self.locate(row);
-        self.segments[seg].end_at(local)
+        seg.end_at(local)
     }
 
     /// Both time columns of one flat row, resolving the owning segment
@@ -220,7 +301,7 @@ impl Partition {
     #[inline]
     pub fn start_end_at(&self, row: u32) -> (Timestamp, Timestamp) {
         let (seg, local) = self.locate(row);
-        self.segments[seg].start_end_at(local)
+        seg.start_end_at(local)
     }
 
     /// Min/max event start time across segments (None when empty): the
@@ -234,22 +315,32 @@ impl Partition {
     #[inline]
     pub fn amount_at(&self, row: u32) -> u64 {
         let (seg, local) = self.locate(row);
-        self.segments[seg].amount_at(local)
+        seg.amount_at(local)
+    }
+
+    /// Sealed segments ⊕ novelty overlay, in flat-row order (the union every
+    /// whole-partition read path walks).
+    fn all_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments
+            .iter()
+            .map(|s| s.as_ref())
+            .chain((!self.novelty.is_empty()).then(|| self.novelty.as_ref()))
     }
 
     /// Events with the given operation, summed across segments.
     pub fn op_count(&self, op: Operation) -> usize {
-        self.segments.iter().map(|s| s.op_count(op)).sum()
+        self.all_segments().map(|s| s.op_count(op)).sum()
     }
 
     /// Whether any segment can contain matches for the filter's window.
     pub fn overlaps_window(&self, filter: &EventFilter) -> bool {
-        self.segments.iter().any(|s| s.overlaps_window(filter))
+        self.all_segments().any(|s| s.overlaps_window(filter))
     }
 
-    /// Selection-vector scan over every segment: per-segment sorted row ids
-    /// are offset by the segment base and concatenated, which keeps the
-    /// partition-global output sorted (bases ascend in commit order).
+    /// Selection-vector scan over every segment (sealed ⊕ novelty):
+    /// per-segment sorted row ids are offset by the segment base and
+    /// concatenated, which keeps the partition-global output sorted (bases
+    /// ascend in commit order; novelty rows occupy the end).
     pub fn select(
         &self,
         agent: AgentId,
@@ -257,23 +348,31 @@ impl Partition {
         cost_based: bool,
         vectorized: bool,
     ) -> Vec<u32> {
-        match self.segments.as_slice() {
-            [] => Vec::new(),
-            [seg] => seg.select(agent, filter, cost_based, vectorized),
-            segs => {
-                let mut out = Vec::new();
-                for (seg, &base) in segs.iter().zip(&self.bases) {
-                    let rows = seg.select(agent, filter, cost_based, vectorized);
-                    out.extend(rows.into_iter().map(|r| r + base));
-                }
-                out
+        if self.novelty.is_empty() {
+            if let [seg] = self.segments.as_slice() {
+                return seg.select(agent, filter, cost_based, vectorized);
             }
+        } else if self.segments.is_empty() {
+            return self.novelty.select(agent, filter, cost_based, vectorized);
         }
+        let mut out = Vec::new();
+        let novelty_base = self.sealed_rows() as u32;
+        for (seg, base) in self
+            .segments
+            .iter()
+            .map(|s| s.as_ref())
+            .zip(self.bases.iter().copied())
+            .chain((!self.novelty.is_empty()).then(|| (self.novelty.as_ref(), novelty_base)))
+        {
+            let rows = seg.select(agent, filter, cost_based, vectorized);
+            out.extend(rows.into_iter().map(|r| r + base));
+        }
+        out
     }
 
     /// Index-assisted scan across segments in commit order.
     pub fn scan(&self, agent: AgentId, filter: &EventFilter, f: &mut dyn FnMut(&Event)) {
-        for seg in &self.segments {
+        for seg in self.all_segments() {
             seg.scan(agent, filter, f);
         }
     }
@@ -281,14 +380,14 @@ impl Partition {
     /// Unconditional per-row scan across segments in commit order (the
     /// unoptimized access path).
     pub fn scan_full(&self, agent: AgentId, filter: &EventFilter, f: &mut dyn FnMut(&Event)) {
-        for seg in &self.segments {
+        for seg in self.all_segments() {
             seg.scan_full(agent, filter, f);
         }
     }
 
     /// Estimated match count for a filter, summed across segments.
     pub fn estimate(&self, filter: &EventFilter) -> usize {
-        self.segments.iter().map(|s| s.estimate(filter)).sum()
+        self.all_segments().map(|s| s.estimate(filter)).sum()
     }
 
     /// Partition-level statistics: per-segment stats summed. Distinct
@@ -303,7 +402,7 @@ impl Partition {
             min_time: self.min_time().unwrap_or(Timestamp(0)),
             max_time: self.max_time().unwrap_or(Timestamp(0)),
         };
-        for seg in &self.segments {
+        for seg in self.all_segments() {
             let s = seg.stats();
             agg.events += s.events;
             for (a, b) in agg.per_op.iter_mut().zip(s.per_op) {
@@ -377,12 +476,12 @@ impl Partition {
         // Phase 3 — commit: splice merged runs over the originals they
         // replace, keeping singleton runs' segments as they are.
         let mut old = std::mem::take(&mut self.segments).into_iter();
-        let mut out: Vec<Segment> = Vec::with_capacity(runs.len());
+        let mut out: Vec<Arc<Segment>> = Vec::with_capacity(runs.len());
         for (run, m) in runs.iter().zip(merged) {
             match m {
                 Some(seg) => {
                     old.by_ref().take(run.len()).for_each(drop);
-                    out.push(seg);
+                    out.push(Arc::new(seg));
                 }
                 None => out.extend(old.by_ref().take(1)),
             }
@@ -393,14 +492,24 @@ impl Partition {
         Ok(true)
     }
 
-    /// Re-splits the partition's flat rows into segments of the given
-    /// lengths (snapshot loading restores the persisted physical layout
-    /// with this — replay first lands everything in one tail segment).
-    /// Lengths must sum to the current row count; a mismatched layout is
-    /// ignored (the dense single-segment replay layout stands).
-    pub(crate) fn apply_layout(&mut self, agent: AgentId, lens: &[u32]) {
-        let total: u64 = lens.iter().map(|&l| u64::from(l)).sum();
-        if total != self.rows as u64 || lens.contains(&0) || lens.len() <= 1 {
+    /// Re-splits the partition's flat rows into sealed segments of the
+    /// given lengths plus a trailing novelty overlay of `novelty_rows`
+    /// (snapshot loading restores the persisted physical layout with this —
+    /// replay first lands everything in the overlay). The lengths plus
+    /// `novelty_rows` must sum to the current row count; a mismatched
+    /// layout is ignored (the dense replay layout stands).
+    pub(crate) fn apply_layout(&mut self, agent: AgentId, lens: &[u32], novelty_rows: u32) {
+        let total: u64 = lens.iter().map(|&l| u64::from(l)).sum::<u64>() + u64::from(novelty_rows);
+        if total != self.rows as u64 || lens.contains(&0) {
+            return;
+        }
+        if self.segments.is_empty() && lens.is_empty() {
+            // Replay already landed everything in the overlay.
+            return;
+        }
+        if self.segments.is_empty() && novelty_rows == 0 && lens.len() == 1 {
+            // One dense sealed segment: seal the replay overlay wholesale.
+            self.flush_novelty();
             return;
         }
         let mut segments = Vec::with_capacity(lens.len());
@@ -411,9 +520,15 @@ impl Partition {
                 seg.push(agent, &self.event_at(agent, row));
                 row += 1;
             }
-            segments.push(seg);
+            segments.push(Arc::new(seg));
+        }
+        let mut novelty = Segment::new();
+        for _ in 0..novelty_rows {
+            novelty.push(agent, &self.event_at(agent, row));
+            row += 1;
         }
         self.segments = segments;
+        self.novelty = Arc::new(novelty);
         self.rebuild_bases();
     }
 
@@ -424,7 +539,7 @@ impl Partition {
             self.bases.push(base);
             base += seg.len() as u32;
         }
-        self.rows = base as usize;
+        self.rows = base as usize + self.novelty.len();
     }
 }
 
@@ -605,13 +720,115 @@ mod tests {
             replay.push_tail(AgentId(1), &frag.event_at(AgentId(1), r));
         }
         assert_eq!(replay.segment_count(), 1);
-        replay.apply_layout(AgentId(1), &[3, 3, 3, 3]);
+        replay.apply_layout(AgentId(1), &[3, 3, 3, 3], 0);
         assert_eq!(replay.segment_count(), 4);
+        assert_eq!(replay.novelty_len(), 0);
         for r in 0..frag.len() as u32 {
             assert_eq!(replay.id_at(r), frag.id_at(r));
         }
         // Mismatched layouts are ignored.
-        replay.apply_layout(AgentId(1), &[5, 5]);
+        replay.apply_layout(AgentId(1), &[5, 5], 0);
         assert_eq!(replay.segment_count(), 4);
+    }
+
+    #[test]
+    fn apply_layout_restores_residual_overlay() {
+        let frag = fragmented(4, 3);
+        let mut replay = Partition::new();
+        for r in 0..frag.len() {
+            replay.push_tail(AgentId(1), &frag.event_at(AgentId(1), r));
+        }
+        // 8 sealed rows in two segments + 4 rows left in the overlay.
+        replay.apply_layout(AgentId(1), &[5, 3], 4);
+        assert_eq!(replay.sealed_segment_count(), 2);
+        assert_eq!(replay.novelty_len(), 4);
+        assert_eq!(replay.len(), 12);
+        for r in 0..frag.len() as u32 {
+            assert_eq!(replay.id_at(r), frag.id_at(r));
+        }
+    }
+
+    #[test]
+    fn novelty_overlay_reads_match_sealed_commits() {
+        let sealed = fragmented(7, 3);
+        let mut overlay = Partition::new();
+        let mut id = 0u64;
+        let mut flushes = 0;
+        for _ in 0..7 {
+            let events: Vec<Event> = (0..3)
+                .map(|_| {
+                    let e = sealed.event_at(AgentId(1), id as usize);
+                    id += 1;
+                    e
+                })
+                .collect();
+            // Threshold of 6: flushes happen mid-stream (sealing several
+            // segments), leaving a residual overlay at the end.
+            if overlay.append_novelty(AgentId(1), &events, 6) {
+                flushes += 1;
+            }
+        }
+        assert!(flushes >= 2, "threshold must have sealed several times");
+        assert!(overlay.novelty_len() > 0, "a residual overlay remains");
+        assert_eq!(overlay.len(), sealed.len());
+        // Flat rows, column accessors, and every scan path agree with the
+        // seal-per-commit layout.
+        for r in 0..sealed.len() as u32 {
+            assert_eq!(overlay.id_at(r), sealed.id_at(r), "row {r}");
+            assert_eq!(overlay.start_end_at(r), sealed.start_end_at(r));
+            assert_eq!(overlay.subject_object_at(r), sealed.subject_object_at(r));
+        }
+        let filters = [
+            EventFilter::all(),
+            EventFilter::all().with_ops(OpSet::from_ops(&[Operation::Write])),
+            EventFilter::all().with_window(TimeWindow::new(Timestamp(30), Timestamp(100))),
+        ];
+        for filter in filters {
+            assert_eq!(
+                overlay.select(AgentId(1), &filter, true, true),
+                sealed.select(AgentId(1), &filter, true, true),
+                "filter {filter:?}"
+            );
+            let mut a = Vec::new();
+            overlay.scan(AgentId(1), &filter, &mut |e| a.push(e.id));
+            let mut b = Vec::new();
+            sealed.scan(AgentId(1), &filter, &mut |e| b.push(e.id));
+            assert_eq!(a, b);
+            assert_eq!(overlay.estimate(&filter) > 0, sealed.estimate(&filter) > 0);
+        }
+        assert_eq!(overlay.stats().events, sealed.stats().events);
+        assert_eq!(overlay.min_time(), sealed.min_time());
+        assert_eq!(overlay.max_time(), sealed.max_time());
+        // Compaction merges only sealed segments; the overlay is untouched
+        // and flat rows stay invariant.
+        let novelty_before = overlay.novelty_len();
+        let before: Vec<Event> = (0..overlay.len())
+            .map(|r| overlay.event_at(AgentId(1), r))
+            .collect();
+        assert!(overlay.compact(usize::MAX));
+        assert_eq!(overlay.sealed_segment_count(), 1);
+        assert_eq!(overlay.novelty_len(), novelty_before);
+        let after: Vec<Event> = (0..overlay.len())
+            .map(|r| overlay.event_at(AgentId(1), r))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn explicit_flush_is_an_arc_move() {
+        let mut p = Partition::new();
+        let events: Vec<Event> = (0..6)
+            .map(|i| mk_event(i, Operation::Read, 1, 2, i as i64))
+            .collect();
+        assert!(!p.append_novelty(AgentId(1), &events, 100));
+        assert_eq!(p.novelty_len(), 6);
+        assert_eq!(p.sealed_segment_count(), 0);
+        assert!(p.flush_novelty());
+        assert_eq!(p.novelty_len(), 0);
+        assert_eq!(p.sealed_segment_count(), 1);
+        assert!(!p.flush_novelty(), "empty overlay: no-op");
+        for r in 0..6u32 {
+            assert_eq!(p.id_at(r), EventId(u64::from(r)));
+        }
     }
 }

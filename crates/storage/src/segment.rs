@@ -33,7 +33,7 @@ impl PartitionKey {
 }
 
 /// Columnar storage for one partition.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Segment {
     ids: Vec<EventId>,
     ops: Vec<u8>,
@@ -124,8 +124,10 @@ impl Segment {
     /// subject/object hash indexes are rebuilt by offsetting each input's
     /// (already sorted) row lists, which keeps every merged list sorted
     /// without a comparison pass.
-    pub(crate) fn merge(parts: &[Segment]) -> Segment {
-        let total: usize = parts.iter().map(Segment::len).sum();
+    pub(crate) fn merge<S: std::borrow::Borrow<Segment>>(parts: &[S]) -> Segment {
+        let parts: Vec<&Segment> = parts.iter().map(std::borrow::Borrow::borrow).collect();
+        let parts = parts.as_slice();
+        let total: usize = parts.iter().map(|s| s.len()).sum();
         let mut out = Segment::new();
         out.ids.reserve_exact(total);
         out.ops.reserve_exact(total);

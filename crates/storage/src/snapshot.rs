@@ -27,11 +27,16 @@ const MAGIC_V1: &[u8; 4] = b"AQS1";
 /// so partition-scoped plan-cache invalidation stays monotone across
 /// save/load cycles.
 const MAGIC_V2: &[u8; 4] = b"AQS2";
-/// Current format: v2 plus the per-partition segment layout (row counts per
-/// sealed segment), so a reloaded store reproduces the exact physical
-/// fragmentation/compaction state. Loading still accepts v1 (no epochs, no
-/// layout) and v2 (epochs, dense single-segment layout).
-const MAGIC: &[u8; 4] = b"AQS3";
+/// v2 plus the per-partition segment layout (row counts per sealed
+/// segment), so a reloaded store reproduces the exact physical
+/// fragmentation/compaction state.
+const MAGIC_V3: &[u8; 4] = b"AQS3";
+/// Current format: v3 plus the novelty-overlay config and the per-partition
+/// novelty row counts, so a store saved mid-overlay reproduces its exact
+/// sealed/overlay split (the overlay is serialized, never force-flushed by
+/// persistence). Loading still accepts v1 (no epochs, no layout), v2
+/// (epochs, dense single-segment layout), and v3 (fully sealed layout).
+const MAGIC: &[u8; 4] = b"AQS4";
 
 /// Writes a snapshot of `store` to `path`.
 pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
@@ -47,6 +52,11 @@ pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
     buf.put_u8(u8::from(cfg.compaction));
     codec::put_varint(&mut buf, cfg.compaction_min_segments as u64);
     codec::put_varint(&mut buf, cfg.compaction_max_rows as u64);
+    // Write-path policy (v4): the novelty-overlay threshold and the
+    // background-compaction toggle, so a reloaded store keeps absorbing
+    // ingest the way it was configured to.
+    codec::put_varint(&mut buf, cfg.novelty_flush_rows as u64);
+    buf.put_u8(u8::from(cfg.background_compaction));
     // String dictionary, in symbol order.
     let interner = store.interner();
     codec::put_varint(&mut buf, interner.len() as u64);
@@ -86,6 +96,17 @@ pub fn save(store: &EventStore, path: &Path) -> Result<(), WalError> {
             codec::put_varint(&mut buf, u64::from(len));
         }
     }
+    // Novelty overlay (v4): per partition, the rows still sitting in the
+    // open overlay — serialized (the events already went out above), so a
+    // save→load cycle reproduces the exact sealed/overlay split instead of
+    // silently flushing the overlay.
+    let novelty = store.novelty_lens();
+    codec::put_varint(&mut buf, novelty.len() as u64);
+    for (key, rows) in novelty {
+        buf.put_u32_le(key.agent.raw());
+        buf.put_i64_le(key.bucket);
+        codec::put_varint(&mut buf, u64::from(rows));
+    }
 
     let crc = codec::crc32(&buf);
     let mut file = BufWriter::new(File::create(path)?);
@@ -113,10 +134,11 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
         // Too short to even hold the header: not a snapshot.
         return Err(WalError::BadHeader);
     }
-    let (has_epochs, has_layout) = match &header[0..4] {
-        m if m == MAGIC => (true, true),
-        m if m == MAGIC_V2 => (true, false),
-        m if m == MAGIC_V1 => (false, false),
+    let (has_epochs, has_layout, has_novelty) = match &header[0..4] {
+        m if m == MAGIC => (true, true, true),
+        m if m == MAGIC_V3 => (true, true, false),
+        m if m == MAGIC_V2 => (true, false, false),
+        m if m == MAGIC_V1 => (false, false, false),
         _ => return Err(WalError::BadHeader),
     };
     let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
@@ -158,6 +180,14 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
             defaults.compaction_max_rows,
         )
     };
+    let (novelty_flush_rows, background_compaction) = if has_novelty {
+        (
+            codec::get_varint(&mut buf)? as usize,
+            codec::get_u8(&mut buf)? != 0,
+        )
+    } else {
+        (defaults.novelty_flush_rows, defaults.background_compaction)
+    };
     let mut store = EventStore::new(StoreConfig {
         time_bucket,
         dedup,
@@ -166,6 +196,8 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
         compaction,
         compaction_min_segments,
         compaction_max_rows,
+        novelty_flush_rows,
+        background_compaction,
         // Scan-path tunables are not persisted — a reloaded store runs with
         // the current defaults.
         ..defaults
@@ -209,7 +241,7 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
         store.restore_epochs(epoch, dict_epoch, &epochs);
     }
     // Segment layout (absent in v1/v2 snapshots: replay's dense
-    // single-segment-per-partition layout stands).
+    // single-overlay-per-partition layout is sealed below instead).
     if has_layout {
         let nparts = codec::get_varint(&mut buf)?;
         let mut layouts = Vec::with_capacity((nparts as usize).min(buf.len()));
@@ -223,7 +255,26 @@ pub fn load(path: &Path) -> Result<EventStore, WalError> {
             }
             layouts.push((PartitionKey { agent, bucket }, lens));
         }
-        store.restore_layout(&layouts);
+        // Novelty overlay rows (v4): pre-v4 files sealed everything, which
+        // the empty list reproduces (every partition restores with a zero
+        // overlay).
+        let mut novelty = Vec::new();
+        if has_novelty {
+            let nparts = codec::get_varint(&mut buf)?;
+            novelty.reserve((nparts as usize).min(buf.len()));
+            for _ in 0..nparts {
+                let agent = AgentId(codec::get_u32(&mut buf)?);
+                let bucket = codec::get_i64(&mut buf)?;
+                let rows = codec::get_varint(&mut buf)? as u32;
+                novelty.push((PartitionKey { agent, bucket }, rows));
+            }
+        }
+        store.restore_layout(&layouts, &novelty);
+    } else {
+        // v1/v2: replay landed every partition in one open overlay; those
+        // formats were written by seal-per-commit stores, so seal the rows
+        // the way the saver held them.
+        store.flush_novelty();
     }
     Ok(store)
 }
@@ -447,9 +498,10 @@ mod tests {
         let path = tmpfile("v2-compat");
         save(&store, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        // Rewrite the v3 body into a v2 body: drop the 1-byte compaction
-        // flag + two varints right after batch_size, and the trailing
-        // layout section; then re-stamp magic, length, and CRC.
+        // Rewrite the v4 body into a v2 body: drop the compaction + novelty
+        // config fields right after batch_size, and everything after the
+        // epoch vector (layout + novelty sections); then re-stamp magic,
+        // length, and CRC.
         let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
         let body = bytes[16..16 + len].to_vec();
         let mut cursor = body.as_slice();
@@ -462,8 +514,11 @@ mod tests {
         codec::get_u8(&mut after_cfg).unwrap(); // compaction flag
         codec::get_varint(&mut after_cfg).unwrap(); // min segments
         codec::get_varint(&mut after_cfg).unwrap(); // max rows
-                                                    // The layout section is everything after the epoch vector; walk the
-                                                    // remaining fields forward to find where it starts.
+        codec::get_varint(&mut after_cfg).unwrap(); // novelty flush rows
+        codec::get_u8(&mut after_cfg).unwrap(); // background compaction
+                                                // The layout + novelty sections are everything after the epoch
+                                                // vector; walk the remaining fields forward to find where they
+                                                // start.
         let mut rest = after_cfg;
         let nstrings = codec::get_varint(&mut rest).unwrap();
         for _ in 0..nstrings {
@@ -506,6 +561,60 @@ mod tests {
         );
         let stats = loaded.stats();
         assert_eq!(stats.segments, stats.partitions, "v2 replay lands dense");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrips_novelty_overlay_state() {
+        // A store saved mid-overlay (residual unsealed rows) must reload
+        // with the exact same sealed/overlay split — persistence serializes
+        // the overlay instead of flushing it.
+        let mut store = EventStore::new(StoreConfig {
+            batch_size: 8,
+            compaction: false,
+            dedup: false,
+            novelty_flush_rows: 10,
+            ..StoreConfig::default()
+        });
+        let raws: Vec<RawEvent> = (0..100)
+            .map(|i| {
+                RawEvent::instant(
+                    AgentId((i % 2) as u32),
+                    Operation::Write,
+                    EntitySpec::process(1, "w.exe", "u"),
+                    EntitySpec::file(&format!("/f{}", i % 5), "u"),
+                    Timestamp::from_secs(i * 120),
+                    1,
+                )
+            })
+            .collect();
+        store.ingest_all(&raws);
+        let stats = store.stats();
+        assert!(stats.novelty_events > 0, "test needs a residual overlay");
+        assert!(stats.novelty_flushes > 0, "and at least one sealed flush");
+        let path = tmpfile("novelty-roundtrip");
+        save(&store, &path).unwrap();
+        // Saving must not have flushed the live store's overlay.
+        assert_eq!(store.stats().novelty_events, stats.novelty_events);
+        let loaded = load(&path).unwrap();
+        assert_eq!(store.segment_layouts(), loaded.segment_layouts());
+        assert_eq!(store.novelty_lens(), loaded.novelty_lens());
+        assert_eq!(
+            loaded.config().novelty_flush_rows,
+            10,
+            "write-path config round-trips"
+        );
+        assert_eq!(
+            store.scan_collect(&EventFilter::all()),
+            loaded.scan_collect(&EventFilter::all())
+        );
+        // Flat selection vectors agree row for row across the reload.
+        for key in store.partition_list() {
+            assert_eq!(
+                store.select_partition(key, &EventFilter::all()),
+                loaded.select_partition(key, &EventFilter::all())
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -52,13 +52,23 @@ pub struct StoreStats {
     pub min_segment_rows: u64,
     /// Mean segment row count (`events / segments`, 0 when empty).
     pub avg_segment_rows: u64,
+    /// Events currently in novelty overlays (not yet sealed).
+    pub novelty_events: u64,
+    /// Approximate resident bytes of the novelty overlays.
+    pub novelty_bytes: u64,
+    /// Overlays sealed into the immutable run so far (threshold + explicit).
+    pub novelty_flushes: u64,
+    /// Snapshot acquisitions that found the publish lock contended (filled
+    /// in by [`SharedStore::stats`](crate::SharedStore::stats); always 0 on
+    /// a bare store).
+    pub reader_stalls: u64,
 }
 
 impl StoreStats {
     /// Human-readable one-line summary for benchmark headers.
     pub fn summary(&self) -> String {
         format!(
-            "{} events ({} raw, {} merged) | {} entities ({} dedup hits) | {} partitions on {} hosts | {} segments (max {}/partition, min {} / avg {} rows) | ~{:.1} MB columns",
+            "{} events ({} raw, {} merged) | {} entities ({} dedup hits) | {} partitions on {} hosts | {} segments (max {}/partition, min {} / avg {} rows) | {} novelty rows ({} flushes, {} reader stalls) | ~{:.1} MB columns",
             self.events,
             self.raw_events,
             self.merged_events,
@@ -70,6 +80,9 @@ impl StoreStats {
             self.max_partition_segments,
             self.min_segment_rows,
             self.avg_segment_rows,
+            self.novelty_events,
+            self.novelty_flushes,
+            self.reader_stalls,
             self.event_bytes as f64 / 1_048_576.0,
         )
     }
@@ -96,11 +109,16 @@ mod tests {
             max_partition_segments: 3,
             min_segment_rows: 40,
             avg_segment_rows: 62,
+            novelty_events: 12,
+            novelty_bytes: 492,
+            novelty_flushes: 5,
+            reader_stalls: 1,
         };
         let text = s.summary();
         assert!(text.contains("1000 events"));
         assert!(text.contains("8 partitions"));
         assert!(text.contains("4 hosts"));
         assert!(text.contains("16 segments (max 3/partition, min 40 / avg 62 rows)"));
+        assert!(text.contains("12 novelty rows (5 flushes, 1 reader stalls)"));
     }
 }

@@ -144,6 +144,76 @@ proptest! {
         std::fs::remove_file(&torn_path).ok();
     }
 
+    /// The same crash-at-every-offset sweep with the novelty overlay
+    /// enabled: WAL replay lands committed batches in the overlay (sealing
+    /// only when the threshold trips), and the recovered store must
+    /// reproduce the uncrashed reference's sealed/overlay split exactly —
+    /// crash consistency is independent of the write-path mode.
+    #[test]
+    fn recovery_with_novelty_overlay_is_exact_at_every_kill_offset(
+        sizes in proptest::collection::vec(1i64..6, 1..4),
+        flush_rows in 2usize..12,
+    ) {
+        let config = StoreConfig {
+            novelty_flush_rows: flush_rows,
+            ..StoreConfig::default()
+        };
+        let batches: Vec<Vec<RawEvent>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| batch(i as i64 * 10, n))
+            .collect();
+
+        let clean_path = tmpfile("novelty-sweep-clean");
+        let commit_offsets = write_wal(&clean_path, &batches);
+        let total_len = *commit_offsets.last().unwrap();
+        std::fs::remove_file(&clean_path).ok();
+
+        let torn_path = tmpfile("novelty-sweep-torn");
+        for kill in 0..=total_len {
+            {
+                let mut wal = Wal::create_faulty(&torn_path, IoFault::kill_at(kill)).unwrap();
+                for b in &batches {
+                    for e in b {
+                        wal.append(e).unwrap();
+                    }
+                    wal.commit().unwrap();
+                }
+                wal.flush().unwrap();
+            }
+            let k = commit_offsets.iter().filter(|&&off| off <= kill).count();
+            let (recovered, report) = recover(config.clone(), &torn_path)
+                .unwrap_or_else(|e| panic!("recovery failed at kill offset {kill}: {e}"));
+            prop_assert_eq!(report.batches.len(), k);
+            let expected = {
+                let mut store = EventStore::new(config.clone());
+                for b in &batches[..k] {
+                    store.ingest_all(b);
+                }
+                store
+            };
+            prop_assert_eq!(
+                recovered.scan_collect(&EventFilter::all()),
+                expected.scan_collect(&EventFilter::all()),
+                "scan mismatch at kill offset {}",
+                kill
+            );
+            prop_assert_eq!(
+                recovered.segment_layouts(),
+                expected.segment_layouts(),
+                "sealed layout mismatch at kill offset {}",
+                kill
+            );
+            prop_assert_eq!(
+                recovered.novelty_lens(),
+                expected.novelty_lens(),
+                "overlay rows mismatch at kill offset {}",
+                kill
+            );
+        }
+        std::fs::remove_file(&torn_path).ok();
+    }
+
     /// A snapshot with any single byte corrupted never loads as valid
     /// data: `load_or_recover` detects the damage and rebuilds the exact
     /// store from the WAL instead.
