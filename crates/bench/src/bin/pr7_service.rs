@@ -21,12 +21,11 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use aiql_bench::{bench_scale, push_host_meta};
+use aiql_bench::push_host_meta;
+use aiql_bench::support::{demo_store, parse_args, percentile, zipf_assignments};
 use aiql_engine::{Engine, EngineConfig, QueryService, ResultTable, ServiceConfig, ServiceError};
-use aiql_sim::{build_store, demo_queries, scenario_demo, zipf::Zipf};
-use aiql_storage::{SharedStore, StoreConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use aiql_sim::demo_queries;
+use aiql_storage::SharedStore;
 
 struct ClientOutcome {
     latencies_ms: Vec<f64>,
@@ -37,27 +36,12 @@ struct ClientOutcome {
     completed: Vec<(usize, bool, ResultTable)>,
 }
 
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[idx]
-}
-
 fn main() {
-    let arg = std::env::args().nth(1);
-    let check_mode = arg.as_deref() == Some("--check");
-    let out_path = if check_mode {
-        String::new()
-    } else {
-        arg.unwrap_or_else(|| "BENCH_PR7.json".to_string())
-    };
+    let args = parse_args("BENCH_PR7.json");
+    let (check_mode, out_path) = (args.check, args.out_path);
     let (n_sessions, per_session) = if check_mode { (24, 8) } else { (64, 10) };
 
-    let scenario = scenario_demo(bench_scale());
-    eprintln!("building store ({} raw events)...", scenario.raws.len());
-    let shared = SharedStore::new(build_store(&scenario, StoreConfig::default()));
+    let shared = SharedStore::new(demo_store());
     let events = shared.read(|s| s.stats().events);
 
     // Serial single-tenant reference: what every undegraded multi-tenant
@@ -92,11 +76,7 @@ fn main() {
     ));
 
     // Zipf-skewed query assignment, drawn up-front from a fixed seed.
-    let zipf = Zipf::new(catalog.len(), 1.2);
-    let mut rng = StdRng::seed_from_u64(0x7EAA_5EED);
-    let assignments: Vec<Vec<usize>> = (0..n_sessions)
-        .map(|_| (0..per_session).map(|_| zipf.sample(&mut rng)).collect())
-        .collect();
+    let assignments = zipf_assignments(n_sessions, per_session, catalog.len(), 0x7EAA_5EED);
 
     let bench_started = Instant::now();
     let handles: Vec<std::thread::JoinHandle<ClientOutcome>> = assignments

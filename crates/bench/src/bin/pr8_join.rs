@@ -26,10 +26,10 @@
 
 use std::fmt::Write as _;
 
+use aiql_bench::support::{catalog_query, demo_store, parse_args};
 use aiql_bench::{bench_scale, push_host_meta, time_best_of};
 use aiql_engine::{Engine, EngineConfig, EngineError, ExecBudget};
-use aiql_sim::{build_store, demo_queries, scenario_demo};
-use aiql_storage::{EventStore, StoreConfig};
+use aiql_storage::EventStore;
 
 /// The unbounded join-dominated chain (same shape as the PR 2/3/4 chains,
 /// so `BENCH_PR8.json` is directly comparable to `BENCH_PR4.json`).
@@ -48,14 +48,6 @@ proc p2 read file f as e2
 proc p2 write file f2 as e3
 with e1 before[30 min] e2, e2 before[30 min] e3
 return p1, p2, f2"#;
-
-fn catalog_query(id: &str) -> String {
-    demo_queries()
-        .into_iter()
-        .find(|q| q.id == id)
-        .unwrap_or_else(|| panic!("catalog query {id} exists"))
-        .aiql
-}
 
 /// Engine with the three probe-reduction layers toggled independently
 /// (everything else at the defaults, so the serial probe loop and the
@@ -173,13 +165,8 @@ fn check_governed(store: &EventStore, aiql: &str) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    let check_mode = arg.as_deref() == Some("--check");
-    let out_path = if check_mode {
-        String::new()
-    } else {
-        arg.unwrap_or_else(|| "BENCH_PR8.json".to_string())
-    };
+    let args = parse_args("BENCH_PR8.json");
+    let (check_mode, out_path) = (args.check, args.out_path);
     let reps: usize = if check_mode {
         1
     } else {
@@ -189,9 +176,7 @@ fn main() {
             .unwrap_or(5)
     };
 
-    let scenario = scenario_demo(bench_scale());
-    eprintln!("building store ({} raw events)...", scenario.raws.len());
-    let store: EventStore = build_store(&scenario, StoreConfig::default());
+    let store: EventStore = demo_store();
     let total_events = store.stats().events;
 
     let families: Vec<(&str, String)> = vec![

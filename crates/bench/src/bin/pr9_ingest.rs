@@ -27,9 +27,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use aiql_bench::{bench_scale, push_host_meta};
+use aiql_bench::push_host_meta;
+use aiql_bench::support::{demo_scenario, parse_args, percentile};
 use aiql_engine::{pool, CancelToken, Engine, EngineConfig};
-use aiql_sim::{demo_queries, scenario_demo, zipf::Zipf};
+use aiql_sim::{demo_queries, zipf::Zipf};
 use aiql_storage::{EventStore, RawEvent, SharedStore, StoreConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,14 +66,6 @@ struct RaceOutcome {
     p50_ms: f64,
     p99_ms: f64,
     store: SharedStore,
-}
-
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[idx]
 }
 
 /// Ingests `warmup` up front, then races the `tail` batches against the
@@ -151,16 +144,10 @@ fn run_race(mode: Mode, warmup: &[RawEvent], tail: &[RawEvent], mix: &[String]) 
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    let check_mode = arg.as_deref() == Some("--check");
-    let out_path = if check_mode {
-        String::new()
-    } else {
-        arg.unwrap_or_else(|| "BENCH_PR9.json".to_string())
-    };
+    let args = parse_args("BENCH_PR9.json");
+    let (check_mode, out_path) = (args.check, args.out_path);
 
-    let scenario = scenario_demo(bench_scale());
-    let raws = scenario.raws;
+    let raws = demo_scenario().raws;
     let split = raws.len() / 2;
     let (warmup, tail) = raws.split_at(split);
 

@@ -16,6 +16,8 @@
 //! * `benches/micro.rs` — substrate microbenchmarks (parser, pattern
 //!   matcher, scans, WAL, snapshots).
 
+pub mod support;
+
 use std::time::Instant;
 
 use aiql_engine::ResultTable;

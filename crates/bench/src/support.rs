@@ -1,0 +1,106 @@
+//! Shared demo-attack workload setup for the PR trajectory benches.
+//!
+//! Every `pr*_*` binary runs the same Figure-4 demo-attack scenario at
+//! [`bench_scale`], parses the same `--check` / output-path argument
+//! convention, draws Zipf-skewed query mixes from the investigation
+//! catalog, and summarizes latencies as percentiles. This module is that
+//! shared setup, so the bins only contain what they actually measure.
+
+use aiql_sim::{build_store, demo_queries, scenario_demo, zipf::Zipf, Scenario};
+use aiql_storage::{EventStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bench_scale;
+
+/// The trajectory-bench argument convention: `--check` selects CI's
+/// single-iteration correctness mode (no JSON emitted), anything else is
+/// the output path (defaulting per bin).
+pub struct BenchArgs {
+    pub check: bool,
+    pub out_path: String,
+}
+
+/// Parses `argv[1]` under the convention above.
+pub fn parse_args(default_out: &str) -> BenchArgs {
+    let arg = std::env::args().nth(1);
+    let check = arg.as_deref() == Some("--check");
+    BenchArgs {
+        check,
+        out_path: if check {
+            String::new()
+        } else {
+            arg.unwrap_or_else(|| default_out.to_string())
+        },
+    }
+}
+
+/// The demo-attack scenario at [`bench_scale`] (raw events included, for
+/// bins that stream or split the ingest themselves).
+pub fn demo_scenario() -> Scenario {
+    scenario_demo(bench_scale())
+}
+
+/// Builds the demo-attack store, logging the raw-event count (every bin
+/// prints this while the store builds).
+pub fn demo_store() -> EventStore {
+    let scenario = demo_scenario();
+    eprintln!("building store ({} raw events)...", scenario.raws.len());
+    build_store(&scenario, StoreConfig::default())
+}
+
+/// Looks up one Figure-4 investigation query by catalog id.
+pub fn catalog_query(id: &str) -> String {
+    demo_queries()
+        .into_iter()
+        .find(|q| q.id == id)
+        .unwrap_or_else(|| panic!("catalog query {id} exists"))
+        .aiql
+}
+
+/// Nearest-rank percentile over an ascending latency list (ms).
+pub fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Zipf-skewed query assignments: `lists` client sessions, `per_list`
+/// draws each, over `n_items` catalog entries — drawn up front from a
+/// fixed seed so every run (and both sides of a differential) replays the
+/// identical mix.
+pub fn zipf_assignments(
+    lists: usize,
+    per_list: usize,
+    n_items: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let zipf = Zipf::new(n_items, 1.2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..lists)
+        .map(|_| (0..per_list).map(|_| zipf.sample(&mut rng)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&ms, 0.0), 1.0);
+        assert_eq!(percentile(&ms, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn zipf_assignments_are_deterministic() {
+        let a = zipf_assignments(3, 5, 7, 42);
+        let b = zipf_assignments(3, 5, 7, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().flatten().all(|&i| i < 7));
+    }
+}

@@ -87,6 +87,23 @@ pub struct EngineConfig {
     /// ever joined. All three are output-invisible: results (including
     /// truncation prefixes) are byte-identical with the flag off.
     pub sideways_filters: bool,
+    /// Demand-driven blocked join drive: instead of materializing each join
+    /// step's full frontier breadth-first, take the seed frontier in runs of
+    /// [`EngineConfig::join_block_tuples`] tuples and drive each run
+    /// depth-first through every remaining step, reusing the per-step
+    /// indexes (still built once, up front). Runs are merged in ascending
+    /// seed order, so uncapped results are byte-identical to the
+    /// breadth-first drive; when `max_intermediate` or a governor budget
+    /// trips, the output is a prefix *in nested-loop emission order* of the
+    /// untruncated result — a strictly stronger contract than breadth-first
+    /// truncation. Applies to multievent joins with ≥ 2 patterns on the
+    /// late-materialization path.
+    pub blocked_join_drive: bool,
+    /// Seed-frontier run size (in tuples) for the blocked join drive. The
+    /// result is byte-identical across block sizes; smaller blocks bound
+    /// live intermediate state more tightly, larger blocks amortize
+    /// per-run overhead.
+    pub join_block_tuples: usize,
     /// Memoize dictionary constraint resolutions and filter estimates in
     /// an LRU shared by every query this engine (and its clones) runs —
     /// repeated investigations skip the shared phase. Invalidation is
@@ -143,6 +160,8 @@ impl Default for EngineConfig {
             time_bucket_join: true,
             partitioned_probe: true,
             sideways_filters: true,
+            blocked_join_drive: true,
+            join_block_tuples: 4096,
             plan_cache: true,
             compiled_projection: true,
             parallel_threshold: 8_192,
@@ -177,6 +196,8 @@ impl EngineConfig {
             time_bucket_join: false,
             partitioned_probe: false,
             sideways_filters: false,
+            blocked_join_drive: false,
+            join_block_tuples: 4096,
             plan_cache: false,
             compiled_projection: false,
             parallel_threshold: usize::MAX,

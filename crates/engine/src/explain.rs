@@ -320,14 +320,18 @@ fn operator_tree(
         } else {
             1
         };
+    // The blocked demand-driven drive takes over multievent joins; its
+    // work unit is the seed run, not a frontier range, and it probes whole
+    // indexes rather than per-worker key shards.
+    let blocked = config.blocked_join_drive && a.patterns.len() >= 2;
     // The probe-reduction layers in effect (time buckets only matter when
     // a temporal relation exists to prune by; the partitioned probe only
-    // when the drive can fan out).
+    // when the drive can fan out breadth-first).
     let mut layers: Vec<&str> = Vec::new();
     if config.time_bucket_join && !a.temporal.is_empty() {
         layers.push("time-bucket");
     }
-    if config.partitioned_probe && join_fanout > 1 {
+    if config.partitioned_probe && join_fanout > 1 && !blocked {
         layers.push("key-partitioned probe");
     }
     if config.sideways_filters {
@@ -339,7 +343,19 @@ fn operator_tree(
             "{} pattern(s), {} temporal relation(s) | {} | max_intermediate {}{}",
             a.patterns.len(),
             a.temporal.len(),
-            if join_fanout > 1 {
+            if blocked {
+                if join_fanout > 1 {
+                    format!(
+                        "demand-driven blocked({}) drive, parallel ×{threads} worker(s)",
+                        config.join_block_tuples
+                    )
+                } else {
+                    format!(
+                        "demand-driven blocked({}) drive, serial",
+                        config.join_block_tuples
+                    )
+                }
+            } else if join_fanout > 1 {
                 format!("parallel ×{join_fanout} frontier partition(s)")
             } else {
                 "serial".to_string()
@@ -474,7 +490,9 @@ mod tests {
         assert_eq!(plan.operators.children.len(), 1);
         let join = &plan.operators.children[0];
         assert_eq!(join.kind, "TemporalJoin");
-        assert!(join.detail.contains("parallel ×32 frontier partition(s)"));
+        assert!(join
+            .detail
+            .contains("demand-driven blocked(4096) drive, parallel ×8 worker(s)"));
         assert_eq!(join.children.len(), 2);
         for scan in &join.children {
             assert_eq!(scan.kind, "PatternScan");

@@ -59,6 +59,57 @@
 //!    prunes the seed frontier with the second step's domains before any
 //!    tuple exists. All pruned work counts into `filter_pruned`.
 //!
+//! ## Blocked demand-driven drive
+//!
+//! With `EngineConfig::blocked_join_drive` (the default for ≥ 2-pattern
+//! queries on the ref path), the breadth-first step loop is replaced by a
+//! pull-based drive: the seed frontier is taken in runs of
+//! `join_block_tuples` seed tuples, and each run is driven depth-first
+//! through *every* remaining step before the next run starts. The
+//! per-step indexes are still built once, up front, exactly as the
+//! breadth-first drive builds them.
+//!
+//! Within a run the recursion is *chunked*: a non-final step consumes its
+//! input frontier in [`EXPAND_CHUNK`]-tuple windows, probes one window
+//! into the level's reused scratch arena (one **expansion**, capped at
+//! `max_intermediate` tuples), and recurses on the expansion before the
+//! next window runs. The final step appends straight into the drive's
+//! output arena — survivors are never copied again. Windows run in input
+//! order and the recursion is depth-first, so the output is in
+//! nested-loop emission order: **byte-identical** to breadth-first
+//! whenever no cap trips, and a *prefix in nested-loop emission order* of
+//! the untruncated result when `max_intermediate` (or a governor budget)
+//! trips — a strictly stronger contract than breadth-first truncation
+//! (which keeps cap-sized prefixes of each intermediate frontier
+//! instead). The win is emission-bound queries: once the output cap
+//! fills, every unconsumed window — and every remaining seed run — is
+//! never driven at all, where breadth-first would have materialized
+//! cap-sized frontiers at every step first. Live intermediate memory is
+//! bounded by the per-level scratch high-water marks instead of
+//! whole-step frontiers.
+//!
+//! Cap/truncation semantics: the seed expansion is exempt from the
+//! intermediate cap (it is bounded by the block size by construction,
+//! which also keeps sideways seed pruning emission-invariant under
+//! truncation); an expansion that hits `max_intermediate` is still
+//! recursed on — its prefix's subtree finishes — and then cuts the run,
+//! stopping the drive after it; the final step draws on the output
+//! budget (`max_intermediate` across the whole drive): the exact
+//! remaining room in the serial drive, the shared [`JoinBudget`] at run
+//! granularity in the parallel one — runs merge in ascending seed order
+//! with speculative overshoot trimmed, so both drives keep the same
+//! prefix.
+//!
+//! Governor integration: a memory budget forces the serial drive, which
+//! *live-charges* each expansion's bytes while its subtree runs and the
+//! appended output permanently — a trip stops the drive at a
+//! deterministic tuple (error mode unwinds, partial mode keeps the
+//! emission-order prefix). Deadline/cancel trips are polled inside every
+//! probe loop in both drives; the parallel merge drops a tripped run's
+//! partial output and stops at the previous run boundary, while the
+//! serial drive keeps its own partial emission (either way a valid
+//! emission-order prefix).
+//!
 //! The materializing path (`late_materialization = false`, the seed's
 //! pipeline) joins `Event` batches serially, kept for ablation.
 
@@ -93,6 +144,20 @@ const TIME_BUCKETS: i64 = 256;
 /// probe skips a whole chunk when its (min, max) start-bucket zone cannot
 /// intersect the tuple's admissible bucket range.
 const BUCKET_CHUNK: usize = 64;
+
+/// Ceiling on blocked-drive run count: with more seed tuples than
+/// `MAX_RUNS × join_block_tuples`, the effective block grows instead. The
+/// result is byte-identical across block sizes, and the clamp keeps the
+/// shared output budget's prefix sums (O(runs) per refresh) cheap.
+const MAX_RUNS: usize = 4096;
+
+/// Input tuples per expansion window of the blocked drive's depth-first
+/// recursion: each window probes one step into that level's reused scratch
+/// arena and recurses on the result before the next window runs. Small
+/// enough that live per-level expansions stay allocation-light, large
+/// enough that the per-window bookkeeping (timers, cap trackers)
+/// disappears against probe work.
+const EXPAND_CHUNK: usize = 256;
 
 /// The multi-way join operator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -167,6 +232,10 @@ impl Operator for TemporalJoin {
             probe_hits: run.probe_hits,
             bucket_skipped: run.bucket_skipped,
             filter_pruned: run.filter_pruned,
+            runs_driven: run.runs_driven,
+            emitted_tuples: run.emitted_tuples,
+            breadth_bound_tuples: run.breadth_bound_tuples,
+            early_exit_depth: run.early_exit_depth,
             join_steps: run.steps,
         })
     }
@@ -185,6 +254,17 @@ struct JoinRun {
     probe_hits: u64,
     bucket_skipped: u64,
     filter_pruned: u64,
+    /// Blocked drive only: seed runs merged into the output.
+    runs_driven: u64,
+    /// Blocked drive only: tuples appended across all merged runs' steps.
+    emitted_tuples: u64,
+    /// Blocked drive only: what the breadth-first drive would have emitted
+    /// (exact when the drive completed; the per-step cap bound when it
+    /// exited early).
+    breadth_bound_tuples: u64,
+    /// Blocked drive only: the step depth at which the drive stopped
+    /// emitting (`None` = every run was driven to completion).
+    early_exit_depth: Option<usize>,
     steps: Vec<JoinStepStat>,
 }
 
@@ -838,6 +918,19 @@ fn join_refs(
         }
     }
 
+    if env.config.blocked_join_drive && n >= 2 {
+        let seed = join_order[0];
+        let seed_refs: &[EventRef] = seed_pruned.as_deref().unwrap_or(&candidates[seed]);
+        return join_refs_blocked(
+            env,
+            &candidates,
+            domains,
+            &join_order,
+            seed_refs,
+            seed_pruned_count,
+        );
+    }
+
     let mut tuples = RefArena::new(n, nvars);
     tuples.resize_tuples(1);
     let mut run = JoinRun {
@@ -869,54 +962,15 @@ fn join_refs(
         } else {
             &candidates[i]
         };
-        // Sideways build-side pruning (layer 3): drop candidates whose
-        // bound-variable ids are absent from some already-placed partner
-        // pattern's candidate domain. The frontier only ever carries ids
-        // drawn from every placed binder's domain, so a dropped candidate
-        // could never have been probed — the index (and the frontier) is
-        // unchanged.
-        let mut build_pruned: Option<Vec<EventRef>> = None;
-        if env.config.sideways_filters && !bound_vars.is_empty() {
-            let mut partner_sets: Vec<(usize, Vec<&IdSet>)> = Vec::new();
-            for &v in &bound_vars {
-                let mut sets: Vec<&IdSet> = Vec::new();
-                for (q, qp) in a.patterns.iter().enumerate() {
-                    if q == i || !placed[q] {
-                        continue;
-                    }
-                    let Some((subj, obj)) = &domains[q] else {
-                        continue;
-                    };
-                    if qp.subject == v {
-                        sets.push(subj);
-                    }
-                    if qp.object == v && qp.object != qp.subject {
-                        sets.push(obj);
-                    }
-                }
-                if !sets.is_empty() {
-                    partner_sets.push((v, sets));
-                }
-            }
-            if !partner_sets.is_empty() {
-                let kept: Vec<EventRef> = base_refs
-                    .iter()
-                    .copied()
-                    .filter(|&r| {
-                        partner_sets.iter().all(|(v, sets)| {
-                            let id = if *v == p.subject {
-                                parts.subject(r)
-                            } else {
-                                parts.object(r)
-                            };
-                            sets.iter().all(|s| s.contains(id))
-                        })
-                    })
-                    .collect();
-                counters.filter_pruned += (base_refs.len() - kept.len()) as u64;
-                build_pruned = Some(kept);
-            }
-        }
+        let build_pruned = sideways_build_prune(
+            env,
+            domains,
+            &placed,
+            i,
+            &bound_vars,
+            base_refs,
+            &mut counters.filter_pruned,
+        );
         let refs: &[EventRef] = build_pruned.as_deref().unwrap_or(base_refs);
         let key_of_ref = |r: EventRef| {
             let mut ids = [NO_VAR; 2];
@@ -1078,6 +1132,688 @@ fn join_refs(
         }
     }
     Ok((tuples, run))
+}
+
+/// Sideways build-side pruning (layer 3) for the step placing pattern `i`:
+/// drop candidates whose bound-variable ids are absent from some
+/// already-placed partner pattern's candidate domain. The frontier only
+/// ever carries ids drawn from every placed binder's domain, so a dropped
+/// candidate could never have been probed — the index (and the frontier)
+/// is unchanged. Returns `None` when no partner domain applies; otherwise
+/// the kept refs, with the dropped count added to `pruned`.
+fn sideways_build_prune(
+    env: &ExecEnv<'_>,
+    domains: &[Option<(IdSet, IdSet)>],
+    placed: &[bool],
+    i: usize,
+    bound_vars: &[usize],
+    base_refs: &[EventRef],
+    pruned: &mut u64,
+) -> Option<Vec<EventRef>> {
+    if !env.config.sideways_filters || bound_vars.is_empty() {
+        return None;
+    }
+    let a = env.a;
+    let parts = &env.parts;
+    let p = &a.patterns[i];
+    let mut partner_sets: Vec<(usize, Vec<&IdSet>)> = Vec::new();
+    for &v in bound_vars {
+        let mut sets: Vec<&IdSet> = Vec::new();
+        for (q, qp) in a.patterns.iter().enumerate() {
+            if q == i || !placed[q] {
+                continue;
+            }
+            let Some((subj, obj)) = &domains[q] else {
+                continue;
+            };
+            if qp.subject == v {
+                sets.push(subj);
+            }
+            if qp.object == v && qp.object != qp.subject {
+                sets.push(obj);
+            }
+        }
+        if !sets.is_empty() {
+            partner_sets.push((v, sets));
+        }
+    }
+    if partner_sets.is_empty() {
+        return None;
+    }
+    let kept: Vec<EventRef> = base_refs
+        .iter()
+        .copied()
+        .filter(|&r| {
+            partner_sets.iter().all(|(v, sets)| {
+                let id = if *v == p.subject {
+                    parts.subject(r)
+                } else {
+                    parts.object(r)
+                };
+                sets.iter().all(|s| s.contains(id))
+            })
+        })
+        .collect();
+    *pruned += (base_refs.len() - kept.len()) as u64;
+    Some(kept)
+}
+
+/// One pre-built step of the blocked drive: the per-step state the
+/// breadth-first loop derives lazily between steps, computed up front.
+/// Bound variables come from simulating variable placement over the join
+/// order — identical to the proto-tuple bindings the breadth-first drive
+/// reads, since every placed pattern binds its subject and object in
+/// every tuple.
+struct BlockedStep {
+    pattern: usize,
+    subject: usize,
+    object: usize,
+    bound_vars: Vec<usize>,
+    rels: Vec<StepRel>,
+    index: StepIndex,
+    /// Candidate refs indexed (after sideways build pruning).
+    candidates: usize,
+    /// Candidates dropped by sideways build pruning (a per-step constant,
+    /// counted once regardless of how many runs probe the index).
+    candidate_pruned: u64,
+    build_nanos: u64,
+}
+
+/// Control flow of the blocked drive's recursion: `Stop` ends the whole
+/// drive — the output cap filled, an expansion cut the run, or the
+/// governor tripped (the [`RunState`] flags say which).
+#[derive(Clone, Copy, PartialEq)]
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// Mutable state of one blocked drive: the per-level reused scratch
+/// arenas plus the accounting the recursion accumulates. The serial drive
+/// threads one `RunState` through every run, so each level's scratch
+/// grows to its high-water mark once; the parallel drive gives each run
+/// its own.
+struct RunState {
+    /// `levels[0]` holds the current run's seed expansion and `levels[j]`
+    /// step `j`'s scratch output (`truncate(0)` between windows keeps
+    /// capacity). The final step has no level — it appends straight into
+    /// the drive's output arena.
+    levels: Vec<RefArena>,
+    /// Per-step probe counters, probe nanos, and emitted-tuple counts.
+    ctrs: Vec<StepCounters>,
+    nanos: Vec<u64>,
+    rows: Vec<u64>,
+    /// First step observed hitting the intermediate cap. The recursion
+    /// finishes the truncated expansion's subtree before stopping, so a
+    /// deeper step affected by the same stop records first.
+    cut: Option<usize>,
+    /// A governor trip stopped the drive mid-flight.
+    gov_stop: bool,
+    /// Error-mode governor trip, surfaced once the recursion unwinds.
+    err: Option<EngineError>,
+}
+
+impl RunState {
+    fn new(m: usize, n: usize, nvars: usize) -> Self {
+        RunState {
+            levels: (0..m).map(|_| RefArena::new(n, nvars)).collect(),
+            ctrs: vec![StepCounters::default(); m],
+            nanos: vec![0; m],
+            rows: vec![0; m],
+            cut: None,
+            gov_stop: false,
+            err: None,
+        }
+    }
+}
+
+/// One parallel run's result: its final-step survivors (in nested-loop
+/// emission order) plus the run's accounting, merged in ascending seed
+/// order by the coordinator. A default-initialized slot (empty `ctrs`)
+/// marks a run skipped because earlier runs had already filled the
+/// output budget.
+#[derive(Default)]
+struct RunOut {
+    arena: RefArena,
+    rows: Vec<u64>,
+    ctrs: Vec<StepCounters>,
+    nanos: Vec<u64>,
+    cut: Option<usize>,
+    gov_stop: bool,
+}
+
+/// The blocked drive's shared read-only state: the pre-built steps plus
+/// everything a worker needs to drive one seed run depth-first.
+struct BlockedDrive<'s, 'a> {
+    env: &'s ExecEnv<'a>,
+    steps: &'s [BlockedStep],
+    domains: &'s [Option<(IdSet, IdSet)>],
+    /// The single proto tuple the seed slice probes from.
+    proto: RefArena,
+    /// Expansion (non-seed, non-final) row cap: `max_intermediate`.
+    icap: usize,
+    /// Live memory accounting is on: a memory budget is set, which also
+    /// forced the serial drive (one observer makes the trip point
+    /// deterministic).
+    charge: bool,
+    tuple_bytes: u64,
+}
+
+impl BlockedDrive<'_, '_> {
+    fn step_of(&self, j: usize) -> JoinStep<'_, '_> {
+        let s = &self.steps[j];
+        JoinStep {
+            env: self.env,
+            parts: &self.env.parts,
+            a: self.env.a,
+            index: &s.index,
+            bound_vars: &s.bound_vars,
+            rels: &s.rels,
+            domains: if self.env.config.sideways_filters {
+                self.domains[s.pattern].as_ref()
+            } else {
+                None
+            },
+            pattern: s.pattern,
+            subject: s.subject,
+            object: s.object,
+        }
+    }
+
+    /// Probes step `j` for tuples `[lo, hi)` of `cur`, appending into
+    /// `next`. Returns `(capped, gov_stop)`.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_window(
+        &self,
+        j: usize,
+        cur: &RefArena,
+        lo: usize,
+        hi: usize,
+        next: &mut RefArena,
+        caps: &mut CapTracker<'_>,
+        ctr: &mut StepCounters,
+        gov: Option<&Governor>,
+    ) -> (bool, bool) {
+        let js = self.step_of(j);
+        let mut gate = GovGate::new(gov);
+        for t in lo..hi {
+            if gate.tick().is_some() {
+                return (false, true);
+            }
+            if js.probe_into(cur, t, None, None, next, caps, ctr) {
+                return (!caps.gov_stop, caps.gov_stop);
+            }
+        }
+        (false, false)
+    }
+
+    /// Live memory accounting (serial drive under a memory budget only):
+    /// charges `bytes`, stopping the drive on a trip — error mode stashes
+    /// the unwind error in `st`.
+    fn charge_live(&self, st: &mut RunState, gov: Option<&Governor>, bytes: u64) -> Flow {
+        if !self.charge {
+            return Flow::Continue;
+        }
+        let Some(g) = gov else {
+            return Flow::Continue;
+        };
+        let _ = g.charge(bytes);
+        if let Some(t) = g.trip() {
+            if !g.partial() {
+                st.err = Some(g.error(t));
+            }
+            st.gov_stop = true;
+            return Flow::Stop;
+        }
+        Flow::Continue
+    }
+
+    fn uncharge(&self, gov: Option<&Governor>, bytes: u64) {
+        if self.charge {
+            if let Some(g) = gov {
+                g.uncharge(bytes);
+            }
+        }
+    }
+
+    /// Expands frontier `cur` through steps `j..` depth-first (see the
+    /// module docs): a non-final level windows `cur` into
+    /// [`EXPAND_CHUNK`]-tuple probes, each filling the level's reused
+    /// scratch (one expansion, at most `icap` tuples) and recursing on it
+    /// before the next window runs; the final step appends straight into
+    /// `out` under `out_caps`.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        j: usize,
+        cur: &RefArena,
+        st: &mut RunState,
+        out: &mut RefArena,
+        out_caps: &mut CapTracker<'_>,
+        gov: Option<&Governor>,
+    ) -> Flow {
+        let m = self.steps.len();
+        if j == m - 1 {
+            let before = out.len();
+            let t = Instant::now();
+            let mut ctr = StepCounters::default();
+            let (capped, gov_stop) =
+                self.probe_window(j, cur, 0, cur.len(), out, out_caps, &mut ctr, gov);
+            st.nanos[j] += t.elapsed().as_nanos() as u64;
+            st.ctrs[j].merge(&ctr);
+            let delta = (out.len() - before) as u64;
+            st.rows[j] += delta;
+            // Appended output stays live: charge it permanently.
+            let charged = self.charge_live(st, gov, delta * self.tuple_bytes);
+            if gov_stop {
+                st.gov_stop = true;
+                return Flow::Stop;
+            }
+            if charged == Flow::Stop || capped {
+                return Flow::Stop;
+            }
+            return Flow::Continue;
+        }
+        let mut scratch = std::mem::take(&mut st.levels[j]);
+        let mut flow = Flow::Continue;
+        let mut lo = 0;
+        while lo < cur.len() {
+            let hi = (lo + EXPAND_CHUNK).min(cur.len());
+            scratch.truncate(0);
+            let t = Instant::now();
+            let mut ctr = StepCounters::default();
+            let mut caps = CapTracker::fixed(self.icap, gov);
+            let (capped, gov_stop) =
+                self.probe_window(j, cur, lo, hi, &mut scratch, &mut caps, &mut ctr, gov);
+            st.nanos[j] += t.elapsed().as_nanos() as u64;
+            st.ctrs[j].merge(&ctr);
+            st.rows[j] += scratch.len() as u64;
+            if gov_stop {
+                st.gov_stop = true;
+                flow = Flow::Stop;
+                break;
+            }
+            let bytes = scratch.len() as u64 * self.tuple_bytes;
+            if self.charge_live(st, gov, bytes) == Flow::Stop {
+                flow = Flow::Stop;
+                break;
+            }
+            let sub = self.expand(j + 1, &scratch, st, out, out_caps, gov);
+            self.uncharge(gov, bytes);
+            if sub == Flow::Stop {
+                flow = Flow::Stop;
+                break;
+            }
+            if capped {
+                // The expansion hit the intermediate cap and its prefix's
+                // subtree just finished: the run cuts here and the drive
+                // stops after it.
+                st.cut.get_or_insert(j);
+                flow = Flow::Stop;
+                break;
+            }
+            lo = hi;
+        }
+        st.levels[j] = scratch;
+        flow
+    }
+
+    /// Drives seed slice `[lo, hi)` depth-first through every step: the
+    /// seed expansion first (exempt from the intermediate cap — it is
+    /// bounded by the block size by construction, which keeps sideways
+    /// seed pruning emission-invariant under truncation), then the
+    /// chunked recursion over the remaining steps.
+    fn drive_run(
+        &self,
+        lo: usize,
+        hi: usize,
+        st: &mut RunState,
+        out: &mut RefArena,
+        out_caps: &mut CapTracker<'_>,
+        gov: Option<&Governor>,
+    ) -> Flow {
+        let t0 = Instant::now();
+        let mut seedbuf = std::mem::take(&mut st.levels[0]);
+        seedbuf.truncate(0);
+        let mut caps = CapTracker::fixed(usize::MAX, gov);
+        let mut ctr = StepCounters::default();
+        let js = self.step_of(0);
+        let stopped = js.probe_into(
+            &self.proto,
+            0,
+            Some((lo, hi)),
+            None,
+            &mut seedbuf,
+            &mut caps,
+            &mut ctr,
+        );
+        st.nanos[0] += t0.elapsed().as_nanos() as u64;
+        st.ctrs[0].merge(&ctr);
+        st.rows[0] += seedbuf.len() as u64;
+        let flow = if stopped {
+            // An uncapped tracker only stops on a governor trip.
+            st.gov_stop = true;
+            Flow::Stop
+        } else {
+            let bytes = seedbuf.len() as u64 * self.tuple_bytes;
+            if self.charge_live(st, gov, bytes) == Flow::Stop {
+                Flow::Stop
+            } else {
+                let flow = self.expand(1, &seedbuf, st, out, out_caps, gov);
+                self.uncharge(gov, bytes);
+                flow
+            }
+        };
+        st.levels[0] = seedbuf;
+        flow
+    }
+}
+
+/// The blocked demand-driven drive (see the module docs): per-step
+/// indexes built once up front, then the seed frontier driven depth-first
+/// in bounded runs, merged in ascending seed order.
+fn join_refs_blocked(
+    env: &ExecEnv<'_>,
+    candidates: &[Vec<EventRef>],
+    domains: &[Option<(IdSet, IdSet)>],
+    join_order: &[usize],
+    seed_refs: &[EventRef],
+    seed_pruned_count: u64,
+) -> Result<(RefArena, JoinRun), EngineError> {
+    let a = env.a;
+    let n = a.patterns.len();
+    let nvars = a.vars.len();
+    let m = join_order.len();
+    let tuple_bytes =
+        (n * std::mem::size_of::<EventRef>() + nvars * std::mem::size_of::<u32>()) as u64;
+    let gov = env.gov();
+    let out_cap = env.config.max_intermediate;
+    let mut run = JoinRun {
+        fanout: 1,
+        ..JoinRun::default()
+    };
+
+    // Build every step's index up front — the same builds, in the same
+    // join order, as the breadth-first loop.
+    let parts = &env.parts;
+    let mut steps: Vec<BlockedStep> = Vec::with_capacity(m);
+    let mut placed = vec![false; n];
+    let mut var_bound = vec![false; nvars];
+    for (ord, &i) in join_order.iter().enumerate() {
+        let p = &a.patterns[i];
+        let same_var = p.subject == p.object;
+        let pattern_vars: [usize; 2] = [p.subject, p.object];
+        let bound_vars: Vec<usize> = pattern_vars
+            .iter()
+            .take(if same_var { 1 } else { 2 })
+            .copied()
+            .filter(|&v| var_bound[v])
+            .collect();
+        let base_refs: &[EventRef] = if ord == 0 { seed_refs } else { &candidates[i] };
+        let mut candidate_pruned = 0u64;
+        let build_pruned = sideways_build_prune(
+            env,
+            domains,
+            &placed,
+            i,
+            &bound_vars,
+            base_refs,
+            &mut candidate_pruned,
+        );
+        let refs: &[EventRef] = build_pruned.as_deref().unwrap_or(base_refs);
+        let key_of_ref = |r: EventRef| {
+            let mut ids = [NO_VAR; 2];
+            for (slot, &v) in ids.iter_mut().zip(&bound_vars) {
+                *slot = if v == p.subject {
+                    parts.subject(r).raw()
+                } else {
+                    parts.object(r).raw()
+                };
+            }
+            pack(ids)
+        };
+        let rels = a.step_relations(i, &placed);
+        let timed = env.config.time_bucket_join && !rels.is_empty();
+        let t_build = Instant::now();
+        let index = build_index(
+            env,
+            refs,
+            same_var,
+            &key_of_ref,
+            !bound_vars.is_empty(),
+            timed,
+        )?;
+        let build_nanos = t_build.elapsed().as_nanos() as u64;
+        run.build_nanos += build_nanos;
+        run.fanout = run.fanout.max(index.shard_count());
+        steps.push(BlockedStep {
+            pattern: i,
+            subject: p.subject,
+            object: p.object,
+            candidates: refs.len(),
+            candidate_pruned,
+            bound_vars,
+            rels,
+            index,
+            build_nanos,
+        });
+        placed[i] = true;
+        var_bound[p.subject] = true;
+        var_bound[p.object] = true;
+    }
+
+    let mut proto = RefArena::new(n, nvars);
+    proto.resize_tuples(1);
+    let seed_total = steps[0].index.posting_len(pack([NO_VAR; 2]));
+
+    // Output arena reserved to the drive's worst case — seed size times
+    // the remaining steps' indexed-ref counts — clamped by the output cap
+    // and the same 4 Mi-tuple lid the breadth-first per-step reservation
+    // uses. Selective queries reserve small; emission-bound ones fill the
+    // reservation exactly (the final step appends here directly, so this
+    // is the only output allocation of the serial drive).
+    let out_bound = steps[1..]
+        .iter()
+        .fold(seed_total, |b, s| b.saturating_mul(s.index.total_refs()))
+        .min(out_cap)
+        .min(1 << 22);
+    let mut out = RefArena::with_capacity_tuples(n, nvars, out_bound);
+
+    let mut truncated = false;
+    let mut early_exit: Option<usize> = None;
+    let mut runs_driven = 0u64;
+    let mut step_rows: Vec<u64> = vec![0; m];
+    let mut step_ctrs: Vec<StepCounters> = vec![StepCounters::default(); m];
+    let mut step_nanos: Vec<u64> = vec![0; m];
+
+    if out_cap == 0 {
+        // The cap is already spent (a zero `max_intermediate`): the empty
+        // prefix is the whole answer, as in the breadth-first drive.
+        truncated = true;
+    } else if seed_total > 0 {
+        let block = env
+            .config
+            .join_block_tuples
+            .max(1)
+            .max(seed_total.div_ceil(MAX_RUNS));
+        let nruns = seed_total.div_ceil(block);
+        let charge = gov.is_some_and(|g| g.has_memory_budget());
+        let drive = BlockedDrive {
+            env,
+            steps: &steps,
+            domains,
+            proto,
+            icap: out_cap,
+            charge,
+            tuple_bytes,
+        };
+        let workers = env.config.parallelism.max(1);
+        // A memory budget forces the serial drive: live charging yields a
+        // deterministic trip point only with a single observer.
+        let parallel = nruns >= 2 && !charge && join_partitions(env, seed_total).is_some();
+        let t_probe = Instant::now();
+        if parallel {
+            let Some(pool) = env.pool.as_ref() else {
+                return Err(crate::op::internal(
+                    "blocked join drive scheduled without a scan executor",
+                ));
+            };
+            let budget = JoinBudget::new(out_cap, nruns);
+            let slots: Vec<Mutex<RunOut>> =
+                (0..nruns).map(|_| Mutex::new(RunOut::default())).collect();
+            pool.run_chunks_capped(nruns, workers, &|k| {
+                // Skip runs that cannot contribute: the runs before this
+                // one already produced the whole output cap, so the merge
+                // stops before reaching it. This is the demand-driven win —
+                // seed tuples nobody will consume are never driven.
+                if budget.cap(k) == 0 {
+                    return;
+                }
+                let lo = k * block;
+                let hi = (lo + block).min(seed_total);
+                let mut st = RunState::new(m, n, nvars);
+                let mut local = RefArena::new(n, nvars);
+                let mut caps = CapTracker::shared(&budget, k, gov);
+                let _ = drive.drive_run(lo, hi, &mut st, &mut local, &mut caps, gov);
+                budget.publish(k, local.len());
+                *crate::op::lock_clean(&slots[k]) = RunOut {
+                    arena: local,
+                    rows: st.rows,
+                    ctrs: st.ctrs,
+                    nanos: st.nanos,
+                    cut: st.cut,
+                    gov_stop: st.gov_stop,
+                };
+            })
+            .map_err(worker_panic)?;
+            for slot in slots {
+                let ro = crate::op::unwrap_clean(slot);
+                if ro.ctrs.len() != m {
+                    // A skipped run can only sit *after* the run that
+                    // filled the output cap; reaching one means the
+                    // budget logic broke.
+                    return Err(crate::op::internal(
+                        "blocked join drive merged a skipped run",
+                    ));
+                }
+                if ro.gov_stop {
+                    // The run stopped mid-flight on a trip: its partial
+                    // output is dropped and the merged prefix ends at the
+                    // previous run boundary (still a valid emission-order
+                    // prefix).
+                    if let Some(g) = gov {
+                        if let Some(t) = g.trip() {
+                            if !g.partial() {
+                                return Err(g.error(t));
+                            }
+                        }
+                    }
+                    break;
+                }
+                // Trim speculative overshoot past the shared budget: the
+                // kept prefix reproduces the serial drive's output exactly.
+                let kept = ro.arena.len().min(out_cap - out.len());
+                out.append_prefix(&ro.arena, kept);
+                runs_driven += 1;
+                for j in 0..m {
+                    step_rows[j] += if j == m - 1 { kept as u64 } else { ro.rows[j] };
+                    step_ctrs[j].merge(&ro.ctrs[j]);
+                    step_nanos[j] += ro.nanos[j];
+                }
+                if let Some(j) = ro.cut {
+                    truncated = true;
+                    early_exit = Some(j);
+                    break;
+                }
+                if out.len() >= out_cap {
+                    truncated = true;
+                    early_exit = Some(m - 1);
+                    break;
+                }
+            }
+            run.fanout = run.fanout.max(workers.min(nruns));
+        } else {
+            // Serial drive: one `RunState` (scratch reused across runs),
+            // one absolute output tracker — the final step sees the exact
+            // remaining room at all times.
+            let mut st = RunState::new(m, n, nvars);
+            let mut caps = CapTracker::fixed(out_cap, gov);
+            for k in 0..nruns {
+                let lo = k * block;
+                let hi = (lo + block).min(seed_total);
+                let flow = drive.drive_run(lo, hi, &mut st, &mut out, &mut caps, gov);
+                runs_driven += 1;
+                if let Some(e) = st.err.take() {
+                    return Err(e);
+                }
+                if flow == Flow::Stop {
+                    break;
+                }
+            }
+            if st.gov_stop {
+                // Partial mode keeps the emission-order prefix driven so
+                // far; error mode unwinds (deadline/cancel trips observed
+                // by the pollers rather than a live charge land here).
+                if let Some(g) = gov {
+                    if let Some(t) = g.trip() {
+                        if !g.partial() {
+                            return Err(g.error(t));
+                        }
+                    }
+                }
+            }
+            step_rows = st.rows;
+            step_ctrs = st.ctrs;
+            step_nanos = st.nanos;
+            if st.cut.is_some() {
+                truncated = true;
+                early_exit = st.cut;
+            } else if out.len() >= out_cap {
+                truncated = true;
+                early_exit = Some(m - 1);
+            }
+        }
+        run.probe_nanos += t_probe.elapsed().as_nanos() as u64;
+    }
+
+    run.truncated |= truncated;
+    run.runs_driven = runs_driven;
+    run.emitted_tuples = step_rows.iter().sum();
+    run.early_exit_depth = early_exit;
+    run.breadth_bound_tuples = if early_exit.is_none() {
+        // Every run was driven to completion: breadth-first would have
+        // emitted exactly these tuples.
+        run.emitted_tuples
+    } else {
+        // Early exit: breadth-first would have filled up to the row cap at
+        // every step (the seed bounded by its candidate count).
+        seed_total.min(out_cap) as u64 + (m as u64 - 1) * out_cap as u64
+    };
+    for (j, s) in steps.iter().enumerate() {
+        let mut c = step_ctrs[j];
+        c.filter_pruned += s.candidate_pruned;
+        if j == 0 {
+            c.filter_pruned += seed_pruned_count;
+        }
+        run.probe_hits += c.probe_hits;
+        run.bucket_skipped += c.bucket_skipped;
+        run.filter_pruned += c.filter_pruned;
+        run.steps.push(JoinStepStat {
+            pattern: s.pattern,
+            candidates: s.candidates,
+            rows_out: step_rows[j] as usize,
+            probes: c.probes,
+            probe_hits: c.probe_hits,
+            bucket_skipped: c.bucket_skipped,
+            filter_pruned: c.filter_pruned,
+            buckets: s.index.buckets(),
+            bucket_width_micros: s.index.bucket_width(),
+            build_nanos: s.build_nanos,
+            probe_nanos: step_nanos[j],
+            fanout: s.index.shard_count(),
+        });
+    }
+    Ok((out, run))
 }
 
 /// Per-drive probe-reduction counters, merged across partitions/shards

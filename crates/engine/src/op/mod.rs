@@ -473,6 +473,16 @@ impl ExecStats {
                     op.filter_pruned,
                 );
             }
+            if op.runs_driven > 0 {
+                let _ = write!(
+                    out,
+                    " | runs {} | emitted {} / breadth bound {}",
+                    op.runs_driven, op.emitted_tuples, op.breadth_bound_tuples,
+                );
+                if let Some(d) = op.early_exit_depth {
+                    let _ = write!(out, " | early exit at step {d}");
+                }
+            }
             out.push('\n');
             for s in &op.join_steps {
                 let _ = write!(
@@ -536,6 +546,19 @@ pub struct OpStat {
     /// Build candidates, seed tuples, and probes eliminated by sideways
     /// bitmap filters (joins only, `sideways_filters`).
     pub filter_pruned: u64,
+    /// Seed runs driven to completion by the blocked join drive (joins
+    /// only, `blocked_join_drive`; 0 = breadth-first drive).
+    pub runs_driven: u64,
+    /// Tuples actually emitted across all join steps of the merged runs
+    /// (blocked drive only).
+    pub emitted_tuples: u64,
+    /// Tuples the breadth-first drive would have emitted for the same
+    /// result — the demand-driven saving is the gap to `emitted_tuples`
+    /// (blocked drive only).
+    pub breadth_bound_tuples: u64,
+    /// Join-order step depth at which the blocked drive stopped emitting
+    /// (`None` = every run driven to completion).
+    pub early_exit_depth: Option<usize>,
     /// Per-join-step detail (joins only, execution order of the steps).
     pub join_steps: Vec<JoinStepStat>,
 }
@@ -585,6 +608,11 @@ pub struct OpIo {
     pub probe_hits: u64,
     pub bucket_skipped: u64,
     pub filter_pruned: u64,
+    /// Join-only blocked-drive emission counters (see [`OpStat`]).
+    pub runs_driven: u64,
+    pub emitted_tuples: u64,
+    pub breadth_bound_tuples: u64,
+    pub early_exit_depth: Option<usize>,
     pub join_steps: Vec<JoinStepStat>,
 }
 
@@ -632,6 +660,10 @@ impl PlanNode {
             probe_hits: io.probe_hits,
             bucket_skipped: io.bucket_skipped,
             filter_pruned: io.filter_pruned,
+            runs_driven: io.runs_driven,
+            emitted_tuples: io.emitted_tuples,
+            breadth_bound_tuples: io.breadth_bound_tuples,
+            early_exit_depth: io.early_exit_depth,
             join_steps: io.join_steps,
         });
         Ok(())
